@@ -1,0 +1,74 @@
+//! Ablation timings for design choices called out in DESIGN.md:
+//!
+//! * kernel family vs decision cost (why SVDD/linear decides fastest);
+//! * training cost vs training-set size (why grid searches cap windows);
+//! * kernel-row cache budget vs training cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocsvm::{Kernel, KernelKind, NuOcSvm, OneClassModel, SolverOptions, SparseVector, Svdd};
+
+/// Synthetic window-like sparse vectors: ~15 active columns out of 843.
+fn vectors(n: usize, seed: u64) -> Vec<SparseVector> {
+    (0..n)
+        .map(|i| {
+            let mut pairs: Vec<(u32, f64)> = (0..15u32)
+                .map(|d| {
+                    let col = (seed as u32 + d * 53 + (i as u32 % 7) * 11) % 843;
+                    (col, 1.0)
+                })
+                .collect();
+            pairs.sort_unstable_by_key(|&(c, _)| c);
+            pairs.dedup_by_key(|&mut (c, _)| c);
+            pairs.push((843, 0.2 + 0.01 * (i % 13) as f64));
+            SparseVector::from_pairs(pairs).expect("sorted pairs")
+        })
+        .collect()
+}
+
+fn kernel_decision_cost(c: &mut Criterion) {
+    let train = vectors(300, 7);
+    let probe = &vectors(1, 99)[0];
+    let mut group = c.benchmark_group("decision_by_kernel");
+    for kind in KernelKind::ALL {
+        let kernel = Kernel::default_for(kind, 844);
+        let model = Svdd::new(0.5, kernel).train(&train).expect("training succeeds");
+        group.bench_function(kind.to_string(), |b| b.iter(|| model.decision_value(probe)));
+    }
+    group.finish();
+}
+
+fn training_cost_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_by_size");
+    group.sample_size(10);
+    for n in [100usize, 300, 600] {
+        let train = vectors(n, 3);
+        group.bench_with_input(BenchmarkId::new("ocsvm_linear", n), &train, |b, train| {
+            b.iter(|| NuOcSvm::new(0.2, Kernel::Linear).train(train).expect("trains"))
+        });
+        group.bench_with_input(BenchmarkId::new("svdd_linear", n), &train, |b, train| {
+            b.iter(|| Svdd::new(0.5, Kernel::Linear).train(train).expect("trains"))
+        });
+    }
+    group.finish();
+}
+
+fn cache_budget(c: &mut Criterion) {
+    let train = vectors(500, 11);
+    let mut group = c.benchmark_group("train_by_cache_budget");
+    group.sample_size(10);
+    for (label, bytes) in [("tiny_64KiB", 64usize << 10), ("default_64MiB", 64 << 20)] {
+        let options = SolverOptions { cache_bytes: bytes, ..Default::default() };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                NuOcSvm::new(0.2, Kernel::Rbf { gamma: 0.1 })
+                    .with_options(options)
+                    .train(&train)
+                    .expect("trains")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kernel_decision_cost, training_cost_by_size, cache_budget);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion harness behind Fig. 5: feature-vector composition time as a
+//! function of the number of transactions aggregated into one 60-second
+//! window (the paper sweeps 54 → 6,048).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use proxylog::{Taxonomy, Timestamp, UserId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tracegen::{ActivityClass, RoleTemplate, Session, UserBehaviorProfile};
+use webprofiler::{aggregate_window, extract_transaction, Vocabulary};
+
+fn window_of(n: usize) -> Vec<proxylog::Transaction> {
+    let taxonomy = Taxonomy::paper_scale();
+    let mut rng = StdRng::seed_from_u64(42);
+    let role = RoleTemplate::generate(&mut rng, 0, 9, &taxonomy);
+    let profile = UserBehaviorProfile::generate(
+        &mut rng,
+        UserId(0),
+        &role,
+        ActivityClass::Heavy,
+        &taxonomy,
+        Timestamp(0),
+    );
+    let session = Session {
+        user: UserId(0),
+        device: proxylog::DeviceId(0),
+        start: Timestamp(0),
+        end: Timestamp(3_600),
+    };
+    let mut txs = Vec::new();
+    while txs.len() < n {
+        txs.extend(tracegen::session_transactions(&mut rng, &profile, &session, 10.0));
+    }
+    txs.truncate(n);
+    for (i, tx) in txs.iter_mut().enumerate() {
+        tx.timestamp = Timestamp((i as i64 * 60) / n as i64);
+    }
+    txs
+}
+
+fn composition_speed(c: &mut Criterion) {
+    let vocab = Vocabulary::new(Taxonomy::paper_scale());
+    let mut group = c.benchmark_group("composition_speed");
+    for n in [54usize, 512, 2048, 6048] {
+        let window = window_of(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &window, |b, window| {
+            b.iter(|| aggregate_window(&vocab, window))
+        });
+    }
+    group.finish();
+
+    // Single-transaction extraction, the inner loop of composition.
+    let single = window_of(1);
+    c.bench_function("extract_transaction", |b| {
+        b.iter(|| extract_transaction(&vocab, &single[0]))
+    });
+}
+
+criterion_group!(benches, composition_speed);
+criterion_main!(benches);

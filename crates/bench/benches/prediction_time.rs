@@ -1,0 +1,61 @@
+//! Criterion harness behind Fig. 4: per-window prediction time for OC-SVM
+//! and SVDD models trained on realistic user windows.
+
+use bench::{Experiment, ExperimentConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use webprofiler::{compute_window_sets, ModelKind, ProfileTrainer, WindowConfig};
+
+fn prediction_time(c: &mut Criterion) {
+    let config = ExperimentConfig { weeks: 2, rate: 0.3, seed: 2015, max_windows: 300 };
+    let experiment = Experiment::build(config);
+    let train_windows = compute_window_sets(
+        &experiment.vocab,
+        &experiment.train,
+        WindowConfig::PAPER_DEFAULT,
+        Some(300),
+    );
+    let test_windows = compute_window_sets(
+        &experiment.vocab,
+        &experiment.test,
+        WindowConfig::PAPER_DEFAULT,
+        Some(300),
+    );
+    let user = *train_windows
+        .iter()
+        .max_by_key(|&(_, w)| w.len())
+        .map(|(u, _)| u)
+        .expect("at least one user");
+    let probes: Vec<_> = test_windows.values().flatten().cloned().collect();
+    assert!(!probes.is_empty());
+
+    let mut group = c.benchmark_group("prediction_time");
+    // RBF models pay per support vector (the paper's LIBSVM behaviour);
+    // linear models collapse to one dot product (this crate's fast path).
+    let kernels =
+        [("rbf", ocsvm::Kernel::Rbf { gamma: 0.05 }), ("linear", ocsvm::Kernel::Linear)];
+    for kind in ModelKind::ALL {
+        for (kernel_label, kernel) in kernels {
+            let profile = ProfileTrainer::new(&experiment.vocab)
+                .kind(kind)
+                .kernel(kernel)
+                .regularization(0.5)
+                .train_from_vectors(user, &train_windows[&user])
+                .expect("training succeeds");
+            group.bench_function(format!("{kind}/{kernel_label}"), |b| {
+                let mut i = 0usize;
+                b.iter_batched(
+                    || {
+                        i = (i + 1) % probes.len();
+                        &probes[i]
+                    },
+                    |probe| profile.decision_value(probe),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, prediction_time);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Baseline comparison (the paper's future work, Sect. VII): how do the
+//! one-class SVMs compare against a simple probabilistic/frequency
+//! baseline on the same windows?
+//!
+//! Trains, per user: an OC-SVM (linear, ν=0.1), an SVDD (linear, C=0.5)
+//! and the mean-vector cosine baseline, then evaluates `ACCself`/`ACCother`
+//! on the testing windows.
+//!
+//! ```text
+//! cargo run -p bench --bin baseline_comparison --release [--weeks N]
+//! ```
+
+use bench::{pct, row, Experiment, ExperimentConfig};
+use proxylog::UserId;
+use std::collections::BTreeMap;
+use webprofiler::{
+    compute_window_sets, FrequencyProfile, ModelKind, ProfileTrainer, WindowConfig,
+};
+
+fn main() {
+    let config = ExperimentConfig::parse(4);
+    let max_windows = config.max_windows;
+    let experiment = Experiment::build(config);
+    let train_windows = compute_window_sets(
+        &experiment.vocab,
+        &experiment.train,
+        WindowConfig::PAPER_DEFAULT,
+        Some(max_windows),
+    );
+    let test_windows = compute_window_sets(
+        &experiment.vocab,
+        &experiment.test,
+        WindowConfig::PAPER_DEFAULT,
+        Some(max_windows),
+    );
+    let users: Vec<UserId> = train_windows
+        .iter()
+        .filter(|(user, windows)| {
+            !windows.is_empty() && !test_windows.get(user).is_none_or(Vec::is_empty)
+        })
+        .map(|(&user, _)| user)
+        .collect();
+
+    // decision closures per model family: (label, per-user accept fn).
+    let mut results: Vec<(String, f64, f64)> = Vec::new();
+    for kind in ModelKind::ALL {
+        let trainer = ProfileTrainer::new(&experiment.vocab)
+            .kind(kind)
+            .regularization(match kind {
+                ModelKind::OcSvm => 0.1,
+                ModelKind::Svdd => 0.5,
+            });
+        let profiles: BTreeMap<UserId, _> = users
+            .iter()
+            .filter_map(|&u| {
+                trainer.train_from_vectors(u, &train_windows[&u]).ok().map(|p| (u, p))
+            })
+            .collect();
+        let (acc_self, acc_other) = evaluate(&users, &test_windows, |user, window| {
+            profiles.get(&user).is_some_and(|p| p.accepts(window))
+        });
+        results.push((kind.to_string(), acc_self, acc_other));
+    }
+    {
+        let baselines: BTreeMap<UserId, FrequencyProfile> = users
+            .iter()
+            .filter_map(|&u| {
+                FrequencyProfile::train(u, &train_windows[&u], 0.1).ok().map(|b| (u, b))
+            })
+            .collect();
+        let (acc_self, acc_other) = evaluate(&users, &test_windows, |user, window| {
+            baselines.get(&user).is_some_and(|b| b.accepts(window))
+        });
+        results.push(("Frequency".to_string(), acc_self, acc_other));
+    }
+
+    println!("BASELINE COMPARISON ON TESTING WINDOWS ({} users)", users.len());
+    let widths = [12, 10, 10, 10];
+    println!(
+        "{}",
+        row(
+            &["model".into(), "ACCself".into(), "ACCother".into(), "ACC".into()],
+            &widths
+        )
+    );
+    for (label, acc_self, acc_other) in &results {
+        println!(
+            "{}",
+            row(
+                &[
+                    label.clone(),
+                    pct(*acc_self),
+                    pct(*acc_other),
+                    pct(acc_self - acc_other)
+                ],
+                &widths
+            )
+        );
+    }
+    println!();
+    println!("# the SVM families should dominate the mean-vector baseline on ACC;");
+    println!("# the baseline shows how much of the signal is plain first-moment behavior");
+}
+
+/// Mean self/other acceptance over users for an arbitrary accept function.
+fn evaluate(
+    users: &[UserId],
+    test_windows: &webprofiler::WindowSets,
+    accepts: impl Fn(UserId, &ocsvm::SparseVector) -> bool,
+) -> (f64, f64) {
+    let mut self_total = 0.0;
+    let mut self_count = 0usize;
+    let mut other_total = 0.0;
+    let mut other_count = 0usize;
+    for &model_user in users {
+        for &test_user in users {
+            let windows = &test_windows[&test_user];
+            if windows.is_empty() {
+                continue;
+            }
+            let ratio = windows.iter().filter(|w| accepts(model_user, w)).count() as f64
+                / windows.len() as f64;
+            if model_user == test_user {
+                self_total += ratio;
+                self_count += 1;
+            } else {
+                other_total += ratio;
+                other_count += 1;
+            }
+        }
+    }
+    (self_total / self_count.max(1) as f64, other_total / other_count.max(1) as f64)
+}

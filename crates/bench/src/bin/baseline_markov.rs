@@ -1,0 +1,115 @@
+//! Sequence baseline (prior-work analogue): per-user first-order Markov
+//! chains over window category sequences, in the spirit of the HMM-based
+//! NAT fingerprinting the paper compares against (Verde et al., reference 11).
+//!
+//! Trains a Markov profile per user on training-window transaction
+//! sequences and reports `ACCself`/`ACCother` on the testing windows —
+//! comparable to the SVM numbers from `baseline_comparison`.
+//!
+//! ```text
+//! cargo run -p bench --bin baseline_markov --release [--weeks N]
+//! ```
+
+use bench::{pct, row, Experiment, ExperimentConfig};
+use proxylog::{Transaction, UserId};
+use std::collections::BTreeMap;
+use webprofiler::{MarkovProfile, WindowAggregator, WindowConfig};
+
+type Slices = BTreeMap<UserId, Vec<Vec<Transaction>>>;
+
+fn window_slices(experiment: &Experiment, dataset: &proxylog::Dataset, cap: usize) -> Slices {
+    let aggregator = WindowAggregator::new(&experiment.vocab, WindowConfig::PAPER_DEFAULT);
+    dataset
+        .users()
+        .into_iter()
+        .map(|user| {
+            let mut slices: Vec<Vec<Transaction>> = aggregator
+                .user_window_slices(dataset, user)
+                .into_iter()
+                .map(|(_, txs)| txs)
+                .collect();
+            if slices.len() > cap {
+                let stride = slices.len() / cap;
+                slices = slices.into_iter().step_by(stride.max(1)).take(cap).collect();
+            }
+            (user, slices)
+        })
+        .collect()
+}
+
+fn main() {
+    let config = ExperimentConfig::parse(4);
+    let max_windows = config.max_windows;
+    let experiment = Experiment::build(config);
+    let n_states = experiment.vocab.taxonomy().category_count();
+    let train = window_slices(&experiment, &experiment.train, max_windows);
+    let test = window_slices(&experiment, &experiment.test, max_windows);
+
+    let profiles: BTreeMap<UserId, MarkovProfile> = train
+        .iter()
+        .filter_map(|(&user, windows)| {
+            MarkovProfile::train(user, windows, n_states, 0.1).ok().map(|p| (user, p))
+        })
+        .collect();
+
+    println!("MARKOV-CHAIN SEQUENCE BASELINE ({} users, {} states)", profiles.len(), n_states);
+    let widths = [10, 10, 10, 10];
+    println!(
+        "{}",
+        row(&["user".into(), "ACCself".into(), "ACCother".into(), "ACC".into()], &widths)
+    );
+    let mut self_total = 0.0;
+    let mut other_total = 0.0;
+    let mut rows = 0usize;
+    for (&user, profile) in &profiles {
+        let own = &test[&user];
+        if own.is_empty() {
+            continue;
+        }
+        let acc_self =
+            own.iter().filter(|w| profile.accepts(w)).count() as f64 / own.len() as f64;
+        let mut others = Vec::new();
+        for (&other_user, windows) in &test {
+            if other_user == user || windows.is_empty() {
+                continue;
+            }
+            others.push(
+                windows.iter().filter(|w| profile.accepts(w)).count() as f64
+                    / windows.len() as f64,
+            );
+        }
+        let acc_other = others.iter().sum::<f64>() / others.len().max(1) as f64;
+        self_total += acc_self;
+        other_total += acc_other;
+        rows += 1;
+        println!(
+            "{}",
+            row(
+                &[
+                    user.to_string(),
+                    pct(acc_self),
+                    pct(acc_other),
+                    pct(acc_self - acc_other)
+                ],
+                &widths
+            )
+        );
+    }
+    if rows > 0 {
+        println!(
+            "{}",
+            row(
+                &[
+                    "mean".into(),
+                    pct(self_total / rows as f64),
+                    pct(other_total / rows as f64),
+                    pct((self_total - other_total) / rows as f64)
+                ],
+                &widths
+            )
+        );
+    }
+    println!();
+    println!("# compare with `baseline_comparison` (feature-vector models); the sequence");
+    println!("# baseline captures transition structure but ignores everything but categories");
+}

@@ -1,0 +1,37 @@
+//! Sect. IV-A corpus statistics: the numbers the paper uses to describe
+//! its benchmark dataset, measured on the synthetic stand-in corpus.
+//!
+//! ```text
+//! cargo run -p bench --bin corpus_stats --release [--weeks N] [--rate F] [--full]
+//! ```
+//!
+//! Paper values (full scale): 9,450,474 transactions, 36 users, 35
+//! devices, ~3 users/device, 1–17 devices/user; after the ≥1,500 filter,
+//! 25 users with 2,514–4,678,488 transactions (median 38,910); 1-minute
+//! windows hold a median of 54 and a maximum of 6,048 transactions.
+
+use bench::{scaled_min_transactions, Experiment, ExperimentConfig};
+use proxylog::{window_population, CorpusSummary};
+
+fn main() {
+    let config = ExperimentConfig::parse(8);
+    let experiment = Experiment::build(config);
+
+    println!("CORPUS STATISTICS (Sect. IV-A)\n");
+    println!("-- full corpus --");
+    println!("{}", CorpusSummary::measure(&experiment.trace.dataset));
+    println!();
+    println!(
+        "-- after >= {} transactions/user filter --",
+        scaled_min_transactions(experiment.config.weeks)
+    );
+    println!("{}", CorpusSummary::measure(&experiment.filtered));
+    println!();
+    let windows = window_population(&experiment.filtered, 60);
+    println!("-- populated 1-minute windows (per user) --");
+    println!("transactions/window: {windows}");
+    println!();
+    println!("# paper: 9,450,474 txs, 36 users / 35 devices, ~3 users/device, 1-17 devices/user");
+    println!("# paper filtered: 25 users, 2,514 - 4,678,488 txs/user, median 38,910");
+    println!("# paper windows: median 54, max 6,048 transactions per 1-minute window");
+}

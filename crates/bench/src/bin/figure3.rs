@@ -1,0 +1,162 @@
+//! Figure 3 — user identification on a single shared device over 100
+//! minutes of monitored (testing-set) traffic.
+//!
+//! Host-specific transaction windows from one device are subjected to
+//! every optimized OC-SVM user model; the timeline printed below mirrors
+//! the paper's figure: `#` marks windows actually performed by a user,
+//! `+` marks a window their model merely accepted, `*` marks both.
+//!
+//! ```text
+//! cargo run -p bench --bin figure3 --release [--weeks N] [--vote K]
+//! ```
+//!
+//! Paper shape: 3 users take turns on the device; ~7 of the 25 models
+//! accept at least one window; the longest runs of consecutive accepted
+//! windows belong to the actually active user, and voting over K
+//! consecutive windows suppresses the spurious acceptances.
+
+use bench::{pct, Experiment, ExperimentConfig};
+use proxylog::{Dataset, DeviceId, Timestamp, UserId};
+use std::collections::{BTreeMap, BTreeSet};
+use webprofiler::{
+    compute_window_sets, consecutive_window_vote, identify_on_device, IdentificationQuality,
+    ModelGridSearch, ModelKind, ProfileTrainer, UserProfile, WindowConfig,
+};
+
+const SPAN_SECS: i64 = 100 * 60;
+
+fn main() {
+    let config = ExperimentConfig::parse(8);
+    let max_windows = config.max_windows;
+    let experiment = Experiment::build(config);
+    let vote_k: usize = ExperimentConfig::arg_value("--vote")
+        .map(|v| v.parse().expect("--vote takes an integer"))
+        .unwrap_or(3);
+
+    // Train per-user optimized OC-SVM models (the paper selects OC-SVM for
+    // this experiment because of its lower false-positive rate).
+    let train_windows = compute_window_sets(
+        &experiment.vocab,
+        &experiment.train,
+        WindowConfig::PAPER_DEFAULT,
+        Some(max_windows),
+    );
+    eprintln!("# optimizing and training OC-SVM models...");
+    let search =
+        ModelGridSearch::new(&experiment.vocab, WindowConfig::PAPER_DEFAULT, ModelKind::OcSvm)
+            .regularizations(ModelGridSearch::COARSE_REGULARIZATIONS.to_vec());
+    let params = search.optimize_all(&train_windows);
+    let mut profiles: BTreeMap<UserId, UserProfile> = BTreeMap::new();
+    for (&user, &p) in &params {
+        let trainer = ProfileTrainer::new(&experiment.vocab)
+            .window(WindowConfig::PAPER_DEFAULT)
+            .params(p);
+        if let Ok(profile) = trainer.train_from_vectors(user, &train_windows[&user]) {
+            profiles.insert(user, profile);
+        }
+    }
+
+    // Find the busiest multi-user 100-minute span on any device in the
+    // testing period.
+    let (device, span_start) = find_shared_span(&experiment.test, &profiles)
+        .expect("no multi-user device span in the testing set; increase --weeks");
+    let span_end = span_start + SPAN_SECS;
+    let monitored =
+        experiment.test.restrict_to_device(device).restrict_to_range(span_start, span_end);
+    let identified = identify_on_device(
+        &profiles,
+        &experiment.vocab,
+        &monitored,
+        device,
+        WindowConfig::PAPER_DEFAULT,
+    );
+
+    println!(
+        "FIGURE 3: IDENTIFICATION ON {device} OVER 100 MINUTES (from {span_start})"
+    );
+    println!("(# = actual usage, + = model accepted, * = both; one column per 30s window)");
+
+    // Rows: every user that is actual or accepted somewhere.
+    let mut involved: BTreeSet<UserId> = BTreeSet::new();
+    for w in &identified {
+        involved.extend(w.actual_users.iter().copied());
+        involved.extend(w.accepted_by.iter().copied());
+    }
+    let n_slots = (SPAN_SECS / 30) as usize;
+    for &user in involved.iter().rev() {
+        let mut line = vec![' '; n_slots];
+        for w in &identified {
+            let slot = ((w.start - span_start) / 30).clamp(0, n_slots as i64 - 1) as usize;
+            let actual = w.actual_users.contains(&user);
+            let accepted = w.accepted_by.contains(&user);
+            line[slot] = match (actual, accepted) {
+                (true, true) => '*',
+                (true, false) => '#',
+                (false, true) => '+',
+                (false, false) => line[slot],
+            };
+        }
+        println!("{:>8} |{}|", user.to_string(), line.iter().collect::<String>());
+    }
+    println!(
+        "{:>8}  0 min{:>width$}",
+        "",
+        "100 min",
+        width = n_slots.saturating_sub(5)
+    );
+
+    let quality = IdentificationQuality::measure(&identified);
+    println!();
+    println!(
+        "# windows: {}, actual-user recall: {}%, acceptance precision: {}%, exact: {}%",
+        quality.windows,
+        pct(quality.recall),
+        pct(quality.precision),
+        pct(quality.exact)
+    );
+    println!("# models accepting at least one window: {} of {}", involved.len(), profiles.len());
+
+    // Consecutive-window voting (the paper's suggested disambiguation).
+    let votes = consecutive_window_vote(&identified, vote_k);
+    let correct = votes
+        .iter()
+        .zip(&identified)
+        .filter(|(vote, w)| vote.1.is_some_and(|u| w.actual_users.contains(&u)))
+        .count();
+    let decided = votes.iter().filter(|v| v.1.is_some()).count();
+    println!(
+        "# voting over {vote_k} consecutive windows: {decided}/{} windows decided, {} correct",
+        votes.len(),
+        correct
+    );
+    println!("# paper shape: a handful of models accept; longest consecutive runs match the actual user");
+}
+
+/// Finds `(device, span_start)` maximizing distinct actual users within a
+/// 100-minute span of the dataset (requires ≥ 2 users with trained
+/// models).
+fn find_shared_span(
+    test: &Dataset,
+    profiles: &BTreeMap<UserId, UserProfile>,
+) -> Option<(DeviceId, Timestamp)> {
+    let mut best: Option<(usize, usize, DeviceId, Timestamp)> = None;
+    for device in test.devices() {
+        let txs: Vec<_> = test
+            .for_device(device)
+            .filter(|tx| profiles.contains_key(&tx.user))
+            .copied()
+            .collect();
+        let mut lo = 0usize;
+        for hi in 0..txs.len() {
+            while txs[hi].timestamp - txs[lo].timestamp > SPAN_SECS {
+                lo += 1;
+            }
+            let users: BTreeSet<UserId> = txs[lo..=hi].iter().map(|tx| tx.user).collect();
+            let candidate = (users.len(), hi - lo + 1, device, txs[lo].timestamp);
+            if best.as_ref().is_none_or(|b| (candidate.0, candidate.1) > (b.0, b.1)) {
+                best = Some(candidate);
+            }
+        }
+    }
+    best.filter(|&(users, _, _, _)| users >= 2).map(|(_, _, device, start)| (device, start))
+}

@@ -1,0 +1,41 @@
+//! Corpus exporter: generates a synthetic benchmark corpus and writes it
+//! to disk in the text and/or binary log formats, for use by external
+//! tools or to pin a corpus for repeated experiments.
+//!
+//! ```text
+//! cargo run -p bench --bin gen_corpus --release -- \
+//!     [--weeks N] [--rate F] [--seed N] [--out DIR] [--text-only|--binary-only]
+//! ```
+
+use bench::ExperimentConfig;
+use proxylog::{write_binary_log, write_log, CorpusSummary};
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::PathBuf;
+use tracegen::TraceGenerator;
+
+fn main() -> std::io::Result<()> {
+    let config = ExperimentConfig::parse(4);
+    let out_dir =
+        PathBuf::from(ExperimentConfig::arg_value("--out").unwrap_or_else(|| "corpus".into()));
+    std::fs::create_dir_all(&out_dir)?;
+
+    eprintln!("# generating ({} weeks, rate {}, seed {})...", config.weeks, config.rate, config.seed);
+    let dataset = TraceGenerator::new(config.scenario()).generate();
+    println!("{}", CorpusSummary::measure(&dataset));
+
+    let stem = format!("corpus-{}wk-seed{}", config.weeks, config.seed);
+    if !ExperimentConfig::has_flag("--binary-only") {
+        let path = out_dir.join(format!("{stem}.log"));
+        let mut writer = BufWriter::new(File::create(&path)?);
+        write_log(&mut writer, dataset.transactions(), dataset.taxonomy())?;
+        println!("wrote {} ({} bytes)", path.display(), std::fs::metadata(&path)?.len());
+    }
+    if !ExperimentConfig::has_flag("--text-only") {
+        let path = out_dir.join(format!("{stem}.pxlg"));
+        let mut writer = BufWriter::new(File::create(&path)?);
+        write_binary_log(&mut writer, dataset.transactions())?;
+        println!("wrote {} ({} bytes)", path.display(), std::fs::metadata(&path)?.len());
+    }
+    Ok(())
+}

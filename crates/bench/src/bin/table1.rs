@@ -1,0 +1,28 @@
+//! Table I — feature vector composition.
+//!
+//! Prints the per-field column counts of the bag-of-words vocabulary and
+//! the total (843 at paper scale).
+//!
+//! ```text
+//! cargo run -p bench --bin table1 --release
+//! ```
+
+use proxylog::Taxonomy;
+use webprofiler::Vocabulary;
+
+fn main() {
+    let vocab = Vocabulary::new(Taxonomy::paper_scale());
+    println!("TABLE I: FEATURE VECTOR COMPOSITION");
+    println!("{:<22} {:>6}", "Feature category", "Count");
+    println!("{}", "-".repeat(29));
+    let mut total = 0usize;
+    for (name, count) in vocab.composition() {
+        println!("{name:<22} {count:>6}");
+        total += count;
+    }
+    println!("{}", "-".repeat(29));
+    println!("{:<22} {total:>6}", "Total");
+    println!();
+    println!("# paper: 4 + 2 + 1 + 1 + 1 + 105 + 8 + 257 + 464 = 843");
+    assert_eq!(total, vocab.n_features());
+}

@@ -1,0 +1,73 @@
+//! Table III — per-user grid search on kernel and `C` (SVDD) at the
+//! retained window configuration `D = 60 s, S = 30 s`.
+//!
+//! Prints the `ACC` matrix (rows: `C` values, columns: kernels) for one
+//! user — user 1 by default, matching the paper — and the retained
+//! parameters.
+//!
+//! ```text
+//! cargo run -p bench --bin table3 --release [--user N] [--weeks N]
+//! ```
+//!
+//! Paper result for user1: linear kernel with C = 0.4 maximizes ACC
+//! (95.4 %); polynomial kernels perform terribly, RBF and sigmoid are
+//! mid-pack and unstable across C.
+
+use bench::{pct, row, Experiment, ExperimentConfig};
+use ocsvm::KernelKind;
+use proxylog::UserId;
+use webprofiler::{compute_window_sets, ModelGridSearch, ModelKind, WindowConfig};
+
+fn main() {
+    let config = ExperimentConfig::parse(8);
+    let max_windows = config.max_windows;
+    let experiment = Experiment::build(config);
+    let user = ExperimentConfig::arg_value("--user")
+        .map(|v| UserId(v.parse().expect("--user takes an id number")))
+        .unwrap_or_else(|| {
+            if experiment.train.for_user(UserId(1)).next().is_some() {
+                UserId(1)
+            } else {
+                experiment.train.users()[0]
+            }
+        });
+
+    let windows = compute_window_sets(
+        &experiment.vocab,
+        &experiment.train,
+        WindowConfig::PAPER_DEFAULT,
+        Some(max_windows),
+    );
+    let search =
+        ModelGridSearch::new(&experiment.vocab, WindowConfig::PAPER_DEFAULT, ModelKind::Svdd);
+    let cells = search.run_user(&windows, user);
+
+    println!("TABLE III: GRID SEARCH (ACC) ON SVDD KERNEL AND C FOR {user}");
+    println!("(D = 60s, S = 30s fixed)");
+    let widths = [8, 8, 12, 8, 8];
+    let mut header = vec!["C \\ kernel".to_string()];
+    header.extend(KernelKind::ALL.iter().map(|k| k.to_string()));
+    println!("{}", row(&header, &widths));
+    for &c in ModelGridSearch::PAPER_REGULARIZATIONS.iter() {
+        let mut cells_row = vec![c.to_string()];
+        for kind in KernelKind::ALL {
+            let cell = cells
+                .iter()
+                .find(|cell| cell.kernel == kind && cell.regularization == c)
+                .map(|cell| pct(cell.summary.acc()))
+                .unwrap_or_else(|| "-".to_string());
+            cells_row.push(cell);
+        }
+        println!("{}", row(&cells_row, &widths));
+    }
+
+    if let Some(best) = search.best_for_user(&windows, user) {
+        println!();
+        println!(
+            "# retained for {user}: {} kernel, C = {}",
+            best.kernel, best.regularization
+        );
+    }
+    println!("# paper ({user}): linear kernel, C = 0.4, ACC = 95.4");
+    println!("# shape: linear dominates, polynomial collapses, RBF/sigmoid unstable across C");
+}

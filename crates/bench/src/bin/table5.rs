@@ -1,0 +1,75 @@
+//! Table V — acceptance confusion matrix for all OC-SVM user models.
+//!
+//! Per-user optimized parameters (kernel, ν) are found on the training
+//! windows; each model is then fed the *testing* windows of every user. A
+//! cell `m_j × t_i` is the percentage of user `i`'s test windows accepted
+//! by user `j`'s model; the diagonal is the self-acceptance ratio.
+//!
+//! ```text
+//! cargo run -p bench --bin table5 --release [--weeks N] [--svdd]
+//! ```
+//!
+//! Paper shape: diagonal ≥ 75 % for most users, off-diagonal mostly 0 with
+//! a few confusion clusters between behaviorally similar users.
+
+use bench::{pct, Experiment, ExperimentConfig};
+use proxylog::UserId;
+use std::collections::BTreeMap;
+use webprofiler::{
+    compute_window_sets, ConfusionMatrix, ModelGridSearch, ModelKind, ProfileTrainer,
+    UserProfile, WindowConfig,
+};
+
+fn main() {
+    let config = ExperimentConfig::parse(8);
+    let max_windows = config.max_windows;
+    let experiment = Experiment::build(config);
+    let kind = if ExperimentConfig::has_flag("--svdd") { ModelKind::Svdd } else { ModelKind::OcSvm };
+
+    let train_windows = compute_window_sets(
+        &experiment.vocab,
+        &experiment.train,
+        WindowConfig::PAPER_DEFAULT,
+        Some(max_windows),
+    );
+    let test_windows = compute_window_sets(
+        &experiment.vocab,
+        &experiment.test,
+        WindowConfig::PAPER_DEFAULT,
+        Some(max_windows),
+    );
+
+    eprintln!("# optimizing per-user parameters ({kind})...");
+    let search = ModelGridSearch::new(&experiment.vocab, WindowConfig::PAPER_DEFAULT, kind);
+    let best = search.optimize_all(&train_windows);
+
+    eprintln!("# training {} optimized models...", best.len());
+    let mut profiles: BTreeMap<UserId, UserProfile> = BTreeMap::new();
+    for (&user, &params) in &best {
+        let trainer = ProfileTrainer::new(&experiment.vocab)
+            .window(WindowConfig::PAPER_DEFAULT)
+            .params(params);
+        if let Ok(profile) = trainer.train_from_vectors(user, &train_windows[&user]) {
+            profiles.insert(user, profile);
+        }
+    }
+
+    let matrix = ConfusionMatrix::compute(&profiles, &test_windows);
+    println!("TABLE V: CONFUSION MATRIX FOR ALL {kind} USER MODELS (test windows, %)");
+    print!("{matrix}");
+    let summary = matrix.summary();
+    println!();
+    println!("# diagonal (self-acceptance) mean: {}", pct(summary.acc_self));
+    println!("# off-diagonal (other-acceptance) mean: {}", pct(summary.acc_other));
+    for &user in matrix.users() {
+        let confusions = matrix.confusions(user, 0.5);
+        if !confusions.is_empty() {
+            let list: Vec<String> = confusions
+                .iter()
+                .map(|(u, ratio)| format!("t{}:{}", u.0, pct(*ratio)))
+                .collect();
+            println!("# m{} strongly accepts {}", user.0, list.join(", "));
+        }
+    }
+    println!("# paper shape: diagonal >= 75 for most users; sparse off-diagonal confusion clusters");
+}

@@ -1,0 +1,135 @@
+//! Bounded LRU cache for kernel matrix rows.
+//!
+//! The SMO solver repeatedly needs full rows `Q[i][·]` of the kernel matrix.
+//! For the window counts produced by months of traffic the full `l × l`
+//! matrix does not fit in memory, so rows are computed on demand and kept in
+//! a least-recently-used cache bounded by a byte budget — the same strategy
+//! LIBSVM uses.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// LRU cache mapping a row index to a computed kernel row.
+///
+/// Rows are reference-counted so a caller can keep using a row after it has
+/// been evicted.
+#[derive(Debug)]
+pub(crate) struct RowCache {
+    rows: HashMap<usize, CachedRow>,
+    capacity_rows: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+struct CachedRow {
+    data: Rc<[f64]>,
+    last_used: u64,
+}
+
+impl RowCache {
+    /// Creates a cache that will hold at most `max_bytes` worth of rows of
+    /// length `row_len`, but always at least two rows (SMO touches two rows
+    /// per iteration).
+    pub(crate) fn with_byte_budget(max_bytes: usize, row_len: usize) -> Self {
+        let bytes_per_row = (row_len.max(1)) * std::mem::size_of::<f64>();
+        let capacity_rows = (max_bytes / bytes_per_row).max(2);
+        Self { rows: HashMap::new(), capacity_rows, tick: 0, hits: 0, misses: 0 }
+    }
+
+    /// Returns row `i`, computing it with `compute` on a miss.
+    pub(crate) fn get_or_compute(
+        &mut self,
+        i: usize,
+        compute: impl FnOnce() -> Vec<f64>,
+    ) -> Rc<[f64]> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.rows.get_mut(&i) {
+            entry.last_used = tick;
+            self.hits += 1;
+            return Rc::clone(&entry.data);
+        }
+        self.misses += 1;
+        let data: Rc<[f64]> = compute().into();
+        if self.rows.len() >= self.capacity_rows {
+            self.evict_lru();
+        }
+        self.rows.insert(i, CachedRow { data: Rc::clone(&data), last_used: tick });
+        data
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some((&victim, _)) = self.rows.iter().min_by_key(|(_, row)| row.last_used) {
+            self.rows.remove(&victim);
+        }
+    }
+
+    /// (hits, misses) counters, for diagnostics.
+    pub(crate) fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row_of(value: f64, len: usize) -> Vec<f64> {
+        vec![value; len]
+    }
+
+    #[test]
+    fn caches_rows_and_counts_hits() {
+        let mut cache = RowCache::with_byte_budget(1024, 4);
+        let first = cache.get_or_compute(0, || row_of(1.0, 4));
+        assert_eq!(first[0], 1.0);
+        let again = cache.get_or_compute(0, || panic!("must be cached"));
+        assert_eq!(again[0], 1.0);
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        // Budget for exactly 2 rows of 4 f64s.
+        let mut cache = RowCache::with_byte_budget(64, 4);
+        cache.get_or_compute(0, || row_of(0.0, 4));
+        cache.get_or_compute(1, || row_of(1.0, 4));
+        // Touch row 0 so row 1 is the LRU victim.
+        cache.get_or_compute(0, || panic!("cached"));
+        cache.get_or_compute(2, || row_of(2.0, 4));
+        assert_eq!(cache.len(), 2);
+        // Row 1 must have been evicted; recomputation closure runs.
+        let mut recomputed = false;
+        cache.get_or_compute(1, || {
+            recomputed = true;
+            row_of(1.0, 4)
+        });
+        assert!(recomputed);
+    }
+
+    #[test]
+    fn minimum_capacity_is_two_rows() {
+        let mut cache = RowCache::with_byte_budget(0, 1000);
+        cache.get_or_compute(0, || row_of(0.0, 1000));
+        cache.get_or_compute(1, || row_of(1.0, 1000));
+        assert_eq!(cache.len(), 2);
+        cache.get_or_compute(0, || panic!("row 0 must survive with capacity 2"));
+    }
+
+    #[test]
+    fn evicted_row_remains_usable_by_holder() {
+        let mut cache = RowCache::with_byte_budget(16, 2);
+        let held = cache.get_or_compute(7, || row_of(7.0, 2));
+        for i in 0..10 {
+            cache.get_or_compute(i, || row_of(i as f64, 2));
+        }
+        assert_eq!(held[1], 7.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error types for model training.
+
+use std::fmt;
+
+/// Error returned by [`NuOcSvm::train`](crate::NuOcSvm::train) and
+/// [`Svdd::train`](crate::Svdd::train).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The training set contained no samples.
+    EmptyTrainingSet,
+    /// `ν` outside the valid range `(0, 1]`.
+    InvalidNu {
+        /// The rejected value.
+        nu: f64,
+    },
+    /// SVDD weight `C` is not finite and positive.
+    InvalidC {
+        /// The rejected value.
+        c: f64,
+    },
+    /// SVDD weight `C` is too small for the training-set size: the
+    /// constraint `Σα = 1, α ≤ C` is infeasible when `C < 1/l`.
+    InfeasibleC {
+        /// The rejected value.
+        c: f64,
+        /// The smallest feasible value, `1/l`.
+        min: f64,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::EmptyTrainingSet => write!(f, "training set is empty"),
+            TrainError::InvalidNu { nu } => {
+                write!(f, "nu must be in (0, 1], got {nu}")
+            }
+            TrainError::InvalidC { c } => {
+                write!(f, "C must be finite and positive, got {c}")
+            }
+            TrainError::InfeasibleC { c, min } => {
+                write!(f, "C = {c} is infeasible for this training set, need C >= 1/l = {min}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(TrainError::EmptyTrainingSet.to_string(), "training set is empty");
+        assert!(TrainError::InvalidNu { nu: 2.0 }.to_string().contains("2"));
+        assert!(TrainError::InfeasibleC { c: 0.01, min: 0.1 }.to_string().contains("1/l"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_all<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_all::<TrainError>();
+    }
+}

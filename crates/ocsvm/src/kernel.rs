@@ -1,0 +1,270 @@
+//! Kernel functions over sparse vectors.
+//!
+//! The paper evaluates four kernels in its per-user grid search (Tab. III):
+//! linear, polynomial, RBF and sigmoid. The RBF kernel in the paper is
+//! written `k(x, y) = exp(−‖x−y‖²/C)` for a predefined constant `C`
+//! (Sect. II, Eq. 2); [`Kernel::rbf_with_width`] constructs that
+//! parameterization directly, while [`Kernel::Rbf`] uses the conventional
+//! `γ = 1/C` form.
+
+use crate::sparse::SparseVector;
+use std::fmt;
+
+/// A positive-semi-definite kernel `k(x, y) = Φ(x)·Φ(y)`.
+///
+/// # Examples
+///
+/// ```
+/// use ocsvm::{Kernel, SparseVector};
+///
+/// let x = SparseVector::from_dense(&[1.0, 0.0]);
+/// let y = SparseVector::from_dense(&[0.0, 1.0]);
+/// assert_eq!(Kernel::Linear.compute(&x, &y), 0.0);
+/// let k = Kernel::Rbf { gamma: 0.5 }.compute(&x, &y);
+/// assert!((k - (-1.0f64).exp()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Default)]
+pub enum Kernel {
+    /// `k(x, y) = x·y`.
+    #[default]
+    Linear,
+    /// `k(x, y) = (γ·x·y + c₀)^d`.
+    Polynomial {
+        /// Scale applied to the dot product.
+        gamma: f64,
+        /// Additive constant `c₀`.
+        coef0: f64,
+        /// Integer degree `d`.
+        degree: u32,
+    },
+    /// `k(x, y) = exp(−γ·‖x−y‖²)`.
+    Rbf {
+        /// Inverse width; the paper's `C` constant corresponds to `γ = 1/C`.
+        gamma: f64,
+    },
+    /// `k(x, y) = tanh(γ·x·y + c₀)`.
+    ///
+    /// Not positive semi-definite for all parameters; retained because the
+    /// paper's grid search includes it (LIBSVM does the same).
+    Sigmoid {
+        /// Scale applied to the dot product.
+        gamma: f64,
+        /// Additive constant `c₀`.
+        coef0: f64,
+    },
+}
+
+impl Kernel {
+    /// The paper's RBF parameterization `exp(−‖x−y‖²/width)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not finite and positive.
+    pub fn rbf_with_width(width: f64) -> Self {
+        assert!(width.is_finite() && width > 0.0, "RBF width must be positive, got {width}");
+        Kernel::Rbf { gamma: 1.0 / width }
+    }
+
+    /// LIBSVM-style defaults for a vocabulary of `n_features` columns:
+    /// `γ = 1/n_features`, `c₀ = 0`, `d = 3`.
+    pub fn default_for(kind: KernelKind, n_features: usize) -> Self {
+        let gamma = if n_features == 0 { 1.0 } else { 1.0 / n_features as f64 };
+        match kind {
+            KernelKind::Linear => Kernel::Linear,
+            KernelKind::Polynomial => Kernel::Polynomial { gamma, coef0: 0.0, degree: 3 },
+            KernelKind::Rbf => Kernel::Rbf { gamma },
+            KernelKind::Sigmoid => Kernel::Sigmoid { gamma, coef0: 0.0 },
+        }
+    }
+
+    /// Which family this kernel belongs to.
+    pub fn kind(&self) -> KernelKind {
+        match self {
+            Kernel::Linear => KernelKind::Linear,
+            Kernel::Polynomial { .. } => KernelKind::Polynomial,
+            Kernel::Rbf { .. } => KernelKind::Rbf,
+            Kernel::Sigmoid { .. } => KernelKind::Sigmoid,
+        }
+    }
+
+    /// Evaluates `k(x, y)`.
+    pub fn compute(&self, x: &SparseVector, y: &SparseVector) -> f64 {
+        match *self {
+            Kernel::Linear => x.dot(y),
+            Kernel::Polynomial { gamma, coef0, degree } => {
+                (gamma * x.dot(y) + coef0).powi(degree as i32)
+            }
+            Kernel::Rbf { gamma } => (-gamma * x.squared_distance(y)).exp(),
+            Kernel::Sigmoid { gamma, coef0 } => (gamma * x.dot(y) + coef0).tanh(),
+        }
+    }
+
+    /// Evaluates `k(x, x)`, exploiting `‖x−x‖² = 0` for RBF.
+    pub fn compute_self(&self, x: &SparseVector) -> f64 {
+        match *self {
+            Kernel::Linear => x.squared_norm(),
+            Kernel::Polynomial { gamma, coef0, degree } => {
+                (gamma * x.squared_norm() + coef0).powi(degree as i32)
+            }
+            Kernel::Rbf { .. } => 1.0,
+            Kernel::Sigmoid { gamma, coef0 } => (gamma * x.squared_norm() + coef0).tanh(),
+        }
+    }
+}
+
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Kernel::Linear => write!(f, "linear"),
+            Kernel::Polynomial { gamma, coef0, degree } => {
+                write!(f, "polynomial(gamma={gamma}, coef0={coef0}, degree={degree})")
+            }
+            Kernel::Rbf { gamma } => write!(f, "rbf(gamma={gamma})"),
+            Kernel::Sigmoid { gamma, coef0 } => write!(f, "sigmoid(gamma={gamma}, coef0={coef0})"),
+        }
+    }
+}
+
+/// Kernel family tag, used by grid searches that sweep kernel types with
+/// per-vocabulary default parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum KernelKind {
+    /// Dot-product kernel.
+    Linear,
+    /// Polynomial kernel.
+    Polynomial,
+    /// Gaussian radial basis function kernel.
+    Rbf,
+    /// Hyperbolic tangent kernel.
+    Sigmoid,
+}
+
+impl KernelKind {
+    /// All four families, in the column order of the paper's Tab. III.
+    pub const ALL: [KernelKind; 4] =
+        [KernelKind::Linear, KernelKind::Polynomial, KernelKind::Rbf, KernelKind::Sigmoid];
+}
+
+impl fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelKind::Linear => write!(f, "Linear"),
+            KernelKind::Polynomial => write!(f, "Polynomial"),
+            KernelKind::Rbf => write!(f, "RBF"),
+            KernelKind::Sigmoid => write!(f, "Sigmoid"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(d: &[f64]) -> SparseVector {
+        SparseVector::from_dense(d)
+    }
+
+    #[test]
+    fn linear_is_dot_product() {
+        let x = v(&[1.0, 2.0, 0.0]);
+        let y = v(&[3.0, 0.5, 7.0]);
+        assert_eq!(Kernel::Linear.compute(&x, &y), 4.0);
+    }
+
+    #[test]
+    fn rbf_is_one_on_diagonal() {
+        let x = v(&[0.3, 0.0, 0.9]);
+        let k = Kernel::Rbf { gamma: 2.0 };
+        assert_eq!(k.compute(&x, &x), 1.0);
+        assert_eq!(k.compute_self(&x), 1.0);
+    }
+
+    #[test]
+    fn rbf_bounded_in_unit_interval() {
+        let k = Kernel::Rbf { gamma: 0.7 };
+        let x = v(&[5.0, -3.0]);
+        let y = v(&[-1.0, 4.0]);
+        let value = k.compute(&x, &y);
+        assert!(value > 0.0 && value < 1.0);
+    }
+
+    #[test]
+    fn rbf_with_width_matches_paper_form() {
+        let x = v(&[1.0]);
+        let y = v(&[0.0]);
+        let c = 4.0_f64;
+        let k = Kernel::rbf_with_width(c);
+        assert!((k.compute(&x, &y) - (-1.0 / c).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "RBF width must be positive")]
+    fn rbf_with_width_rejects_nonpositive() {
+        let _ = Kernel::rbf_with_width(0.0);
+    }
+
+    #[test]
+    fn polynomial_degree_two() {
+        let x = v(&[1.0, 1.0]);
+        let y = v(&[2.0, 3.0]);
+        let k = Kernel::Polynomial { gamma: 1.0, coef0: 1.0, degree: 2 };
+        assert_eq!(k.compute(&x, &y), 36.0); // (5 + 1)^2
+    }
+
+    #[test]
+    fn sigmoid_bounded() {
+        let k = Kernel::Sigmoid { gamma: 1.0, coef0: 0.0 };
+        let x = v(&[100.0]);
+        let y = v(&[100.0]);
+        let value = k.compute(&x, &y);
+        assert!((-1.0..=1.0).contains(&value));
+    }
+
+    #[test]
+    fn symmetry() {
+        let kernels = [
+            Kernel::Linear,
+            Kernel::Polynomial { gamma: 0.5, coef0: 1.0, degree: 3 },
+            Kernel::Rbf { gamma: 1.3 },
+            Kernel::Sigmoid { gamma: 0.2, coef0: -0.1 },
+        ];
+        let x = v(&[1.0, 0.0, 2.0]);
+        let y = v(&[0.0, 3.0, 1.0]);
+        for k in kernels {
+            assert_eq!(k.compute(&x, &y), k.compute(&y, &x), "kernel {k} not symmetric");
+        }
+    }
+
+    #[test]
+    fn compute_self_matches_compute() {
+        let kernels = [
+            Kernel::Linear,
+            Kernel::Polynomial { gamma: 0.5, coef0: 1.0, degree: 3 },
+            Kernel::Rbf { gamma: 1.3 },
+            Kernel::Sigmoid { gamma: 0.2, coef0: -0.1 },
+        ];
+        let x = v(&[1.0, 0.25, 2.0, 0.0, 0.5]);
+        for k in kernels {
+            assert!((k.compute_self(&x) - k.compute(&x, &x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn default_for_uses_inverse_feature_count() {
+        match Kernel::default_for(KernelKind::Rbf, 4) {
+            Kernel::Rbf { gamma } => assert_eq!(gamma, 0.25),
+            other => panic!("unexpected kernel {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kind_round_trips() {
+        for kind in KernelKind::ALL {
+            assert_eq!(Kernel::default_for(kind, 10).kind(), kind);
+        }
+    }
+}

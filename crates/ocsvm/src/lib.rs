@@ -1,0 +1,91 @@
+//! One-class classification for user profiling: ν-OC-SVM and SVDD.
+//!
+//! This crate is a from-scratch reimplementation of the two one-class
+//! classifiers used by *Profiling Users by Modeling Web Transactions*
+//! (Tomšů, Marchal, Asokan — ICDCS 2017), equivalent in scope to the LIBSVM
+//! `one-class` and `SVDD` solvers the paper relies on (reference 1 in the paper):
+//!
+//! * [`NuOcSvm`] — ν-One-Class Support Vector Machines (Schölkopf et al.
+//!   2001): separates the high-density region of the data from the origin
+//!   with a maximum-margin hyperplane. `ν` upper-bounds the fraction of
+//!   training outliers and lower-bounds the fraction of support vectors.
+//! * [`Svdd`] — Support Vector Data Description (Tax & Duin 2004): encloses
+//!   the data in a minimum-volume hypersphere; the weight `C = 1/(νl)`
+//!   controls how many training points may fall outside.
+//!
+//! Both are trained by a shared SMO solver (second-order
+//! working-set selection, LRU kernel-row cache) over [`SparseVector`]
+//! samples, and both expose their decision function through the
+//! [`OneClassModel`] trait.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ocsvm::{Kernel, NuOcSvm, OneClassModel, SparseVector, Svdd};
+//!
+//! // A user's "normal" samples cluster around (1, 0).
+//! let train: Vec<SparseVector> = (0..100)
+//!     .map(|i| SparseVector::from_dense(&[1.0, 0.01 * (i % 10) as f64]))
+//!     .collect();
+//!
+//! let ocsvm = NuOcSvm::new(0.1, Kernel::Rbf { gamma: 1.0 }).train(&train)?;
+//! let svdd = Svdd::new(0.4, Kernel::Linear).train(&train)?;
+//!
+//! let usual = SparseVector::from_dense(&[1.0, 0.05]);
+//! let unusual = SparseVector::from_dense(&[-3.0, 7.0]);
+//! assert!(ocsvm.accepts(&usual) && !ocsvm.accepts(&unusual));
+//! assert!(svdd.accepts(&usual) && !svdd.accepts(&unusual));
+//! # Ok::<(), ocsvm::TrainError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod error;
+mod kernel;
+mod model;
+mod ocsvm;
+mod persist;
+mod scale;
+mod smo;
+mod sparse;
+mod svdd;
+
+pub use error::TrainError;
+pub use kernel::{Kernel, KernelKind};
+pub use model::{OneClassModel, TrainDiagnostics};
+pub use ocsvm::{NuOcSvm, OcSvmModel};
+pub use scale::MinMaxScaler;
+pub use smo::SolverOptions;
+pub use sparse::{InvalidPairsError, SparseVector, SparseVectorBuilder};
+pub use svdd::{Svdd, SvddModel};
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseVector>();
+        assert_send_sync::<Kernel>();
+        assert_send_sync::<OcSvmModel>();
+        assert_send_sync::<SvddModel>();
+        assert_send_sync::<TrainError>();
+    }
+
+    #[test]
+    fn models_work_as_trait_objects() {
+        let data: Vec<SparseVector> =
+            (0..10).map(|i| SparseVector::from_dense(&[1.0 + 0.01 * i as f64])).collect();
+        let models: Vec<Box<dyn OneClassModel>> = vec![
+            Box::new(NuOcSvm::new(0.5, Kernel::Linear).train(&data).unwrap()),
+            Box::new(Svdd::new(0.5, Kernel::Linear).train(&data).unwrap()),
+        ];
+        for model in &models {
+            assert!(model.support_vector_count() >= 1);
+            let _ = model.decision_value(&data[0]);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Shared trained-model machinery.
+
+use crate::kernel::Kernel;
+use crate::sparse::SparseVector;
+
+/// A trained one-class decision function.
+///
+/// Both [`OcSvmModel`](crate::OcSvmModel) and [`SvddModel`](crate::SvddModel)
+/// implement this trait, so profiling code can treat the two classifier
+/// families interchangeably (the paper compares them throughout Sect. V).
+///
+/// # Examples
+///
+/// ```
+/// use ocsvm::{Kernel, NuOcSvm, OneClassModel, SparseVector};
+///
+/// let train: Vec<SparseVector> =
+///     (0..20).map(|i| SparseVector::from_dense(&[1.0, (i % 3) as f64 * 0.01])).collect();
+/// let model = NuOcSvm::new(0.1, Kernel::Linear).train(&train)?;
+/// assert!(model.accepts(&SparseVector::from_dense(&[1.0, 0.01])));
+/// # Ok::<(), ocsvm::TrainError>(())
+/// ```
+pub trait OneClassModel {
+    /// Signed decision value; `>= 0` means the sample is accepted as
+    /// belonging to the modeled class.
+    fn decision_value(&self, x: &SparseVector) -> f64;
+
+    /// Whether the sample is accepted (decision value `>= 0`), matching the
+    /// `sgn` convention of the paper's Eq. (4)/(12).
+    fn accepts(&self, x: &SparseVector) -> bool {
+        self.decision_value(x) >= 0.0
+    }
+
+    /// Number of support vectors retained by the model.
+    fn support_vector_count(&self) -> usize;
+
+    /// The kernel the model was trained with.
+    fn kernel(&self) -> Kernel;
+}
+
+/// Support vectors with their multipliers; evaluates
+/// `Σᵢ αᵢ·k(xᵢ, x)`.
+///
+/// For the linear kernel the sum collapses into a single weight vector
+/// `w = Σᵢ αᵢxᵢ` at construction, turning each decision into one sparse
+/// dot product regardless of the support-vector count (the same fast path
+/// LIBSVM applies to linear models).
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub(crate) struct SupportVectorSet {
+    pub(crate) vectors: Vec<SparseVector>,
+    pub(crate) alpha: Vec<f64>,
+    pub(crate) kernel: Kernel,
+    /// `Σᵢ αᵢxᵢ`, present iff the kernel is linear.
+    collapsed: Option<SparseVector>,
+}
+
+impl SupportVectorSet {
+    /// Keeps only the points with `α > 0` from a full solution.
+    pub(crate) fn from_solution(
+        points: &[SparseVector],
+        alpha: &[f64],
+        kernel: Kernel,
+    ) -> Self {
+        let mut vectors = Vec::new();
+        let mut kept = Vec::new();
+        for (x, &a) in points.iter().zip(alpha) {
+            if a > 0.0 {
+                vectors.push(x.clone());
+                kept.push(a);
+            }
+        }
+        Self::from_parts(vectors, kept, kernel)
+    }
+
+    /// Rebuilds a set from already-pruned support vectors (model
+    /// deserialization), recomputing the linear fast path.
+    pub(crate) fn from_parts(
+        vectors: Vec<SparseVector>,
+        alpha: Vec<f64>,
+        kernel: Kernel,
+    ) -> Self {
+        let collapsed = match kernel {
+            Kernel::Linear => {
+                let mut builder = crate::sparse::SparseVectorBuilder::new();
+                for (sv, &a) in vectors.iter().zip(&alpha) {
+                    for (column, value) in sv.iter() {
+                        builder.add(column, a * value);
+                    }
+                }
+                Some(builder.build_summed())
+            }
+            _ => None,
+        };
+        Self { vectors, alpha, kernel, collapsed }
+    }
+
+    pub(crate) fn weighted_kernel_sum(&self, x: &SparseVector) -> f64 {
+        if let Some(w) = &self.collapsed {
+            return w.dot(x);
+        }
+        self.vectors
+            .iter()
+            .zip(&self.alpha)
+            .map(|(sv, &a)| a * self.kernel.compute(sv, x))
+            .sum()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.vectors.len()
+    }
+}
+
+/// Diagnostics recorded while training a model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TrainDiagnostics {
+    /// SMO iterations performed.
+    pub iterations: usize,
+    /// Whether the KKT stopping condition was reached (a model is still
+    /// produced when `false`; it is the best iterate found).
+    pub converged: bool,
+    /// Final dual objective value.
+    pub objective: f64,
+    /// Training-set size.
+    pub train_size: usize,
+    /// Support vectors retained.
+    pub support_vectors: usize,
+    /// Kernel-row cache hits during training.
+    pub cache_hits: u64,
+    /// Kernel-row cache misses during training.
+    pub cache_misses: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn support_vector_set_prunes_zero_alpha() {
+        let points = vec![
+            SparseVector::from_dense(&[1.0]),
+            SparseVector::from_dense(&[2.0]),
+            SparseVector::from_dense(&[3.0]),
+        ];
+        let set = SupportVectorSet::from_solution(&points, &[0.5, 0.0, 0.5], Kernel::Linear);
+        assert!(set.collapsed.is_some(), "linear kernel collapses to a weight vector");
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.alpha, vec![0.5, 0.5]);
+        // Σ α·(x·y) with y = [1]: 0.5·1 + 0.5·3 = 2.0
+        let y = SparseVector::from_dense(&[1.0]);
+        assert!((set.weighted_kernel_sum(&y) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collapsed_linear_matches_explicit_sum() {
+        let points = vec![
+            SparseVector::from_dense(&[1.0, 0.0, 2.0]),
+            SparseVector::from_dense(&[0.0, 3.0, -1.0]),
+            SparseVector::from_dense(&[0.5, 0.5, 0.5]),
+        ];
+        let alpha = [0.2, 0.3, 0.5];
+        let set = SupportVectorSet::from_solution(&points, &alpha, Kernel::Linear);
+        let probe = SparseVector::from_dense(&[0.7, -1.2, 3.0]);
+        let explicit: f64 = points
+            .iter()
+            .zip(&alpha)
+            .map(|(sv, &a)| a * sv.dot(&probe))
+            .sum();
+        assert!((set.weighted_kernel_sum(&probe) - explicit).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonlinear_kernels_do_not_collapse() {
+        let points = vec![SparseVector::from_dense(&[1.0])];
+        let set = SupportVectorSet::from_solution(&points, &[1.0], Kernel::Rbf { gamma: 1.0 });
+        assert!(set.collapsed.is_none());
+        let probe = SparseVector::from_dense(&[0.0]);
+        assert!((set.weighted_kernel_sum(&probe) - (-1.0f64).exp()).abs() < 1e-12);
+    }
+}

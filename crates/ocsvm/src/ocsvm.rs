@@ -1,0 +1,358 @@
+//! ν-One-Class Support Vector Machines (Sect. II-A of the paper).
+//!
+//! Solves the dual problem of Eq. (5):
+//!
+//! ```text
+//! minimize    ½ Σᵢⱼ αᵢαⱼ k(xᵢ, xⱼ)
+//! subject to  0 ≤ αᵢ ≤ 1/(νl),  Σᵢ αᵢ = 1
+//! ```
+//!
+//! with decision function (Eq. 6) `f(x) = sgn(Σᵢ αᵢ k(xᵢ, x) − ρ)`.
+//! `ν` is simultaneously an upper bound on the fraction of training
+//! outliers and a lower bound on the fraction of support vectors
+//! (Schölkopf et al. 2001).
+
+use crate::error::TrainError;
+use crate::kernel::Kernel;
+use crate::model::{OneClassModel, SupportVectorSet, TrainDiagnostics};
+use crate::smo::{self, KernelQ, SolverOptions};
+use crate::sparse::SparseVector;
+
+/// Trainer configuration for a ν-OC-SVM.
+///
+/// # Examples
+///
+/// ```
+/// use ocsvm::{Kernel, NuOcSvm, OneClassModel, SparseVector};
+///
+/// let data: Vec<SparseVector> =
+///     (0..50).map(|i| SparseVector::from_dense(&[1.0, 0.05 * (i % 4) as f64])).collect();
+/// let model = NuOcSvm::new(0.1, Kernel::Rbf { gamma: 1.0 }).train(&data)?;
+/// // Training points are overwhelmingly accepted...
+/// let accepted = data.iter().filter(|x| model.accepts(x)).count();
+/// assert!(accepted as f64 >= 0.8 * data.len() as f64);
+/// // ...while a far-away point is rejected.
+/// assert!(!model.accepts(&SparseVector::from_dense(&[-5.0, 9.0])));
+/// # Ok::<(), ocsvm::TrainError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NuOcSvm {
+    nu: f64,
+    kernel: Kernel,
+    options: SolverOptions,
+}
+
+impl NuOcSvm {
+    /// Creates a trainer with the given outlier-fraction bound `ν ∈ (0, 1]`
+    /// and kernel.
+    ///
+    /// `ν` is validated at [`train`](Self::train) time so the constructor
+    /// stays infallible for builder-style use.
+    pub fn new(nu: f64, kernel: Kernel) -> Self {
+        Self { nu, kernel, options: SolverOptions::default() }
+    }
+
+    /// Overrides the solver options (tolerance, iteration cap, cache size).
+    pub fn with_options(mut self, options: SolverOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The configured `ν`.
+    pub fn nu(&self) -> f64 {
+        self.nu
+    }
+
+    /// The configured kernel.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Trains a model on the given samples.
+    ///
+    /// # Errors
+    ///
+    /// * [`TrainError::EmptyTrainingSet`] if `points` is empty.
+    /// * [`TrainError::InvalidNu`] if `ν ∉ (0, 1]` or is not finite.
+    pub fn train(&self, points: &[SparseVector]) -> Result<OcSvmModel, TrainError> {
+        if points.is_empty() {
+            return Err(TrainError::EmptyTrainingSet);
+        }
+        if !self.nu.is_finite() || self.nu <= 0.0 || self.nu > 1.0 {
+            return Err(TrainError::InvalidNu { nu: self.nu });
+        }
+        let l = points.len();
+        let upper = 1.0 / (self.nu * l as f64);
+        let p = vec![0.0; l];
+        let mut q = KernelQ::new(self.kernel, points, 1.0, self.options.cache_bytes);
+        let alpha0 = smo::initial_alpha(l, upper);
+        let solution = smo::solve(&mut q, &p, upper, alpha0, &self.options);
+
+        let rho = recover_rho(&solution.alpha, &solution.gradient, upper);
+        let (cache_hits, cache_misses) = q.cache_stats();
+        let support = SupportVectorSet::from_solution(points, &solution.alpha, self.kernel);
+        let diagnostics = TrainDiagnostics {
+            iterations: solution.iterations,
+            converged: solution.converged,
+            objective: solution.objective,
+            train_size: l,
+            support_vectors: support.len(),
+            cache_hits,
+            cache_misses,
+        };
+        Ok(OcSvmModel { support, rho, nu: self.nu, diagnostics })
+    }
+}
+
+/// Recovers the margin offset `ρ` from the KKT conditions: free support
+/// vectors (`0 < α < U`) satisfy `(Qα)ᵢ = ρ`; when none are free, `ρ` lies
+/// between the gradients of the bounded groups and the midpoint is used
+/// (LIBSVM does the same).
+fn recover_rho(alpha: &[f64], gradient: &[f64], upper: f64) -> f64 {
+    let lo_tol = 1e-9;
+    let hi_tol = upper * (1.0 - 1e-9);
+    let mut free_sum = 0.0;
+    let mut free_count = 0usize;
+    // ρ bounds from the bounded points: α = U ⇒ G ≤ ρ, α = 0 ⇒ G ≥ ρ.
+    let mut lower = f64::NEG_INFINITY;
+    let mut upper_bound = f64::INFINITY;
+    for (&a, &g) in alpha.iter().zip(gradient) {
+        if a > lo_tol && a < hi_tol {
+            free_sum += g;
+            free_count += 1;
+        } else if a >= hi_tol {
+            lower = lower.max(g);
+        } else {
+            upper_bound = upper_bound.min(g);
+        }
+    }
+    if free_count > 0 {
+        return free_sum / free_count as f64;
+    }
+    match (lower.is_finite(), upper_bound.is_finite()) {
+        (true, true) => 0.5 * (lower + upper_bound),
+        (true, false) => lower,
+        (false, true) => upper_bound,
+        (false, false) => 0.0,
+    }
+}
+
+/// A trained ν-OC-SVM model.
+///
+/// Produced by [`NuOcSvm::train`]; see [`OneClassModel`] for the decision
+/// interface.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OcSvmModel {
+    support: SupportVectorSet,
+    rho: f64,
+    nu: f64,
+    diagnostics: TrainDiagnostics,
+}
+
+impl OcSvmModel {
+    /// The margin offset `ρ` of Eq. (6).
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The `ν` the model was trained with.
+    pub fn nu(&self) -> f64 {
+        self.nu
+    }
+
+    /// Training diagnostics (iterations, convergence, cache behaviour).
+    pub fn diagnostics(&self) -> TrainDiagnostics {
+        self.diagnostics
+    }
+
+    /// Serializes the model in the crate's binary format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: std::io::Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        crate::persist::write_ocsvm(writer, self)
+    }
+
+    /// Deserializes a model written by [`OcSvmModel::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for wrong magic/version/kind or a corrupt stream;
+    /// other I/O errors from the reader.
+    pub fn read_from<R: std::io::Read>(reader: &mut R) -> std::io::Result<OcSvmModel> {
+        crate::persist::read_ocsvm(reader)
+    }
+
+    pub(crate) fn support(&self) -> &SupportVectorSet {
+        &self.support
+    }
+
+    pub(crate) fn from_parts(
+        support: SupportVectorSet,
+        rho: f64,
+        nu: f64,
+        diagnostics: TrainDiagnostics,
+    ) -> Self {
+        Self { support, rho, nu, diagnostics }
+    }
+}
+
+impl OneClassModel for OcSvmModel {
+    fn decision_value(&self, x: &SparseVector) -> f64 {
+        self.support.weighted_kernel_sum(x) - self.rho
+    }
+
+    fn support_vector_count(&self) -> usize {
+        self.support.len()
+    }
+
+    fn kernel(&self) -> Kernel {
+        self.support.kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(center: &[f64], spread: f64, n: usize) -> Vec<SparseVector> {
+        (0..n)
+            .map(|i| {
+                let mut point = center.to_vec();
+                // Deterministic jitter.
+                for (d, value) in point.iter_mut().enumerate() {
+                    let phase = (i * 31 + d * 17) % 7;
+                    *value += spread * (phase as f64 - 3.0) / 3.0;
+                }
+                SparseVector::from_dense(&point)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_empty_training_set() {
+        let err = NuOcSvm::new(0.5, Kernel::Linear).train(&[]).unwrap_err();
+        assert_eq!(err, TrainError::EmptyTrainingSet);
+    }
+
+    #[test]
+    fn rejects_bad_nu() {
+        let data = cluster(&[1.0, 1.0], 0.1, 10);
+        for nu in [0.0, -0.5, 1.5, f64::NAN] {
+            let err = NuOcSvm::new(nu, Kernel::Linear).train(&data).unwrap_err();
+            assert!(matches!(err, TrainError::InvalidNu { .. }), "nu = {nu}");
+        }
+        assert!(NuOcSvm::new(1.0, Kernel::Linear).train(&data).is_ok());
+    }
+
+    #[test]
+    fn accepts_training_cluster_rejects_far_point() {
+        let data = cluster(&[1.0, 2.0, 0.0], 0.05, 60);
+        let model = NuOcSvm::new(0.1, Kernel::Rbf { gamma: 1.0 }).train(&data).unwrap();
+        let accepted = data.iter().filter(|x| model.accepts(x)).count();
+        assert!(
+            accepted as f64 >= 0.85 * data.len() as f64,
+            "accepted {accepted}/{}",
+            data.len()
+        );
+        assert!(!model.accepts(&SparseVector::from_dense(&[10.0, -10.0, 5.0])));
+    }
+
+    #[test]
+    fn nu_bounds_training_outliers_and_support_vectors() {
+        // Schölkopf's ν-property: the fraction of rejected training points
+        // is at most ν (asymptotically; allow slack), and the fraction of
+        // support vectors is at least ν.
+        let data: Vec<SparseVector> = (0..100)
+            .map(|i| {
+                let a = 0.5 + 0.3 * (((i * 37) % 101) as f64 - 50.0) / 50.0;
+                let b = 0.5 + 0.3 * (((i * 53 + 17) % 101) as f64 - 50.0) / 50.0;
+                SparseVector::from_dense(&[a, b])
+            })
+            .collect();
+        let options = SolverOptions { eps: 1e-6, ..Default::default() };
+        for nu in [0.05, 0.2, 0.5] {
+            let model = NuOcSvm::new(nu, Kernel::Rbf { gamma: 2.0 })
+                .with_options(options)
+                .train(&data)
+                .unwrap();
+            // Count only clear rejections: points on the margin (|f| within
+            // solver tolerance) are not margin errors.
+            let rejected = data.iter().filter(|x| model.decision_value(x) < -1e-5).count() as f64
+                / data.len() as f64;
+            assert!(
+                rejected <= nu + 0.05,
+                "nu = {nu}: rejected fraction {rejected} exceeds bound"
+            );
+            let sv_fraction = model.support_vector_count() as f64 / data.len() as f64;
+            assert!(
+                sv_fraction >= nu - 0.05,
+                "nu = {nu}: SV fraction {sv_fraction} below bound"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_nu_rejects_more() {
+        let data = cluster(&[1.0, 0.0], 0.4, 80);
+        let loose = NuOcSvm::new(0.05, Kernel::Rbf { gamma: 1.0 }).train(&data).unwrap();
+        let tight = NuOcSvm::new(0.6, Kernel::Rbf { gamma: 1.0 }).train(&data).unwrap();
+        let rejected_loose = data.iter().filter(|x| !loose.accepts(x)).count();
+        let rejected_tight = data.iter().filter(|x| !tight.accepts(x)).count();
+        assert!(
+            rejected_tight >= rejected_loose,
+            "tight {rejected_tight} < loose {rejected_loose}"
+        );
+    }
+
+    #[test]
+    fn decision_is_continuous_around_cluster() {
+        let data = cluster(&[0.0, 1.0], 0.05, 40);
+        let model = NuOcSvm::new(0.1, Kernel::Rbf { gamma: 1.0 }).train(&data).unwrap();
+        let near = model.decision_value(&SparseVector::from_dense(&[0.0, 1.0]));
+        let far = model.decision_value(&SparseVector::from_dense(&[0.0, 6.0]));
+        assert!(near > far, "decision value must decay with distance: {near} vs {far}");
+    }
+
+    #[test]
+    fn linear_kernel_two_point_analytic_solution() {
+        // Two orthonormal points, ν = 1 ⇒ U = ½ ⇒ α = (½, ½) forced.
+        // w = ½x₁ + ½x₂, free SVs at bound... both at bound; ρ = midpoint of
+        // gradients = ½·K both ⇒ ρ = ½·(½) ... verify decision symmetry.
+        let data =
+            vec![SparseVector::from_dense(&[1.0, 0.0]), SparseVector::from_dense(&[0.0, 1.0])];
+        let model = NuOcSvm::new(1.0, Kernel::Linear).train(&data).unwrap();
+        let d0 = model.decision_value(&data[0]);
+        let d1 = model.decision_value(&data[1]);
+        assert!((d0 - d1).abs() < 1e-9, "symmetric points get symmetric values");
+        assert!(d0.abs() < 1e-6, "both lie exactly on the margin");
+    }
+
+    #[test]
+    fn diagnostics_are_populated() {
+        let data = cluster(&[2.0], 0.2, 30);
+        let model = NuOcSvm::new(0.3, Kernel::Linear).train(&data).unwrap();
+        let d = model.diagnostics();
+        assert!(d.converged);
+        assert_eq!(d.train_size, 30);
+        assert!(d.support_vectors >= 1);
+        assert!(d.support_vectors == model.support_vector_count());
+    }
+
+    #[test]
+    fn duplicate_points_collapse_gracefully() {
+        let data = vec![SparseVector::from_dense(&[1.0, 1.0]); 20];
+        let model = NuOcSvm::new(0.2, Kernel::Rbf { gamma: 1.0 }).train(&data).unwrap();
+        assert!(model.accepts(&SparseVector::from_dense(&[1.0, 1.0])));
+        assert!(!model.accepts(&SparseVector::from_dense(&[4.0, -4.0])));
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn model_implements_serde_traits() {
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<OcSvmModel>();
+    }
+}

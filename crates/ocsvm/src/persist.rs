@@ -1,0 +1,320 @@
+//! Binary model persistence.
+//!
+//! Trained models must outlive the training process (the monitoring
+//! deployment trains offline and loads profiles at the proxy), and the
+//! crate's dependency budget has no serde *format* backend — so models get
+//! a small self-contained binary format: a magic/version header, the
+//! kernel and offsets, then the support vectors as varint-length sparse
+//! rows. Everything is little-endian; floats are IEEE-754 bit patterns.
+
+use crate::kernel::Kernel;
+use crate::model::{SupportVectorSet, TrainDiagnostics};
+use crate::ocsvm::OcSvmModel;
+use crate::sparse::SparseVector;
+use crate::svdd::SvddModel;
+use std::io::{self, Read, Write};
+
+const MAGIC: [u8; 4] = *b"OCSV";
+const VERSION: u8 = 1;
+const KIND_OCSVM: u8 = 0;
+const KIND_SVDD: u8 = 1;
+
+/// Writes any supported model; dispatched by the callers in `ocsvm.rs` /
+/// `svdd.rs`.
+pub(crate) fn write_ocsvm<W: Write>(writer: &mut W, model: &OcSvmModel) -> io::Result<()> {
+    write_header(writer, KIND_OCSVM)?;
+    write_f64(writer, model.rho())?;
+    write_f64(writer, model.nu())?;
+    write_support(writer, model.support())?;
+    write_diagnostics(writer, model.diagnostics())
+}
+
+pub(crate) fn read_ocsvm<R: Read>(reader: &mut R) -> io::Result<OcSvmModel> {
+    read_header(reader, KIND_OCSVM)?;
+    let rho = read_f64(reader)?;
+    let nu = read_f64(reader)?;
+    let support = read_support(reader)?;
+    let diagnostics = read_diagnostics(reader)?;
+    Ok(OcSvmModel::from_parts(support, rho, nu, diagnostics))
+}
+
+pub(crate) fn write_svdd<W: Write>(writer: &mut W, model: &SvddModel) -> io::Result<()> {
+    write_header(writer, KIND_SVDD)?;
+    write_f64(writer, model.r_squared())?;
+    write_f64(writer, model.alpha_k_alpha())?;
+    write_f64(writer, model.c())?;
+    write_support(writer, model.support())?;
+    write_diagnostics(writer, model.diagnostics())
+}
+
+pub(crate) fn read_svdd<R: Read>(reader: &mut R) -> io::Result<SvddModel> {
+    read_header(reader, KIND_SVDD)?;
+    let r_squared = read_f64(reader)?;
+    let alpha_k_alpha = read_f64(reader)?;
+    let c = read_f64(reader)?;
+    let support = read_support(reader)?;
+    let diagnostics = read_diagnostics(reader)?;
+    Ok(SvddModel::from_parts(support, r_squared, alpha_k_alpha, c, diagnostics))
+}
+
+fn write_header<W: Write>(writer: &mut W, kind: u8) -> io::Result<()> {
+    writer.write_all(&MAGIC)?;
+    writer.write_all(&[VERSION, kind, 0, 0])
+}
+
+fn read_header<R: Read>(reader: &mut R, expected_kind: u8) -> io::Result<()> {
+    let mut header = [0u8; 8];
+    reader.read_exact(&mut header)?;
+    if header[0..4] != MAGIC {
+        return Err(invalid("bad magic, not an OCSV model"));
+    }
+    if header[4] != VERSION {
+        return Err(invalid(format!("unsupported model version {}", header[4])));
+    }
+    if header[5] != expected_kind {
+        return Err(invalid(format!(
+            "model kind mismatch: stored {}, expected {expected_kind}",
+            header[5]
+        )));
+    }
+    Ok(())
+}
+
+fn write_support<W: Write>(writer: &mut W, support: &SupportVectorSet) -> io::Result<()> {
+    write_kernel(writer, support.kernel)?;
+    write_varint(writer, support.vectors.len() as u64)?;
+    for (vector, &alpha) in support.vectors.iter().zip(&support.alpha) {
+        write_f64(writer, alpha)?;
+        write_varint(writer, vector.nnz() as u64)?;
+        for (column, value) in vector.iter() {
+            write_varint(writer, u64::from(column))?;
+            write_f64(writer, value)?;
+        }
+    }
+    Ok(())
+}
+
+fn read_support<R: Read>(reader: &mut R) -> io::Result<SupportVectorSet> {
+    let kernel = read_kernel(reader)?;
+    let count = read_varint(reader)? as usize;
+    let mut vectors = Vec::with_capacity(count.min(1 << 20));
+    let mut alpha = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        alpha.push(read_f64(reader)?);
+        let nnz = read_varint(reader)? as usize;
+        let mut pairs = Vec::with_capacity(nnz.min(1 << 20));
+        for _ in 0..nnz {
+            let column = read_varint(reader)? as u32;
+            let value = read_f64(reader)?;
+            pairs.push((column, value));
+        }
+        let vector = SparseVector::from_pairs(pairs)
+            .map_err(|e| invalid(format!("corrupt support vector: {e}")))?;
+        vectors.push(vector);
+    }
+    Ok(SupportVectorSet::from_parts(vectors, alpha, kernel))
+}
+
+fn write_kernel<W: Write>(writer: &mut W, kernel: Kernel) -> io::Result<()> {
+    match kernel {
+        Kernel::Linear => writer.write_all(&[0]),
+        Kernel::Polynomial { gamma, coef0, degree } => {
+            writer.write_all(&[1])?;
+            write_f64(writer, gamma)?;
+            write_f64(writer, coef0)?;
+            write_varint(writer, u64::from(degree))
+        }
+        Kernel::Rbf { gamma } => {
+            writer.write_all(&[2])?;
+            write_f64(writer, gamma)
+        }
+        Kernel::Sigmoid { gamma, coef0 } => {
+            writer.write_all(&[3])?;
+            write_f64(writer, gamma)?;
+            write_f64(writer, coef0)
+        }
+    }
+}
+
+fn read_kernel<R: Read>(reader: &mut R) -> io::Result<Kernel> {
+    let mut tag = [0u8; 1];
+    reader.read_exact(&mut tag)?;
+    match tag[0] {
+        0 => Ok(Kernel::Linear),
+        1 => {
+            let gamma = read_f64(reader)?;
+            let coef0 = read_f64(reader)?;
+            let degree = read_varint(reader)? as u32;
+            Ok(Kernel::Polynomial { gamma, coef0, degree })
+        }
+        2 => Ok(Kernel::Rbf { gamma: read_f64(reader)? }),
+        3 => {
+            let gamma = read_f64(reader)?;
+            let coef0 = read_f64(reader)?;
+            Ok(Kernel::Sigmoid { gamma, coef0 })
+        }
+        other => Err(invalid(format!("unknown kernel tag {other}"))),
+    }
+}
+
+fn write_diagnostics<W: Write>(writer: &mut W, d: TrainDiagnostics) -> io::Result<()> {
+    write_varint(writer, d.iterations as u64)?;
+    writer.write_all(&[d.converged as u8])?;
+    write_f64(writer, d.objective)?;
+    write_varint(writer, d.train_size as u64)?;
+    write_varint(writer, d.support_vectors as u64)?;
+    write_varint(writer, d.cache_hits)?;
+    write_varint(writer, d.cache_misses)
+}
+
+fn read_diagnostics<R: Read>(reader: &mut R) -> io::Result<TrainDiagnostics> {
+    let iterations = read_varint(reader)? as usize;
+    let mut converged = [0u8; 1];
+    reader.read_exact(&mut converged)?;
+    let objective = read_f64(reader)?;
+    let train_size = read_varint(reader)? as usize;
+    let support_vectors = read_varint(reader)? as usize;
+    let cache_hits = read_varint(reader)?;
+    let cache_misses = read_varint(reader)?;
+    Ok(TrainDiagnostics {
+        iterations,
+        converged: converged[0] != 0,
+        objective,
+        train_size,
+        support_vectors,
+        cache_hits,
+        cache_misses,
+    })
+}
+
+fn invalid(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+fn write_f64<W: Write>(writer: &mut W, value: f64) -> io::Result<()> {
+    writer.write_all(&value.to_le_bytes())
+}
+
+fn read_f64<R: Read>(reader: &mut R) -> io::Result<f64> {
+    let mut bytes = [0u8; 8];
+    reader.read_exact(&mut bytes)?;
+    Ok(f64::from_le_bytes(bytes))
+}
+
+pub(crate) fn write_varint<W: Write>(writer: &mut W, mut value: u64) -> io::Result<()> {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            return writer.write_all(&[byte]);
+        }
+        writer.write_all(&[byte | 0x80])?;
+    }
+}
+
+pub(crate) fn read_varint<R: Read>(reader: &mut R) -> io::Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte)?;
+        if shift >= 64 {
+            return Err(invalid("varint overflow"));
+        }
+        value |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::OneClassModel;
+    use crate::{NuOcSvm, Svdd};
+
+    fn training_data() -> Vec<SparseVector> {
+        (0..40)
+            .map(|i| {
+                SparseVector::from_pairs(vec![
+                    (0, 1.0),
+                    (5 + (i % 3), 1.0),
+                    (100, 0.1 * (i % 7) as f64 + 0.05),
+                ])
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ocsvm_round_trips_bitwise() {
+        let data = training_data();
+        let model =
+            NuOcSvm::new(0.2, Kernel::Rbf { gamma: 0.5 }).train(&data).unwrap();
+        let mut bytes = Vec::new();
+        model.write_to(&mut bytes).unwrap();
+        let loaded = OcSvmModel::read_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(loaded.rho(), model.rho());
+        assert_eq!(loaded.nu(), model.nu());
+        assert_eq!(loaded.support_vector_count(), model.support_vector_count());
+        for probe in &data {
+            assert_eq!(loaded.decision_value(probe), model.decision_value(probe));
+        }
+    }
+
+    #[test]
+    fn svdd_round_trips_bitwise() {
+        let data = training_data();
+        let model = Svdd::new(0.4, Kernel::Linear).train(&data).unwrap();
+        let mut bytes = Vec::new();
+        model.write_to(&mut bytes).unwrap();
+        let loaded = SvddModel::read_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(loaded.r_squared(), model.r_squared());
+        assert_eq!(loaded.c(), model.c());
+        for probe in &data {
+            assert_eq!(loaded.decision_value(probe), model.decision_value(probe));
+        }
+        // The linear collapsed fast path survives the round trip too.
+        assert_eq!(loaded.diagnostics(), model.diagnostics());
+    }
+
+    #[test]
+    fn every_kernel_round_trips() {
+        for kernel in [
+            Kernel::Linear,
+            Kernel::Polynomial { gamma: 0.25, coef0: 1.5, degree: 4 },
+            Kernel::Rbf { gamma: 1.25 },
+            Kernel::Sigmoid { gamma: 0.01, coef0: -0.5 },
+        ] {
+            let mut bytes = Vec::new();
+            write_kernel(&mut bytes, kernel).unwrap();
+            assert_eq!(read_kernel(&mut bytes.as_slice()).unwrap(), kernel);
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let data = training_data();
+        let model = NuOcSvm::new(0.2, Kernel::Linear).train(&data).unwrap();
+        let mut bytes = Vec::new();
+        model.write_to(&mut bytes).unwrap();
+        let err = SvddModel::read_from(&mut bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("kind mismatch"), "{err}");
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(OcSvmModel::read_from(&mut &b"garbage!"[..]).is_err());
+        let truncated = {
+            let data = training_data();
+            let model = NuOcSvm::new(0.2, Kernel::Linear).train(&data).unwrap();
+            let mut bytes = Vec::new();
+            model.write_to(&mut bytes).unwrap();
+            bytes.truncate(bytes.len() / 2);
+            bytes
+        };
+        assert!(OcSvmModel::read_from(&mut truncated.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Feature scaling.
+//!
+//! Kernel machines are sensitive to column scales: a column ranging over
+//! thousands dominates a kernel's dot products and distances. The window
+//! features of the profiling pipeline are already in `[0, 1]` by
+//! construction, but raw log-derived features (counts, byte volumes,
+//! durations) are not — [`MinMaxScaler`] learns per-column ranges from a
+//! training set and maps them to `[0, 1]`, matching `svm-scale` from the
+//! LIBSVM distribution the paper builds on.
+
+use crate::sparse::{SparseVector, SparseVectorBuilder};
+use std::collections::BTreeMap;
+
+/// Per-column min–max scaler over sparse vectors.
+///
+/// Columns never observed during [`MinMaxScaler::fit`] pass through
+/// unchanged; constant columns map to `0`.
+///
+/// Sparsity caveat: a sparse entry that is *absent* is treated as `0`,
+/// exactly as kernels treat it. Scaling therefore maps observed values of
+/// a column into `[0, 1]` relative to the range *including* `0` when the
+/// column is ever implicitly zero — this keeps absent entries at `0` and
+/// preserves sparsity (LIBSVM's `svm-scale` makes the same trade-off for
+/// sparse data when the lower bound is `0`).
+///
+/// # Examples
+///
+/// ```
+/// use ocsvm::{MinMaxScaler, SparseVector};
+///
+/// let train = vec![
+///     SparseVector::from_dense(&[2.0, 10.0]),
+///     SparseVector::from_dense(&[4.0, 30.0]),
+/// ];
+/// let scaler = MinMaxScaler::fit(&train);
+/// let scaled = scaler.transform(&SparseVector::from_dense(&[3.0, 20.0]));
+/// assert!((scaled.get(0) - 0.75).abs() < 1e-12); // 3 in [0, 4]
+/// assert!((scaled.get(1) - 2.0 / 3.0).abs() < 1e-12); // 20 in [0, 30]
+/// ```
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MinMaxScaler {
+    /// `(min, max)` per column, with the implicit zero folded in.
+    ranges: BTreeMap<u32, (f64, f64)>,
+}
+
+impl MinMaxScaler {
+    /// Learns per-column ranges from training vectors.
+    ///
+    /// Every column that appears in any vector gets a range; since sparse
+    /// vectors leave most columns implicitly zero, `0` is always included
+    /// in the range.
+    pub fn fit<'a>(vectors: impl IntoIterator<Item = &'a SparseVector>) -> Self {
+        let mut ranges: BTreeMap<u32, (f64, f64)> = BTreeMap::new();
+        for vector in vectors {
+            for (column, value) in vector.iter() {
+                let entry = ranges.entry(column).or_insert((0.0, 0.0));
+                entry.0 = entry.0.min(value);
+                entry.1 = entry.1.max(value);
+            }
+        }
+        Self { ranges }
+    }
+
+    /// Number of columns with learned ranges.
+    pub fn fitted_columns(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The learned `(min, max)` of a column, if observed during fitting.
+    pub fn range(&self, column: u32) -> Option<(f64, f64)> {
+        self.ranges.get(&column).copied()
+    }
+
+    /// Maps a vector's observed columns into `[0, 1]` by the learned
+    /// ranges. Unobserved columns pass through unchanged; out-of-range
+    /// values are clamped.
+    pub fn transform(&self, vector: &SparseVector) -> SparseVector {
+        let mut builder = SparseVectorBuilder::new();
+        for (column, value) in vector.iter() {
+            let scaled = match self.ranges.get(&column) {
+                Some(&(min, max)) if max > min => ((value - min) / (max - min)).clamp(0.0, 1.0),
+                Some(_) => 0.0, // constant column
+                None => value,
+            };
+            builder.set(column, scaled);
+        }
+        builder.build()
+    }
+
+    /// Fits on `vectors` and returns the transformed set together with the
+    /// scaler (for transforming future data consistently).
+    pub fn fit_transform(vectors: &[SparseVector]) -> (Vec<SparseVector>, MinMaxScaler) {
+        let scaler = MinMaxScaler::fit(vectors);
+        let transformed = vectors.iter().map(|v| scaler.transform(v)).collect();
+        (transformed, scaler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(dense: &[f64]) -> SparseVector {
+        SparseVector::from_dense(dense)
+    }
+
+    #[test]
+    fn scales_into_unit_interval() {
+        let train = vec![sv(&[0.0, -5.0, 100.0]), sv(&[10.0, 5.0, 300.0])];
+        let (scaled, _) = MinMaxScaler::fit_transform(&train);
+        for v in &scaled {
+            for (_, value) in v.iter() {
+                assert!((0.0..=1.0).contains(&value), "out of range: {value}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_is_always_in_range() {
+        // A column observed only with large positive values still maps
+        // relative to zero, so absent (implicit zero) entries stay
+        // consistent.
+        let train = vec![sv(&[100.0]), sv(&[200.0])];
+        let scaler = MinMaxScaler::fit(&train);
+        assert_eq!(scaler.range(0), Some((0.0, 200.0)));
+        let scaled = scaler.transform(&sv(&[100.0]));
+        assert!((scaled.get(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_columns_pass_through() {
+        let scaler = MinMaxScaler::fit(&[sv(&[1.0])]);
+        let out = scaler.transform(&SparseVector::from_pairs(vec![(7, 42.0)]).unwrap());
+        assert_eq!(out.get(7), 42.0);
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        // Column fixed at 0 across training (only explicit zeros pruned);
+        // use a negative constant so it is stored.
+        let train = vec![sv(&[-3.0]), sv(&[-3.0])];
+        let scaler = MinMaxScaler::fit(&train);
+        assert_eq!(scaler.range(0), Some((-3.0, 0.0)));
+        let out = scaler.transform(&sv(&[-3.0]));
+        assert_eq!(out.get(0), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let scaler = MinMaxScaler::fit(&[sv(&[10.0])]);
+        assert_eq!(scaler.transform(&sv(&[20.0])).get(0), 1.0);
+        assert_eq!(scaler.transform(&sv(&[-5.0])).get(0), 0.0);
+    }
+
+    #[test]
+    fn empty_fit_is_identity() {
+        let scaler = MinMaxScaler::fit(&[]);
+        assert_eq!(scaler.fitted_columns(), 0);
+        let v = sv(&[1.5, 2.5]);
+        assert_eq!(scaler.transform(&v), v);
+    }
+}

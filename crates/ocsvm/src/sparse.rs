@@ -1,0 +1,430 @@
+//! Sparse feature vectors.
+//!
+//! Training samples in this crate are [`SparseVector`]s: sorted lists of
+//! `(column, value)` pairs. The feature vectors produced by bag-of-words
+//! representations are overwhelmingly sparse (the paper's vocabulary has 843
+//! columns of which a typical transaction window sets a couple of dozen), so
+//! sparse storage makes kernel evaluations proportional to the number of
+//! non-zero entries rather than the vocabulary size.
+
+use std::fmt;
+
+/// Error returned when constructing a [`SparseVector`] from invalid pairs.
+///
+/// Produced by [`SparseVector::from_pairs`] when indices are unsorted or
+/// duplicated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidPairsError {
+    /// Position in the input slice at which the violation was detected.
+    pub position: usize,
+    kind: InvalidPairsKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum InvalidPairsKind {
+    Unsorted,
+    Duplicate,
+}
+
+impl fmt::Display for InvalidPairsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            InvalidPairsKind::Unsorted => {
+                write!(f, "sparse indices not strictly increasing at position {}", self.position)
+            }
+            InvalidPairsKind::Duplicate => {
+                write!(f, "duplicate sparse index at position {}", self.position)
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidPairsError {}
+
+/// A sparse vector in `R^n`: strictly increasing column indices paired with
+/// `f64` values.
+///
+/// Zero-valued entries are permitted but pruned by [`SparseVectorBuilder`]
+/// and the dense conversion constructors; they are harmless for correctness
+/// (dot products and distances treat explicit zeros identically to missing
+/// entries).
+///
+/// # Examples
+///
+/// ```
+/// use ocsvm::SparseVector;
+///
+/// let x = SparseVector::from_dense(&[1.0, 0.0, 2.0]);
+/// let y = SparseVector::from_pairs(vec![(2, 1.5)])?;
+/// assert_eq!(x.dot(&y), 3.0);
+/// # Ok::<(), ocsvm::InvalidPairsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SparseVector {
+    entries: Vec<(u32, f64)>,
+}
+
+impl SparseVector {
+    /// Creates an empty (all-zero) vector.
+    pub fn new() -> Self {
+        Self { entries: Vec::new() }
+    }
+
+    /// Creates a vector from `(index, value)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidPairsError`] if the indices are not strictly
+    /// increasing.
+    pub fn from_pairs(pairs: Vec<(u32, f64)>) -> Result<Self, InvalidPairsError> {
+        for (pos, window) in pairs.windows(2).enumerate() {
+            if window[0].0 == window[1].0 {
+                return Err(InvalidPairsError { position: pos + 1, kind: InvalidPairsKind::Duplicate });
+            }
+            if window[0].0 > window[1].0 {
+                return Err(InvalidPairsError { position: pos + 1, kind: InvalidPairsKind::Unsorted });
+            }
+        }
+        Ok(Self { entries: pairs })
+    }
+
+    /// Creates a vector from a dense slice, skipping zero entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense.len()` exceeds `u32::MAX` columns.
+    pub fn from_dense(dense: &[f64]) -> Self {
+        assert!(dense.len() <= u32::MAX as usize, "dense vector too long for u32 indices");
+        let entries = dense
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0.0)
+            .map(|(i, &v)| (i as u32, v))
+            .collect();
+        Self { entries }
+    }
+
+    /// Expands to a dense vector of length `n`.
+    ///
+    /// Entries with indices `>= n` are dropped.
+    pub fn to_dense(&self, n: usize) -> Vec<f64> {
+        let mut dense = vec![0.0; n];
+        for &(i, v) in &self.entries {
+            if (i as usize) < n {
+                dense[i as usize] = v;
+            }
+        }
+        dense
+    }
+
+    /// Number of stored (possibly zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The largest stored column index plus one, or 0 for an empty vector.
+    pub fn dimension_lower_bound(&self) -> usize {
+        self.entries.last().map_or(0, |&(i, _)| i as usize + 1)
+    }
+
+    /// Value at column `index` (0.0 when absent).
+    pub fn get(&self, index: u32) -> f64 {
+        match self.entries.binary_search_by_key(&index, |&(i, _)| i) {
+            Ok(pos) => self.entries[pos].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over the stored `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Borrowed view of the underlying pairs.
+    pub fn as_pairs(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// Dot product `x · y` via a sorted merge.
+    pub fn dot(&self, other: &SparseVector) -> f64 {
+        let (mut a, mut b) = (self.entries.iter(), other.entries.iter());
+        let (mut pa, mut pb) = (a.next(), b.next());
+        let mut sum = 0.0;
+        while let (Some(&(ia, va)), Some(&(ib, vb))) = (pa, pb) {
+            match ia.cmp(&ib) {
+                std::cmp::Ordering::Less => pa = a.next(),
+                std::cmp::Ordering::Greater => pb = b.next(),
+                std::cmp::Ordering::Equal => {
+                    sum += va * vb;
+                    pa = a.next();
+                    pb = b.next();
+                }
+            }
+        }
+        sum
+    }
+
+    /// Squared Euclidean norm `‖x‖²`.
+    pub fn squared_norm(&self) -> f64 {
+        self.entries.iter().map(|&(_, v)| v * v).sum()
+    }
+
+    /// Squared Euclidean distance `‖x − y‖²` via a sorted merge.
+    ///
+    /// Computed directly rather than as `‖x‖² + ‖y‖² − 2x·y` to avoid
+    /// catastrophic cancellation for nearby vectors.
+    pub fn squared_distance(&self, other: &SparseVector) -> f64 {
+        let (mut a, mut b) = (self.entries.iter(), other.entries.iter());
+        let (mut pa, mut pb) = (a.next(), b.next());
+        let mut sum = 0.0;
+        loop {
+            match (pa, pb) {
+                (Some(&(ia, va)), Some(&(ib, vb))) => match ia.cmp(&ib) {
+                    std::cmp::Ordering::Less => {
+                        sum += va * va;
+                        pa = a.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        sum += vb * vb;
+                        pb = b.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let d = va - vb;
+                        sum += d * d;
+                        pa = a.next();
+                        pb = b.next();
+                    }
+                },
+                (Some(&(_, va)), None) => {
+                    sum += va * va;
+                    pa = a.next();
+                }
+                (None, Some(&(_, vb))) => {
+                    sum += vb * vb;
+                    pb = b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        sum
+    }
+
+    /// Scales every entry by `factor`, returning a new vector.
+    pub fn scaled(&self, factor: f64) -> SparseVector {
+        SparseVector { entries: self.entries.iter().map(|&(i, v)| (i, v * factor)).collect() }
+    }
+}
+
+impl fmt::Display for SparseVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (pos, (i, v)) in self.iter().enumerate() {
+            if pos > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}:{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<(u32, f64)> for SparseVectorBuilder {
+    fn from_iter<T: IntoIterator<Item = (u32, f64)>>(iter: T) -> Self {
+        let mut builder = SparseVectorBuilder::new();
+        for (i, v) in iter {
+            builder.set(i, v);
+        }
+        builder
+    }
+}
+
+/// Incremental builder accepting entries in any order.
+///
+/// Entries may be set repeatedly; the last write to a column wins. Zero
+/// values are pruned when [`SparseVectorBuilder::build`] is called.
+///
+/// # Examples
+///
+/// ```
+/// use ocsvm::SparseVectorBuilder;
+///
+/// let mut b = SparseVectorBuilder::new();
+/// b.set(7, 1.0);
+/// b.set(2, 0.5);
+/// b.set(7, 2.0); // overwrites
+/// let v = b.build();
+/// assert_eq!(v.get(7), 2.0);
+/// assert_eq!(v.nnz(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SparseVectorBuilder {
+    entries: Vec<(u32, f64)>,
+}
+
+impl SparseVectorBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets column `index` to `value` (overwrites earlier writes).
+    pub fn set(&mut self, index: u32, value: f64) {
+        self.entries.push((index, value));
+    }
+
+    /// Adds `value` to column `index`.
+    pub fn add(&mut self, index: u32, value: f64) {
+        // Resolved at build time: additions are tagged via NaN-free merge,
+        // so simply record and sum duplicates in build_summed. To keep a
+        // single code path, `add` uses the summing semantics and `set` uses
+        // last-write-wins; they must not be mixed on the same index.
+        self.entries.push((index, value));
+    }
+
+    /// Builds the vector; for duplicate indices the *last* value wins.
+    pub fn build(mut self) -> SparseVector {
+        self.entries.sort_by_key(|&(i, _)| i);
+        let mut out: Vec<(u32, f64)> = Vec::with_capacity(self.entries.len());
+        for (i, v) in self.entries {
+            match out.last_mut() {
+                Some(last) if last.0 == i => last.1 = v,
+                _ => out.push((i, v)),
+            }
+        }
+        out.retain(|&(_, v)| v != 0.0);
+        SparseVector { entries: out }
+    }
+
+    /// Builds the vector; duplicate indices are *summed*.
+    pub fn build_summed(mut self) -> SparseVector {
+        self.entries.sort_by_key(|&(i, _)| i);
+        let mut out: Vec<(u32, f64)> = Vec::with_capacity(self.entries.len());
+        for (i, v) in self.entries {
+            match out.last_mut() {
+                Some(last) if last.0 == i => last.1 += v,
+                _ => out.push((i, v)),
+            }
+        }
+        out.retain(|&(_, v)| v != 0.0);
+        SparseVector { entries: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.to_vec()).expect("valid pairs")
+    }
+
+    #[test]
+    fn from_pairs_accepts_sorted() {
+        let v = sv(&[(0, 1.0), (5, 2.0), (9, -1.0)]);
+        assert_eq!(v.nnz(), 3);
+        assert_eq!(v.get(5), 2.0);
+        assert_eq!(v.get(6), 0.0);
+    }
+
+    #[test]
+    fn from_pairs_rejects_unsorted() {
+        let err = SparseVector::from_pairs(vec![(5, 1.0), (2, 1.0)]).unwrap_err();
+        assert_eq!(err.position, 1);
+        assert!(err.to_string().contains("not strictly increasing"));
+    }
+
+    #[test]
+    fn from_pairs_rejects_duplicates() {
+        let err = SparseVector::from_pairs(vec![(2, 1.0), (2, 3.0)]).unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let dense = [0.0, 1.5, 0.0, -2.0, 0.0];
+        let v = SparseVector::from_dense(&dense);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.to_dense(5), dense);
+    }
+
+    #[test]
+    fn to_dense_truncates_out_of_range() {
+        let v = sv(&[(1, 1.0), (10, 2.0)]);
+        assert_eq!(v.to_dense(3), vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn dot_disjoint_is_zero() {
+        let a = sv(&[(0, 1.0), (2, 1.0)]);
+        let b = sv(&[(1, 5.0), (3, 5.0)]);
+        assert_eq!(a.dot(&b), 0.0);
+    }
+
+    #[test]
+    fn dot_matches_dense() {
+        let a = sv(&[(0, 1.0), (2, 3.0), (7, -1.0)]);
+        let b = sv(&[(2, 2.0), (7, 4.0), (8, 9.0)]);
+        assert_eq!(a.dot(&b), 3.0 * 2.0 + -4.0);
+    }
+
+    #[test]
+    fn squared_distance_matches_expansion() {
+        let a = sv(&[(0, 1.0), (2, 3.0)]);
+        let b = sv(&[(2, 2.0), (5, -1.0)]);
+        let expected = a.squared_norm() + b.squared_norm() - 2.0 * a.dot(&b);
+        assert!((a.squared_distance(&b) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn squared_distance_to_self_is_zero() {
+        let a = sv(&[(0, 1.0), (2, 3.0), (100, 0.25)]);
+        assert_eq!(a.squared_distance(&a), 0.0);
+    }
+
+    #[test]
+    fn builder_last_write_wins_and_prunes_zero() {
+        let mut b = SparseVectorBuilder::new();
+        b.set(3, 1.0);
+        b.set(3, 0.0);
+        b.set(1, 2.0);
+        let v = b.build();
+        assert_eq!(v.nnz(), 1);
+        assert_eq!(v.get(1), 2.0);
+    }
+
+    #[test]
+    fn builder_summed_accumulates() {
+        let mut b = SparseVectorBuilder::new();
+        b.add(4, 1.0);
+        b.add(4, 2.5);
+        b.add(0, 1.0);
+        let v = b.build_summed();
+        assert_eq!(v.get(4), 3.5);
+        assert_eq!(v.get(0), 1.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(SparseVector::new().to_string(), "[]");
+        assert_eq!(sv(&[(1, 2.0)]).to_string(), "[1:2]");
+    }
+
+    #[test]
+    fn dimension_lower_bound() {
+        assert_eq!(SparseVector::new().dimension_lower_bound(), 0);
+        assert_eq!(sv(&[(41, 1.0)]).dimension_lower_bound(), 42);
+    }
+
+    #[test]
+    fn scaled_multiplies_values() {
+        let v = sv(&[(1, 2.0), (3, -4.0)]).scaled(0.5);
+        assert_eq!(v.get(1), 1.0);
+        assert_eq!(v.get(3), -2.0);
+    }
+}

@@ -1,0 +1,371 @@
+//! Support Vector Data Description (Sect. II-B of the paper).
+//!
+//! SVDD encloses the training data in a minimum-volume hypersphere with
+//! center `a` and radius `R`, allowing a fraction of outliers controlled by
+//! the weight `C` (related to the OC-SVM `ν` by `C = 1/(νl)`). The dual
+//! problem (Eq. 10) is
+//!
+//! ```text
+//! maximize    Σᵢ αᵢ k(xᵢ,xᵢ) − Σᵢⱼ αᵢαⱼ k(xᵢ,xⱼ)
+//! subject to  0 ≤ αᵢ ≤ C,  Σᵢ αᵢ = 1
+//! ```
+//!
+//! solved here as the equivalent minimization with `Q = 2K`,
+//! `pᵢ = −k(xᵢ,xᵢ)`. The squared radius follows Eq. (11) and the decision
+//! function Eq. (12): a sample is accepted when its squared feature-space
+//! distance to the center does not exceed `R²`.
+
+use crate::error::TrainError;
+use crate::kernel::Kernel;
+use crate::model::{OneClassModel, SupportVectorSet, TrainDiagnostics};
+use crate::smo::{self, KernelQ, SolverOptions};
+use crate::sparse::SparseVector;
+
+/// Trainer configuration for SVDD.
+///
+/// # Examples
+///
+/// ```
+/// use ocsvm::{Kernel, OneClassModel, SparseVector, Svdd};
+///
+/// let data: Vec<SparseVector> =
+///     (0..40).map(|i| SparseVector::from_dense(&[1.0, 0.02 * (i % 5) as f64])).collect();
+/// let model = Svdd::new(0.5, Kernel::Rbf { gamma: 1.0 }).train(&data)?;
+/// assert!(model.accepts(&SparseVector::from_dense(&[1.0, 0.04])));
+/// assert!(!model.accepts(&SparseVector::from_dense(&[8.0, -3.0])));
+/// # Ok::<(), ocsvm::TrainError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Svdd {
+    c: f64,
+    kernel: Kernel,
+    options: SolverOptions,
+}
+
+impl Svdd {
+    /// Creates a trainer with outlier weight `C` and kernel.
+    ///
+    /// `C` is validated at [`train`](Self::train) time (it must be positive
+    /// and at least `1/l` for a training set of `l` samples).
+    pub fn new(c: f64, kernel: Kernel) -> Self {
+        Self { c, kernel, options: SolverOptions::default() }
+    }
+
+    /// Overrides the solver options (tolerance, iteration cap, cache size).
+    pub fn with_options(mut self, options: SolverOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The configured `C`.
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// The configured kernel.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Trains a model on the given samples.
+    ///
+    /// # Errors
+    ///
+    /// * [`TrainError::EmptyTrainingSet`] if `points` is empty.
+    /// * [`TrainError::InvalidC`] if `C` is not finite and positive.
+    /// * [`TrainError::InfeasibleC`] if `C < 1/l`, which makes the dual
+    ///   constraint set empty.
+    pub fn train(&self, points: &[SparseVector]) -> Result<SvddModel, TrainError> {
+        if points.is_empty() {
+            return Err(TrainError::EmptyTrainingSet);
+        }
+        if !self.c.is_finite() || self.c <= 0.0 {
+            return Err(TrainError::InvalidC { c: self.c });
+        }
+        let l = points.len();
+        let min_c = 1.0 / l as f64;
+        if self.c < min_c {
+            return Err(TrainError::InfeasibleC { c: self.c, min: min_c });
+        }
+        let upper = self.c;
+        let mut q = KernelQ::new(self.kernel, points, 2.0, self.options.cache_bytes);
+        let p: Vec<f64> = (0..l).map(|i| -q.kernel_diag(i)).collect();
+        let alpha0 = smo::initial_alpha(l, upper);
+        let solution = smo::solve(&mut q, &p, upper, alpha0, &self.options);
+
+        // αᵀKα = ½(αᵀG − αᵀp) since G = 2Kα + p.
+        let alpha_g: f64 = solution.alpha.iter().zip(&solution.gradient).map(|(&a, &g)| a * g).sum();
+        let alpha_p: f64 = solution.alpha.iter().zip(&p).map(|(&a, &pi)| a * pi).sum();
+        let alpha_k_alpha = 0.5 * (alpha_g - alpha_p);
+
+        // Squared distance of training point i to the center:
+        //   d²(xᵢ) = k(xᵢ,xᵢ) − 2(Kα)ᵢ + αᵀKα,  with (Kα)ᵢ = (Gᵢ − pᵢ)/2
+        //          = −pᵢ − (Gᵢ − pᵢ) + αᵀKα = −Gᵢ + αᵀKα.
+        let dist_sq = |i: usize| -solution.gradient[i] + alpha_k_alpha;
+        let r_squared = recover_r_squared(&solution.alpha, upper, dist_sq);
+
+        let (cache_hits, cache_misses) = q.cache_stats();
+        let support = SupportVectorSet::from_solution(points, &solution.alpha, self.kernel);
+        let diagnostics = TrainDiagnostics {
+            iterations: solution.iterations,
+            converged: solution.converged,
+            objective: solution.objective,
+            train_size: l,
+            support_vectors: support.len(),
+            cache_hits,
+            cache_misses,
+        };
+        Ok(SvddModel { support, r_squared, alpha_k_alpha, c: self.c, diagnostics })
+    }
+}
+
+/// `R²` from the KKT conditions: free support vectors (`0 < α < C`) lie
+/// exactly on the sphere (Eq. 11); when none are free, `R²` is bracketed by
+/// the bounded groups (`α = 0` inside, `α = C` outside) and the midpoint is
+/// used.
+fn recover_r_squared(alpha: &[f64], upper: f64, dist_sq: impl Fn(usize) -> f64) -> f64 {
+    let lo_tol = 1e-9;
+    let hi_tol = upper * (1.0 - 1e-9);
+    let mut free_sum = 0.0;
+    let mut free_count = 0usize;
+    let mut inside_max = f64::NEG_INFINITY; // α = 0 ⇒ d² ≤ R²
+    let mut outside_min = f64::INFINITY; // α = C ⇒ d² ≥ R²
+    for (i, &a) in alpha.iter().enumerate() {
+        if a > lo_tol && a < hi_tol {
+            free_sum += dist_sq(i);
+            free_count += 1;
+        } else if a >= hi_tol {
+            outside_min = outside_min.min(dist_sq(i));
+        } else {
+            inside_max = inside_max.max(dist_sq(i));
+        }
+    }
+    if free_count > 0 {
+        return free_sum / free_count as f64;
+    }
+    match (inside_max.is_finite(), outside_min.is_finite()) {
+        (true, true) => 0.5 * (inside_max + outside_min),
+        (true, false) => inside_max,
+        (false, true) => outside_min,
+        (false, false) => 0.0,
+    }
+}
+
+/// A trained SVDD model.
+///
+/// Produced by [`Svdd::train`]; see [`OneClassModel`] for the decision
+/// interface.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SvddModel {
+    support: SupportVectorSet,
+    r_squared: f64,
+    /// Constant `Σᵢⱼ αᵢαⱼ k(xᵢ,xⱼ)` appearing in the decision function.
+    alpha_k_alpha: f64,
+    c: f64,
+    diagnostics: TrainDiagnostics,
+}
+
+impl SvddModel {
+    /// The squared radius `R²` of the hypersphere (Eq. 11).
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// The `C` the model was trained with.
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// Squared feature-space distance from `x` to the sphere center.
+    pub fn squared_distance_to_center(&self, x: &SparseVector) -> f64 {
+        self.support.kernel.compute_self(x) - 2.0 * self.support.weighted_kernel_sum(x)
+            + self.alpha_k_alpha
+    }
+
+    /// Training diagnostics (iterations, convergence, cache behaviour).
+    pub fn diagnostics(&self) -> TrainDiagnostics {
+        self.diagnostics
+    }
+
+    /// Serializes the model in the crate's binary format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: std::io::Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        crate::persist::write_svdd(writer, self)
+    }
+
+    /// Deserializes a model written by [`SvddModel::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for wrong magic/version/kind or a corrupt stream;
+    /// other I/O errors from the reader.
+    pub fn read_from<R: std::io::Read>(reader: &mut R) -> std::io::Result<SvddModel> {
+        crate::persist::read_svdd(reader)
+    }
+
+    pub(crate) fn support(&self) -> &SupportVectorSet {
+        &self.support
+    }
+
+    pub(crate) fn alpha_k_alpha(&self) -> f64 {
+        self.alpha_k_alpha
+    }
+
+    pub(crate) fn from_parts(
+        support: SupportVectorSet,
+        r_squared: f64,
+        alpha_k_alpha: f64,
+        c: f64,
+        diagnostics: TrainDiagnostics,
+    ) -> Self {
+        Self { support, r_squared, alpha_k_alpha, c, diagnostics }
+    }
+}
+
+impl OneClassModel for SvddModel {
+    /// Eq. (12): `R² − ‖Φ(x) − a‖²`; non-negative inside the sphere.
+    fn decision_value(&self, x: &SparseVector) -> f64 {
+        self.r_squared - self.squared_distance_to_center(x)
+    }
+
+    fn support_vector_count(&self) -> usize {
+        self.support.len()
+    }
+
+    fn kernel(&self) -> Kernel {
+        self.support.kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(center: &[f64], spread: f64, n: usize) -> Vec<SparseVector> {
+        (0..n)
+            .map(|i| {
+                let mut point = center.to_vec();
+                for (d, value) in point.iter_mut().enumerate() {
+                    let phase = (i * 13 + d * 29) % 11;
+                    *value += spread * (phase as f64 - 5.0) / 5.0;
+                }
+                SparseVector::from_dense(&point)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_empty_training_set() {
+        let err = Svdd::new(0.5, Kernel::Linear).train(&[]).unwrap_err();
+        assert_eq!(err, TrainError::EmptyTrainingSet);
+    }
+
+    #[test]
+    fn rejects_invalid_c() {
+        let data = cluster(&[1.0], 0.1, 10);
+        for c in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = Svdd::new(c, Kernel::Linear).train(&data).unwrap_err();
+            assert!(matches!(err, TrainError::InvalidC { .. }), "c = {c}");
+        }
+    }
+
+    #[test]
+    fn rejects_infeasible_c() {
+        let data = cluster(&[1.0], 0.1, 10);
+        let err = Svdd::new(0.05, Kernel::Linear).train(&data).unwrap_err();
+        assert_eq!(err, TrainError::InfeasibleC { c: 0.05, min: 0.1 });
+        // Exactly 1/l is feasible (all α forced to C).
+        assert!(Svdd::new(0.1, Kernel::Linear).train(&data).is_ok());
+    }
+
+    #[test]
+    fn encloses_cluster_rejects_far_point() {
+        let data = cluster(&[1.0, -1.0], 0.1, 50);
+        let model = Svdd::new(0.5, Kernel::Rbf { gamma: 1.0 }).train(&data).unwrap();
+        let accepted = data.iter().filter(|x| model.accepts(x)).count();
+        assert!(accepted as f64 >= 0.85 * data.len() as f64, "accepted {accepted}");
+        assert!(!model.accepts(&SparseVector::from_dense(&[9.0, 9.0])));
+    }
+
+    #[test]
+    fn c_one_encloses_every_training_point() {
+        // With C = 1 no slack is ever profitable: the sphere contains all
+        // training data exactly.
+        let data = cluster(&[0.0, 3.0], 0.5, 30);
+        let options = SolverOptions { eps: 1e-6, ..Default::default() };
+        let model = Svdd::new(1.0, Kernel::Linear).with_options(options).train(&data).unwrap();
+        for (i, x) in data.iter().enumerate() {
+            assert!(
+                model.decision_value(x) >= -1e-5,
+                "point {i} outside sphere: {}",
+                model.decision_value(x)
+            );
+        }
+    }
+
+    #[test]
+    fn linear_center_is_mean_under_c_one_symmetric_data() {
+        // Two symmetric points with C = 1: α = (½, ½), center = midpoint,
+        // R² = ‖x − center‖² = 1 for points (±1, 0).
+        let data =
+            vec![SparseVector::from_dense(&[1.0, 0.0]), SparseVector::from_dense(&[-1.0, 0.0])];
+        let model = Svdd::new(1.0, Kernel::Linear).train(&data).unwrap();
+        assert!((model.r_squared() - 1.0).abs() < 1e-6, "R² = {}", model.r_squared());
+        // The midpoint (origin) has distance² 0.
+        let origin = SparseVector::new();
+        assert!(model.squared_distance_to_center(&origin).abs() < 1e-6);
+        // A point at distance exactly R from the center is on the margin.
+        let on_margin = SparseVector::from_dense(&[0.0, 1.0]);
+        assert!(model.decision_value(&on_margin).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smaller_c_shrinks_the_sphere() {
+        // One far outlier: with C = 1 it must be enclosed (big R²); with a
+        // small C the sphere may exclude it.
+        let mut data = cluster(&[0.0, 0.0], 0.1, 29);
+        data.push(SparseVector::from_dense(&[10.0, 10.0]));
+        let big = Svdd::new(1.0, Kernel::Linear).train(&data).unwrap();
+        let small = Svdd::new(0.1, Kernel::Linear).train(&data).unwrap();
+        assert!(
+            small.r_squared() < big.r_squared(),
+            "small-C sphere not smaller: {} vs {}",
+            small.r_squared(),
+            big.r_squared()
+        );
+        assert!(!small.accepts(&data[29]), "outlier must fall outside the small-C sphere");
+    }
+
+    #[test]
+    fn rbf_distance_to_center_is_bounded() {
+        // In RBF feature space all points live on the unit sphere, so the
+        // squared distance to any convex combination is ≤ 4.
+        let data = cluster(&[5.0], 1.0, 20);
+        let model = Svdd::new(0.3, Kernel::Rbf { gamma: 0.5 }).train(&data).unwrap();
+        let probe = SparseVector::from_dense(&[-100.0]);
+        let d2 = model.squared_distance_to_center(&probe);
+        assert!(d2 > 0.0 && d2 <= 4.0 + 1e-9, "d² = {d2}");
+    }
+
+    #[test]
+    fn diagnostics_are_populated() {
+        let data = cluster(&[1.0, 2.0], 0.3, 40);
+        let model = Svdd::new(0.2, Kernel::Rbf { gamma: 1.0 }).train(&data).unwrap();
+        let d = model.diagnostics();
+        assert!(d.converged);
+        assert_eq!(d.train_size, 40);
+        assert_eq!(d.support_vectors, model.support_vector_count());
+        assert!(d.support_vectors >= 1);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn model_implements_serde_traits() {
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<SvddModel>();
+    }
+}

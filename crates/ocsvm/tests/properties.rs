@@ -1,0 +1,179 @@
+//! Property-based tests for the one-class SVM crate: sparse-vector algebra,
+//! kernel identities, and solver invariants (feasibility, ν-property,
+//! SVDD geometry) over randomized inputs.
+
+use ocsvm::{Kernel, NuOcSvm, OneClassModel, SolverOptions, SparseVector, Svdd};
+use proptest::prelude::*;
+
+/// Dense vectors with small dimension and bounded values so kernel values
+/// stay well-conditioned.
+fn dense_vec(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-5.0f64..5.0, dim)
+}
+
+fn sparse(dim: usize) -> impl Strategy<Value = SparseVector> {
+    dense_vec(dim).prop_map(|d| SparseVector::from_dense(&d))
+}
+
+fn clustered_training_set() -> impl Strategy<Value = Vec<SparseVector>> {
+    // Points jittered around a shared center: the realistic one-class shape.
+    (dense_vec(4), prop::collection::vec(dense_vec(4), 12..40)).prop_map(|(center, jitters)| {
+        jitters
+            .into_iter()
+            .map(|j| {
+                let point: Vec<f64> =
+                    center.iter().zip(&j).map(|(c, x)| c + 0.1 * x).collect();
+                SparseVector::from_dense(&point)
+            })
+            .collect()
+    })
+}
+
+fn any_kernel() -> impl Strategy<Value = Kernel> {
+    prop_oneof![
+        Just(Kernel::Linear),
+        (0.1f64..2.0).prop_map(|gamma| Kernel::Rbf { gamma }),
+        (0.1f64..1.0, 0.0f64..1.0).prop_map(|(gamma, coef0)| Kernel::Polynomial {
+            gamma,
+            coef0,
+            degree: 2
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dot_commutes(a in sparse(8), b in sparse(8)) {
+        prop_assert_eq!(a.dot(&b), b.dot(&a));
+    }
+
+    #[test]
+    fn dot_matches_dense_computation(a in dense_vec(8), b in dense_vec(8)) {
+        let sa = SparseVector::from_dense(&a);
+        let sb = SparseVector::from_dense(&b);
+        let expected: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        prop_assert!((sa.dot(&sb) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn squared_distance_is_a_metric_squared(a in sparse(8), b in sparse(8), c in sparse(8)) {
+        // Non-negativity, identity, symmetry; triangle inequality on the
+        // (unsquared) distances.
+        prop_assert!(a.squared_distance(&b) >= 0.0);
+        prop_assert_eq!(a.squared_distance(&a), 0.0);
+        prop_assert_eq!(a.squared_distance(&b), b.squared_distance(&a));
+        let dab = a.squared_distance(&b).sqrt();
+        let dbc = b.squared_distance(&c).sqrt();
+        let dac = a.squared_distance(&c).sqrt();
+        prop_assert!(dac <= dab + dbc + 1e-9);
+    }
+
+    #[test]
+    fn dense_round_trip(d in dense_vec(16)) {
+        let v = SparseVector::from_dense(&d);
+        prop_assert_eq!(v.to_dense(16), d);
+    }
+
+    #[test]
+    fn kernels_are_symmetric(k in any_kernel(), a in sparse(6), b in sparse(6)) {
+        prop_assert_eq!(k.compute(&a, &b), k.compute(&b, &a));
+    }
+
+    #[test]
+    fn rbf_is_bounded_and_maximal_on_diagonal(gamma in 0.05f64..3.0, a in sparse(6), b in sparse(6)) {
+        let k = Kernel::Rbf { gamma };
+        let kab = k.compute(&a, &b);
+        prop_assert!(kab > 0.0 && kab <= 1.0);
+        prop_assert!(kab <= k.compute(&a, &a) + 1e-12);
+    }
+
+    #[test]
+    fn psd_kernels_satisfy_cauchy_schwarz(k in any_kernel(), a in sparse(6), b in sparse(6)) {
+        let kab = k.compute(&a, &b);
+        let kaa = k.compute_self(&a);
+        let kbb = k.compute_self(&b);
+        prop_assert!(kab * kab <= kaa * kbb + 1e-9,
+            "k(a,b)^2 = {} > k(a,a)k(b,b) = {}", kab * kab, kaa * kbb);
+    }
+
+    #[test]
+    fn ocsvm_accepts_majority_of_training_data(
+        data in clustered_training_set(),
+        nu in 0.05f64..0.5,
+    ) {
+        let model = NuOcSvm::new(nu, Kernel::Rbf { gamma: 0.5 })
+            .with_options(SolverOptions { eps: 1e-5, ..Default::default() })
+            .train(&data)
+            .unwrap();
+        let rejected = data
+            .iter()
+            .filter(|x| model.decision_value(x) < -1e-4)
+            .count() as f64;
+        // ν-property: at most νl margin errors (small numerical slack).
+        prop_assert!(rejected <= nu * data.len() as f64 + 1.0,
+            "rejected {rejected} of {} at nu = {nu}", data.len());
+    }
+
+    #[test]
+    fn ocsvm_support_vector_fraction_at_least_nu(
+        data in clustered_training_set(),
+        nu in 0.1f64..0.9,
+    ) {
+        let model = NuOcSvm::new(nu, Kernel::Rbf { gamma: 0.5 }).train(&data).unwrap();
+        let sv_fraction = model.support_vector_count() as f64 / data.len() as f64;
+        prop_assert!(sv_fraction >= nu - 0.12,
+            "SV fraction {sv_fraction} < nu {nu} for l = {}", data.len());
+    }
+
+    #[test]
+    fn svdd_radius_is_nonnegative_and_decision_consistent(
+        data in clustered_training_set(),
+        c in 0.2f64..1.0,
+        probe in sparse(4),
+    ) {
+        let model = Svdd::new(c, Kernel::Rbf { gamma: 0.5 }).train(&data).unwrap();
+        prop_assert!(model.r_squared() >= -1e-9, "R² = {}", model.r_squared());
+        let decision = model.decision_value(&probe);
+        let reconstructed = model.r_squared() - model.squared_distance_to_center(&probe);
+        prop_assert!((decision - reconstructed).abs() < 1e-12);
+        prop_assert_eq!(model.accepts(&probe), decision >= 0.0);
+    }
+
+    #[test]
+    fn svdd_c_one_encloses_training_data(data in clustered_training_set()) {
+        let model = Svdd::new(1.0, Kernel::Linear)
+            .with_options(SolverOptions { eps: 1e-6, ..Default::default() })
+            .train(&data)
+            .unwrap();
+        for x in &data {
+            prop_assert!(model.decision_value(x) >= -1e-4,
+                "training point outside C=1 sphere: {}", model.decision_value(x));
+        }
+    }
+
+    #[test]
+    fn both_models_reject_distant_probes(data in clustered_training_set()) {
+        // Translate far from the cluster along every axis.
+        let far = {
+            let centroid_shift: Vec<f64> = (0..4).map(|d| {
+                let mean: f64 = data.iter().map(|x| x.get(d)).sum::<f64>() / data.len() as f64;
+                mean + 1000.0
+            }).collect();
+            SparseVector::from_dense(&centroid_shift)
+        };
+        let ocsvm = NuOcSvm::new(0.1, Kernel::Rbf { gamma: 0.5 }).train(&data).unwrap();
+        let svdd = Svdd::new(0.5, Kernel::Rbf { gamma: 0.5 }).train(&data).unwrap();
+        prop_assert!(!ocsvm.accepts(&far));
+        prop_assert!(!svdd.accepts(&far));
+    }
+
+    #[test]
+    fn training_is_deterministic(data in clustered_training_set()) {
+        let a = NuOcSvm::new(0.2, Kernel::Rbf { gamma: 1.0 }).train(&data).unwrap();
+        let b = NuOcSvm::new(0.2, Kernel::Rbf { gamma: 1.0 }).train(&data).unwrap();
+        prop_assert_eq!(a.rho(), b.rho());
+        prop_assert_eq!(a.support_vector_count(), b.support_vector_count());
+    }
+}

@@ -1,0 +1,299 @@
+//! Compact binary log format.
+//!
+//! Six months of enterprise traffic is millions of records; the text
+//! format of [`crate::format_line`] costs ~120 bytes per transaction. The
+//! binary format here stores the same records in ~15 bytes using
+//! delta-encoded timestamps and LEB128 varints — the kind of archival
+//! format a proxy vendor ships benchmark corpora in.
+//!
+//! Layout: an 8-byte header (`b"PXLG"` magic, format version, flags) and a
+//! varint record count, followed by one record per transaction:
+//! timestamp delta (varint, seconds since the previous record), user,
+//! device, site, category, subtype, application type (varints), and one
+//! packed byte holding action (2 bits), scheme (1), reputation (2) and the
+//! private-destination flag (1).
+
+use crate::record::{
+    DeviceId, HttpAction, Reputation, SiteId, Transaction, UriScheme, UserId,
+};
+use crate::taxonomy::{AppTypeId, CategoryId, SubtypeId};
+use crate::time::Timestamp;
+use std::io::{self, Read, Write};
+
+const MAGIC: [u8; 4] = *b"PXLG";
+const VERSION: u8 = 1;
+
+/// Writes transactions in the binary format.
+///
+/// Transactions must be time-sorted (as [`crate::Dataset`] guarantees);
+/// out-of-order input is rejected so the delta encoding stays valid.
+///
+/// # Errors
+///
+/// I/O errors from the writer, or `InvalidInput` if `transactions` is not
+/// sorted by timestamp.
+pub fn write_binary_log<W: Write>(
+    mut writer: W,
+    transactions: &[Transaction],
+) -> io::Result<()> {
+    if let Some(pair) = transactions.windows(2).find(|w| w[0].timestamp > w[1].timestamp) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("transactions out of order at {}", pair[1].timestamp),
+        ));
+    }
+    writer.write_all(&MAGIC)?;
+    writer.write_all(&[VERSION, 0, 0, 0])?;
+    write_varint(&mut writer, transactions.len() as u64)?;
+    let mut previous = transactions.first().map_or(0, |tx| tx.timestamp.as_secs());
+    // The first record stores its absolute timestamp (zig-zagged for
+    // pre-epoch times), subsequent records a non-negative delta.
+    if let Some(first) = transactions.first() {
+        write_varint(&mut writer, zigzag(first.timestamp.as_secs()))?;
+        write_record_body(&mut writer, first)?;
+    }
+    for tx in transactions.iter().skip(1) {
+        let delta = (tx.timestamp.as_secs() - previous) as u64;
+        previous = tx.timestamp.as_secs();
+        write_varint(&mut writer, delta)?;
+        write_record_body(&mut writer, tx)?;
+    }
+    Ok(())
+}
+
+fn write_record_body<W: Write>(writer: &mut W, tx: &Transaction) -> io::Result<()> {
+    write_varint(writer, u64::from(tx.user.0))?;
+    write_varint(writer, u64::from(tx.device.0))?;
+    write_varint(writer, u64::from(tx.site.0))?;
+    write_varint(writer, u64::from(tx.category.0))?;
+    write_varint(writer, u64::from(tx.subtype.0))?;
+    write_varint(writer, u64::from(tx.app_type.0))?;
+    let packed: u8 = (tx.action.index() as u8)
+        | ((tx.scheme.index() as u8) << 2)
+        | ((reputation_code(tx.reputation)) << 3)
+        | ((tx.private_destination as u8) << 5);
+    writer.write_all(&[packed])
+}
+
+/// Reads a binary log written by [`write_binary_log`].
+///
+/// # Errors
+///
+/// `InvalidData` for a bad magic/version or truncated stream; other I/O
+/// errors from the reader.
+pub fn read_binary_log<R: Read>(mut reader: R) -> io::Result<Vec<Transaction>> {
+    let mut header = [0u8; 8];
+    reader.read_exact(&mut header)?;
+    if header[0..4] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic, not a PXLG log"));
+    }
+    if header[4] != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported version {}", header[4]),
+        ));
+    }
+    let count = read_varint(&mut reader)? as usize;
+    let mut transactions = Vec::with_capacity(count.min(1 << 20));
+    let mut previous = 0i64;
+    for index in 0..count {
+        let timestamp = if index == 0 {
+            unzigzag(read_varint(&mut reader)?)
+        } else {
+            previous + read_varint(&mut reader)? as i64
+        };
+        previous = timestamp;
+        let user = UserId(read_varint(&mut reader)? as u32);
+        let device = DeviceId(read_varint(&mut reader)? as u32);
+        let site = SiteId(read_varint(&mut reader)? as u32);
+        let category = CategoryId(read_varint(&mut reader)? as u16);
+        let subtype = SubtypeId(read_varint(&mut reader)? as u16);
+        let app_type = AppTypeId(read_varint(&mut reader)? as u16);
+        let mut packed = [0u8; 1];
+        reader.read_exact(&mut packed)?;
+        let packed = packed[0];
+        let action = HttpAction::ALL
+            .get((packed & 0b11) as usize)
+            .copied()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad action code"))?;
+        let scheme =
+            if (packed >> 2) & 1 == 1 { UriScheme::Https } else { UriScheme::Http };
+        let reputation = reputation_from_code((packed >> 3) & 0b11)?;
+        let private_destination = (packed >> 5) & 1 == 1;
+        transactions.push(Transaction {
+            timestamp: Timestamp(timestamp),
+            user,
+            device,
+            site,
+            action,
+            scheme,
+            category,
+            subtype,
+            app_type,
+            reputation,
+            private_destination,
+        });
+    }
+    Ok(transactions)
+}
+
+fn reputation_code(reputation: Reputation) -> u8 {
+    match reputation {
+        Reputation::Unverified => 0,
+        Reputation::Minimal => 1,
+        Reputation::Medium => 2,
+        Reputation::High => 3,
+    }
+}
+
+fn reputation_from_code(code: u8) -> io::Result<Reputation> {
+    match code {
+        0 => Ok(Reputation::Unverified),
+        1 => Ok(Reputation::Minimal),
+        2 => Ok(Reputation::Medium),
+        3 => Ok(Reputation::High),
+        _ => Err(io::Error::new(io::ErrorKind::InvalidData, "bad reputation code")),
+    }
+}
+
+fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+fn write_varint<W: Write>(writer: &mut W, mut value: u64) -> io::Result<()> {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            return writer.write_all(&[byte]);
+        }
+        writer.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(reader: &mut R) -> io::Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte)?;
+        let byte = byte[0];
+        if shift >= 64 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "varint overflow"));
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(secs: i64, user: u32) -> Transaction {
+        Transaction {
+            timestamp: Timestamp(secs),
+            user: UserId(user),
+            device: DeviceId(3),
+            site: SiteId(812),
+            action: HttpAction::Post,
+            scheme: UriScheme::Https,
+            category: CategoryId(42),
+            subtype: SubtypeId(200),
+            app_type: AppTypeId(399),
+            reputation: Reputation::Medium,
+            private_destination: true,
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let txs: Vec<Transaction> =
+            (0..100).map(|i| tx(1_432_000_000 + i * 37, (i % 7) as u32)).collect();
+        let mut buffer = Vec::new();
+        write_binary_log(&mut buffer, &txs).unwrap();
+        let parsed = read_binary_log(buffer.as_slice()).unwrap();
+        assert_eq!(parsed, txs);
+    }
+
+    #[test]
+    fn round_trip_negative_first_timestamp() {
+        let txs = vec![tx(-1000, 0), tx(-500, 1), tx(0, 2)];
+        let mut buffer = Vec::new();
+        write_binary_log(&mut buffer, &txs).unwrap();
+        assert_eq!(read_binary_log(buffer.as_slice()).unwrap(), txs);
+    }
+
+    #[test]
+    fn empty_log_round_trips() {
+        let mut buffer = Vec::new();
+        write_binary_log(&mut buffer, &[]).unwrap();
+        assert!(read_binary_log(buffer.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_text() {
+        use crate::format::write_log;
+        use crate::taxonomy::Taxonomy;
+        let taxonomy = Taxonomy::paper_scale();
+        let txs: Vec<Transaction> =
+            (0..1000).map(|i| tx(1_432_000_000 + i, (i % 9) as u32)).collect();
+        let mut binary = Vec::new();
+        write_binary_log(&mut binary, &txs).unwrap();
+        let mut text = Vec::new();
+        write_log(&mut text, &txs, &taxonomy).unwrap();
+        assert!(
+            binary.len() * 4 < text.len(),
+            "binary {} vs text {}",
+            binary.len(),
+            text.len()
+        );
+    }
+
+    #[test]
+    fn rejects_unsorted_input() {
+        let txs = vec![tx(100, 0), tx(50, 1)];
+        let err = write_binary_log(&mut Vec::new(), &txs).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let err = read_binary_log(&b"NOPE\x01\x00\x00\x00\x00"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = read_binary_log(&b"PXLG\x09\x00\x00\x00\x00"[..]).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let txs = vec![tx(1, 0), tx(2, 1)];
+        let mut buffer = Vec::new();
+        write_binary_log(&mut buffer, &txs).unwrap();
+        buffer.truncate(buffer.len() - 3);
+        assert!(read_binary_log(buffer.as_slice()).is_err());
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        for value in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buffer = Vec::new();
+            write_varint(&mut buffer, value).unwrap();
+            assert_eq!(read_varint(&mut buffer.as_slice()).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for value in [0i64, 1, -1, 1000, -1000, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(value)), value);
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Dataset container and the paper's preprocessing operations.
+//!
+//! The benchmark corpus is a flat, time-ordered list of transactions from
+//! many users and devices. [`Dataset`] indexes it per user and per device
+//! and implements the preprocessing the paper applies (Sect. IV-A/IV-B):
+//! filtering out under-represented users (< 1,500 transactions) and the
+//! chronological 75 % / 25 % train/test split *per user*.
+
+use crate::record::{DeviceId, Transaction, UserId};
+use crate::taxonomy::Taxonomy;
+use crate::time::Timestamp;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Minimum transactions per user retained by the paper's filtering step.
+pub const PAPER_MIN_TRANSACTIONS_PER_USER: usize = 1_500;
+
+/// Fraction of each user's oldest transactions used for training in the
+/// paper.
+pub const PAPER_TRAIN_FRACTION: f64 = 0.75;
+
+/// A time-sorted collection of transactions plus the taxonomy they refer
+/// to.
+///
+/// # Examples
+///
+/// ```
+/// use proxylog::{Dataset, Taxonomy};
+///
+/// let dataset = Dataset::new(Taxonomy::paper_scale(), Vec::new());
+/// assert!(dataset.is_empty());
+/// assert!(dataset.users().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    taxonomy: Arc<Taxonomy>,
+    transactions: Vec<Transaction>,
+    by_user: BTreeMap<UserId, Vec<usize>>,
+    by_device: BTreeMap<DeviceId, Vec<usize>>,
+}
+
+impl Dataset {
+    /// Builds a dataset; transactions are sorted by timestamp (stable, so
+    /// equal-timestamp records keep their input order).
+    pub fn new(taxonomy: Arc<Taxonomy>, mut transactions: Vec<Transaction>) -> Self {
+        transactions.sort_by_key(|tx| tx.timestamp);
+        let mut by_user: BTreeMap<UserId, Vec<usize>> = BTreeMap::new();
+        let mut by_device: BTreeMap<DeviceId, Vec<usize>> = BTreeMap::new();
+        for (i, tx) in transactions.iter().enumerate() {
+            by_user.entry(tx.user).or_default().push(i);
+            by_device.entry(tx.device).or_default().push(i);
+        }
+        Self { taxonomy, transactions, by_user, by_device }
+    }
+
+    /// The taxonomy this dataset's records reference.
+    pub fn taxonomy(&self) -> &Arc<Taxonomy> {
+        &self.taxonomy
+    }
+
+    /// All transactions, sorted by timestamp.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether the dataset holds no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Users present, ascending.
+    pub fn users(&self) -> Vec<UserId> {
+        self.by_user.keys().copied().collect()
+    }
+
+    /// Devices present, ascending.
+    pub fn devices(&self) -> Vec<DeviceId> {
+        self.by_device.keys().copied().collect()
+    }
+
+    /// Transactions of one user, in time order.
+    pub fn for_user(&self, user: UserId) -> impl Iterator<Item = &Transaction> + '_ {
+        self.by_user.get(&user).into_iter().flatten().map(move |&i| &self.transactions[i])
+    }
+
+    /// Transactions seen on one device, in time order.
+    pub fn for_device(&self, device: DeviceId) -> impl Iterator<Item = &Transaction> + '_ {
+        self.by_device.get(&device).into_iter().flatten().map(move |&i| &self.transactions[i])
+    }
+
+    /// Transaction count per user.
+    pub fn user_counts(&self) -> BTreeMap<UserId, usize> {
+        self.by_user.iter().map(|(&u, idx)| (u, idx.len())).collect()
+    }
+
+    /// Number of distinct devices each user appears on.
+    pub fn devices_per_user(&self) -> BTreeMap<UserId, usize> {
+        let mut result: BTreeMap<UserId, std::collections::BTreeSet<DeviceId>> = BTreeMap::new();
+        for tx in &self.transactions {
+            result.entry(tx.user).or_default().insert(tx.device);
+        }
+        result.into_iter().map(|(u, set)| (u, set.len())).collect()
+    }
+
+    /// Number of distinct users seen on each device.
+    pub fn users_per_device(&self) -> BTreeMap<DeviceId, usize> {
+        let mut result: BTreeMap<DeviceId, std::collections::BTreeSet<UserId>> = BTreeMap::new();
+        for tx in &self.transactions {
+            result.entry(tx.device).or_default().insert(tx.user);
+        }
+        result.into_iter().map(|(d, set)| (d, set.len())).collect()
+    }
+
+    /// First and last timestamps, or `None` when empty.
+    pub fn time_range(&self) -> Option<(Timestamp, Timestamp)> {
+        match (self.transactions.first(), self.transactions.last()) {
+            (Some(first), Some(last)) => Some((first.timestamp, last.timestamp)),
+            _ => None,
+        }
+    }
+
+    /// Keeps only users with at least `min` transactions (the paper uses
+    /// [`PAPER_MIN_TRANSACTIONS_PER_USER`], reducing 36 users to 25).
+    pub fn filter_min_transactions(&self, min: usize) -> Dataset {
+        let keep: std::collections::BTreeSet<UserId> = self
+            .by_user
+            .iter()
+            .filter(|(_, idx)| idx.len() >= min)
+            .map(|(&u, _)| u)
+            .collect();
+        let transactions =
+            self.transactions.iter().filter(|tx| keep.contains(&tx.user)).copied().collect();
+        Dataset::new(Arc::clone(&self.taxonomy), transactions)
+    }
+
+    /// Splits each user's transactions chronologically: the oldest
+    /// `train_fraction` go to the first dataset, the remainder to the
+    /// second (Sect. IV-B uses 75 % / 25 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is not within `[0, 1]`.
+    pub fn split_chronological_per_user(&self, train_fraction: f64) -> (Dataset, Dataset) {
+        assert!(
+            (0.0..=1.0).contains(&train_fraction),
+            "train_fraction {train_fraction} outside [0, 1]"
+        );
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for indices in self.by_user.values() {
+            let cut = (indices.len() as f64 * train_fraction).floor() as usize;
+            for (rank, &i) in indices.iter().enumerate() {
+                if rank < cut {
+                    train.push(self.transactions[i]);
+                } else {
+                    test.push(self.transactions[i]);
+                }
+            }
+        }
+        (
+            Dataset::new(Arc::clone(&self.taxonomy), train),
+            Dataset::new(Arc::clone(&self.taxonomy), test),
+        )
+    }
+
+    /// Splits each user's transactions at an absolute point in time:
+    /// records strictly before `t` go to the first dataset (the *observed*
+    /// set in the paper's novelty analysis), the rest to the second (the
+    /// *subsequent* set).
+    pub fn split_at_time(&self, t: Timestamp) -> (Dataset, Dataset) {
+        let (observed, subsequent): (Vec<_>, Vec<_>) =
+            self.transactions.iter().partition(|tx| tx.timestamp < t);
+        (
+            Dataset::new(Arc::clone(&self.taxonomy), observed),
+            Dataset::new(Arc::clone(&self.taxonomy), subsequent),
+        )
+    }
+
+    /// A new dataset restricted to one user's transactions.
+    pub fn restrict_to_user(&self, user: UserId) -> Dataset {
+        Dataset::new(Arc::clone(&self.taxonomy), self.for_user(user).copied().collect())
+    }
+
+    /// A new dataset restricted to one device's transactions.
+    pub fn restrict_to_device(&self, device: DeviceId) -> Dataset {
+        Dataset::new(Arc::clone(&self.taxonomy), self.for_device(device).copied().collect())
+    }
+
+    /// A new dataset holding only transactions with
+    /// `from <= timestamp < until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > until`.
+    pub fn restrict_to_range(&self, from: Timestamp, until: Timestamp) -> Dataset {
+        assert!(from <= until, "empty range: {from} > {until}");
+        // Transactions are time-sorted; binary-search the bounds.
+        let lo = self.transactions.partition_point(|tx| tx.timestamp < from);
+        let hi = self.transactions.partition_point(|tx| tx.timestamp < until);
+        Dataset::new(Arc::clone(&self.taxonomy), self.transactions[lo..hi].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{HttpAction, Reputation, SiteId, UriScheme};
+    use crate::taxonomy::{AppTypeId, CategoryId, SubtypeId};
+
+    fn tx(secs: i64, user: u32, device: u32) -> Transaction {
+        Transaction {
+            timestamp: Timestamp(secs),
+            user: UserId(user),
+            device: DeviceId(device),
+            site: SiteId(1),
+            action: HttpAction::Get,
+            scheme: UriScheme::Http,
+            category: CategoryId(0),
+            subtype: SubtypeId(0),
+            app_type: AppTypeId(0),
+            reputation: Reputation::Minimal,
+            private_destination: false,
+        }
+    }
+
+    fn small_taxonomy() -> Arc<Taxonomy> {
+        Arc::new(Taxonomy::with_sizes(3, 3, 3))
+    }
+
+    #[test]
+    fn sorts_by_time() {
+        let d = Dataset::new(small_taxonomy(), vec![tx(30, 0, 0), tx(10, 1, 0), tx(20, 0, 1)]);
+        let times: Vec<i64> = d.transactions().iter().map(|t| t.timestamp.0).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+        assert_eq!(d.time_range(), Some((Timestamp(10), Timestamp(30))));
+    }
+
+    #[test]
+    fn indexes_users_and_devices() {
+        let d = Dataset::new(
+            small_taxonomy(),
+            vec![tx(1, 0, 0), tx(2, 1, 0), tx(3, 0, 1), tx(4, 0, 0)],
+        );
+        assert_eq!(d.users(), vec![UserId(0), UserId(1)]);
+        assert_eq!(d.devices(), vec![DeviceId(0), DeviceId(1)]);
+        assert_eq!(d.for_user(UserId(0)).count(), 3);
+        assert_eq!(d.for_device(DeviceId(0)).count(), 3);
+        assert_eq!(d.user_counts()[&UserId(0)], 3);
+        assert_eq!(d.devices_per_user()[&UserId(0)], 2);
+        assert_eq!(d.users_per_device()[&DeviceId(0)], 2);
+    }
+
+    #[test]
+    fn missing_user_yields_empty_iterator() {
+        let d = Dataset::new(small_taxonomy(), vec![tx(1, 0, 0)]);
+        assert_eq!(d.for_user(UserId(99)).count(), 0);
+    }
+
+    #[test]
+    fn filter_min_transactions_drops_sparse_users() {
+        let mut txs = Vec::new();
+        for i in 0..10 {
+            txs.push(tx(i, 0, 0));
+        }
+        txs.push(tx(100, 1, 0));
+        let d = Dataset::new(small_taxonomy(), txs);
+        let filtered = d.filter_min_transactions(5);
+        assert_eq!(filtered.users(), vec![UserId(0)]);
+        assert_eq!(filtered.len(), 10);
+    }
+
+    #[test]
+    fn chronological_split_is_per_user() {
+        // user 0 active early, user 1 active late: a global 75% cut would
+        // put all of user 1 in test; the per-user cut must not.
+        let mut txs = Vec::new();
+        for i in 0..8 {
+            txs.push(tx(i, 0, 0));
+            txs.push(tx(1000 + i, 1, 0));
+        }
+        let d = Dataset::new(small_taxonomy(), txs);
+        let (train, test) = d.split_chronological_per_user(0.75);
+        assert_eq!(train.for_user(UserId(0)).count(), 6);
+        assert_eq!(train.for_user(UserId(1)).count(), 6);
+        assert_eq!(test.for_user(UserId(0)).count(), 2);
+        assert_eq!(test.for_user(UserId(1)).count(), 2);
+        // Train transactions strictly precede test transactions per user.
+        let train_max = train.for_user(UserId(0)).map(|t| t.timestamp).max().unwrap();
+        let test_min = test.for_user(UserId(0)).map(|t| t.timestamp).min().unwrap();
+        assert!(train_max < test_min);
+    }
+
+    #[test]
+    fn split_extremes() {
+        let d = Dataset::new(small_taxonomy(), vec![tx(1, 0, 0), tx(2, 0, 0)]);
+        let (train, test) = d.split_chronological_per_user(0.0);
+        assert!(train.is_empty());
+        assert_eq!(test.len(), 2);
+        let (train, test) = d.split_chronological_per_user(1.0);
+        assert_eq!(train.len(), 2);
+        assert!(test.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn split_rejects_bad_fraction() {
+        let d = Dataset::new(small_taxonomy(), vec![]);
+        let _ = d.split_chronological_per_user(1.5);
+    }
+
+    #[test]
+    fn split_at_time_partitions() {
+        let d = Dataset::new(small_taxonomy(), vec![tx(1, 0, 0), tx(5, 0, 0), tx(9, 1, 0)]);
+        let (observed, subsequent) = d.split_at_time(Timestamp(5));
+        assert_eq!(observed.len(), 1);
+        assert_eq!(subsequent.len(), 2);
+        assert!(subsequent.transactions().iter().all(|t| t.timestamp >= Timestamp(5)));
+    }
+
+    #[test]
+    fn restrict_to_user_keeps_only_that_user() {
+        let d = Dataset::new(small_taxonomy(), vec![tx(1, 0, 0), tx(2, 1, 0), tx(3, 0, 1)]);
+        let only = d.restrict_to_user(UserId(0));
+        assert_eq!(only.len(), 2);
+        assert_eq!(only.users(), vec![UserId(0)]);
+    }
+
+    #[test]
+    fn restrict_to_device_keeps_only_that_device() {
+        let d = Dataset::new(small_taxonomy(), vec![tx(1, 0, 0), tx(2, 1, 0), tx(3, 0, 1)]);
+        let only = d.restrict_to_device(DeviceId(0));
+        assert_eq!(only.len(), 2);
+        assert_eq!(only.devices(), vec![DeviceId(0)]);
+        assert_eq!(only.users(), vec![UserId(0), UserId(1)]);
+    }
+
+    #[test]
+    fn restrict_to_range_is_half_open() {
+        let d = Dataset::new(
+            small_taxonomy(),
+            vec![tx(10, 0, 0), tx(20, 0, 0), tx(30, 0, 0), tx(40, 0, 0)],
+        );
+        let sliced = d.restrict_to_range(Timestamp(20), Timestamp(40));
+        let times: Vec<i64> = sliced.transactions().iter().map(|t| t.timestamp.0).collect();
+        assert_eq!(times, vec![20, 30]);
+        // Empty slice is fine.
+        assert!(d.restrict_to_range(Timestamp(100), Timestamp(200)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn restrict_to_range_rejects_inverted_bounds() {
+        let d = Dataset::new(small_taxonomy(), vec![]);
+        let _ = d.restrict_to_range(Timestamp(5), Timestamp(1));
+    }
+}

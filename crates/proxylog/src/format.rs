@@ -1,0 +1,344 @@
+//! Text log format.
+//!
+//! One transaction per line, comma-separated, mirroring the paper's example
+//! record (Sect. III-A):
+//!
+//! ```text
+//! 2015-05-29 05:05:04, site-812.example.com, HTTP, GET, user_9, device_3, Games, text/html, Rhapsody, Minimal, public
+//! ```
+//!
+//! Fields: timestamp, domain, uri-scheme, http-action, user, device,
+//! category, media type, application type, reputation, destination
+//! visibility (`public`/`private`).
+
+use crate::record::{HttpAction, Reputation, SiteId, Transaction, UriScheme};
+use crate::taxonomy::Taxonomy;
+use crate::time::Timestamp;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Number of comma-separated fields per line.
+const FIELD_COUNT: usize = 11;
+
+/// Serializes one transaction as a log line (no trailing newline).
+///
+/// # Examples
+///
+/// ```
+/// use proxylog::{format_line, parse_line, Taxonomy, Transaction};
+/// # use proxylog::{CategoryId, SubtypeId, AppTypeId, DeviceId, HttpAction, Reputation,
+/// #     SiteId, Timestamp, UriScheme, UserId};
+///
+/// let taxonomy = Taxonomy::paper_scale();
+/// # let tx = Transaction {
+/// #     timestamp: Timestamp::from_civil(2015, 5, 29, 5, 5, 4),
+/// #     user: UserId(9), device: DeviceId(3), site: SiteId(812),
+/// #     action: HttpAction::Get, scheme: UriScheme::Http,
+/// #     category: CategoryId(0), subtype: taxonomy.subtype_by_media_string("text/html").unwrap(),
+/// #     app_type: AppTypeId(0), reputation: Reputation::Minimal, private_destination: false,
+/// # };
+/// let line = format_line(&tx, &taxonomy);
+/// assert!(line.starts_with("2015-05-29 05:05:04, site-812.example.com, HTTP, GET, user_9"));
+/// let parsed = parse_line(&line, &taxonomy)?;
+/// assert_eq!(parsed, tx);
+/// # Ok::<(), proxylog::ParseLineError>(())
+/// ```
+pub fn format_line(tx: &Transaction, taxonomy: &Taxonomy) -> String {
+    format!(
+        "{}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}",
+        tx.timestamp,
+        tx.site,
+        tx.scheme,
+        tx.action,
+        tx.user,
+        tx.device,
+        taxonomy.category_name(tx.category),
+        taxonomy.media_type_string(tx.subtype),
+        taxonomy.app_type_name(tx.app_type),
+        tx.reputation,
+        if tx.private_destination { "private" } else { "public" },
+    )
+}
+
+/// Error produced by [`parse_line`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLineError {
+    /// 0-based field index where parsing failed, or `FIELD_COUNT` when the
+    /// line had the wrong number of fields.
+    pub field: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseLineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "log line field {}: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ParseLineError {}
+
+fn field_err(field: usize, message: impl Into<String>) -> ParseLineError {
+    ParseLineError { field, message: message.into() }
+}
+
+/// Parses one log line produced by [`format_line`].
+///
+/// # Errors
+///
+/// Returns [`ParseLineError`] naming the offending field when the line has
+/// the wrong arity, a malformed field, or taxonomy names unknown to
+/// `taxonomy`.
+pub fn parse_line(line: &str, taxonomy: &Taxonomy) -> Result<Transaction, ParseLineError> {
+    let fields: Vec<&str> = line.split(", ").collect();
+    if fields.len() != FIELD_COUNT {
+        return Err(field_err(
+            FIELD_COUNT,
+            format!("expected {FIELD_COUNT} fields, found {}", fields.len()),
+        ));
+    }
+    let timestamp: Timestamp =
+        fields[0].parse().map_err(|e| field_err(0, format!("{e}")))?;
+    let site = parse_site(fields[1]).ok_or_else(|| field_err(1, "invalid domain"))?;
+    let scheme: UriScheme = fields[2].parse().map_err(|e| field_err(2, format!("{e}")))?;
+    let action: HttpAction = fields[3].parse().map_err(|e| field_err(3, format!("{e}")))?;
+    let user = fields[4].parse().map_err(|e| field_err(4, format!("{e}")))?;
+    let device = fields[5].parse().map_err(|e| field_err(5, format!("{e}")))?;
+    let category = taxonomy
+        .category_by_name(fields[6])
+        .ok_or_else(|| field_err(6, format!("unknown category {:?}", fields[6])))?;
+    let subtype = taxonomy
+        .subtype_by_media_string(fields[7])
+        .ok_or_else(|| field_err(7, format!("unknown media type {:?}", fields[7])))?;
+    let app_type = taxonomy
+        .app_type_by_name(fields[8])
+        .ok_or_else(|| field_err(8, format!("unknown application type {:?}", fields[8])))?;
+    let reputation: Reputation = fields[9].parse().map_err(|e| field_err(9, format!("{e}")))?;
+    let private_destination = match fields[10] {
+        "public" => false,
+        "private" => true,
+        other => return Err(field_err(10, format!("expected public/private, got {other:?}"))),
+    };
+    Ok(Transaction {
+        timestamp,
+        user,
+        device,
+        site,
+        action,
+        scheme,
+        category,
+        subtype,
+        app_type,
+        reputation,
+        private_destination,
+    })
+}
+
+fn parse_site(domain: &str) -> Option<SiteId> {
+    domain
+        .strip_prefix("site-")
+        .and_then(|rest| rest.strip_suffix(".example.com"))
+        .and_then(|n| n.parse().ok())
+        .map(SiteId)
+}
+
+/// Writes transactions as log lines to `writer` (which may be a `&mut`
+/// reference).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_log<W: Write>(
+    mut writer: W,
+    transactions: &[Transaction],
+    taxonomy: &Taxonomy,
+) -> io::Result<()> {
+    for tx in transactions {
+        writeln!(writer, "{}", format_line(tx, taxonomy))?;
+    }
+    Ok(())
+}
+
+/// Reads a log written by [`write_log`]; empty lines are skipped.
+///
+/// # Errors
+///
+/// Returns an `io::Error` for read failures; parse failures are wrapped as
+/// `io::ErrorKind::InvalidData` with the line number in the message.
+pub fn read_log<R: BufRead>(reader: R, taxonomy: &Taxonomy) -> io::Result<Vec<Transaction>> {
+    LogReader::new(reader, taxonomy).collect()
+}
+
+/// Lazy log reader: yields one transaction per line, so multi-gigabyte
+/// logs can be filtered or windowed without loading everything.
+///
+/// Produced transactions are in file order; blank lines are skipped. Each
+/// item is a `Result`, with parse failures reported as
+/// `io::ErrorKind::InvalidData` carrying the line number.
+///
+/// # Examples
+///
+/// ```
+/// use proxylog::{LogReader, Taxonomy};
+///
+/// let taxonomy = Taxonomy::paper_scale();
+/// let log = b"".as_slice();
+/// let count = LogReader::new(log, &taxonomy).count();
+/// assert_eq!(count, 0);
+/// ```
+#[derive(Debug)]
+pub struct LogReader<'a, R> {
+    lines: std::io::Lines<R>,
+    taxonomy: &'a Taxonomy,
+    line_no: usize,
+}
+
+impl<'a, R: BufRead> LogReader<'a, R> {
+    /// Creates a reader over `reader` (which may be a `&mut` reference).
+    pub fn new(reader: R, taxonomy: &'a Taxonomy) -> Self {
+        Self { lines: reader.lines(), taxonomy, line_no: 0 }
+    }
+}
+
+impl<R: BufRead> Iterator for LogReader<'_, R> {
+    type Item = io::Result<Transaction>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.line_no += 1;
+            match self.lines.next()? {
+                Err(e) => return Some(Err(e)),
+                Ok(line) if line.trim().is_empty() => continue,
+                Ok(line) => {
+                    return Some(parse_line(&line, self.taxonomy).map_err(|e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("line {}: {e}", self.line_no),
+                        )
+                    }));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{DeviceId, UserId};
+    use crate::taxonomy::{AppTypeId, CategoryId};
+
+    fn example(taxonomy: &Taxonomy) -> Transaction {
+        Transaction {
+            timestamp: Timestamp::from_civil(2015, 5, 29, 5, 5, 4),
+            user: UserId(9),
+            device: DeviceId(3),
+            site: SiteId(812),
+            action: HttpAction::Get,
+            scheme: UriScheme::Http,
+            category: taxonomy.category_by_name("Games").unwrap(),
+            subtype: taxonomy.subtype_by_media_string("text/html").unwrap(),
+            app_type: AppTypeId(0),
+            reputation: Reputation::Minimal,
+            private_destination: false,
+        }
+    }
+
+    #[test]
+    fn format_matches_paper_shape() {
+        let taxonomy = Taxonomy::paper_scale();
+        let line = format_line(&example(&taxonomy), &taxonomy);
+        assert_eq!(
+            line,
+            "2015-05-29 05:05:04, site-812.example.com, HTTP, GET, user_9, device_3, \
+             Games, text/html, Rhapsody, Minimal, public"
+        );
+    }
+
+    #[test]
+    fn round_trip() {
+        let taxonomy = Taxonomy::paper_scale();
+        let tx = example(&taxonomy);
+        let parsed = parse_line(&format_line(&tx, &taxonomy), &taxonomy).unwrap();
+        assert_eq!(parsed, tx);
+    }
+
+    #[test]
+    fn round_trip_private_https_connect() {
+        let taxonomy = Taxonomy::paper_scale();
+        let tx = Transaction {
+            action: HttpAction::Connect,
+            scheme: UriScheme::Https,
+            reputation: Reputation::Unverified,
+            private_destination: true,
+            category: CategoryId(104),
+            ..example(&taxonomy)
+        };
+        let parsed = parse_line(&format_line(&tx, &taxonomy), &taxonomy).unwrap();
+        assert_eq!(parsed, tx);
+    }
+
+    #[test]
+    fn wrong_arity_is_rejected() {
+        let taxonomy = Taxonomy::paper_scale();
+        let err = parse_line("a, b, c", &taxonomy).unwrap_err();
+        assert!(err.to_string().contains("expected 11 fields"));
+    }
+
+    #[test]
+    fn unknown_category_is_rejected_with_field_index() {
+        let taxonomy = Taxonomy::paper_scale();
+        let line = format_line(&example(&taxonomy), &taxonomy).replace("Games", "Nonsense");
+        let err = parse_line(&line, &taxonomy).unwrap_err();
+        assert_eq!(err.field, 6);
+    }
+
+    #[test]
+    fn bad_visibility_is_rejected() {
+        let taxonomy = Taxonomy::paper_scale();
+        let line = format_line(&example(&taxonomy), &taxonomy).replace("public", "global");
+        let err = parse_line(&line, &taxonomy).unwrap_err();
+        assert_eq!(err.field, 10);
+    }
+
+    #[test]
+    fn write_and_read_log() {
+        let taxonomy = Taxonomy::paper_scale();
+        let txs = vec![
+            example(&taxonomy),
+            Transaction { user: UserId(2), ..example(&taxonomy) },
+        ];
+        let mut buffer = Vec::new();
+        write_log(&mut buffer, &txs, &taxonomy).unwrap();
+        let read = read_log(buffer.as_slice(), &taxonomy).unwrap();
+        assert_eq!(read, txs);
+    }
+
+    #[test]
+    fn log_reader_is_lazy_and_reports_position() {
+        let taxonomy = Taxonomy::paper_scale();
+        let mut buffer = Vec::new();
+        write_log(&mut buffer, &[example(&taxonomy)], &taxonomy).unwrap();
+        buffer.extend_from_slice(b"\ngarbage\n");
+        write_log(&mut buffer, &[example(&taxonomy)], &taxonomy).unwrap();
+        let mut reader = LogReader::new(buffer.as_slice(), &taxonomy);
+        // First record parses despite the later garbage (laziness).
+        assert!(reader.next().unwrap().is_ok());
+        let err = reader.next().unwrap().unwrap_err();
+        assert!(err.to_string().contains("line 3"), "got {err}");
+        // The reader can continue past the bad line.
+        assert!(reader.next().unwrap().is_ok());
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn read_log_skips_blank_lines_and_reports_line_numbers() {
+        let taxonomy = Taxonomy::paper_scale();
+        let mut buffer = Vec::new();
+        write_log(&mut buffer, &[example(&taxonomy)], &taxonomy).unwrap();
+        buffer.extend_from_slice(b"\ngarbage line\n");
+        let err = read_log(buffer.as_slice(), &taxonomy).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 3"), "got {err}");
+    }
+}

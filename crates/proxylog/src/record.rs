@@ -1,0 +1,371 @@
+//! Web-transaction records and their field types.
+//!
+//! A *web transaction* is a sequence of HTTP requests and responses to a
+//! single URL (paper, Sect. I); the secure proxy logs one record per
+//! transaction, augmented with proprietary URL intelligence (category,
+//! application type, reputation — Sect. III-A). [`Transaction`] mirrors the
+//! fields the paper extracts from those logs.
+
+use crate::taxonomy::{AppTypeId, CategoryId, SubtypeId};
+use crate::time::Timestamp;
+use std::fmt;
+use std::str::FromStr;
+
+macro_rules! display_id {
+    ($ty:ident, $prefix:literal) => {
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "_{}"), self.0)
+            }
+        }
+
+        impl FromStr for $ty {
+            type Err = ParseFieldError;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                s.strip_prefix(concat!($prefix, "_"))
+                    .and_then(|n| n.parse().ok())
+                    .map($ty)
+                    .ok_or_else(|| ParseFieldError {
+                        field: stringify!($ty),
+                        value: s.to_owned(),
+                    })
+            }
+        }
+    };
+}
+
+/// Identifier of a (synthetic) user, rendered as `user_<n>`.
+///
+/// # Examples
+///
+/// ```
+/// use proxylog::UserId;
+///
+/// let user: UserId = "user_9".parse()?;
+/// assert_eq!(user, UserId(9));
+/// assert_eq!(user.to_string(), "user_9");
+/// # Ok::<(), proxylog::ParseFieldError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct UserId(pub u32);
+
+display_id!(UserId, "user");
+
+/// Identifier of a device (the paper keys "host-specific" windowing on the
+/// source IP; devices play that role here), rendered as `device_<n>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DeviceId(pub u32);
+
+display_id!(DeviceId, "device");
+
+/// Opaque identifier of a destination site, rendered as a domain name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SiteId(pub u32);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site-{}.example.com", self.0)
+    }
+}
+
+/// HTTP action of a transaction; the paper restricts the field to the four
+/// values its dataset contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum HttpAction {
+    /// `GET` request.
+    Get,
+    /// `POST` request.
+    Post,
+    /// `CONNECT` tunnel establishment.
+    Connect,
+    /// `HEAD` request.
+    Head,
+}
+
+impl HttpAction {
+    /// The four actions, in the paper's order (GET, POST, CONNECT, HEAD).
+    pub const ALL: [HttpAction; 4] =
+        [HttpAction::Get, HttpAction::Post, HttpAction::Connect, HttpAction::Head];
+
+    /// Canonical wire representation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HttpAction::Get => "GET",
+            HttpAction::Post => "POST",
+            HttpAction::Connect => "CONNECT",
+            HttpAction::Head => "HEAD",
+        }
+    }
+
+    /// Position in [`Self::ALL`], used for feature-column layout.
+    pub fn index(self) -> usize {
+        match self {
+            HttpAction::Get => 0,
+            HttpAction::Post => 1,
+            HttpAction::Connect => 2,
+            HttpAction::Head => 3,
+        }
+    }
+}
+
+impl fmt::Display for HttpAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for HttpAction {
+    type Err = ParseFieldError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "GET" => Ok(HttpAction::Get),
+            "POST" => Ok(HttpAction::Post),
+            "CONNECT" => Ok(HttpAction::Connect),
+            "HEAD" => Ok(HttpAction::Head),
+            _ => Err(ParseFieldError { field: "HttpAction", value: s.to_owned() }),
+        }
+    }
+}
+
+/// URI scheme of the requested URL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum UriScheme {
+    /// Plain-text HTTP.
+    Http,
+    /// TLS-protected HTTPS.
+    Https,
+}
+
+impl UriScheme {
+    /// Both schemes, in feature-column order.
+    pub const ALL: [UriScheme; 2] = [UriScheme::Http, UriScheme::Https];
+
+    /// Canonical wire representation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UriScheme::Http => "HTTP",
+            UriScheme::Https => "HTTPS",
+        }
+    }
+
+    /// Position in [`Self::ALL`], used for feature-column layout.
+    pub fn index(self) -> usize {
+        match self {
+            UriScheme::Http => 0,
+            UriScheme::Https => 1,
+        }
+    }
+}
+
+impl fmt::Display for UriScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for UriScheme {
+    type Err = ParseFieldError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "HTTP" => Ok(UriScheme::Http),
+            "HTTPS" => Ok(UriScheme::Https),
+            _ => Err(ParseFieldError { field: "UriScheme", value: s.to_owned() }),
+        }
+    }
+}
+
+/// URL reputation assigned by the logging service: `Minimal`, `Medium` or
+/// `High` risk when verified, or `Unverified`.
+///
+/// The paper maps this field to two features: a verified flag and a numeric
+/// risk (`Minimal = 0`, `Medium = 0.5`, `High = 1`, with unverified URLs
+/// defaulting to `0`); see [`Reputation::is_verified`] and
+/// [`Reputation::risk_score`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Reputation {
+    /// No verified reputation available.
+    #[default]
+    Unverified,
+    /// Verified, minimal risk.
+    Minimal,
+    /// Verified, medium risk.
+    Medium,
+    /// Verified, high risk.
+    High,
+}
+
+impl Reputation {
+    /// All reputation values.
+    pub const ALL: [Reputation; 4] =
+        [Reputation::Unverified, Reputation::Minimal, Reputation::Medium, Reputation::High];
+
+    /// Whether the logging service verified the URL's reputation.
+    pub fn is_verified(self) -> bool {
+        self != Reputation::Unverified
+    }
+
+    /// The paper's numeric risk mapping (Sect. III-B).
+    pub fn risk_score(self) -> f64 {
+        match self {
+            Reputation::Unverified | Reputation::Minimal => 0.0,
+            Reputation::Medium => 0.5,
+            Reputation::High => 1.0,
+        }
+    }
+
+    /// Canonical wire representation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Reputation::Unverified => "Unverified",
+            Reputation::Minimal => "Minimal",
+            Reputation::Medium => "Medium",
+            Reputation::High => "High",
+        }
+    }
+}
+
+impl fmt::Display for Reputation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Reputation {
+    type Err = ParseFieldError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "Unverified" => Ok(Reputation::Unverified),
+            "Minimal" => Ok(Reputation::Minimal),
+            "Medium" => Ok(Reputation::Medium),
+            "High" => Ok(Reputation::High),
+            _ => Err(ParseFieldError { field: "Reputation", value: s.to_owned() }),
+        }
+    }
+}
+
+/// Error parsing one field of a log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFieldError {
+    /// Type name of the field that failed to parse.
+    pub field: &'static str,
+    /// The offending input.
+    pub value: String,
+}
+
+impl fmt::Display for ParseFieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {} value {:?}", self.field, self.value)
+    }
+}
+
+impl std::error::Error for ParseFieldError {}
+
+/// One logged web transaction, with the proxy's augmentation fields.
+///
+/// This is a passive data record; taxonomy-indexed fields ([`CategoryId`],
+/// [`SubtypeId`], [`AppTypeId`]) resolve to names through a
+/// [`Taxonomy`](crate::Taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Transaction {
+    /// When the transaction was logged.
+    pub timestamp: Timestamp,
+    /// The authenticated user who performed it.
+    pub user: UserId,
+    /// The device (source host) it originated from.
+    pub device: DeviceId,
+    /// Destination site.
+    pub site: SiteId,
+    /// HTTP action.
+    pub action: HttpAction,
+    /// URI scheme.
+    pub scheme: UriScheme,
+    /// Website category of the target URL.
+    pub category: CategoryId,
+    /// Media subtype of the target resource (supertype derivable through
+    /// the taxonomy).
+    pub subtype: SubtypeId,
+    /// Application running on the target resource.
+    pub app_type: AppTypeId,
+    /// URL reputation.
+    pub reputation: Reputation,
+    /// Whether the destination is on the internal (private) network.
+    pub private_destination: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_id_round_trip() {
+        let user: UserId = "user_17".parse().unwrap();
+        assert_eq!(user, UserId(17));
+        assert_eq!(user.to_string(), "user_17");
+        assert!("user17".parse::<UserId>().is_err());
+        assert!("device_17".parse::<UserId>().is_err());
+    }
+
+    #[test]
+    fn device_id_round_trip() {
+        let device: DeviceId = "device_3".parse().unwrap();
+        assert_eq!(device.to_string(), "device_3");
+    }
+
+    #[test]
+    fn site_id_renders_as_domain() {
+        assert_eq!(SiteId(42).to_string(), "site-42.example.com");
+    }
+
+    #[test]
+    fn http_action_round_trip_and_order() {
+        for (i, action) in HttpAction::ALL.into_iter().enumerate() {
+            assert_eq!(action.index(), i);
+            assert_eq!(action.as_str().parse::<HttpAction>().unwrap(), action);
+        }
+        assert!("PUT".parse::<HttpAction>().is_err());
+    }
+
+    #[test]
+    fn scheme_round_trip() {
+        for scheme in UriScheme::ALL {
+            assert_eq!(scheme.as_str().parse::<UriScheme>().unwrap(), scheme);
+        }
+        assert!("ftp".parse::<UriScheme>().is_err());
+    }
+
+    #[test]
+    fn reputation_mapping_matches_paper() {
+        assert!(!Reputation::Unverified.is_verified());
+        assert!(Reputation::Minimal.is_verified());
+        assert_eq!(Reputation::Unverified.risk_score(), 0.0);
+        assert_eq!(Reputation::Minimal.risk_score(), 0.0);
+        assert_eq!(Reputation::Medium.risk_score(), 0.5);
+        assert_eq!(Reputation::High.risk_score(), 1.0);
+    }
+
+    #[test]
+    fn reputation_round_trip() {
+        for rep in Reputation::ALL {
+            assert_eq!(rep.as_str().parse::<Reputation>().unwrap(), rep);
+        }
+        assert!("Critical".parse::<Reputation>().is_err());
+    }
+
+    #[test]
+    fn parse_field_error_is_descriptive() {
+        let err = "bogus".parse::<HttpAction>().unwrap_err();
+        assert!(err.to_string().contains("HttpAction"));
+        assert!(err.to_string().contains("bogus"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Corpus statistics (Sect. IV-A).
+//!
+//! The paper characterizes its benchmark with a handful of numbers: total
+//! transactions (9,450,474), users (36) and devices (35), users per device
+//! (~3 on average), devices per user (1–17), per-user transaction counts
+//! (2,514–4,678,488, median 38,910 after filtering) and the population of
+//! 1-minute windows (median 54 transactions, maximum 6,048). This module
+//! computes the same summary over any [`Dataset`].
+
+use crate::dataset::Dataset;
+use crate::record::UserId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Five-number-ish summary of a count distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CountSummary {
+    /// Smallest value.
+    pub min: usize,
+    /// Median value.
+    pub median: usize,
+    /// Arithmetic mean, rounded.
+    pub mean: usize,
+    /// Largest value.
+    pub max: usize,
+}
+
+impl CountSummary {
+    /// Summarizes a list of counts (all zeroes for an empty list).
+    pub fn of(mut counts: Vec<usize>) -> Self {
+        if counts.is_empty() {
+            return Self::default();
+        }
+        counts.sort_unstable();
+        let total: usize = counts.iter().sum();
+        Self {
+            min: counts[0],
+            median: counts[counts.len() / 2],
+            mean: total / counts.len(),
+            max: counts[counts.len() - 1],
+        }
+    }
+}
+
+impl fmt::Display for CountSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "min {} / median {} / mean {} / max {}",
+            self.min, self.median, self.mean, self.max
+        )
+    }
+}
+
+/// The Sect. IV-A corpus summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusSummary {
+    /// Total transactions.
+    pub transactions: usize,
+    /// Distinct users.
+    pub users: usize,
+    /// Distinct devices.
+    pub devices: usize,
+    /// Distribution of per-user transaction counts.
+    pub transactions_per_user: CountSummary,
+    /// Distribution of devices used per user.
+    pub devices_per_user: CountSummary,
+    /// Distribution of users seen per device.
+    pub users_per_device: CountSummary,
+    /// Monitoring duration in days (rounded up).
+    pub duration_days: u32,
+}
+
+impl CorpusSummary {
+    /// Computes the summary over a dataset.
+    pub fn measure(dataset: &Dataset) -> Self {
+        let per_user: Vec<usize> = dataset.user_counts().values().copied().collect();
+        let devices_per_user: Vec<usize> =
+            dataset.devices_per_user().values().copied().collect();
+        let users_per_device: Vec<usize> =
+            dataset.users_per_device().values().copied().collect();
+        let duration_days = dataset
+            .time_range()
+            .map(|(first, last)| ((last - first) as f64 / 86_400.0).ceil() as u32)
+            .unwrap_or(0);
+        Self {
+            transactions: dataset.len(),
+            users: dataset.users().len(),
+            devices: dataset.devices().len(),
+            transactions_per_user: CountSummary::of(per_user),
+            devices_per_user: CountSummary::of(devices_per_user),
+            users_per_device: CountSummary::of(users_per_device),
+            duration_days,
+        }
+    }
+}
+
+impl fmt::Display for CorpusSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} transactions over {} days", self.transactions, self.duration_days)?;
+        writeln!(f, "{} users on {} devices", self.users, self.devices)?;
+        writeln!(f, "transactions/user: {}", self.transactions_per_user)?;
+        writeln!(f, "devices/user:      {}", self.devices_per_user)?;
+        write!(f, "users/device:      {}", self.users_per_device)
+    }
+}
+
+/// Population of fixed 60-second buckets per user: how many transactions
+/// land in each non-empty minute (the paper reports a median of 54 and a
+/// maximum of 6,048 for its corpus).
+pub fn window_population(dataset: &Dataset, bucket_secs: i64) -> CountSummary {
+    assert!(bucket_secs > 0, "bucket size must be positive");
+    let mut buckets: BTreeMap<(UserId, i64), usize> = BTreeMap::new();
+    for tx in dataset.transactions() {
+        *buckets.entry((tx.user, tx.timestamp.as_secs().div_euclid(bucket_secs))).or_insert(0) +=
+            1;
+    }
+    CountSummary::of(buckets.into_values().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{DeviceId, HttpAction, Reputation, SiteId, Transaction, UriScheme};
+    use crate::taxonomy::{AppTypeId, CategoryId, SubtypeId, Taxonomy};
+    use crate::time::Timestamp;
+    use std::sync::Arc;
+
+    fn tx(secs: i64, user: u32, device: u32) -> Transaction {
+        Transaction {
+            timestamp: Timestamp(secs),
+            user: UserId(user),
+            device: DeviceId(device),
+            site: SiteId(0),
+            action: HttpAction::Get,
+            scheme: UriScheme::Http,
+            category: CategoryId(0),
+            subtype: SubtypeId(0),
+            app_type: AppTypeId(0),
+            reputation: Reputation::Minimal,
+            private_destination: false,
+        }
+    }
+
+    fn dataset(txs: Vec<Transaction>) -> Dataset {
+        Dataset::new(Arc::new(Taxonomy::with_sizes(2, 2, 2)), txs)
+    }
+
+    #[test]
+    fn count_summary_basics() {
+        let s = CountSummary::of(vec![5, 1, 3]);
+        assert_eq!(s, CountSummary { min: 1, median: 3, mean: 3, max: 5 });
+        assert_eq!(CountSummary::of(vec![]), CountSummary::default());
+        assert!(s.to_string().contains("median 3"));
+    }
+
+    #[test]
+    fn corpus_summary_counts() {
+        let d = dataset(vec![
+            tx(0, 0, 0),
+            tx(86_400, 0, 1),
+            tx(100, 1, 0),
+            tx(200, 1, 0),
+            tx(300, 1, 0),
+        ]);
+        let s = CorpusSummary::measure(&d);
+        assert_eq!(s.transactions, 5);
+        assert_eq!(s.users, 2);
+        assert_eq!(s.devices, 2);
+        assert_eq!(s.transactions_per_user.max, 3);
+        assert_eq!(s.devices_per_user.max, 2);
+        assert_eq!(s.users_per_device.max, 2);
+        assert_eq!(s.duration_days, 1);
+        assert!(s.to_string().contains("5 transactions"));
+    }
+
+    #[test]
+    fn empty_dataset_summary() {
+        let s = CorpusSummary::measure(&dataset(vec![]));
+        assert_eq!(s.transactions, 0);
+        assert_eq!(s.duration_days, 0);
+    }
+
+    #[test]
+    fn window_population_buckets_per_user() {
+        // Two users in the same minute bucket count separately.
+        let d = dataset(vec![tx(0, 0, 0), tx(30, 0, 0), tx(10, 1, 0), tx(70, 0, 0)]);
+        let s = window_population(&d, 60);
+        // user 0: bucket 0 has 2, bucket 1 has 1; user 1: bucket 0 has 1.
+        assert_eq!(s.max, 2);
+        assert_eq!(s.min, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket size")]
+    fn window_population_rejects_zero_bucket() {
+        let _ = window_population(&dataset(vec![]), 0);
+    }
+}

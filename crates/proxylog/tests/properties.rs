@@ -1,0 +1,179 @@
+//! Property-based tests for the log substrate: format round-trips, dataset
+//! invariants and timestamp arithmetic over randomized inputs.
+
+use proptest::prelude::*;
+use proxylog::{
+    parse_line, read_binary_log, read_log, write_binary_log, write_log, AppTypeId, CategoryId,
+    Dataset, DeviceId, HttpAction, Reputation, SiteId, SubtypeId, Taxonomy, Timestamp,
+    Transaction, UriScheme, UserId, format_line,
+};
+use std::sync::Arc;
+
+fn action_strategy() -> impl Strategy<Value = HttpAction> {
+    prop::sample::select(HttpAction::ALL.to_vec())
+}
+
+fn scheme_strategy() -> impl Strategy<Value = UriScheme> {
+    prop::sample::select(UriScheme::ALL.to_vec())
+}
+
+fn reputation_strategy() -> impl Strategy<Value = Reputation> {
+    prop::sample::select(Reputation::ALL.to_vec())
+}
+
+/// Transactions valid against the paper-scale taxonomy.
+fn transaction_strategy() -> impl Strategy<Value = Transaction> {
+    (
+        // Positive timestamps keep the text format's civil dates sane.
+        0i64..4_000_000_000,
+        0u32..64,
+        0u32..64,
+        0u32..1_000_000,
+        action_strategy(),
+        scheme_strategy(),
+        0u16..105,
+        0u16..257,
+        0u16..464,
+        reputation_strategy(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(secs, user, device, site, action, scheme, cat, sub, app, rep, private)| {
+                Transaction {
+                    timestamp: Timestamp(secs),
+                    user: UserId(user),
+                    device: DeviceId(device),
+                    site: SiteId(site),
+                    action,
+                    scheme,
+                    category: CategoryId(cat),
+                    subtype: SubtypeId(sub),
+                    app_type: AppTypeId(app),
+                    reputation: rep,
+                    private_destination: private,
+                }
+            },
+        )
+}
+
+fn transactions_strategy() -> impl Strategy<Value = Vec<Transaction>> {
+    prop::collection::vec(transaction_strategy(), 0..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn text_line_round_trips(tx in transaction_strategy()) {
+        let taxonomy = Taxonomy::paper_scale();
+        let line = format_line(&tx, &taxonomy);
+        let parsed = parse_line(&line, &taxonomy).expect("own output parses");
+        prop_assert_eq!(parsed, tx);
+    }
+
+    #[test]
+    fn text_log_round_trips(txs in transactions_strategy()) {
+        let taxonomy = Taxonomy::paper_scale();
+        let mut buffer = Vec::new();
+        write_log(&mut buffer, &txs, &taxonomy).expect("write");
+        let parsed = read_log(buffer.as_slice(), &taxonomy).expect("read");
+        prop_assert_eq!(parsed, txs);
+    }
+
+    #[test]
+    fn binary_log_round_trips(mut txs in transactions_strategy()) {
+        txs.sort_by_key(|tx| tx.timestamp);
+        let mut buffer = Vec::new();
+        write_binary_log(&mut buffer, &txs).expect("write");
+        let parsed = read_binary_log(buffer.as_slice()).expect("read");
+        prop_assert_eq!(parsed, txs);
+    }
+
+    #[test]
+    fn timestamp_civil_round_trips(secs in -4_000_000_000i64..8_000_000_000) {
+        let t = Timestamp(secs);
+        let (y, mo, d, h, mi, s) = t.to_civil();
+        prop_assert_eq!(Timestamp::from_civil(y, mo, d, h, mi, s), t);
+        // Display/parse round-trip too.
+        let parsed: Timestamp = t.to_string().parse().expect("own display parses");
+        prop_assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn dataset_is_sorted_and_partitions_by_user(txs in transactions_strategy()) {
+        let dataset = Dataset::new(Taxonomy::paper_scale(), txs.clone());
+        prop_assert_eq!(dataset.len(), txs.len());
+        prop_assert!(dataset
+            .transactions()
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp));
+        // Per-user views partition the whole dataset.
+        let total: usize = dataset.users().iter().map(|&u| dataset.for_user(u).count()).sum();
+        prop_assert_eq!(total, txs.len());
+    }
+
+    #[test]
+    fn split_is_a_partition(txs in transactions_strategy(), fraction in 0.0f64..=1.0) {
+        let dataset = Dataset::new(Taxonomy::paper_scale(), txs);
+        let (train, test) = dataset.split_chronological_per_user(fraction);
+        prop_assert_eq!(train.len() + test.len(), dataset.len());
+        for user in dataset.users() {
+            let train_max = train.for_user(user).map(|t| t.timestamp).max();
+            let test_min = test.for_user(user).map(|t| t.timestamp).min();
+            if let (Some(a), Some(b)) = (train_max, test_min) {
+                prop_assert!(a <= b);
+            }
+        }
+    }
+
+    #[test]
+    fn filter_only_removes_whole_users(txs in transactions_strategy(), min in 0usize..10) {
+        let dataset = Dataset::new(Taxonomy::paper_scale(), txs);
+        let filtered = dataset.filter_min_transactions(min);
+        for (user, count) in filtered.user_counts() {
+            prop_assert!(count >= min);
+            prop_assert_eq!(dataset.for_user(user).count(), count);
+        }
+    }
+
+    #[test]
+    fn restrict_to_range_is_a_subset(
+        txs in transactions_strategy(),
+        from in 0i64..4_000_000_000,
+        len in 0i64..4_000_000_000,
+    ) {
+        let dataset = Dataset::new(Taxonomy::paper_scale(), txs);
+        let until = from.saturating_add(len);
+        let sliced = dataset.restrict_to_range(Timestamp(from), Timestamp(until));
+        prop_assert!(sliced.len() <= dataset.len());
+        for tx in sliced.transactions() {
+            prop_assert!(tx.timestamp >= Timestamp(from) && tx.timestamp < Timestamp(until));
+        }
+        // Nothing in range was lost.
+        let expected = dataset
+            .transactions()
+            .iter()
+            .filter(|tx| tx.timestamp >= Timestamp(from) && tx.timestamp < Timestamp(until))
+            .count();
+        prop_assert_eq!(sliced.len(), expected);
+    }
+
+    #[test]
+    fn binary_format_is_compact(mut txs in prop::collection::vec(transaction_strategy(), 1..50)) {
+        txs.sort_by_key(|tx| tx.timestamp);
+        let taxonomy = Taxonomy::paper_scale();
+        let mut binary = Vec::new();
+        write_binary_log(&mut binary, &txs).expect("write");
+        let mut text = Vec::new();
+        write_log(&mut text, &txs, &taxonomy).expect("write");
+        prop_assert!(binary.len() < text.len());
+    }
+}
+
+#[test]
+fn arc_taxonomy_is_shared_across_derived_datasets() {
+    let dataset = Dataset::new(Taxonomy::paper_scale(), Vec::new());
+    let (train, test) = dataset.split_chronological_per_user(0.5);
+    assert!(Arc::ptr_eq(dataset.taxonomy(), train.taxonomy()));
+    assert!(Arc::ptr_eq(dataset.taxonomy(), test.taxonomy()));
+}

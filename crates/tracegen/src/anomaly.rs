@@ -1,0 +1,181 @@
+//! Anomaly injection: labeled account-takeover scenarios.
+//!
+//! The paper motivates profiling with intrusion monitoring and continuous
+//! authentication (Sect. I): detect when an account suddenly produces
+//! traffic that is not its owner's. To evaluate such detectors we need
+//! *labeled* attacks; [`inject_takeover`] builds them by re-attributing a
+//! slice of one user's traffic to another user's account — exactly what
+//! stolen credentials look like in proxy logs (the attacker's behavior
+//! under the victim's user id).
+
+use proxylog::{Dataset, Timestamp, Transaction, UserId};
+use std::sync::Arc;
+
+/// Ground truth of one injected takeover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TakeoverScenario {
+    /// The account whose credentials were stolen.
+    pub victim: UserId,
+    /// The user whose behavior the attacker exhibits.
+    pub attacker: UserId,
+    /// First instant of attacker activity under the victim account.
+    pub start: Timestamp,
+    /// End of the injected interval (exclusive).
+    pub end: Timestamp,
+    /// Number of transactions re-attributed.
+    pub injected: usize,
+}
+
+/// Re-attributes the attacker's transactions within `[start, start +
+/// duration_secs)` to the victim's account, returning the modified dataset
+/// and the scenario ground truth.
+///
+/// The attacker's original transactions in that interval are *removed*
+/// (they now happen under the stolen account); everything else is
+/// untouched. Returns `None` when the attacker has no transactions in the
+/// interval (nothing to inject).
+///
+/// # Panics
+///
+/// Panics if `duration_secs` is not positive or `victim == attacker`.
+pub fn inject_takeover(
+    dataset: &Dataset,
+    victim: UserId,
+    attacker: UserId,
+    start: Timestamp,
+    duration_secs: i64,
+) -> Option<(Dataset, TakeoverScenario)> {
+    assert!(duration_secs > 0, "takeover duration must be positive");
+    assert_ne!(victim, attacker, "victim and attacker must differ");
+    let end = start + duration_secs;
+    let mut injected = 0usize;
+    let transactions: Vec<Transaction> = dataset
+        .transactions()
+        .iter()
+        .map(|tx| {
+            if tx.user == attacker && tx.timestamp >= start && tx.timestamp < end {
+                injected += 1;
+                Transaction { user: victim, ..*tx }
+            } else {
+                *tx
+            }
+        })
+        .collect();
+    if injected == 0 {
+        return None;
+    }
+    let scenario = TakeoverScenario { victim, attacker, start, end, injected };
+    Some((Dataset::new(Arc::clone(dataset.taxonomy()), transactions), scenario))
+}
+
+/// Finds the interval of length `duration_secs` in which `attacker` is
+/// most active — a natural takeover window for [`inject_takeover`].
+pub fn busiest_interval(
+    dataset: &Dataset,
+    attacker: UserId,
+    duration_secs: i64,
+) -> Option<Timestamp> {
+    assert!(duration_secs > 0, "interval must be positive");
+    let times: Vec<i64> =
+        dataset.for_user(attacker).map(|tx| tx.timestamp.as_secs()).collect();
+    if times.is_empty() {
+        return None;
+    }
+    let mut best = (0usize, times[0]);
+    let mut lo = 0usize;
+    for hi in 0..times.len() {
+        while times[hi] - times[lo] >= duration_secs {
+            lo += 1;
+        }
+        let count = hi - lo + 1;
+        if count > best.0 {
+            best = (count, times[lo]);
+        }
+    }
+    Some(Timestamp(best.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Scenario, TraceGenerator};
+
+    fn dataset() -> Dataset {
+        TraceGenerator::new(Scenario::quick_test()).generate()
+    }
+
+    fn two_active_users(dataset: &Dataset) -> (UserId, UserId) {
+        let mut counts: Vec<(UserId, usize)> = dataset.user_counts().into_iter().collect();
+        counts.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        (counts[0].0, counts[1].0)
+    }
+
+    #[test]
+    fn takeover_preserves_transaction_count() {
+        let d = dataset();
+        let (victim, attacker) = two_active_users(&d);
+        let start = busiest_interval(&d, attacker, 3_600).unwrap();
+        let (modified, scenario) =
+            inject_takeover(&d, victim, attacker, start, 3_600).unwrap();
+        assert_eq!(modified.len(), d.len());
+        assert!(scenario.injected > 0);
+    }
+
+    #[test]
+    fn takeover_moves_attacker_traffic_to_victim() {
+        let d = dataset();
+        let (victim, attacker) = two_active_users(&d);
+        let start = busiest_interval(&d, attacker, 3_600).unwrap();
+        let (modified, scenario) =
+            inject_takeover(&d, victim, attacker, start, 3_600).unwrap();
+        // The attacker has no transactions inside the interval any more.
+        let attacker_inside = modified
+            .for_user(attacker)
+            .filter(|tx| tx.timestamp >= scenario.start && tx.timestamp < scenario.end)
+            .count();
+        assert_eq!(attacker_inside, 0);
+        // The victim gained exactly the injected count.
+        let victim_gain =
+            modified.for_user(victim).count() - d.for_user(victim).count();
+        assert_eq!(victim_gain, scenario.injected);
+        // Outside the interval, nothing changed for the attacker.
+        let attacker_outside_before = d
+            .for_user(attacker)
+            .filter(|tx| tx.timestamp < scenario.start || tx.timestamp >= scenario.end)
+            .count();
+        assert_eq!(modified.for_user(attacker).count(), attacker_outside_before);
+    }
+
+    #[test]
+    fn empty_interval_returns_none() {
+        let d = dataset();
+        let (victim, attacker) = two_active_users(&d);
+        // Far in the past: the attacker has no traffic there.
+        assert!(inject_takeover(&d, victim, attacker, Timestamp(-1_000_000), 60).is_none());
+    }
+
+    #[test]
+    fn busiest_interval_contains_traffic() {
+        let d = dataset();
+        let (_, attacker) = two_active_users(&d);
+        let start = busiest_interval(&d, attacker, 1_800).unwrap();
+        let count = d
+            .for_user(attacker)
+            .filter(|tx| tx.timestamp >= start && tx.timestamp < start + 1_800)
+            .count();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn missing_attacker_yields_none() {
+        let d = dataset();
+        assert_eq!(busiest_interval(&d, UserId(999), 60), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn same_user_rejected() {
+        let d = dataset();
+        let _ = inject_takeover(&d, UserId(1), UserId(1), Timestamp(0), 60);
+    }
+}

@@ -1,0 +1,222 @@
+//! Transaction arrival process within a session.
+//!
+//! Browsing traffic is bursty: a page visit triggers a burst of
+//! transactions (the page itself plus its resources — scripts, styles,
+//! images, API calls) within a couple of seconds, and visits arrive with
+//! exponential gaps. This is what makes the paper's 60-second windows
+//! informative: a single window typically covers one or a few page visits
+//! and their full resource mix (the observed median is 54 transactions per
+//! 1-minute window, with a 6,048 maximum).
+
+use crate::dist;
+use crate::profile::UserBehaviorProfile;
+use crate::schedule::Session;
+use proxylog::Transaction;
+use rand::Rng;
+
+/// Generates every transaction of one session, in time order.
+///
+/// `rate_multiplier` scales the user's page-visit rate (used to shrink
+/// experiments below the 9.45M-transaction paper scale).
+pub fn session_transactions<R: Rng + ?Sized>(
+    rng: &mut R,
+    profile: &UserBehaviorProfile,
+    session: &Session,
+    rate_multiplier: f64,
+) -> Vec<Transaction> {
+    let mut transactions = Vec::new();
+    let rate_per_sec = profile.visits_per_hour * rate_multiplier / 3600.0;
+    if rate_per_sec <= 0.0 {
+        return transactions;
+    }
+    let mut now = session.start.as_secs() as f64;
+    let end = session.end.as_secs() as f64;
+    // Task locality: browsing sessions revisit the current site. Roughly
+    // half of the page visits stay on the previous visit's site; revisits
+    // replay only a prefix of the site's resource signature (caching).
+    let mut current: Option<crate::profile::SiteProfile> = None;
+    loop {
+        now += dist::exponential(rng, rate_per_sec);
+        if now >= end {
+            break;
+        }
+        let revisit = current.is_some() && rng.gen::<f64>() < 0.45;
+        if !revisit {
+            current = Some(profile.sample_site(rng, proxylog::Timestamp(now as i64)));
+        }
+        let site = current.as_ref().expect("site set above");
+        let burst = if revisit {
+            // Cached revisit: the page plus a short prefix of assets.
+            (1 + dist::geometric(rng, 0.5) as usize).min(site.resources.len())
+        } else {
+            site.resources.len()
+        };
+        let mut t = now;
+        for resource in site.resources.iter().take(burst) {
+            if t >= end {
+                break;
+            }
+            transactions.push(Transaction {
+                timestamp: proxylog::Timestamp(t as i64),
+                user: session.user,
+                device: session.device,
+                site: site.site,
+                action: resource.action,
+                scheme: site.scheme,
+                category: site.category,
+                subtype: resource.subtype,
+                app_type: site.app_type,
+                reputation: resource.reputation,
+                private_destination: site.private_destination,
+            });
+            // Resources land within a couple of seconds of the page.
+            t += rng.gen::<f64>() * 0.8;
+        }
+        // Occasionally a site serves a resource outside its fixed
+        // signature (fresh downloads, rotating widgets).
+        if t < end && rng.gen::<f64>() < 0.04 {
+            let timestamp = proxylog::Timestamp(t as i64);
+            transactions.push(Transaction {
+                timestamp,
+                user: session.user,
+                device: session.device,
+                site: site.site,
+                action: proxylog::HttpAction::Get,
+                scheme: site.scheme,
+                category: site.category,
+                subtype: profile.sample_dynamic_subtype(rng, timestamp),
+                app_type: site.app_type,
+                reputation: proxylog::Reputation::Minimal,
+                private_destination: site.private_destination,
+            });
+        }
+    }
+    // A long burst can overlap the next page visit; restore time order.
+    transactions.sort_by_key(|tx| tx.timestamp);
+    transactions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{ActivityClass, RoleTemplate};
+    use proxylog::{DeviceId, Taxonomy, Timestamp, UserId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Taxonomy>, UserBehaviorProfile, Session) {
+        let taxonomy = Taxonomy::paper_scale();
+        let mut rng = StdRng::seed_from_u64(11);
+        let role = RoleTemplate::generate(&mut rng, 0, 9, &taxonomy);
+        let profile = UserBehaviorProfile::generate(
+            &mut rng,
+            UserId(4),
+            &role,
+            ActivityClass::Heavy,
+            &taxonomy,
+            Timestamp(0),
+        );
+        let session = Session {
+            user: UserId(4),
+            device: DeviceId(2),
+            start: Timestamp(1_000),
+            end: Timestamp(1_000 + 7_200),
+        };
+        (taxonomy, profile, session)
+    }
+
+    #[test]
+    fn transactions_are_within_session_and_ordered() {
+        let (_taxonomy, profile, session) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let txs = session_transactions(&mut rng, &profile, &session, 1.0);
+        assert!(!txs.is_empty(), "heavy user over 2 hours must produce traffic");
+        for w in txs.windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp, "out of order");
+        }
+        for tx in &txs {
+            assert!(tx.timestamp >= session.start && tx.timestamp < session.end);
+            assert_eq!(tx.user, session.user);
+            assert_eq!(tx.device, session.device);
+        }
+    }
+
+    #[test]
+    fn bursts_share_visit_fields() {
+        let (_taxonomy, profile, session) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let txs = session_transactions(&mut rng, &profile, &session, 1.0);
+        // Consecutive transactions within 1 second mostly share site/category.
+        let mut same_site = 0;
+        let mut close_pairs = 0;
+        for w in txs.windows(2) {
+            if w[1].timestamp - w[0].timestamp <= 1 {
+                close_pairs += 1;
+                if w[0].site == w[1].site {
+                    same_site += 1;
+                }
+            }
+        }
+        assert!(close_pairs > 0);
+        assert!(
+            same_site as f64 / close_pairs as f64 > 0.5,
+            "bursts should share sites: {same_site}/{close_pairs}"
+        );
+    }
+
+    #[test]
+    fn first_transaction_of_burst_is_html() {
+        let (taxonomy, profile, session) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let txs = session_transactions(&mut rng, &profile, &session, 1.0);
+        let html = taxonomy.subtype_by_media_string("text/html").unwrap();
+        // Find burst starts: gaps > 2 seconds.
+        let mut burst_heads = vec![&txs[0]];
+        for w in txs.windows(2) {
+            if w[1].timestamp - w[0].timestamp > 2 {
+                burst_heads.push(&w[1]);
+            }
+        }
+        let html_heads = burst_heads.iter().filter(|tx| tx.subtype == html).count();
+        assert!(
+            html_heads as f64 / burst_heads.len() as f64 > 0.7,
+            "page loads start with HTML: {html_heads}/{}",
+            burst_heads.len()
+        );
+    }
+
+    #[test]
+    fn rate_multiplier_scales_volume() {
+        let (_taxonomy, profile, session) = setup();
+        let mut rng_full = StdRng::seed_from_u64(6);
+        let mut rng_tenth = StdRng::seed_from_u64(6);
+        let full = session_transactions(&mut rng_full, &profile, &session, 1.0);
+        let tenth = session_transactions(&mut rng_tenth, &profile, &session, 0.1);
+        assert!(
+            tenth.len() * 3 < full.len(),
+            "0.1x rate should cut volume: {} vs {}",
+            tenth.len(),
+            full.len()
+        );
+    }
+
+    #[test]
+    fn empty_session_yields_nothing() {
+        let (_taxonomy, profile, mut session) = setup();
+        session.end = session.start;
+        let mut rng = StdRng::seed_from_u64(7);
+        let txs = session_transactions(&mut rng, &profile, &session, 1.0);
+        assert!(txs.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (_taxonomy, profile, session) = setup();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let ta = session_transactions(&mut a, &profile, &session, 1.0);
+        let tb = session_transactions(&mut b, &profile, &session, 1.0);
+        assert_eq!(ta, tb);
+    }
+}

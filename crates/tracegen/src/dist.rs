@@ -1,0 +1,270 @@
+//! Small sampling toolbox.
+//!
+//! The allowed dependency set includes `rand` but not `rand_distr`, so the
+//! handful of non-uniform distributions the generator needs (exponential,
+//! Poisson, geometric, log-normal, Zipf weights) are implemented here with
+//! standard inverse-CDF / Box–Muller constructions.
+
+use rand::Rng;
+
+/// Samples an exponential variate with the given rate `λ` (mean `1/λ`).
+///
+/// # Panics
+///
+/// Panics if `rate` is not finite and positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate.is_finite() && rate > 0.0, "rate must be positive, got {rate}");
+    // 1 - U ∈ (0, 1] avoids ln(0).
+    let u: f64 = rng.gen::<f64>();
+    -(1.0 - u).ln() / rate
+}
+
+/// Samples a Poisson count with the given mean, via Knuth's product method
+/// for small means and a normal approximation for large ones.
+///
+/// # Panics
+///
+/// Panics if `mean` is negative or not finite.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean.is_finite() && mean >= 0.0, "mean must be non-negative, got {mean}");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean > 30.0 {
+        // Normal approximation with continuity correction.
+        let sample = mean + mean.sqrt() * standard_normal(rng);
+        return sample.round().max(0.0) as u64;
+    }
+    let threshold = (-mean).exp();
+    let mut count = 0u64;
+    let mut product: f64 = rng.gen();
+    while product > threshold {
+        count += 1;
+        product *= rng.gen::<f64>();
+    }
+    count
+}
+
+/// Samples a geometric count of failures before the first success
+/// (support `0, 1, 2, …`) with success probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `(0, 1]`.
+pub fn geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1], got {p}");
+    if p >= 1.0 {
+        return 0;
+    }
+    let u: f64 = rng.gen();
+    ((1.0 - u).ln() / (1.0 - p).ln()).floor() as u64
+}
+
+/// Samples a standard normal variate via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a log-normal variate `exp(μ + σZ)`.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0, "sigma must be non-negative, got {sigma}");
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Zipf-like weights `1/(i+1)^s` for `n` ranks, unnormalized.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect()
+}
+
+/// An owned weighted sampler over arbitrary items (thin convenience over
+/// cumulative-sum inversion; `rand`'s `WeightedIndex` is avoided to keep
+/// sampling allocation-free after construction).
+#[derive(Debug, Clone)]
+pub struct WeightedChoice<T> {
+    items: Vec<T>,
+    cumulative: Vec<f64>,
+}
+
+impl<T> WeightedChoice<T> {
+    /// Builds a sampler from `(item, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty, any weight is negative or non-finite, or
+    /// all weights are zero.
+    pub fn new(pairs: impl IntoIterator<Item = (T, f64)>) -> Self {
+        let mut items = Vec::new();
+        let mut cumulative = Vec::new();
+        let mut total = 0.0;
+        for (item, weight) in pairs {
+            assert!(weight.is_finite() && weight >= 0.0, "invalid weight {weight}");
+            total += weight;
+            items.push(item);
+            cumulative.push(total);
+        }
+        assert!(!items.is_empty(), "weighted choice needs at least one item");
+        assert!(total > 0.0, "all weights are zero");
+        Self { items, cumulative }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the sampler is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Samples one item.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &T {
+        let total = *self.cumulative.last().expect("non-empty by construction");
+        let target = rng.gen::<f64>() * total;
+        let idx = match self
+            .cumulative
+            .binary_search_by(|probe| probe.partial_cmp(&target).expect("finite weights"))
+        {
+            Ok(i) => i,
+            Err(i) => i,
+        };
+        &self.items[idx.min(self.items.len() - 1)]
+    }
+
+    /// Iterates over the items.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn exponential_has_requested_mean() {
+        let mut rng = rng();
+        let rate = 2.0;
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut rng, rate)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let mut rng = rng();
+        assert!((0..1000).all(|_| exponential(&mut rng, 0.1) >= 0.0));
+    }
+
+    #[test]
+    fn poisson_matches_mean_small_and_large() {
+        let mut rng = rng();
+        for target in [0.5, 4.0, 80.0] {
+            let n = 20_000;
+            let mean: f64 =
+                (0..n).map(|_| poisson(&mut rng, target) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - target).abs() < 0.05 * target.max(1.0) + 0.05,
+                "target {target}, mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut rng = rng();
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn geometric_mean_matches() {
+        let mut rng = rng();
+        let p = 0.25;
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| geometric(&mut rng, p) as f64).sum::<f64>() / n as f64;
+        let expected = (1.0 - p) / p;
+        assert!((mean - expected).abs() < 0.1, "mean = {mean}, expected {expected}");
+    }
+
+    #[test]
+    fn geometric_p_one_is_always_zero() {
+        let mut rng = rng();
+        assert!((0..100).all(|_| geometric(&mut rng, 1.0) == 0));
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = rng();
+        assert!((0..1000).all(|_| log_normal(&mut rng, 0.0, 1.5) > 0.0));
+    }
+
+    #[test]
+    fn zipf_weights_decay() {
+        let w = zipf_weights(5, 1.0);
+        assert_eq!(w.len(), 5);
+        assert!(w.windows(2).all(|p| p[0] > p[1]));
+        assert_eq!(w[0], 1.0);
+        assert!((w[4] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = rng();
+        let choice = WeightedChoice::new(vec![("a", 1.0), ("b", 3.0)]);
+        let n = 20_000;
+        let b_count = (0..n).filter(|_| *choice.sample(&mut rng) == "b").count();
+        let fraction = b_count as f64 / n as f64;
+        assert!((fraction - 0.75).abs() < 0.02, "fraction = {fraction}");
+    }
+
+    #[test]
+    fn weighted_choice_zero_weight_never_sampled() {
+        let mut rng = rng();
+        let choice = WeightedChoice::new(vec![("never", 0.0), ("always", 1.0)]);
+        assert!((0..1000).all(|_| *choice.sample(&mut rng) == "always"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn weighted_choice_rejects_empty() {
+        let _ = WeightedChoice::<u8>::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "all weights are zero")]
+    fn weighted_choice_rejects_all_zero() {
+        let _ = WeightedChoice::new(vec![("a", 0.0)]);
+    }
+
+    #[test]
+    fn determinism_with_same_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(poisson(&mut a, 5.0), poisson(&mut b, 5.0));
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! End-to-end trace generation.
+
+use crate::profile::{ActivityClass, RoleTemplate, UserBehaviorProfile};
+use crate::scenario::Scenario;
+use crate::schedule::{propose_user_day, DeviceAssignment, DeviceCalendar, Session};
+use crate::arrivals;
+use proxylog::{Dataset, Transaction, UserId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic generator producing a [`Dataset`] from a [`Scenario`].
+///
+/// Every stream of randomness is derived from the scenario seed, so a
+/// scenario always generates the same dataset.
+///
+/// # Examples
+///
+/// ```
+/// use tracegen::{Scenario, TraceGenerator};
+///
+/// let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+/// assert!(!dataset.is_empty());
+/// assert!(dataset.users().len() <= 6);
+/// ```
+#[derive(Debug)]
+pub struct TraceGenerator {
+    scenario: Scenario,
+}
+
+/// Everything a generation run produces: the dataset plus the ground truth
+/// behind it (profiles and the device-session timeline), which the
+/// identification experiments need as their reference.
+#[derive(Debug)]
+pub struct GeneratedTrace {
+    /// The transactions, indexed as a dataset.
+    pub dataset: Dataset,
+    /// Per-user behavioral ground truth.
+    pub profiles: Vec<UserBehaviorProfile>,
+    /// All booked sessions, time-sorted.
+    pub sessions: Vec<Session>,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario has zero users, devices or weeks, or a
+    /// non-positive rate multiplier.
+    pub fn new(scenario: Scenario) -> Self {
+        assert!(scenario.users > 0, "scenario needs users");
+        assert!(scenario.devices > 0, "scenario needs devices");
+        assert!(scenario.weeks > 0, "scenario needs a duration");
+        assert!(
+            scenario.rate_multiplier > 0.0 && scenario.rate_multiplier.is_finite(),
+            "rate multiplier must be positive"
+        );
+        Self { scenario }
+    }
+
+    /// The scenario this generator runs.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Generates the dataset only.
+    pub fn generate(&self) -> Dataset {
+        self.generate_with_ground_truth().dataset
+    }
+
+    /// Generates the dataset together with the generating ground truth.
+    pub fn generate_with_ground_truth(&self) -> GeneratedTrace {
+        let scenario = &self.scenario;
+        let taxonomy = &scenario.taxonomy;
+        let mut master = StdRng::seed_from_u64(scenario.seed);
+
+        // Role templates: contiguous user blocks share a role, giving the
+        // contiguous confusion clusters visible in the paper's Tab. V.
+        let n_roles = (scenario.users / 4).max(2);
+        let roles: Vec<RoleTemplate> =
+            (0..n_roles).map(|i| RoleTemplate::generate(&mut master, i, n_roles, taxonomy)).collect();
+        let assignment =
+            DeviceAssignment::generate(&mut master, scenario.users, scenario.devices);
+
+        let profiles: Vec<UserBehaviorProfile> = (0..scenario.users)
+            .map(|u| {
+                let mut rng = derived_rng(scenario.seed, u as u64, 1);
+                let role = &roles[u * n_roles / scenario.users];
+                let class = activity_class_for(u);
+                UserBehaviorProfile::generate(
+                    &mut rng,
+                    UserId(u as u32),
+                    role,
+                    class,
+                    taxonomy,
+                    scenario.start,
+                )
+            })
+            .collect();
+
+        // Book sessions day by day; users are processed in a fixed order so
+        // conflict resolution is deterministic.
+        let mut calendar = DeviceCalendar::new();
+        let mut sessions: Vec<Session> = Vec::new();
+        let mut session_rngs: Vec<StdRng> = (0..scenario.users)
+            .map(|u| derived_rng(scenario.seed, u as u64, 2))
+            .collect();
+        for day in 0..scenario.days() {
+            let day_start = scenario.start + i64::from(day) * 86_400;
+            let day_end = day_start + 86_399;
+            for (u, profile) in profiles.iter().enumerate() {
+                let rng = &mut session_rngs[u];
+                let devices = assignment.devices_of(UserId(u as u32));
+                for (device, start, duration) in
+                    propose_user_day(rng, profile, devices, day_start)
+                {
+                    if let Some((booked_start, booked_end)) =
+                        calendar.book(device, start, duration, day_end)
+                    {
+                        sessions.push(Session {
+                            user: UserId(u as u32),
+                            device,
+                            start: booked_start,
+                            end: booked_end,
+                        });
+                    }
+                }
+            }
+        }
+        sessions.sort_by_key(|s| s.start);
+
+        // Emit the traffic of every session.
+        let mut tx_rngs: Vec<StdRng> = (0..scenario.users)
+            .map(|u| derived_rng(scenario.seed, u as u64, 3))
+            .collect();
+        let mut transactions: Vec<Transaction> = Vec::new();
+        for session in &sessions {
+            let u = session.user.0 as usize;
+            transactions.extend(arrivals::session_transactions(
+                &mut tx_rngs[u],
+                &profiles[u],
+                session,
+                scenario.rate_multiplier,
+            ));
+        }
+
+        GeneratedTrace {
+            dataset: Dataset::new(std::sync::Arc::clone(taxonomy), transactions),
+            profiles,
+            sessions,
+        }
+    }
+}
+
+/// Activity class mix: ~30 % light (some fall below the paper's
+/// 1,500-transaction filter, reproducing the 36 → 25 user reduction),
+/// ~10 % heavy (the paper's top user logs 4.7 M transactions), rest
+/// regular.
+fn activity_class_for(user: usize) -> ActivityClass {
+    match user % 10 {
+        2 | 5 | 9 => ActivityClass::Light,
+        7 => ActivityClass::Heavy,
+        _ => ActivityClass::Regular,
+    }
+}
+
+/// Splitmix-style stream derivation so per-user randomness is independent
+/// of user count and iteration order.
+fn derived_rng(seed: u64, user: u64, stream: u64) -> StdRng {
+    let mut z = seed
+        .wrapping_add(user.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Convenience: statistics the paper reports about the corpus, computed
+/// from a generated dataset (used by tests and the README).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusStatistics {
+    /// Total transactions.
+    pub transactions: usize,
+    /// Users with at least one transaction.
+    pub active_users: usize,
+    /// Minimum per-user transaction count.
+    pub min_per_user: usize,
+    /// Median per-user transaction count.
+    pub median_per_user: usize,
+    /// Maximum per-user transaction count.
+    pub max_per_user: usize,
+    /// Mean distinct users per device.
+    pub mean_users_per_device: f64,
+}
+
+impl CorpusStatistics {
+    /// Computes statistics over a dataset.
+    pub fn measure(dataset: &Dataset) -> Self {
+        let counts: Vec<usize> = dataset.user_counts().values().copied().collect();
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        let users_per_device = dataset.users_per_device();
+        let mean_users_per_device = if users_per_device.is_empty() {
+            0.0
+        } else {
+            users_per_device.values().sum::<usize>() as f64 / users_per_device.len() as f64
+        };
+        Self {
+            transactions: dataset.len(),
+            active_users: counts.len(),
+            min_per_user: sorted.first().copied().unwrap_or(0),
+            median_per_user: sorted.get(sorted.len() / 2).copied().unwrap_or(0),
+            max_per_user: sorted.last().copied().unwrap_or(0),
+            mean_users_per_device,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn quick_trace() -> GeneratedTrace {
+        TraceGenerator::new(Scenario::quick_test()).generate_with_ground_truth()
+    }
+
+    #[test]
+    fn generates_nonempty_in_bounds_dataset() {
+        let trace = quick_trace();
+        let scenario = Scenario::quick_test();
+        assert!(!trace.dataset.is_empty());
+        for tx in trace.dataset.transactions() {
+            assert!((tx.user.0 as usize) < scenario.users);
+            assert!((tx.device.0 as usize) < scenario.devices);
+            assert!(tx.timestamp >= scenario.start && tx.timestamp < scenario.end() + 86_400);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TraceGenerator::new(Scenario::quick_test()).generate();
+        let b = TraceGenerator::new(Scenario::quick_test()).generate();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.transactions(), b.transactions());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TraceGenerator::new(Scenario::quick_test()).generate();
+        let b = TraceGenerator::new(Scenario::quick_test().with_seed(8)).generate();
+        assert_ne!(a.transactions(), b.transactions());
+    }
+
+    #[test]
+    fn sessions_on_a_device_never_overlap() {
+        let trace = quick_trace();
+        let mut by_device: std::collections::BTreeMap<u32, Vec<&Session>> =
+            std::collections::BTreeMap::new();
+        for s in &trace.sessions {
+            by_device.entry(s.device.0).or_default().push(s);
+        }
+        for sessions in by_device.values() {
+            let mut sorted = sessions.clone();
+            sorted.sort_by_key(|s| s.start);
+            for w in sorted.windows(2) {
+                assert!(
+                    w[0].end <= w[1].start,
+                    "overlap on device: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transactions_fall_inside_their_users_sessions() {
+        let trace = quick_trace();
+        for tx in trace.dataset.transactions().iter().take(2_000) {
+            let inside = trace.sessions.iter().any(|s| {
+                s.user == tx.user
+                    && s.device == tx.device
+                    && tx.timestamp >= s.start
+                    && tx.timestamp < s.end
+            });
+            assert!(inside, "transaction outside any session: {tx:?}");
+        }
+    }
+
+    #[test]
+    fn heavy_users_out_produce_light_users() {
+        let scenario = Scenario { users: 20, ..Scenario::quick_test() };
+        let dataset = TraceGenerator::new(scenario).generate();
+        let counts = dataset.user_counts();
+        let count = |u: u32| counts.get(&UserId(u)).copied().unwrap_or(0);
+        // users 7 and 17 are heavy; 2, 5, 9, 12, 15, 19 are light.
+        let heavy = count(7) + count(17);
+        let light = count(2) + count(5) + count(9) + count(12) + count(15) + count(19);
+        assert!(heavy > light, "heavy {heavy} <= light {light}");
+    }
+
+    #[test]
+    fn corpus_statistics_are_heavy_tailed() {
+        let scenario = Scenario { users: 20, weeks: 2, ..Scenario::quick_test() };
+        let dataset = TraceGenerator::new(scenario).generate();
+        let stats = CorpusStatistics::measure(&dataset);
+        assert!(stats.max_per_user > 10 * stats.median_per_user.max(1),
+            "expected heavy tail, got {stats:?}");
+        assert!(stats.mean_users_per_device >= 1.0);
+    }
+
+    #[test]
+    fn paper_shape_user_device_sharing() {
+        let scenario = Scenario { users: 36, devices: 35, weeks: 1, ..Scenario::quick_test() };
+        let trace = TraceGenerator::new(scenario).generate_with_ground_truth();
+        let stats = CorpusStatistics::measure(&trace.dataset);
+        // With 36 users on 35 devices and multi-device users, devices see
+        // several users on average.
+        assert!(
+            stats.mean_users_per_device > 1.2,
+            "users/device = {}",
+            stats.mean_users_per_device
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scenario needs users")]
+    fn rejects_zero_users() {
+        let _ = TraceGenerator::new(Scenario { users: 0, ..Scenario::quick_test() });
+    }
+}

@@ -1,0 +1,50 @@
+//! Synthetic enterprise web-traffic generator.
+//!
+//! The paper evaluates on a proprietary benchmark from a major security
+//! vendor: six months of web-transaction logs "generated programmatically
+//! in a small enterprise network" — 9,450,474 transactions from 36
+//! synthetic users on 35 devices (Sect. IV-A). That corpus is not
+//! available, so this crate rebuilds the generator: deterministic synthetic
+//! users with stable behavioral repertoires, shared devices, diurnal work
+//! sessions and bursty page-load traffic, producing [`proxylog::Dataset`]s
+//! with the same statistics the paper reports:
+//!
+//! * per-user feature coverage of ≈18/105 categories, ≈17/257 media
+//!   subtypes, ≈19/464 application types;
+//! * heavy-tailed per-user transaction counts (light users fall below the
+//!   paper's 1,500-transaction filter, reproducing the 36 → 25 reduction);
+//! * novelty that decays over observation weeks (Figs. 1–2) because users
+//!   unlock the tail of their repertoire gradually;
+//! * role-based behavioral overlap between some users (the off-diagonal
+//!   confusions of Tab. V);
+//! * devices shared by ~3 users each, used by one user at a time (the
+//!   Fig. 3 identification setting).
+//!
+//! # Quick start
+//!
+//! ```
+//! use tracegen::{CorpusStatistics, Scenario, TraceGenerator};
+//!
+//! let trace = TraceGenerator::new(Scenario::quick_test()).generate_with_ground_truth();
+//! let stats = CorpusStatistics::measure(&trace.dataset);
+//! assert!(stats.transactions > 0);
+//! assert!(!trace.sessions.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod anomaly;
+mod arrivals;
+pub mod dist;
+mod generator;
+mod profile;
+mod scenario;
+mod schedule;
+
+pub use anomaly::{busiest_interval, inject_takeover, TakeoverScenario};
+pub use arrivals::session_transactions;
+pub use generator::{CorpusStatistics, GeneratedTrace, TraceGenerator};
+pub use profile::{ActivityClass, Repertoire, RoleTemplate, SiteProfile, SiteResource, UserBehaviorProfile};
+pub use scenario::Scenario;
+pub use schedule::{propose_user_day, DeviceAssignment, DeviceCalendar, Session};

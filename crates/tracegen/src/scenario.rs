@@ -1,0 +1,117 @@
+//! Canned generation scenarios.
+
+use proxylog::{Taxonomy, Timestamp};
+use std::sync::Arc;
+
+/// Parameters of one synthetic-trace generation run.
+///
+/// [`Scenario::paper_benchmark`] mirrors the vendor dataset's shape (36
+/// users, 35 devices, 26 weeks); reduced scales are available for tests
+/// and for experiments that must finish in minutes.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Master seed; every derived stream is deterministic in it.
+    pub seed: u64,
+    /// Number of synthetic users.
+    pub users: usize,
+    /// Number of devices in the network.
+    pub devices: usize,
+    /// Simulated duration in weeks.
+    pub weeks: u32,
+    /// Simulation start (the paper's logs begin in 2015; we start on a
+    /// Monday).
+    pub start: Timestamp,
+    /// Global scale on per-user page-visit rates (1.0 = paper-like volume).
+    pub rate_multiplier: f64,
+    /// Taxonomy for the augmentation fields.
+    pub taxonomy: Arc<Taxonomy>,
+}
+
+impl Scenario {
+    /// The full benchmark shape: 36 users, 35 devices, 26 weeks, full rate.
+    /// Generating this produces on the order of millions of transactions;
+    /// prefer [`Scenario::evaluation`] for interactive runs.
+    pub fn paper_benchmark() -> Self {
+        Self {
+            seed: 2015,
+            users: 36,
+            devices: 35,
+            weeks: 26,
+            start: Timestamp::from_civil(2015, 1, 5, 0, 0, 0),
+            rate_multiplier: 1.0,
+            taxonomy: Taxonomy::paper_scale(),
+        }
+    }
+
+    /// Paper-shaped population at a reduced duration/rate, for experiments
+    /// that must finish in minutes rather than hours.
+    pub fn evaluation(weeks: u32, rate_multiplier: f64) -> Self {
+        Self { weeks, rate_multiplier, ..Self::paper_benchmark() }
+    }
+
+    /// A small scenario for unit and integration tests.
+    pub fn quick_test() -> Self {
+        Self {
+            seed: 7,
+            users: 6,
+            devices: 5,
+            weeks: 2,
+            start: Timestamp::from_civil(2015, 1, 5, 0, 0, 0),
+            rate_multiplier: 0.25,
+            taxonomy: Taxonomy::paper_scale(),
+        }
+    }
+
+    /// Replaces the seed, keeping everything else.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Simulated duration in days.
+    pub fn days(&self) -> u32 {
+        self.weeks * 7
+    }
+
+    /// Simulation end timestamp.
+    pub fn end(&self) -> Timestamp {
+        self.start + i64::from(self.days()) * 86_400
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_benchmark_shape() {
+        let s = Scenario::paper_benchmark();
+        assert_eq!(s.users, 36);
+        assert_eq!(s.devices, 35);
+        assert_eq!(s.weeks, 26);
+        assert_eq!(s.taxonomy.category_count(), 105);
+        // Starts on a Monday.
+        assert_eq!(s.start.weekday(), 0);
+    }
+
+    #[test]
+    fn evaluation_inherits_population() {
+        let s = Scenario::evaluation(4, 0.5);
+        assert_eq!(s.users, 36);
+        assert_eq!(s.weeks, 4);
+        assert_eq!(s.rate_multiplier, 0.5);
+    }
+
+    #[test]
+    fn end_is_weeks_later() {
+        let s = Scenario::evaluation(2, 1.0);
+        assert_eq!(s.end() - s.start, 14 * 86_400);
+    }
+
+    #[test]
+    fn with_seed_changes_only_seed() {
+        let s = Scenario::quick_test().with_seed(99);
+        assert_eq!(s.seed, 99);
+        assert_eq!(s.users, Scenario::quick_test().users);
+    }
+}

@@ -1,0 +1,321 @@
+//! Device assignment and work-session scheduling.
+//!
+//! The benchmark network has 35 devices for 36 users; each device is used
+//! by ~3 users on average and each user touches between 1 and 17 devices
+//! (paper, Sect. IV-A). Users work in sessions (contiguous intervals of
+//! browsing on one device); at most one user occupies a device at any
+//! moment, which is what makes the host-specific identification experiment
+//! of Fig. 3 meaningful.
+
+use crate::dist;
+use crate::profile::UserBehaviorProfile;
+use proxylog::{DeviceId, Timestamp, UserId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Which devices each user works on (first entry is the primary device).
+#[derive(Debug, Clone)]
+pub struct DeviceAssignment {
+    user_devices: Vec<Vec<DeviceId>>,
+}
+
+impl DeviceAssignment {
+    /// Assigns devices to users: everyone gets a primary device, most users
+    /// one or two secondaries, and a couple of "roaming" users many (the
+    /// paper reports a 1–17 range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_users` or `n_devices` is zero.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, n_users: usize, n_devices: usize) -> Self {
+        assert!(n_users > 0 && n_devices > 0, "need at least one user and one device");
+        let mut user_devices = Vec::with_capacity(n_users);
+        for user in 0..n_users {
+            let primary = DeviceId((user % n_devices) as u32);
+            // Heavy-tailed secondary count; a roaming user every ~12 users.
+            let extra = if user % 12 == 5 {
+                rng.gen_range(8..=16usize)
+            } else {
+                dist::geometric(rng, 0.55) as usize
+            };
+            let mut devices = vec![primary];
+            let mut pool: Vec<DeviceId> = (0..n_devices as u32)
+                .map(DeviceId)
+                .filter(|&d| d != primary)
+                .collect();
+            pool.shuffle(rng);
+            devices.extend(pool.into_iter().take(extra.min(n_devices - 1)));
+            user_devices.push(devices);
+        }
+        Self { user_devices }
+    }
+
+    /// Devices of one user, primary first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user index is out of range.
+    pub fn devices_of(&self, user: UserId) -> &[DeviceId] {
+        &self.user_devices[user.0 as usize]
+    }
+
+    /// Number of users covered.
+    pub fn user_count(&self) -> usize {
+        self.user_devices.len()
+    }
+
+    /// Distinct device count per user, for statistics.
+    pub fn devices_per_user(&self) -> Vec<usize> {
+        self.user_devices.iter().map(|d| d.len()).collect()
+    }
+}
+
+/// A contiguous interval of browsing by one user on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Session {
+    /// The user browsing.
+    pub user: UserId,
+    /// The device used.
+    pub device: DeviceId,
+    /// Session start.
+    pub start: Timestamp,
+    /// Session end (exclusive).
+    pub end: Timestamp,
+}
+
+impl Session {
+    /// Session length in seconds.
+    pub fn duration_secs(&self) -> i64 {
+        self.end - self.start
+    }
+}
+
+/// Books sessions onto devices, keeping every device single-user at any
+/// point in time.
+#[derive(Debug, Default)]
+pub struct DeviceCalendar {
+    /// Sorted, non-overlapping busy intervals per device.
+    busy: BTreeMap<DeviceId, Vec<(i64, i64)>>,
+}
+
+impl DeviceCalendar {
+    /// Creates an empty calendar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tries to book `[start, start+duration)` on `device`; on conflict the
+    /// session is shifted to the end of the colliding interval, up to
+    /// `latest_start`. Returns the booked session interval, or `None` if no
+    /// slot fits.
+    pub fn book(
+        &mut self,
+        device: DeviceId,
+        start: Timestamp,
+        duration_secs: i64,
+        latest_start: Timestamp,
+    ) -> Option<(Timestamp, Timestamp)> {
+        if duration_secs <= 0 {
+            return None;
+        }
+        let intervals = self.busy.entry(device).or_default();
+        let mut candidate = start.as_secs();
+        loop {
+            if candidate > latest_start.as_secs() {
+                return None;
+            }
+            let end = candidate + duration_secs;
+            match intervals.iter().find(|&&(s, e)| s < end && candidate < e) {
+                Some(&(_, conflict_end)) => candidate = conflict_end,
+                None => {
+                    let pos = intervals.partition_point(|&(s, _)| s < candidate);
+                    intervals.insert(pos, (candidate, end));
+                    return Some((Timestamp(candidate), Timestamp(end)));
+                }
+            }
+        }
+    }
+
+    /// Booked intervals on a device (sorted).
+    pub fn intervals(&self, device: DeviceId) -> &[(i64, i64)] {
+        self.busy.get(&device).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Proposes the sessions a user would like to hold on one day, before
+/// conflict resolution. `day_start` must be midnight of the day.
+pub fn propose_user_day<R: Rng + ?Sized>(
+    rng: &mut R,
+    profile: &UserBehaviorProfile,
+    devices: &[DeviceId],
+    day_start: Timestamp,
+) -> Vec<(DeviceId, Timestamp, i64)> {
+    let weekday = day_start.weekday();
+    let day_factor = if weekday >= 5 { profile.weekend_activity } else { 1.0 };
+    let n_sessions = dist::poisson(rng, profile.sessions_per_day * day_factor) as usize;
+    let mut proposals = Vec::with_capacity(n_sessions);
+    for _ in 0..n_sessions {
+        let window = (profile.work_end - profile.work_start).max(1);
+        let offset = rng.gen_range(0..window) as i64;
+        let start = day_start + i64::from(profile.work_start) + offset;
+        let duration =
+            dist::exponential(rng, 1.0 / profile.session_duration_secs).max(120.0) as i64;
+        // Primary device strongly preferred.
+        let device = if devices.len() == 1 || rng.gen::<f64>() < 0.7 {
+            devices[0]
+        } else {
+            devices[1 + rng.gen_range(0..devices.len() - 1)]
+        };
+        proposals.push((device, start, duration));
+    }
+    proposals.sort_by_key(|&(_, start, _)| start);
+    proposals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn assignment_covers_all_users_with_valid_devices() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = DeviceAssignment::generate(&mut rng, 36, 35);
+        assert_eq!(a.user_count(), 36);
+        for u in 0..36 {
+            let devices = a.devices_of(UserId(u));
+            assert!(!devices.is_empty());
+            assert!(devices.iter().all(|d| d.0 < 35));
+            // No duplicates.
+            let mut sorted: Vec<u32> = devices.iter().map(|d| d.0).collect();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), devices.len());
+        }
+    }
+
+    #[test]
+    fn assignment_statistics_match_paper_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = DeviceAssignment::generate(&mut rng, 36, 35);
+        let per_user = a.devices_per_user();
+        let max = *per_user.iter().max().unwrap();
+        let min = *per_user.iter().min().unwrap();
+        assert!(min >= 1);
+        assert!(max >= 8, "expected at least one roaming user, max = {max}");
+        assert!(max <= 17, "paper range tops at 17, max = {max}");
+        // Average users per device ≈ pairs / devices ∈ [1, 6].
+        let pairs: usize = per_user.iter().sum();
+        let avg = pairs as f64 / 35.0;
+        assert!((1.0..=6.0).contains(&avg), "avg users/device = {avg}");
+    }
+
+    #[test]
+    fn calendar_prevents_overlap() {
+        let mut cal = DeviceCalendar::new();
+        let d = DeviceId(0);
+        let horizon = Timestamp(100_000);
+        let (s1, e1) = cal.book(d, Timestamp(100), 500, horizon).unwrap();
+        assert_eq!((s1.0, e1.0), (100, 600));
+        // Conflicting booking is shifted to follow the first.
+        let (s2, e2) = cal.book(d, Timestamp(300), 200, horizon).unwrap();
+        assert_eq!((s2.0, e2.0), (600, 800));
+        // Non-conflicting booking stays where requested.
+        let (s3, _) = cal.book(d, Timestamp(5_000), 100, horizon).unwrap();
+        assert_eq!(s3.0, 5_000);
+        // Intervals never overlap.
+        let iv = cal.intervals(d);
+        for w in iv.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlap in {iv:?}");
+        }
+    }
+
+    #[test]
+    fn calendar_gives_up_past_latest_start() {
+        let mut cal = DeviceCalendar::new();
+        let d = DeviceId(1);
+        cal.book(d, Timestamp(0), 1000, Timestamp(10_000)).unwrap();
+        assert!(cal.book(d, Timestamp(0), 10, Timestamp(500)).is_none());
+    }
+
+    #[test]
+    fn calendar_rejects_nonpositive_duration() {
+        let mut cal = DeviceCalendar::new();
+        assert!(cal.book(DeviceId(0), Timestamp(0), 0, Timestamp(100)).is_none());
+    }
+
+    #[test]
+    fn different_devices_do_not_conflict() {
+        let mut cal = DeviceCalendar::new();
+        let horizon = Timestamp(1_000_000);
+        let (s1, _) = cal.book(DeviceId(0), Timestamp(100), 500, horizon).unwrap();
+        let (s2, _) = cal.book(DeviceId(1), Timestamp(100), 500, horizon).unwrap();
+        assert_eq!(s1.0, 100);
+        assert_eq!(s2.0, 100);
+    }
+
+    #[test]
+    fn proposals_fall_in_working_window() {
+        use crate::profile::{ActivityClass, RoleTemplate, UserBehaviorProfile};
+        use proxylog::Taxonomy;
+        let taxonomy = Taxonomy::paper_scale();
+        let mut rng = StdRng::seed_from_u64(5);
+        let role = RoleTemplate::generate(&mut rng, 0, 9, &taxonomy);
+        let profile = UserBehaviorProfile::generate(
+            &mut rng,
+            UserId(0),
+            &role,
+            ActivityClass::Heavy,
+            &taxonomy,
+            Timestamp(0),
+        );
+        let devices = [DeviceId(0), DeviceId(1)];
+        // A Monday midnight.
+        let monday = Timestamp::from_civil(2015, 1, 5, 0, 0, 0);
+        let mut total = 0usize;
+        for _ in 0..10 {
+            let proposals = propose_user_day(&mut rng, &profile, &devices, monday);
+            for &(device, start, duration) in &proposals {
+                assert!(devices.contains(&device));
+                assert!(duration >= 120);
+                let sod = start.seconds_of_day();
+                assert!(sod >= profile.work_start && sod < profile.work_end + 1);
+            }
+            total += proposals.len();
+        }
+        // A heavy user proposes several sessions over ten weekdays.
+        assert!(total > 5, "only {total} proposals in ten days");
+    }
+
+    #[test]
+    fn weekend_reduces_sessions() {
+        use crate::profile::{ActivityClass, RoleTemplate, UserBehaviorProfile};
+        use proxylog::Taxonomy;
+        let taxonomy = Taxonomy::paper_scale();
+        let mut rng = StdRng::seed_from_u64(6);
+        let role = RoleTemplate::generate(&mut rng, 0, 9, &taxonomy);
+        let profile = UserBehaviorProfile::generate(
+            &mut rng,
+            UserId(0),
+            &role,
+            ActivityClass::Heavy,
+            &taxonomy,
+            Timestamp(0),
+        );
+        let devices = [DeviceId(0)];
+        let monday = Timestamp::from_civil(2015, 1, 5, 0, 0, 0);
+        let saturday = Timestamp::from_civil(2015, 1, 10, 0, 0, 0);
+        let mut weekday_total = 0usize;
+        let mut weekend_total = 0usize;
+        for _ in 0..50 {
+            weekday_total += propose_user_day(&mut rng, &profile, &devices, monday).len();
+            weekend_total += propose_user_day(&mut rng, &profile, &devices, saturday).len();
+        }
+        assert!(
+            weekend_total < weekday_total,
+            "weekend {weekend_total} >= weekday {weekday_total}"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the trace generator: distribution sanity,
+//! scheduling invariants and corpus-level guarantees over random seeds and
+//! scenario shapes.
+
+use proptest::prelude::*;
+use tracegen::{
+    dist, busiest_interval, inject_takeover, CorpusStatistics, Scenario, TraceGenerator,
+};
+
+fn small_scenario() -> impl Strategy<Value = Scenario> {
+    (1u64..1000, 2usize..10, 1usize..8, 1u32..3).prop_map(|(seed, users, devices, weeks)| {
+        Scenario {
+            seed,
+            users,
+            devices,
+            weeks,
+            rate_multiplier: 0.2,
+            ..Scenario::quick_test()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generated_corpora_are_well_formed(scenario in small_scenario()) {
+        let users = scenario.users;
+        let devices = scenario.devices;
+        let start = scenario.start;
+        let end = scenario.end();
+        let trace = TraceGenerator::new(scenario).generate_with_ground_truth();
+        for tx in trace.dataset.transactions() {
+            prop_assert!((tx.user.0 as usize) < users);
+            prop_assert!((tx.device.0 as usize) < devices);
+            // Sessions may start on the simulation's last day and run past
+            // midnight.
+            prop_assert!(tx.timestamp >= start && tx.timestamp < end + 86_400);
+        }
+        // Sessions on a device never overlap.
+        let mut by_device: std::collections::BTreeMap<u32, Vec<(i64, i64)>> =
+            std::collections::BTreeMap::new();
+        for s in &trace.sessions {
+            by_device
+                .entry(s.device.0)
+                .or_default()
+                .push((s.start.as_secs(), s.end.as_secs()));
+        }
+        for intervals in by_device.values_mut() {
+            intervals.sort_unstable();
+            for pair in intervals.windows(2) {
+                prop_assert!(pair[0].1 <= pair[1].0, "device sessions overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed(scenario in small_scenario()) {
+        let a = TraceGenerator::new(scenario.clone()).generate();
+        let b = TraceGenerator::new(scenario).generate();
+        prop_assert_eq!(a.transactions(), b.transactions());
+    }
+
+    #[test]
+    fn statistics_are_internally_consistent(scenario in small_scenario()) {
+        let dataset = TraceGenerator::new(scenario).generate();
+        prop_assume!(!dataset.is_empty());
+        let stats = CorpusStatistics::measure(&dataset);
+        prop_assert_eq!(stats.transactions, dataset.len());
+        prop_assert!(stats.min_per_user <= stats.median_per_user);
+        prop_assert!(stats.median_per_user <= stats.max_per_user);
+        prop_assert!(stats.active_users <= dataset.users().len());
+    }
+
+    #[test]
+    fn takeover_is_count_preserving(scenario in small_scenario(), duration in 600i64..7200) {
+        let dataset = TraceGenerator::new(scenario).generate();
+        let users = dataset.users();
+        prop_assume!(users.len() >= 2);
+        let (victim, attacker) = (users[0], users[1]);
+        let Some(start) = busiest_interval(&dataset, attacker, duration) else {
+            return Ok(());
+        };
+        if let Some((modified, scenario)) =
+            inject_takeover(&dataset, victim, attacker, start, duration)
+        {
+            prop_assert_eq!(modified.len(), dataset.len());
+            prop_assert!(scenario.injected > 0);
+            prop_assert_eq!(
+                modified.for_user(victim).count(),
+                dataset.for_user(victim).count() + scenario.injected
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_samples_are_positive(rate in 0.01f64..100.0, seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(dist::exponential(&mut rng, rate) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn poisson_is_finite_and_nonnegative(mean in 0.0f64..200.0, seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let sample = dist::poisson(&mut rng, mean);
+            prop_assert!(sample < 10_000, "implausible poisson sample {sample}");
+        }
+    }
+
+    #[test]
+    fn weighted_choice_only_returns_members(
+        weights in prop::collection::vec(0.01f64..10.0, 1..20),
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let items: Vec<usize> = (0..weights.len()).collect();
+        let choice = dist::WeightedChoice::new(items.iter().copied().zip(weights));
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let sampled = *choice.sample(&mut rng);
+            prop_assert!(sampled < items.len());
+        }
+    }
+}
+
+#[test]
+fn takeover_window_is_detectable_end_to_end() {
+    // The injected interval must change which windows a victim profile
+    // accepts — the full loop the intrusion-monitoring example runs.
+    let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+    let mut counts: Vec<(proxylog::UserId, usize)> =
+        dataset.user_counts().into_iter().collect();
+    counts.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    let (victim, attacker) = (counts[0].0, counts[1].0);
+    let start = busiest_interval(&dataset, attacker, 7_200).expect("attacker active");
+    let (modified, scenario) =
+        inject_takeover(&dataset, victim, attacker, start, 7_200).expect("injectable");
+    assert!(scenario.injected > 10, "want a meaty takeover, got {}", scenario.injected);
+    // Victim's traffic inside the window now includes foreign behavior.
+    let foreign = modified
+        .for_user(victim)
+        .filter(|tx| tx.timestamp >= scenario.start && tx.timestamp < scenario.end)
+        .count();
+    assert!(foreign >= scenario.injected);
+}

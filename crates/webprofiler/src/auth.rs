@@ -1,0 +1,285 @@
+//! Continuous authentication (the application motivating the paper,
+//! Sect. I): keep a session alive only while the device's web behavior
+//! matches the authenticated user's profile.
+//!
+//! The paper's suggested operating point: with 60 s / 30 s windows a
+//! decision is available every 30 seconds; requiring `k` consecutive
+//! rejections before logging out trades detection delay (`k·S` seconds)
+//! against false alarms (Sect. V-B).
+
+use crate::profile::UserProfile;
+use ocsvm::SparseVector;
+use proxylog::UserId;
+use std::fmt;
+
+/// Outcome of observing one transaction window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthDecision {
+    /// The window matches the authenticated user's profile.
+    Accepted,
+    /// The window was rejected, but the streak is below the logout
+    /// threshold.
+    Suspicious {
+        /// Consecutive rejected windows so far.
+        consecutive: usize,
+    },
+    /// The rejection streak reached the threshold: terminate the session.
+    LoggedOut,
+}
+
+impl fmt::Display for AuthDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthDecision::Accepted => write!(f, "accepted"),
+            AuthDecision::Suspicious { consecutive } => {
+                write!(f, "suspicious ({consecutive} consecutive rejects)")
+            }
+            AuthDecision::LoggedOut => write!(f, "logged out"),
+        }
+    }
+}
+
+/// Stateful session monitor for one authenticated user.
+///
+/// Feed every host-specific transaction window of the monitored device to
+/// [`AuthenticationMonitor::observe`]; the monitor logs the session out
+/// after `logout_after` consecutive rejections and stays logged out until
+/// [`AuthenticationMonitor::reauthenticate`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use webprofiler::{AuthDecision, AuthenticationMonitor};
+/// # fn profile() -> webprofiler::UserProfile { unimplemented!() }
+/// # fn next_window() -> ocsvm::SparseVector { unimplemented!() }
+///
+/// let profile = profile();
+/// let mut monitor = AuthenticationMonitor::new(&profile, 3);
+/// loop {
+///     match monitor.observe(&next_window()) {
+///         AuthDecision::LoggedOut => break, // force re-login
+///         _ => continue,
+///     }
+/// }
+/// ```
+#[derive(Debug)]
+pub struct AuthenticationMonitor<'a> {
+    profile: &'a UserProfile,
+    logout_after: usize,
+    consecutive_rejects: usize,
+    logged_out: bool,
+    windows_observed: usize,
+    logouts: usize,
+}
+
+impl<'a> AuthenticationMonitor<'a> {
+    /// Creates a monitor that logs out after `logout_after` consecutive
+    /// rejected windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logout_after` is zero.
+    pub fn new(profile: &'a UserProfile, logout_after: usize) -> Self {
+        assert!(logout_after > 0, "logout threshold must be positive");
+        Self {
+            profile,
+            logout_after,
+            consecutive_rejects: 0,
+            logged_out: false,
+            windows_observed: 0,
+            logouts: 0,
+        }
+    }
+
+    /// The user whose session is being protected.
+    pub fn user(&self) -> UserId {
+        self.profile.user()
+    }
+
+    /// Whether the session is currently logged out.
+    pub fn is_logged_out(&self) -> bool {
+        self.logged_out
+    }
+
+    /// Windows observed since construction.
+    pub fn windows_observed(&self) -> usize {
+        self.windows_observed
+    }
+
+    /// Logout events since construction.
+    pub fn logouts(&self) -> usize {
+        self.logouts
+    }
+
+    /// Observes one window and updates the session state.
+    ///
+    /// Windows observed while logged out keep returning
+    /// [`AuthDecision::LoggedOut`] without changing state.
+    pub fn observe(&mut self, features: &SparseVector) -> AuthDecision {
+        self.windows_observed += 1;
+        if self.logged_out {
+            return AuthDecision::LoggedOut;
+        }
+        if self.profile.accepts(features) {
+            self.consecutive_rejects = 0;
+            return AuthDecision::Accepted;
+        }
+        self.consecutive_rejects += 1;
+        if self.consecutive_rejects >= self.logout_after {
+            self.logged_out = true;
+            self.logouts += 1;
+            AuthDecision::LoggedOut
+        } else {
+            AuthDecision::Suspicious { consecutive: self.consecutive_rejects }
+        }
+    }
+
+    /// Restores the session after an out-of-band re-authentication.
+    pub fn reauthenticate(&mut self) {
+        self.logged_out = false;
+        self.consecutive_rejects = 0;
+    }
+}
+
+/// Offline evaluation of a takeover scenario: the owner's windows followed
+/// by an intruder's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TakeoverEvaluation {
+    /// Spurious logouts raised during the owner's own phase.
+    pub false_alarms: usize,
+    /// Windows of intruder traffic observed before logout, or `None` if
+    /// the intruder was never caught.
+    pub windows_to_detection: Option<usize>,
+}
+
+impl TakeoverEvaluation {
+    /// Replays `owner_windows` then `intruder_windows` against the owner's
+    /// profile with the given logout threshold, re-authenticating after
+    /// every owner-phase logout (each counts as a false alarm).
+    pub fn replay(
+        profile: &UserProfile,
+        owner_windows: &[SparseVector],
+        intruder_windows: &[SparseVector],
+        logout_after: usize,
+    ) -> Self {
+        let mut monitor = AuthenticationMonitor::new(profile, logout_after);
+        let mut false_alarms = 0;
+        for window in owner_windows {
+            if monitor.observe(window) == AuthDecision::LoggedOut {
+                false_alarms += 1;
+                monitor.reauthenticate();
+            }
+        }
+        let mut windows_to_detection = None;
+        for (i, window) in intruder_windows.iter().enumerate() {
+            if monitor.observe(window) == AuthDecision::LoggedOut {
+                windows_to_detection = Some(i + 1);
+                break;
+            }
+        }
+        Self { false_alarms, windows_to_detection }
+    }
+
+    /// Detection delay in seconds given the window shift used.
+    pub fn detection_delay_secs(&self, shift_secs: u32) -> Option<u64> {
+        self.windows_to_detection.map(|w| w as u64 * u64::from(shift_secs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ModelKind;
+    use crate::trainer::ProfileTrainer;
+    use crate::vocab::Vocabulary;
+    use ocsvm::Kernel;
+    use proxylog::Taxonomy;
+
+    fn fixture() -> (UserProfile, Vec<SparseVector>, Vec<SparseVector>) {
+        let vocab = Vocabulary::new(Taxonomy::paper_scale());
+        let make = |base: u32, n: usize| -> Vec<SparseVector> {
+            (0..n)
+                .map(|i| {
+                    SparseVector::from_pairs(vec![
+                        (0, 1.0),
+                        (7, 0.2 + 0.05 * (i % 5) as f64),
+                        (base + (i % 3) as u32, 1.0),
+                    ])
+                    .unwrap()
+                })
+                .collect()
+        };
+        let owner = make(30, 40);
+        let intruder = make(500, 40);
+        let profile = ProfileTrainer::new(&vocab)
+            .kind(ModelKind::Svdd)
+            .kernel(Kernel::Rbf { gamma: 1.0 })
+            .regularization(0.3)
+            .train_from_vectors(UserId(1), &owner)
+            .unwrap();
+        (profile, owner, intruder)
+    }
+
+    #[test]
+    fn owner_windows_keep_session_alive() {
+        let (profile, owner, _) = fixture();
+        let mut monitor = AuthenticationMonitor::new(&profile, 3);
+        let mut logged_out = false;
+        for w in &owner {
+            logged_out |= monitor.observe(w) == AuthDecision::LoggedOut;
+        }
+        assert!(!logged_out, "owner should not be logged out");
+        assert_eq!(monitor.windows_observed(), owner.len());
+    }
+
+    #[test]
+    fn intruder_triggers_logout_quickly() {
+        let (profile, _, intruder) = fixture();
+        let mut monitor = AuthenticationMonitor::new(&profile, 3);
+        let mut decisions = Vec::new();
+        for w in intruder.iter().take(5) {
+            decisions.push(monitor.observe(w));
+        }
+        assert_eq!(decisions[0], AuthDecision::Suspicious { consecutive: 1 });
+        assert_eq!(decisions[2], AuthDecision::LoggedOut);
+        assert!(monitor.is_logged_out());
+        // Stays logged out.
+        assert_eq!(decisions[3], AuthDecision::LoggedOut);
+        assert_eq!(monitor.logouts(), 1);
+    }
+
+    #[test]
+    fn reauthentication_restores_session() {
+        let (profile, owner, intruder) = fixture();
+        let mut monitor = AuthenticationMonitor::new(&profile, 1);
+        assert_eq!(monitor.observe(&intruder[0]), AuthDecision::LoggedOut);
+        monitor.reauthenticate();
+        assert!(!monitor.is_logged_out());
+        assert_eq!(monitor.observe(&owner[0]), AuthDecision::Accepted);
+    }
+
+    #[test]
+    fn replay_measures_detection_latency() {
+        let (profile, owner, intruder) = fixture();
+        let result = TakeoverEvaluation::replay(&profile, &owner, &intruder, 3);
+        assert_eq!(result.false_alarms, 0);
+        assert_eq!(result.windows_to_detection, Some(3));
+        assert_eq!(result.detection_delay_secs(30), Some(90));
+    }
+
+    #[test]
+    fn replay_reports_missed_intruder() {
+        let (profile, owner, _) = fixture();
+        // "Intruder" replays the owner's own windows: never caught.
+        let result = TakeoverEvaluation::replay(&profile, &owner, &owner, 3);
+        assert_eq!(result.windows_to_detection, None);
+        assert_eq!(result.detection_delay_secs(30), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "logout threshold")]
+    fn zero_threshold_rejected() {
+        let (profile, _, _) = fixture();
+        let _ = AuthenticationMonitor::new(&profile, 0);
+    }
+}

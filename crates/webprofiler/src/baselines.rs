@@ -1,0 +1,184 @@
+//! Baseline one-class models.
+//!
+//! The paper's future work proposes trying simpler probabilistic models
+//! against the SVM family. [`FrequencyProfile`] is that baseline: it
+//! models a user by the *mean window vector* of their training windows and
+//! accepts a window if its cosine similarity to the mean exceeds a
+//! threshold calibrated on the training set (the `ν`-style quantile). It
+//! needs no solver, trains in one pass, and gives the comparison point the
+//! `baseline_comparison` experiment reports.
+
+use crate::trainer::ProfileError;
+use ocsvm::{SparseVector, SparseVectorBuilder};
+use proxylog::UserId;
+use std::fmt;
+
+/// Mean-vector one-class baseline with a cosine-similarity threshold.
+///
+/// # Examples
+///
+/// ```
+/// use ocsvm::SparseVector;
+/// use proxylog::UserId;
+/// use webprofiler::FrequencyProfile;
+///
+/// let windows: Vec<SparseVector> =
+///     (0..20).map(|i| SparseVector::from_dense(&[1.0, 0.1 * (i % 3) as f64])).collect();
+/// let baseline = FrequencyProfile::train(UserId(1), &windows, 0.1)?;
+/// assert!(baseline.accepts(&SparseVector::from_dense(&[1.0, 0.1])));
+/// assert!(!baseline.accepts(&SparseVector::from_dense(&[0.0, 9.0])));
+/// # Ok::<(), webprofiler::ProfileError>(())
+/// ```
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FrequencyProfile {
+    user: UserId,
+    mean: SparseVector,
+    mean_norm: f64,
+    threshold: f64,
+    training_windows: usize,
+}
+
+impl FrequencyProfile {
+    /// Trains the baseline: computes the mean window vector and sets the
+    /// similarity threshold at the `quantile` fraction of training
+    /// windows' own similarities (so roughly `quantile` of training
+    /// windows would be rejected — the analogue of `ν`).
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileError::NoWindows`] when `windows` is empty.
+    pub fn train(
+        user: UserId,
+        windows: &[SparseVector],
+        quantile: f64,
+    ) -> Result<Self, ProfileError> {
+        if windows.is_empty() {
+            return Err(ProfileError::NoWindows { user });
+        }
+        let quantile = quantile.clamp(0.0, 1.0);
+        let scale = 1.0 / windows.len() as f64;
+        let mut builder = SparseVectorBuilder::new();
+        for window in windows {
+            for (column, value) in window.iter() {
+                builder.add(column, value * scale);
+            }
+        }
+        let mean = builder.build_summed();
+        let mean_norm = mean.squared_norm().sqrt();
+        let mut similarities: Vec<f64> = windows
+            .iter()
+            .map(|w| cosine(&mean, mean_norm, w))
+            .collect();
+        similarities.sort_by(|a, b| a.partial_cmp(b).expect("finite similarity"));
+        let index =
+            ((windows.len() as f64 * quantile) as usize).min(windows.len().saturating_sub(1));
+        let threshold = similarities[index];
+        Ok(Self { user, mean, mean_norm, threshold, training_windows: windows.len() })
+    }
+
+    /// The profiled user.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// The calibrated similarity threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Number of training windows.
+    pub fn training_windows(&self) -> usize {
+        self.training_windows
+    }
+
+    /// Signed decision value: cosine similarity minus the threshold.
+    pub fn decision_value(&self, window: &SparseVector) -> f64 {
+        cosine(&self.mean, self.mean_norm, window) - self.threshold
+    }
+
+    /// Whether the window is accepted as the profiled user's behavior.
+    pub fn accepts(&self, window: &SparseVector) -> bool {
+        self.decision_value(window) >= 0.0
+    }
+}
+
+impl fmt::Display for FrequencyProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frequency-baseline({}, threshold {:.3}, {} windows)",
+            self.user, self.threshold, self.training_windows
+        )
+    }
+}
+
+fn cosine(mean: &SparseVector, mean_norm: f64, window: &SparseVector) -> f64 {
+    let window_norm = window.squared_norm().sqrt();
+    if mean_norm == 0.0 || window_norm == 0.0 {
+        return 0.0;
+    }
+    mean.dot(window) / (mean_norm * window_norm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn windows(base: u32, n: usize) -> Vec<SparseVector> {
+        (0..n)
+            .map(|i| {
+                SparseVector::from_pairs(vec![
+                    (0, 1.0),
+                    (base + (i % 3) as u32, 1.0),
+                    (700, 0.2 + 0.1 * (i % 4) as f64),
+                ])
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_empty_training() {
+        let err = FrequencyProfile::train(UserId(0), &[], 0.1).unwrap_err();
+        assert!(matches!(err, ProfileError::NoWindows { .. }));
+    }
+
+    #[test]
+    fn accepts_own_rejects_distant() {
+        let own = windows(10, 30);
+        let baseline = FrequencyProfile::train(UserId(1), &own, 0.1).unwrap();
+        let accepted = own.iter().filter(|w| baseline.accepts(w)).count();
+        assert!(accepted as f64 >= 0.85 * own.len() as f64, "accepted {accepted}");
+        let strangers = windows(500, 30);
+        let false_accepts = strangers.iter().filter(|w| baseline.accepts(w)).count();
+        assert!(
+            false_accepts < accepted,
+            "baseline has no separation: {false_accepts} vs {accepted}"
+        );
+    }
+
+    #[test]
+    fn quantile_controls_strictness() {
+        let own = windows(10, 40);
+        let loose = FrequencyProfile::train(UserId(1), &own, 0.0).unwrap();
+        let strict = FrequencyProfile::train(UserId(1), &own, 0.5).unwrap();
+        assert!(strict.threshold() >= loose.threshold());
+        let accepted_loose = own.iter().filter(|w| loose.accepts(w)).count();
+        let accepted_strict = own.iter().filter(|w| strict.accepts(w)).count();
+        assert!(accepted_strict <= accepted_loose);
+    }
+
+    #[test]
+    fn empty_window_is_rejected_by_nonzero_profile() {
+        let own = windows(10, 10);
+        let baseline = FrequencyProfile::train(UserId(1), &own, 0.1).unwrap();
+        assert!(!baseline.accepts(&SparseVector::new()));
+    }
+
+    #[test]
+    fn display_mentions_user() {
+        let baseline = FrequencyProfile::train(UserId(4), &windows(10, 5), 0.2).unwrap();
+        assert!(baseline.to_string().contains("user_4"));
+    }
+}

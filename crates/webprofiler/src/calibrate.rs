@@ -1,0 +1,192 @@
+//! Parameter calibration without impostor data.
+//!
+//! The paper's grid search picks `ν`/`C` by maximizing
+//! `ACCself − ACCother`, which requires *other users'* windows. A real
+//! deployment profiling a single account may have nothing but that
+//! account's history. [`calibrate_without_impostors`] selects the
+//! strictest parameters whose *held-out own* acceptance still meets a
+//! target: the training windows are split chronologically, candidates are
+//! trained on the older part, and the newest part plays the role of
+//! "future traffic the profile must keep accepting".
+
+use crate::profile::{ProfileParams, UserProfile};
+use crate::trainer::{ProfileError, ProfileTrainer};
+use ocsvm::SparseVector;
+use proxylog::UserId;
+
+/// Outcome of a calibration run.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// The selected parameters.
+    pub params: ProfileParams,
+    /// Held-out self-acceptance of the selected candidate.
+    pub holdout_acceptance: f64,
+    /// Fraction of *training* windows the selected model rejects — the
+    /// strictness proxy used for ranking.
+    pub training_rejection: f64,
+    /// The profile trained with the selected parameters on the full
+    /// window set.
+    pub profile: UserProfile,
+}
+
+/// Selects, among `candidates`, the parameters with the highest
+/// training-set rejection (the strictest boundary — the best available
+/// proxy for a low false-positive rate when no impostor data exists)
+/// subject to the held-out self-acceptance staying at or above
+/// `target_acceptance`. Falls back to the candidate with the best held-out
+/// acceptance when none meets the target.
+///
+/// # Errors
+///
+/// [`ProfileError::NoWindows`] when `windows` has fewer than 4 windows
+/// (nothing to hold out), or the error of the last failing candidate when
+/// none trains.
+pub fn calibrate_without_impostors(
+    trainer: &ProfileTrainer<'_>,
+    user: UserId,
+    windows: &[SparseVector],
+    candidates: &[ProfileParams],
+    target_acceptance: f64,
+) -> Result<Calibration, ProfileError> {
+    if windows.len() < 4 {
+        return Err(ProfileError::NoWindows { user });
+    }
+    let cut = windows.len() * 3 / 4;
+    let (fit, holdout) = windows.split_at(cut);
+
+    let mut best_meeting: Option<(f64, f64, ProfileParams)> = None; // (rejection, acceptance)
+    let mut best_overall: Option<(f64, f64, ProfileParams)> = None; // (acceptance, rejection)
+    let mut last_error = ProfileError::NoWindows { user };
+    for &params in candidates {
+        let candidate_trainer = trainer.clone().params(params);
+        let profile = match candidate_trainer.train_from_vectors(user, fit) {
+            Ok(profile) => profile,
+            Err(e) => {
+                last_error = e;
+                continue;
+            }
+        };
+        let holdout_acceptance = crate::metrics::acceptance_ratio(&profile, holdout);
+        let training_rejection = 1.0 - crate::metrics::acceptance_ratio(&profile, fit);
+        if holdout_acceptance >= target_acceptance
+            && best_meeting
+                .as_ref()
+                .is_none_or(|&(rejection, _, _)| training_rejection > rejection)
+        {
+            best_meeting = Some((training_rejection, holdout_acceptance, params));
+        }
+        if best_overall
+            .as_ref()
+            .is_none_or(|&(acceptance, _, _)| holdout_acceptance > acceptance)
+        {
+            best_overall = Some((holdout_acceptance, training_rejection, params));
+        }
+    }
+
+    let (params, holdout_acceptance, training_rejection) = match (best_meeting, best_overall) {
+        (Some((rejection, acceptance, params)), _) => (params, acceptance, rejection),
+        (None, Some((acceptance, rejection, params))) => (params, acceptance, rejection),
+        (None, None) => return Err(last_error),
+    };
+    // Retrain the winner on everything.
+    let profile = trainer.clone().params(params).train_from_vectors(user, windows)?;
+    Ok(Calibration { params, holdout_acceptance, training_rejection, profile })
+}
+
+/// A reasonable default candidate list: both families across the paper's
+/// coarse regularization grid with the linear kernel.
+pub fn default_candidates() -> Vec<ProfileParams> {
+    use crate::gridsearch::ModelGridSearch;
+    use crate::profile::ModelKind;
+    let mut out = Vec::new();
+    for kind in ModelKind::ALL {
+        for &regularization in ModelGridSearch::COARSE_REGULARIZATIONS.iter() {
+            out.push(ProfileParams { kind, kernel: ocsvm::Kernel::Linear, regularization });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocabulary;
+    use proxylog::Taxonomy;
+
+    fn windows(n: usize) -> Vec<SparseVector> {
+        (0..n)
+            .map(|i| {
+                SparseVector::from_pairs(vec![
+                    (0, 1.0),
+                    (7, 0.2 + 0.04 * (i % 5) as f64),
+                    (40 + (i % 3) as u32, 1.0),
+                ])
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn calibration_meets_the_target() {
+        let vocab = Vocabulary::new(Taxonomy::paper_scale());
+        let trainer = ProfileTrainer::new(&vocab);
+        let own = windows(60);
+        let result = calibrate_without_impostors(
+            &trainer,
+            UserId(1),
+            &own,
+            &default_candidates(),
+            0.85,
+        )
+        .unwrap();
+        assert!(result.holdout_acceptance >= 0.85, "{result:?}");
+        // The calibrated profile accepts its own data and rejects foreign
+        // shapes.
+        let foreign = SparseVector::from_pairs(vec![(0, 1.0), (600, 1.0)]).unwrap();
+        assert!(!result.profile.accepts(&foreign));
+    }
+
+    #[test]
+    fn stricter_candidates_win_when_harmless() {
+        // All windows identical: every candidate accepts the holdout, so
+        // the strictest (highest training rejection) is chosen; with a
+        // perfectly tight cluster rejection is ~0 for all, so it should
+        // simply pick something meeting the target.
+        let vocab = Vocabulary::new(Taxonomy::paper_scale());
+        let trainer = ProfileTrainer::new(&vocab);
+        let own = windows(40);
+        let result = calibrate_without_impostors(
+            &trainer,
+            UserId(2),
+            &own,
+            &default_candidates(),
+            0.7,
+        )
+        .unwrap();
+        assert!(result.holdout_acceptance >= 0.7);
+        assert!(result.training_rejection <= 0.35);
+    }
+
+    #[test]
+    fn too_few_windows_is_an_error() {
+        let vocab = Vocabulary::new(Taxonomy::paper_scale());
+        let trainer = ProfileTrainer::new(&vocab);
+        let err = calibrate_without_impostors(
+            &trainer,
+            UserId(3),
+            &windows(3),
+            &default_candidates(),
+            0.9,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProfileError::NoWindows { .. }));
+    }
+
+    #[test]
+    fn empty_candidate_list_is_an_error() {
+        let vocab = Vocabulary::new(Taxonomy::paper_scale());
+        let trainer = ProfileTrainer::new(&vocab);
+        assert!(calibrate_without_impostors(&trainer, UserId(4), &windows(20), &[], 0.9)
+            .is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Behavioral-drift monitoring: when to retrain a profile.
+//!
+//! The pipeline rests on the consistency assumption validated in
+//! Sect. IV-B: a user's windows keep repeating shapes they produced
+//! before. [`DriftMonitor`] tracks that statistic *online* — the fraction
+//! of recent windows that are bit-exact-new (the Fig. 2 novelty ratio over
+//! a sliding horizon). A persistently high rate means the assumption is
+//! failing for this user (new job, new tools — or a slow takeover) and the
+//! profile should be retrained or the account reviewed.
+
+use ocsvm::SparseVector;
+use std::collections::{HashSet, VecDeque};
+
+/// Online novelty-rate tracker over a trailing horizon of windows.
+///
+/// # Examples
+///
+/// ```
+/// use ocsvm::SparseVector;
+/// use webprofiler::DriftMonitor;
+///
+/// let mut monitor = DriftMonitor::new(4);
+/// let a = SparseVector::from_dense(&[1.0, 0.0]);
+/// let b = SparseVector::from_dense(&[0.0, 1.0]);
+/// monitor.observe(&a); // novel
+/// monitor.observe(&a); // repeat
+/// monitor.observe(&b); // novel
+/// monitor.observe(&b); // repeat
+/// assert_eq!(monitor.novelty_rate(), 0.5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DriftMonitor {
+    seen: HashSet<Vec<(u32, u64)>>,
+    recent: VecDeque<bool>,
+    horizon: usize,
+    observed: usize,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor whose novelty rate is computed over the trailing
+    /// `horizon` windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn new(horizon: usize) -> Self {
+        assert!(horizon > 0, "horizon must be positive");
+        Self {
+            seen: HashSet::new(),
+            recent: VecDeque::with_capacity(horizon),
+            horizon,
+            observed: 0,
+        }
+    }
+
+    /// Seeds the monitor with a user's historical windows (training data)
+    /// without affecting the trailing rate.
+    pub fn seed<'a>(&mut self, windows: impl IntoIterator<Item = &'a SparseVector>) {
+        for window in windows {
+            self.seen.insert(canonical(window));
+        }
+    }
+
+    /// Observes one new window; returns whether it was novel (never seen
+    /// bit-exactly before).
+    pub fn observe(&mut self, window: &SparseVector) -> bool {
+        let novel = self.seen.insert(canonical(window));
+        if self.recent.len() == self.horizon {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(novel);
+        self.observed += 1;
+        novel
+    }
+
+    /// Fraction of the trailing horizon that was novel (0.0 before any
+    /// observation).
+    pub fn novelty_rate(&self) -> f64 {
+        if self.recent.is_empty() {
+            return 0.0;
+        }
+        self.recent.iter().filter(|&&n| n).count() as f64 / self.recent.len() as f64
+    }
+
+    /// Whether the trailing novelty rate exceeds `threshold` with a full
+    /// horizon of evidence.
+    pub fn is_drifting(&self, threshold: f64) -> bool {
+        self.recent.len() == self.horizon && self.novelty_rate() > threshold
+    }
+
+    /// Distinct window shapes seen so far (including seeds).
+    pub fn known_shapes(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Total windows observed (excluding seeds).
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+}
+
+fn canonical(window: &SparseVector) -> Vec<(u32, u64)> {
+    window.iter().map(|(i, v)| (i, v.to_bits())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(i: u32) -> SparseVector {
+        SparseVector::from_pairs(vec![(i, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn repeats_are_not_novel() {
+        let mut monitor = DriftMonitor::new(10);
+        assert!(monitor.observe(&shape(1)));
+        assert!(!monitor.observe(&shape(1)));
+        assert!(monitor.observe(&shape(2)));
+        assert_eq!(monitor.known_shapes(), 2);
+        assert_eq!(monitor.observed(), 3);
+    }
+
+    #[test]
+    fn seeding_marks_history_as_known() {
+        let mut monitor = DriftMonitor::new(10);
+        let history: Vec<SparseVector> = (0..5).map(shape).collect();
+        monitor.seed(&history);
+        assert_eq!(monitor.known_shapes(), 5);
+        assert_eq!(monitor.novelty_rate(), 0.0, "seeding must not move the rate");
+        assert!(!monitor.observe(&shape(3)));
+        assert!(monitor.observe(&shape(99)));
+    }
+
+    #[test]
+    fn rate_covers_only_the_horizon() {
+        let mut monitor = DriftMonitor::new(2);
+        monitor.observe(&shape(1)); // novel
+        monitor.observe(&shape(1)); // repeat
+        monitor.observe(&shape(1)); // repeat — horizon now [repeat, repeat]
+        assert_eq!(monitor.novelty_rate(), 0.0);
+        monitor.observe(&shape(2)); // novel — horizon [repeat, novel]
+        assert_eq!(monitor.novelty_rate(), 0.5);
+    }
+
+    #[test]
+    fn drift_requires_full_horizon() {
+        let mut monitor = DriftMonitor::new(3);
+        monitor.observe(&shape(1));
+        monitor.observe(&shape(2));
+        assert!(!monitor.is_drifting(0.5), "insufficient evidence");
+        monitor.observe(&shape(3));
+        assert!(monitor.is_drifting(0.5), "all-novel horizon drifts");
+    }
+
+    #[test]
+    fn stable_behavior_never_drifts() {
+        let mut monitor = DriftMonitor::new(5);
+        monitor.seed(&[shape(1), shape(2)]);
+        for _ in 0..20 {
+            monitor.observe(&shape(1));
+            monitor.observe(&shape(2));
+        }
+        assert!(!monitor.is_drifting(0.2));
+        assert_eq!(monitor.novelty_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_rejected() {
+        let _ = DriftMonitor::new(0);
+    }
+}

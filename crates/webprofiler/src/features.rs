@@ -1,0 +1,278 @@
+//! Feature extraction: transactions → sparse feature vectors.
+//!
+//! A single transaction maps to a sparse vector over the vocabulary
+//! (Sect. III-B); a *window* of transactions is aggregated into one vector
+//! with logical disjunction for binary columns and the mean for numeric
+//! columns (Sect. III-C).
+
+use crate::vocab::Vocabulary;
+use ocsvm::SparseVector;
+use proxylog::Transaction;
+
+/// Extracts the feature vector of a single transaction.
+///
+/// Zero-valued numeric features (e.g. an unverified, minimal-risk, public
+/// transaction) are omitted from the sparse representation; kernels treat
+/// missing and explicit zero identically.
+///
+/// # Examples
+///
+/// ```
+/// use proxylog::Taxonomy;
+/// use webprofiler::{extract_transaction, Vocabulary};
+/// # use proxylog::{AppTypeId, CategoryId, DeviceId, HttpAction, Reputation, SiteId,
+/// #     SubtypeId, Timestamp, Transaction, UriScheme, UserId};
+///
+/// let vocab = Vocabulary::new(Taxonomy::paper_scale());
+/// # let tx = Transaction {
+/// #     timestamp: Timestamp(0), user: UserId(0), device: DeviceId(0), site: SiteId(0),
+/// #     action: HttpAction::Get, scheme: UriScheme::Http, category: CategoryId(0),
+/// #     subtype: SubtypeId(0), app_type: AppTypeId(0), reputation: Reputation::Minimal,
+/// #     private_destination: false,
+/// # };
+/// let features = extract_transaction(&vocab, &tx);
+/// // GET, HTTP, verified, category, supertype, subtype and application set.
+/// assert!(features.nnz() >= 6);
+/// ```
+pub fn extract_transaction(vocab: &Vocabulary, tx: &Transaction) -> SparseVector {
+    let pairs: Vec<(u32, f64)> = vocab
+        .transaction_columns(tx)
+        .into_iter()
+        .filter(|&(_, value)| value != 0.0)
+        .collect();
+    SparseVector::from_pairs(pairs).expect("transaction_columns yields ascending columns")
+}
+
+/// How a window's transactions are folded into one vector.
+///
+/// The paper specifies [`AggregationMode::Disjunction`]; the alternative
+/// is kept for the ablation study in `bench` (DESIGN.md §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AggregationMode {
+    /// The paper's rule: binary columns by logical OR, numeric columns by
+    /// the mean (Sect. III-C).
+    #[default]
+    Disjunction,
+    /// Ablation: binary columns carry the *fraction* of the window's
+    /// transactions setting them (numeric columns still the mean). Richer
+    /// but noisier — window population varies wildly between page loads.
+    Frequency,
+}
+
+/// Aggregates a window of transactions into one feature vector:
+/// binary columns by logical OR, numeric columns by averaging over the
+/// window's transactions (Sect. III-C).
+///
+/// Returns an empty vector for an empty window; callers emit only
+/// non-empty windows.
+pub fn aggregate_window(vocab: &Vocabulary, window: &[Transaction]) -> SparseVector {
+    aggregate_window_with(vocab, window, AggregationMode::Disjunction)
+}
+
+/// [`aggregate_window`] with an explicit [`AggregationMode`].
+pub fn aggregate_window_with(
+    vocab: &Vocabulary,
+    window: &[Transaction],
+    mode: AggregationMode,
+) -> SparseVector {
+    if window.is_empty() {
+        return SparseVector::new();
+    }
+    let n = window.len() as f64;
+    let private_col = vocab.private_flag_column();
+    let risk_col = vocab.risk_column();
+    let verified_col = vocab.verified_column();
+
+    // Binary columns: collect set bits. Numeric columns: running sums.
+    let mut binary_cols: Vec<u32> = Vec::with_capacity(window.len() * 6);
+    let mut private_sum = 0.0;
+    let mut risk_sum = 0.0;
+    let mut verified_sum = 0.0;
+    for tx in window {
+        for (col, value) in vocab.transaction_columns(tx) {
+            if col == private_col {
+                private_sum += value;
+            } else if col == risk_col {
+                risk_sum += value;
+            } else if col == verified_col {
+                verified_sum += value;
+            } else if value != 0.0 {
+                binary_cols.push(col);
+            }
+        }
+    }
+    binary_cols.sort_unstable();
+
+    let mut pairs: Vec<(u32, f64)> = Vec::with_capacity(binary_cols.len() + 3);
+    match mode {
+        AggregationMode::Disjunction => {
+            binary_cols.dedup();
+            for col in binary_cols {
+                pairs.push((col, 1.0));
+            }
+        }
+        AggregationMode::Frequency => {
+            let mut i = 0;
+            while i < binary_cols.len() {
+                let col = binary_cols[i];
+                let mut count = 0usize;
+                while i < binary_cols.len() && binary_cols[i] == col {
+                    count += 1;
+                    i += 1;
+                }
+                pairs.push((col, count as f64 / n));
+            }
+        }
+    }
+    for (col, sum) in [(private_col, private_sum), (risk_col, risk_sum), (verified_col, verified_sum)]
+    {
+        let mean = sum / n;
+        if mean != 0.0 {
+            pairs.push((col, mean));
+        }
+    }
+    pairs.sort_unstable_by_key(|&(c, _)| c);
+    SparseVector::from_pairs(pairs).expect("columns deduplicated and sorted")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxylog::{
+        AppTypeId, CategoryId, DeviceId, HttpAction, Reputation, SiteId, SubtypeId, Taxonomy,
+        Timestamp, UriScheme, UserId,
+    };
+
+    fn vocab() -> Vocabulary {
+        Vocabulary::new(Taxonomy::paper_scale())
+    }
+
+    fn tx(action: HttpAction, scheme: UriScheme, rep: Reputation) -> Transaction {
+        Transaction {
+            timestamp: Timestamp(0),
+            user: UserId(0),
+            device: DeviceId(0),
+            site: SiteId(0),
+            action,
+            scheme,
+            category: CategoryId(3),
+            subtype: SubtypeId(1),
+            app_type: AppTypeId(2),
+            reputation: rep,
+            private_destination: false,
+        }
+    }
+
+    #[test]
+    fn single_transaction_sets_expected_bits() {
+        let v = vocab();
+        let t = tx(HttpAction::Get, UriScheme::Http, Reputation::Minimal);
+        let features = extract_transaction(&v, &t);
+        assert_eq!(features.get(v.action_column(HttpAction::Get)), 1.0);
+        assert_eq!(features.get(v.action_column(HttpAction::Post)), 0.0);
+        assert_eq!(features.get(v.scheme_column(UriScheme::Http)), 1.0);
+        assert_eq!(features.get(v.verified_column()), 1.0);
+        assert_eq!(features.get(v.risk_column()), 0.0);
+        assert_eq!(features.get(v.category_column(CategoryId(3))), 1.0);
+    }
+
+    #[test]
+    fn paper_aggregation_example() {
+        // Reproduce the Sect. III-C example: three transactions ->
+        // CONNECT OR'd to 1, HTTP OR'd to 1, reputation averaged to 0.167,
+        // verified averaged to 0.667.
+        let v = vocab();
+        let t1 = tx(HttpAction::Connect, UriScheme::Http, Reputation::Minimal); // rep 0, verified 1
+        let t2 = tx(HttpAction::Get, UriScheme::Https, Reputation::Medium); // rep 0.5, verified 1
+        let t3 = tx(HttpAction::Get, UriScheme::Http, Reputation::Unverified); // rep 0, verified 0
+        let window = [t1, t2, t3];
+        let agg = aggregate_window(&v, &window);
+        assert_eq!(agg.get(v.action_column(HttpAction::Connect)), 1.0);
+        assert_eq!(agg.get(v.scheme_column(UriScheme::Http)), 1.0);
+        assert!((agg.get(v.risk_column()) - 0.5 / 3.0).abs() < 1e-9);
+        assert!((agg.get(v.verified_column()) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binary_columns_are_disjunction_not_count() {
+        let v = vocab();
+        let t = tx(HttpAction::Get, UriScheme::Http, Reputation::Minimal);
+        let window = vec![t; 10];
+        let agg = aggregate_window(&v, &window);
+        assert_eq!(agg.get(v.action_column(HttpAction::Get)), 1.0);
+        assert_eq!(agg.get(v.category_column(CategoryId(3))), 1.0);
+    }
+
+    #[test]
+    fn private_fraction_is_averaged() {
+        let v = vocab();
+        let mut a = tx(HttpAction::Get, UriScheme::Http, Reputation::Minimal);
+        a.private_destination = true;
+        let b = tx(HttpAction::Get, UriScheme::Http, Reputation::Minimal);
+        let agg = aggregate_window(&v, &[a, b, b, b]);
+        assert!((agg.get(v.private_flag_column()) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_of_one_equals_extraction() {
+        let v = vocab();
+        let t = tx(HttpAction::Post, UriScheme::Https, Reputation::High);
+        assert_eq!(aggregate_window(&v, &[t]), extract_transaction(&v, &t));
+    }
+
+    #[test]
+    fn empty_window_is_empty_vector() {
+        assert!(aggregate_window(&vocab(), &[]).is_empty());
+    }
+
+    #[test]
+    fn aggregation_is_order_invariant() {
+        let v = vocab();
+        let t1 = tx(HttpAction::Connect, UriScheme::Http, Reputation::Minimal);
+        let t2 = tx(HttpAction::Get, UriScheme::Https, Reputation::Medium);
+        let t3 = tx(HttpAction::Head, UriScheme::Http, Reputation::Unverified);
+        let a = aggregate_window(&v, &[t1, t2, t3]);
+        let b = aggregate_window(&v, &[t3, t1, t2]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn frequency_mode_counts_fractions() {
+        let v = vocab();
+        let t1 = tx(HttpAction::Get, UriScheme::Http, Reputation::Minimal);
+        let t2 = tx(HttpAction::Post, UriScheme::Http, Reputation::Minimal);
+        let agg = aggregate_window_with(
+            &v,
+            &[t1, t1, t1, t2],
+            AggregationMode::Frequency,
+        );
+        assert!((agg.get(v.action_column(HttpAction::Get)) - 0.75).abs() < 1e-12);
+        assert!((agg.get(v.action_column(HttpAction::Post)) - 0.25).abs() < 1e-12);
+        assert!((agg.get(v.scheme_column(UriScheme::Http)) - 1.0).abs() < 1e-12);
+        // Numeric columns identical to the paper mode.
+        let paper = aggregate_window(&v, &[t1, t1, t1, t2]);
+        assert_eq!(agg.get(v.verified_column()), paper.get(v.verified_column()));
+    }
+
+    #[test]
+    fn frequency_mode_of_single_tx_equals_paper_mode() {
+        let v = vocab();
+        let t = tx(HttpAction::Head, UriScheme::Https, Reputation::High);
+        assert_eq!(
+            aggregate_window_with(&v, &[t], AggregationMode::Frequency),
+            aggregate_window(&v, &[t])
+        );
+    }
+
+    #[test]
+    fn distinct_categories_all_present() {
+        let v = vocab();
+        let mut t1 = tx(HttpAction::Get, UriScheme::Http, Reputation::Minimal);
+        let mut t2 = t1;
+        t1.category = CategoryId(1);
+        t2.category = CategoryId(2);
+        let agg = aggregate_window(&v, &[t1, t2]);
+        assert_eq!(agg.get(v.category_column(CategoryId(1))), 1.0);
+        assert_eq!(agg.get(v.category_column(CategoryId(2))), 1.0);
+    }
+}

@@ -1,0 +1,344 @@
+//! Learning-parameter optimization (Sect. IV-C).
+//!
+//! The paper optimizes in two stages:
+//!
+//! 1. [`WindowGridSearch`] (Tab. II): the window duration `D` and shift
+//!    `S` are optimized *globally* over all users, with a fixed SVDD /
+//!    linear / `C = 0.5` model. `ACCself` is computed on the same windows
+//!    the model was trained on, `ACCother` against every other user's
+//!    training windows. The paper retains `D = 60 s, S = 30 s` — not the
+//!    best global `ACC`, but the best `ACCself`, which is what matters for
+//!    fast identification.
+//! 2. [`ModelGridSearch`] (Tab. III): the kernel and `ν`/`C` value are
+//!    optimized *per user* at the retained window configuration, picking
+//!    the combination with maximal `ACC = ACCself − ACCother`.
+
+use crate::metrics::{acceptance_ratio, AcceptanceSummary, ConfusionMatrix};
+use crate::profile::{ModelKind, ProfileParams};
+use crate::trainer::{parallel_map, ProfileTrainer};
+use crate::vocab::Vocabulary;
+use crate::window::WindowConfig;
+use ocsvm::{Kernel, KernelKind, SparseVector};
+use proxylog::{Dataset, UserId};
+use std::collections::BTreeMap;
+
+/// Per-user window feature vectors, the shared input of both grid-search
+/// stages (computing them once per window configuration dominates the cost
+/// otherwise).
+pub type WindowSets = BTreeMap<UserId, Vec<SparseVector>>;
+
+/// Computes user-specific window sets for every user of `dataset`, capped
+/// at `max_windows_per_user` by even subsampling.
+pub fn compute_window_sets(
+    vocab: &Vocabulary,
+    dataset: &Dataset,
+    config: WindowConfig,
+    max_windows_per_user: Option<usize>,
+) -> WindowSets {
+    let mut trainer = ProfileTrainer::new(vocab).window(config);
+    if let Some(max) = max_windows_per_user {
+        trainer = trainer.max_training_windows(max);
+    }
+    let users = dataset.users();
+    let sets = parallel_map(&users, |&user| trainer.training_vectors(dataset, user));
+    users.into_iter().zip(sets).collect()
+}
+
+/// One row of the Tab. II sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowGridRow {
+    /// The window configuration evaluated.
+    pub config: WindowConfig,
+    /// Averaged acceptance over users.
+    pub summary: AcceptanceSummary,
+}
+
+/// Stage 1: global window-parameter sweep (Tab. II).
+#[derive(Debug, Clone)]
+pub struct WindowGridSearch<'a> {
+    vocab: &'a Vocabulary,
+    params: ProfileParams,
+    max_windows_per_user: Option<usize>,
+}
+
+impl<'a> WindowGridSearch<'a> {
+    /// The `(D, S)` pairs of the paper's Tab. II, in seconds.
+    pub const PAPER_CANDIDATES: [(u32, u32); 6] =
+        [(60, 6), (60, 30), (300, 60), (600, 60), (1800, 300), (3600, 300)];
+
+    /// Creates the sweep with the paper's fixed model for this stage:
+    /// SVDD, linear kernel, `C = 0.5`.
+    pub fn new(vocab: &'a Vocabulary) -> Self {
+        Self {
+            vocab,
+            params: ProfileParams {
+                kind: ModelKind::Svdd,
+                kernel: Kernel::Linear,
+                regularization: 0.5,
+            },
+            max_windows_per_user: Some(1_000),
+        }
+    }
+
+    /// Overrides the fixed model used during the sweep.
+    pub fn params(mut self, params: ProfileParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Caps the training windows per user (even subsample). `None` removes
+    /// the cap.
+    pub fn max_windows_per_user(mut self, max: Option<usize>) -> Self {
+        self.max_windows_per_user = max;
+        self
+    }
+
+    /// Evaluates one window configuration: train a model per user on its
+    /// windows, score the full confusion matrix on those same windows.
+    pub fn evaluate(&self, train: &Dataset, config: WindowConfig) -> WindowGridRow {
+        let windows = compute_window_sets(self.vocab, train, config, self.max_windows_per_user);
+        let trainer =
+            ProfileTrainer::new(self.vocab).window(config).params(self.params);
+        let users: Vec<UserId> = windows.keys().copied().collect();
+        let trained = parallel_map(&users, |user| {
+            trainer.train_from_vectors(*user, &windows[user]).ok()
+        });
+        let profiles: BTreeMap<_, _> = users
+            .iter()
+            .zip(trained)
+            .filter_map(|(user, profile)| profile.map(|p| (*user, p)))
+            .collect();
+        let matrix = ConfusionMatrix::compute(&profiles, &windows);
+        WindowGridRow { config, summary: matrix.summary() }
+    }
+
+    /// Runs the sweep over `configs` (defaults to the paper's candidates
+    /// when empty), returning one row per configuration.
+    pub fn run(&self, train: &Dataset, configs: &[WindowConfig]) -> Vec<WindowGridRow> {
+        let default: Vec<WindowConfig> = Self::PAPER_CANDIDATES
+            .iter()
+            .map(|&(d, s)| WindowConfig::new(d, s).expect("paper candidates are valid"))
+            .collect();
+        let configs = if configs.is_empty() { &default } else { configs };
+        configs.iter().map(|&config| self.evaluate(train, config)).collect()
+    }
+}
+
+/// One cell of the Tab. III sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelGridCell {
+    /// Kernel family evaluated (with vocabulary-default parameters).
+    pub kernel: KernelKind,
+    /// `ν` or `C` value evaluated.
+    pub regularization: f64,
+    /// Acceptance summary for this user's model.
+    pub summary: AcceptanceSummary,
+}
+
+/// Stage 2: per-user kernel and `ν`/`C` sweep (Tab. III).
+#[derive(Debug, Clone)]
+pub struct ModelGridSearch<'a> {
+    vocab: &'a Vocabulary,
+    window: WindowConfig,
+    kind: ModelKind,
+    max_other_windows: usize,
+    regularizations: Vec<f64>,
+}
+
+impl<'a> ModelGridSearch<'a> {
+    /// The `C` (and `ν`) values of the paper's Tab. III rows.
+    pub const PAPER_REGULARIZATIONS: [f64; 15] = [
+        0.999, 0.99, 0.95, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.05, 0.01, 0.001,
+    ];
+
+    /// A coarser grid for sweeps that optimize many users × window
+    /// configurations (Tab. IV).
+    pub const COARSE_REGULARIZATIONS: [f64; 8] = [0.99, 0.9, 0.7, 0.5, 0.3, 0.1, 0.05, 0.01];
+
+    /// Creates the sweep at a window configuration (the paper fixes
+    /// `D = 60 s, S = 30 s` for this stage) for one classifier family.
+    pub fn new(vocab: &'a Vocabulary, window: WindowConfig, kind: ModelKind) -> Self {
+        Self {
+            vocab,
+            window,
+            kind,
+            max_other_windows: 150,
+            regularizations: Self::PAPER_REGULARIZATIONS.to_vec(),
+        }
+    }
+
+    /// Caps the windows sampled from each *other* user when estimating
+    /// `ACCother` inside the sweep (an even subsample; the estimate is a
+    /// mean, so a moderate sample suffices and cuts the sweep cost by an
+    /// order of magnitude). Use `usize::MAX` for the exact value.
+    pub fn max_other_windows(mut self, max: usize) -> Self {
+        self.max_other_windows = max;
+        self
+    }
+
+    /// Replaces the `ν`/`C` grid (defaults to
+    /// [`Self::PAPER_REGULARIZATIONS`]).
+    pub fn regularizations(mut self, values: Vec<f64>) -> Self {
+        self.regularizations = values;
+        self
+    }
+
+    /// Evaluates every kernel × regularization combination for one user.
+    ///
+    /// `windows` must contain the user's own training windows as well as
+    /// the other users' (used for `ACCother`). Cells whose training fails
+    /// (e.g. an infeasible `C` for the window count) are skipped.
+    pub fn run_user(&self, windows: &WindowSets, user: UserId) -> Vec<ModelGridCell> {
+        let Some(own) = windows.get(&user) else {
+            return Vec::new();
+        };
+        let n_features = self.vocab.n_features();
+        let mut cells = Vec::new();
+        // Sampled other-user windows, shared by every cell of the sweep.
+        let other_samples: Vec<(UserId, Vec<SparseVector>)> = windows
+            .iter()
+            .filter(|&(&u, _)| u != user)
+            .map(|(&u, w)| {
+                (u, crate::trainer::subsample_evenly(w.clone(), self.max_other_windows))
+            })
+            .collect();
+        let combos: Vec<(KernelKind, f64)> = KernelKind::ALL
+            .iter()
+            .flat_map(|&k| self.regularizations.iter().map(move |&c| (k, c)))
+            .collect();
+        let results = parallel_map(&combos, |&(kernel_kind, regularization)| {
+            let kernel = Kernel::default_for(kernel_kind, n_features);
+            let trainer = ProfileTrainer::new(self.vocab)
+                .window(self.window)
+                .kind(self.kind)
+                .kernel(kernel)
+                .regularization(regularization);
+            let profile = trainer.train_from_vectors(user, own).ok()?;
+            let acc_self = acceptance_ratio(&profile, own);
+            let others: Vec<f64> = other_samples
+                .iter()
+                .map(|(_, w)| acceptance_ratio(&profile, w))
+                .collect();
+            let acc_other = if others.is_empty() {
+                0.0
+            } else {
+                others.iter().sum::<f64>() / others.len() as f64
+            };
+            Some(ModelGridCell {
+                kernel: kernel_kind,
+                regularization,
+                summary: AcceptanceSummary { acc_self, acc_other },
+            })
+        });
+        cells.extend(results.into_iter().flatten());
+        cells
+    }
+
+    /// The best parameters for one user (maximal `ACC`), or `None` when no
+    /// cell trained successfully.
+    pub fn best_for_user(&self, windows: &WindowSets, user: UserId) -> Option<ProfileParams> {
+        let cells = self.run_user(windows, user);
+        let best = cells.into_iter().max_by(|a, b| {
+            a.summary.acc().partial_cmp(&b.summary.acc()).expect("ACC is finite")
+        })?;
+        Some(ProfileParams {
+            kind: self.kind,
+            kernel: Kernel::default_for(best.kernel, self.vocab.n_features()),
+            regularization: best.regularization,
+        })
+    }
+
+    /// Optimizes every user in the window sets.
+    pub fn optimize_all(&self, windows: &WindowSets) -> BTreeMap<UserId, ProfileParams> {
+        windows
+            .keys()
+            .filter_map(|&user| self.best_for_user(windows, user).map(|p| (user, p)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use tracegen::{Scenario, TraceGenerator};
+
+    fn small_dataset() -> Dataset {
+        TraceGenerator::new(Scenario::quick_test()).generate()
+    }
+
+    #[test]
+    fn window_sets_cover_users_and_respect_cap() {
+        let dataset = small_dataset();
+        let vocab = Vocabulary::new(dataset.taxonomy().clone());
+        let sets =
+            compute_window_sets(&vocab, &dataset, WindowConfig::PAPER_DEFAULT, Some(50));
+        assert_eq!(sets.len(), dataset.users().len());
+        assert!(sets.values().all(|w| w.len() <= 50));
+        assert!(sets.values().any(|w| !w.is_empty()));
+    }
+
+    #[test]
+    fn window_grid_row_has_sane_summary() {
+        let dataset = small_dataset();
+        let vocab = Vocabulary::new(dataset.taxonomy().clone());
+        let search = WindowGridSearch::new(&vocab).max_windows_per_user(Some(80));
+        let row = search.evaluate(&dataset, WindowConfig::new(60, 30).unwrap());
+        assert!(row.summary.acc_self > 0.5, "ACCself = {}", row.summary.acc_self);
+        assert!(row.summary.acc_other < row.summary.acc_self);
+        assert!((0.0..=1.0).contains(&row.summary.acc_other));
+    }
+
+    #[test]
+    fn run_defaults_to_paper_candidates() {
+        let dataset = small_dataset();
+        let vocab = Vocabulary::new(dataset.taxonomy().clone());
+        let search = WindowGridSearch::new(&vocab).max_windows_per_user(Some(40));
+        let rows = search.run(&dataset, &[]);
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[1].config, WindowConfig::new(60, 30).unwrap());
+    }
+
+    #[test]
+    fn model_grid_search_finds_parameters() {
+        let dataset = small_dataset();
+        let vocab = Vocabulary::new(dataset.taxonomy().clone());
+        let sets = compute_window_sets(&vocab, &dataset, WindowConfig::PAPER_DEFAULT, Some(60));
+        let user = *sets
+            .iter()
+            .max_by_key(|&(_, w)| w.len())
+            .map(|(u, _)| u)
+            .unwrap();
+        let search = ModelGridSearch::new(&vocab, WindowConfig::PAPER_DEFAULT, ModelKind::Svdd);
+        let cells = search.run_user(&sets, user);
+        assert!(!cells.is_empty());
+        // 4 kernels × 15 values minus skipped infeasible ones.
+        assert!(cells.len() <= 60);
+        let best = search.best_for_user(&sets, user).unwrap();
+        assert_eq!(best.kind, ModelKind::Svdd);
+        assert!(best.regularization > 0.0);
+        // The best ACC is at least as good as every cell.
+        let best_acc = cells
+            .iter()
+            .map(|c| c.summary.acc())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let chosen = cells
+            .iter()
+            .find(|c| {
+                Kernel::default_for(c.kernel, vocab.n_features()) == best.kernel
+                    && c.regularization == best.regularization
+            })
+            .unwrap();
+        assert!((chosen.summary.acc() - best_acc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_user_yields_no_cells() {
+        let dataset = small_dataset();
+        let vocab = Vocabulary::new(dataset.taxonomy().clone());
+        let sets = compute_window_sets(&vocab, &dataset, WindowConfig::PAPER_DEFAULT, Some(30));
+        let search = ModelGridSearch::new(&vocab, WindowConfig::PAPER_DEFAULT, ModelKind::OcSvm);
+        assert!(search.run_user(&sets, UserId(999)).is_empty());
+        assert!(search.best_for_user(&sets, UserId(999)).is_none());
+    }
+}

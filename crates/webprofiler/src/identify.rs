@@ -1,0 +1,468 @@
+//! Online user identification on a monitored device (Sect. V-B, Fig. 3).
+//!
+//! For real applications the windowing is *host-specific*: every
+//! transaction seen on a device — whoever performed it — is aggregated
+//! into sliding windows, and each window is subjected to every user model.
+//! The models that accept a window are that window's candidate users; the
+//! paper's Fig. 3 plots those acceptances against the actual usage of a
+//! shared device over 100 minutes, and suggests voting over consecutive
+//! windows to disambiguate multi-accepted windows.
+
+use crate::metrics::AcceptanceSummary;
+use crate::profile::UserProfile;
+use crate::trainer::parallel_map;
+use crate::vocab::Vocabulary;
+use crate::window::{WindowAggregator, WindowConfig};
+use proxylog::{Dataset, DeviceId, Timestamp, UserId};
+use std::collections::BTreeMap;
+
+/// One host-specific window with the models that accepted it and the
+/// ground-truth users actually active in it.
+#[derive(Debug, Clone)]
+pub struct IdentifiedWindow {
+    /// Window start.
+    pub start: Timestamp,
+    /// Transactions aggregated into the window.
+    pub transaction_count: usize,
+    /// User models that accepted the window, ascending.
+    pub accepted_by: Vec<UserId>,
+    /// Users whose transactions are actually in the window, ascending
+    /// (ground truth; normally a single user, since a device is used by
+    /// one person at a time).
+    pub actual_users: Vec<UserId>,
+}
+
+impl IdentifiedWindow {
+    /// Whether exactly the actual users (and nobody else) accepted.
+    pub fn is_exact(&self) -> bool {
+        self.accepted_by == self.actual_users
+    }
+
+    /// Whether every actual user's model accepted the window.
+    pub fn covers_actual(&self) -> bool {
+        self.actual_users.iter().all(|u| self.accepted_by.contains(u))
+    }
+}
+
+/// Identifies users on a device by applying every profile to every
+/// host-specific window.
+pub fn identify_on_device(
+    profiles: &BTreeMap<UserId, UserProfile>,
+    vocab: &Vocabulary,
+    dataset: &Dataset,
+    device: DeviceId,
+    config: WindowConfig,
+) -> Vec<IdentifiedWindow> {
+    let aggregator = WindowAggregator::new(vocab, config);
+    let windows = aggregator.device_windows(dataset, device);
+    let results = parallel_map(&windows, |window| {
+        let accepted_by: Vec<UserId> = profiles
+            .iter()
+            .filter(|(_, profile)| profile.accepts(&window.features))
+            .map(|(&user, _)| user)
+            .collect();
+        IdentifiedWindow {
+            start: window.start,
+            transaction_count: window.transaction_count,
+            accepted_by,
+            actual_users: window.users.clone(),
+        }
+    });
+    results
+}
+
+/// Summary quality of an identification run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdentificationQuality {
+    /// Fraction of windows where the actual user's model accepted.
+    pub recall: f64,
+    /// Fraction of (window, accepting model) pairs that were correct.
+    pub precision: f64,
+    /// Fraction of windows accepted by exactly the right model set.
+    pub exact: f64,
+    /// Windows evaluated.
+    pub windows: usize,
+}
+
+impl IdentificationQuality {
+    /// Measures an identification run (zeroes for an empty run).
+    pub fn measure(windows: &[IdentifiedWindow]) -> Self {
+        if windows.is_empty() {
+            return Self { recall: 0.0, precision: 0.0, exact: 0.0, windows: 0 };
+        }
+        let n = windows.len() as f64;
+        let recall = windows.iter().filter(|w| w.covers_actual()).count() as f64 / n;
+        let exact = windows.iter().filter(|w| w.is_exact()).count() as f64 / n;
+        let mut accepted_pairs = 0usize;
+        let mut correct_pairs = 0usize;
+        for w in windows {
+            accepted_pairs += w.accepted_by.len();
+            correct_pairs += w.accepted_by.iter().filter(|u| w.actual_users.contains(u)).count();
+        }
+        let precision = if accepted_pairs == 0 {
+            0.0
+        } else {
+            correct_pairs as f64 / accepted_pairs as f64
+        };
+        Self { recall, precision, exact, windows: windows.len() }
+    }
+
+    /// Collapses to the acceptance-style summary used elsewhere.
+    pub fn as_summary(&self) -> AcceptanceSummary {
+        AcceptanceSummary { acc_self: self.recall, acc_other: 1.0 - self.precision }
+    }
+}
+
+/// Votes over the trailing `k` windows: a user is the identification of a
+/// window if their model accepted strictly more than half of the last `k`
+/// windows (including the current one) — the paper's suggested mitigation
+/// for windows accepted by several models, at the cost of multiplying the
+/// identification delay by `k`.
+///
+/// Returns one `(window_start, identified_user)` per input window; `None`
+/// before a majority emerges or on ties.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn consecutive_window_vote(
+    windows: &[IdentifiedWindow],
+    k: usize,
+) -> Vec<(Timestamp, Option<UserId>)> {
+    assert!(k > 0, "vote length must be positive");
+    let mut result = Vec::with_capacity(windows.len());
+    for (i, window) in windows.iter().enumerate() {
+        let lo = (i + 1).saturating_sub(k);
+        let recent = &windows[lo..=i];
+        let mut counts: BTreeMap<UserId, usize> = BTreeMap::new();
+        for w in recent {
+            for &user in &w.accepted_by {
+                *counts.entry(user).or_insert(0) += 1;
+            }
+        }
+        let need = recent.len() / 2; // strictly more than half
+        let mut winner: Option<UserId> = None;
+        let mut best = need;
+        let mut tie = false;
+        for (&user, &count) in &counts {
+            if count > best {
+                winner = Some(user);
+                best = count;
+                tie = false;
+            } else if count == best && winner.is_some() {
+                tie = true;
+            }
+        }
+        result.push((window.start, if tie { None } else { winner }));
+    }
+    result
+}
+
+/// Streaming identifier: feed raw device transactions as they arrive and
+/// get per-window identifications plus a running consecutive-window vote —
+/// the online counterpart of [`identify_on_device`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use webprofiler::OnlineIdentifier;
+/// # fn parts() -> (std::collections::BTreeMap<proxylog::UserId, webprofiler::UserProfile>,
+/// #     webprofiler::Vocabulary, proxylog::Transaction) { unimplemented!() }
+/// let (profiles, vocab, tx) = parts();
+/// let mut identifier = OnlineIdentifier::new(
+///     &profiles,
+///     &vocab,
+///     webprofiler::WindowConfig::PAPER_DEFAULT,
+///     proxylog::DeviceId(3),
+///     5, // vote over 5 consecutive windows
+/// );
+/// for window in identifier.observe(tx) {
+///     println!("{:?} voted {:?}", window.start, identifier.current_user());
+/// }
+/// ```
+#[derive(Debug)]
+pub struct OnlineIdentifier<'a> {
+    profiles: &'a BTreeMap<UserId, UserProfile>,
+    stream: crate::window::WindowStream<'a>,
+    vote_k: usize,
+    history: Vec<IdentifiedWindow>,
+    current: Option<UserId>,
+}
+
+impl<'a> OnlineIdentifier<'a> {
+    /// Creates a streaming identifier for one monitored device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vote_k` is zero.
+    pub fn new(
+        profiles: &'a BTreeMap<UserId, UserProfile>,
+        vocab: &'a Vocabulary,
+        config: WindowConfig,
+        device: DeviceId,
+        vote_k: usize,
+    ) -> Self {
+        assert!(vote_k > 0, "vote length must be positive");
+        Self {
+            profiles,
+            stream: crate::window::WindowStream::new(
+                vocab,
+                config,
+                crate::window::WindowKey::Device(device),
+            ),
+            vote_k,
+            history: Vec::new(),
+            current: None,
+        }
+    }
+
+    /// Feeds one transaction; returns the windows completed by it (already
+    /// folded into the running vote).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-order transactions (see
+    /// [`WindowStream::push`](crate::WindowStream::push)).
+    pub fn observe(&mut self, tx: proxylog::Transaction) -> Vec<IdentifiedWindow> {
+        let windows = self.stream.push(tx);
+        self.fold(windows)
+    }
+
+    /// Flushes the remaining open windows at the end of monitoring.
+    pub fn finish(&mut self) -> Vec<IdentifiedWindow> {
+        let windows = self.stream.flush();
+        self.fold(windows)
+    }
+
+    /// The currently identified user according to the trailing vote, if a
+    /// strict majority exists.
+    pub fn current_user(&self) -> Option<UserId> {
+        self.current
+    }
+
+    /// Every identified window so far, in order.
+    pub fn history(&self) -> &[IdentifiedWindow] {
+        &self.history
+    }
+
+    fn fold(
+        &mut self,
+        windows: Vec<crate::window::TransactionWindow>,
+    ) -> Vec<IdentifiedWindow> {
+        let mut out = Vec::with_capacity(windows.len());
+        for window in windows {
+            let accepted_by: Vec<UserId> = self
+                .profiles
+                .iter()
+                .filter(|(_, profile)| profile.accepts(&window.features))
+                .map(|(&user, _)| user)
+                .collect();
+            let identified = IdentifiedWindow {
+                start: window.start,
+                transaction_count: window.transaction_count,
+                accepted_by,
+                actual_users: window.users.clone(),
+            };
+            self.history.push(identified.clone());
+            out.push(identified);
+        }
+        if !out.is_empty() {
+            let votes = consecutive_window_vote(&self.history, self.vote_k);
+            self.current = votes.last().and_then(|&(_, user)| user);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(start: i64, accepted: &[u32], actual: &[u32]) -> IdentifiedWindow {
+        IdentifiedWindow {
+            start: Timestamp(start),
+            transaction_count: 1,
+            accepted_by: accepted.iter().map(|&u| UserId(u)).collect(),
+            actual_users: actual.iter().map(|&u| UserId(u)).collect(),
+        }
+    }
+
+    #[test]
+    fn exactness_and_coverage() {
+        let w = window(0, &[1], &[1]);
+        assert!(w.is_exact());
+        assert!(w.covers_actual());
+        let w = window(0, &[1, 2], &[1]);
+        assert!(!w.is_exact());
+        assert!(w.covers_actual());
+        let w = window(0, &[2], &[1]);
+        assert!(!w.covers_actual());
+    }
+
+    #[test]
+    fn quality_measures() {
+        let windows = vec![
+            window(0, &[1], &[1]),    // exact
+            window(30, &[1, 2], &[1]), // covered, one spurious
+            window(60, &[], &[1]),    // missed
+        ];
+        let q = IdentificationQuality::measure(&windows);
+        assert_eq!(q.windows, 3);
+        assert!((q.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((q.exact - 1.0 / 3.0).abs() < 1e-12);
+        assert!((q.precision - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_of_empty_run() {
+        let q = IdentificationQuality::measure(&[]);
+        assert_eq!(q.windows, 0);
+        assert_eq!(q.recall, 0.0);
+    }
+
+    #[test]
+    fn vote_identifies_majority_user() {
+        let windows = vec![
+            window(0, &[1], &[1]),
+            window(30, &[1, 2], &[1]),
+            window(60, &[1], &[1]),
+        ];
+        let votes = consecutive_window_vote(&windows, 3);
+        assert_eq!(votes[2].1, Some(UserId(1)));
+    }
+
+    #[test]
+    fn vote_none_on_tie() {
+        let windows = vec![window(0, &[1, 2], &[1]), window(30, &[1, 2], &[1])];
+        let votes = consecutive_window_vote(&windows, 2);
+        assert_eq!(votes[1].1, None);
+    }
+
+    #[test]
+    fn vote_with_k_one_follows_single_acceptance() {
+        let windows = vec![window(0, &[3], &[3]), window(30, &[], &[3])];
+        let votes = consecutive_window_vote(&windows, 1);
+        assert_eq!(votes[0].1, Some(UserId(3)));
+        assert_eq!(votes[1].1, None);
+    }
+
+    #[test]
+    fn vote_switches_user_after_handover() {
+        // User 1 active for 4 windows, then user 2.
+        let mut windows = Vec::new();
+        for i in 0..4 {
+            windows.push(window(i * 30, &[1], &[1]));
+        }
+        for i in 4..8 {
+            windows.push(window(i * 30, &[2], &[2]));
+        }
+        let votes = consecutive_window_vote(&windows, 3);
+        assert_eq!(votes[3].1, Some(UserId(1)));
+        assert_eq!(votes[7].1, Some(UserId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "vote length")]
+    fn vote_rejects_zero_k() {
+        let _ = consecutive_window_vote(&[], 0);
+    }
+
+    #[test]
+    fn online_identifier_matches_batch_identification() {
+        use crate::trainer::ProfileTrainer;
+        use tracegen::{Scenario, TraceGenerator};
+
+        let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+        let vocab = Vocabulary::new(dataset.taxonomy().clone());
+        let (profiles, _) =
+            ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
+        let device = dataset.devices()[0];
+        let batch = identify_on_device(
+            &profiles,
+            &vocab,
+            &dataset,
+            device,
+            WindowConfig::PAPER_DEFAULT,
+        );
+        let mut online =
+            OnlineIdentifier::new(&profiles, &vocab, WindowConfig::PAPER_DEFAULT, device, 3);
+        let mut streamed = Vec::new();
+        for tx in dataset.for_device(device) {
+            streamed.extend(online.observe(*tx));
+        }
+        streamed.extend(online.finish());
+        assert_eq!(streamed.len(), batch.len());
+        for (a, b) in streamed.iter().zip(&batch) {
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.accepted_by, b.accepted_by);
+            assert_eq!(a.actual_users, b.actual_users);
+        }
+        assert_eq!(online.history().len(), batch.len());
+    }
+
+    #[test]
+    fn online_identifier_votes_for_dominant_user() {
+        use crate::trainer::ProfileTrainer;
+        use tracegen::{Scenario, TraceGenerator};
+
+        let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+        let vocab = Vocabulary::new(dataset.taxonomy().clone());
+        let (profiles, _) =
+            ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
+        // Monitor the busiest device.
+        let device = dataset
+            .devices()
+            .into_iter()
+            .max_by_key(|&d| dataset.for_device(d).count())
+            .unwrap();
+        let mut online =
+            OnlineIdentifier::new(&profiles, &vocab, WindowConfig::PAPER_DEFAULT, device, 3);
+        let mut correct = 0usize;
+        let mut decided = 0usize;
+        for tx in dataset.for_device(device) {
+            for window in online.observe(*tx) {
+                if let Some(user) = online.current_user() {
+                    decided += 1;
+                    if window.actual_users.contains(&user) {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        assert!(decided > 0, "vote never decided");
+        assert!(
+            correct * 2 > decided,
+            "votes mostly wrong: {correct}/{decided}"
+        );
+    }
+
+    #[test]
+    fn identify_on_device_end_to_end() {
+        use crate::profile::ModelKind;
+        use crate::trainer::ProfileTrainer;
+        use ocsvm::Kernel;
+        use tracegen::{Scenario, TraceGenerator};
+
+        let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+        let vocab = Vocabulary::new(dataset.taxonomy().clone());
+        let trainer = ProfileTrainer::new(&vocab)
+            .kind(ModelKind::OcSvm)
+            .kernel(Kernel::Linear)
+            .regularization(0.1)
+            .max_training_windows(200);
+        let (profiles, _) = trainer.train_all(&dataset);
+        let device = dataset.devices()[0];
+        let identified = identify_on_device(
+            &profiles,
+            &vocab,
+            &dataset,
+            device,
+            WindowConfig::PAPER_DEFAULT,
+        );
+        assert!(!identified.is_empty());
+        let quality = IdentificationQuality::measure(&identified);
+        // Models were trained on this same data; their own windows should
+        // be mostly recognized.
+        assert!(quality.recall > 0.5, "recall = {}", quality.recall);
+    }
+}

@@ -1,0 +1,355 @@
+//! Temporal-novelty analysis (Sect. IV-B, Figs. 1–2).
+//!
+//! The profiling assumption is that a user's web transactions stay
+//! consistent over time. The paper validates it by splitting each user's
+//! history at an epoch delimiter `t` into *observed* and *subsequent*
+//! transactions and measuring how much of the subsequent behavior is new:
+//!
+//! * **feature novelty** (Fig. 1): for the three largest feature
+//!   categories — application type, media subtype, website category — the
+//!   fraction of values appearing in the subsequent set that never
+//!   appeared in the observed set;
+//! * **window novelty** (Fig. 2): the fraction of subsequent transaction-
+//!   window feature vectors that are not *strictly equal* to any observed
+//!   window vector.
+
+use crate::vocab::Vocabulary;
+use crate::window::{WindowAggregator, WindowConfig, WindowKey};
+use proxylog::{Dataset, Timestamp, Transaction, UserId};
+use std::collections::BTreeSet;
+
+/// Novelty ratios for the three largest feature categories of Tab. I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureNovelty {
+    /// Novel website categories.
+    pub category: f64,
+    /// Novel media subtypes.
+    pub media_type: f64,
+    /// Novel application types.
+    pub application_type: f64,
+}
+
+/// Feature novelty of one user at a split point, or `None` when the user
+/// has no subsequent transactions (the ratio is undefined).
+pub fn feature_novelty(
+    dataset: &Dataset,
+    user: UserId,
+    split: Timestamp,
+) -> Option<FeatureNovelty> {
+    let mut observed_categories = BTreeSet::new();
+    let mut observed_subtypes = BTreeSet::new();
+    let mut observed_apps = BTreeSet::new();
+    let mut subsequent_categories = BTreeSet::new();
+    let mut subsequent_subtypes = BTreeSet::new();
+    let mut subsequent_apps = BTreeSet::new();
+    let mut has_subsequent = false;
+    for tx in dataset.for_user(user) {
+        if tx.timestamp < split {
+            observed_categories.insert(tx.category);
+            observed_subtypes.insert(tx.subtype);
+            observed_apps.insert(tx.app_type);
+        } else {
+            has_subsequent = true;
+            subsequent_categories.insert(tx.category);
+            subsequent_subtypes.insert(tx.subtype);
+            subsequent_apps.insert(tx.app_type);
+        }
+    }
+    if !has_subsequent {
+        return None;
+    }
+    fn ratio<T: Ord>(subsequent: &BTreeSet<T>, observed: &BTreeSet<T>) -> f64 {
+        if subsequent.is_empty() {
+            0.0
+        } else {
+            subsequent.difference(observed).count() as f64 / subsequent.len() as f64
+        }
+    }
+    Some(FeatureNovelty {
+        category: ratio(&subsequent_categories, &observed_categories),
+        media_type: ratio(&subsequent_subtypes, &observed_subtypes),
+        application_type: ratio(&subsequent_apps, &observed_apps),
+    })
+}
+
+/// Window novelty of one user at a split point: the fraction of subsequent
+/// window vectors with no bit-exact equal among the observed window
+/// vectors. `None` when the user has no subsequent windows.
+pub fn window_novelty(
+    vocab: &Vocabulary,
+    config: WindowConfig,
+    dataset: &Dataset,
+    user: UserId,
+    split: Timestamp,
+) -> Option<f64> {
+    let transactions: Vec<Transaction> = dataset.for_user(user).copied().collect();
+    let cut = transactions.partition_point(|tx| tx.timestamp < split);
+    let (observed_txs, subsequent_txs) = transactions.split_at(cut);
+    let aggregator = WindowAggregator::new(vocab, config);
+    let subsequent = aggregator.windows_over(subsequent_txs, WindowKey::User(user));
+    if subsequent.is_empty() {
+        return None;
+    }
+    let observed: BTreeSet<Vec<(u32, u64)>> = aggregator
+        .windows_over(observed_txs, WindowKey::User(user))
+        .iter()
+        .map(|w| canonical(w.features.as_pairs()))
+        .collect();
+    let novel = subsequent
+        .iter()
+        .filter(|w| !observed.contains(&canonical(w.features.as_pairs())))
+        .count();
+    Some(novel as f64 / subsequent.len() as f64)
+}
+
+/// Bit-exact canonical form of a sparse vector ("strictly equal" in the
+/// paper's terms).
+fn canonical(pairs: &[(u32, f64)]) -> Vec<(u32, u64)> {
+    pairs.iter().map(|&(i, v)| (i, v.to_bits())).collect()
+}
+
+/// Mean and variance over users of one novelty quantity at one epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanVariance {
+    /// Sample mean over users.
+    pub mean: f64,
+    /// Population variance over users.
+    pub variance: f64,
+    /// Number of users contributing (users without subsequent data are
+    /// excluded).
+    pub users: usize,
+}
+
+impl MeanVariance {
+    /// Computes mean/variance of a sample (0/0 for an empty slice).
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self { mean: 0.0, variance: 0.0, users: 0 };
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let variance = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        Self { mean, variance, users: values.len() }
+    }
+}
+
+/// One row of the Fig. 1 sweep: novelty after `week` weeks of observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureNoveltyRow {
+    /// Observation epoch length in weeks.
+    pub week: u32,
+    /// Category novelty over users.
+    pub category: MeanVariance,
+    /// Media-type novelty over users.
+    pub media_type: MeanVariance,
+    /// Application-type novelty over users.
+    pub application_type: MeanVariance,
+}
+
+/// Sweeps feature novelty over observation epochs of `weeks` (Fig. 1).
+/// `start` is the beginning of the monitoring period.
+pub fn sweep_feature_novelty(
+    dataset: &Dataset,
+    start: Timestamp,
+    weeks: impl IntoIterator<Item = u32>,
+) -> Vec<FeatureNoveltyRow> {
+    let users = dataset.users();
+    weeks
+        .into_iter()
+        .map(|week| {
+            let split = start + i64::from(week) * 7 * 86_400;
+            let mut categories = Vec::new();
+            let mut media = Vec::new();
+            let mut apps = Vec::new();
+            for &user in &users {
+                if let Some(novelty) = feature_novelty(dataset, user, split) {
+                    categories.push(novelty.category);
+                    media.push(novelty.media_type);
+                    apps.push(novelty.application_type);
+                }
+            }
+            FeatureNoveltyRow {
+                week,
+                category: MeanVariance::of(&categories),
+                media_type: MeanVariance::of(&media),
+                application_type: MeanVariance::of(&apps),
+            }
+        })
+        .collect()
+}
+
+/// One row of the Fig. 2 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowNoveltyRow {
+    /// Observation epoch length in weeks.
+    pub week: u32,
+    /// Window novelty over users.
+    pub novelty: MeanVariance,
+}
+
+/// Sweeps window novelty over observation epochs of `weeks` (Fig. 2).
+pub fn sweep_window_novelty(
+    vocab: &Vocabulary,
+    config: WindowConfig,
+    dataset: &Dataset,
+    start: Timestamp,
+    weeks: impl IntoIterator<Item = u32>,
+) -> Vec<WindowNoveltyRow> {
+    let users = dataset.users();
+    weeks
+        .into_iter()
+        .map(|week| {
+            let split = start + i64::from(week) * 7 * 86_400;
+            let values: Vec<f64> = users
+                .iter()
+                .filter_map(|&user| window_novelty(vocab, config, dataset, user, split))
+                .collect();
+            WindowNoveltyRow { week, novelty: MeanVariance::of(&values) }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxylog::{
+        AppTypeId, CategoryId, DeviceId, HttpAction, Reputation, SiteId, SubtypeId, Taxonomy,
+        UriScheme,
+    };
+    
+
+    fn tx(secs: i64, category: u16, subtype: u16, app: u16) -> Transaction {
+        Transaction {
+            timestamp: Timestamp(secs),
+            user: UserId(0),
+            device: DeviceId(0),
+            site: SiteId(0),
+            action: HttpAction::Get,
+            scheme: UriScheme::Http,
+            category: CategoryId(category),
+            subtype: SubtypeId(subtype),
+            app_type: AppTypeId(app),
+            reputation: Reputation::Minimal,
+            private_destination: false,
+        }
+    }
+
+    fn dataset(txs: Vec<Transaction>) -> Dataset {
+        Dataset::new(Taxonomy::paper_scale(), txs)
+    }
+
+    #[test]
+    fn no_subsequent_data_is_none() {
+        let d = dataset(vec![tx(0, 0, 0, 0)]);
+        assert_eq!(feature_novelty(&d, UserId(0), Timestamp(100)), None);
+    }
+
+    #[test]
+    fn fully_repeated_behavior_has_zero_novelty() {
+        let d = dataset(vec![tx(0, 1, 2, 3), tx(100, 1, 2, 3)]);
+        let n = feature_novelty(&d, UserId(0), Timestamp(50)).unwrap();
+        assert_eq!(n.category, 0.0);
+        assert_eq!(n.media_type, 0.0);
+        assert_eq!(n.application_type, 0.0);
+    }
+
+    #[test]
+    fn fully_new_behavior_has_full_novelty() {
+        let d = dataset(vec![tx(0, 1, 2, 3), tx(100, 9, 8, 7)]);
+        let n = feature_novelty(&d, UserId(0), Timestamp(50)).unwrap();
+        assert_eq!(n.category, 1.0);
+        assert_eq!(n.media_type, 1.0);
+        assert_eq!(n.application_type, 1.0);
+    }
+
+    #[test]
+    fn partial_novelty_is_a_ratio_of_values_not_transactions() {
+        // Subsequent categories {1, 9}: one of two is new, regardless of
+        // how many transactions carry each.
+        let d = dataset(vec![
+            tx(0, 1, 2, 3),
+            tx(100, 1, 2, 3),
+            tx(101, 1, 2, 3),
+            tx(102, 9, 2, 3),
+        ]);
+        let n = feature_novelty(&d, UserId(0), Timestamp(50)).unwrap();
+        assert_eq!(n.category, 0.5);
+        assert_eq!(n.media_type, 0.0);
+    }
+
+    #[test]
+    fn window_novelty_zero_for_identical_windows() {
+        let vocab = Vocabulary::new(Taxonomy::paper_scale());
+        // Same single-transaction window shape before and after the split
+        // (identical aggregated vectors).
+        let d = dataset(vec![tx(0, 1, 2, 3), tx(600, 1, 2, 3)]);
+        let novelty = window_novelty(
+            &vocab,
+            WindowConfig::new(60, 60).unwrap(),
+            &d,
+            UserId(0),
+            Timestamp(300),
+        )
+        .unwrap();
+        assert_eq!(novelty, 0.0);
+    }
+
+    #[test]
+    fn window_novelty_one_for_new_window_shapes() {
+        let vocab = Vocabulary::new(Taxonomy::paper_scale());
+        let d = dataset(vec![tx(0, 1, 2, 3), tx(600, 9, 8, 7)]);
+        let novelty = window_novelty(
+            &vocab,
+            WindowConfig::new(60, 60).unwrap(),
+            &d,
+            UserId(0),
+            Timestamp(300),
+        )
+        .unwrap();
+        assert_eq!(novelty, 1.0);
+    }
+
+    #[test]
+    fn window_novelty_none_without_subsequent_windows() {
+        let vocab = Vocabulary::new(Taxonomy::paper_scale());
+        let d = dataset(vec![tx(0, 1, 2, 3)]);
+        assert_eq!(
+            window_novelty(&vocab, WindowConfig::PAPER_DEFAULT, &d, UserId(0), Timestamp(300)),
+            None
+        );
+    }
+
+    #[test]
+    fn mean_variance_basics() {
+        let mv = MeanVariance::of(&[0.0, 1.0]);
+        assert_eq!(mv.mean, 0.5);
+        assert_eq!(mv.variance, 0.25);
+        assert_eq!(mv.users, 2);
+        let empty = MeanVariance::of(&[]);
+        assert_eq!(empty.users, 0);
+    }
+
+    #[test]
+    fn sweep_produces_one_row_per_week() {
+        let d = dataset(vec![tx(0, 1, 2, 3), tx(30 * 86_400, 9, 8, 7)]);
+        let rows = sweep_feature_novelty(&d, Timestamp(0), 1..=3);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.category.users == 1));
+    }
+
+    #[test]
+    fn novelty_decays_on_generated_traces() {
+        use tracegen::{Scenario, TraceGenerator};
+        let scenario = Scenario { weeks: 6, ..Scenario::quick_test() };
+        let start = scenario.start;
+        let trace = TraceGenerator::new(scenario).generate();
+        let trace = trace.filter_min_transactions(500);
+        let rows = sweep_feature_novelty(&trace, start, [1, 4]);
+        assert!(
+            rows[1].application_type.mean <= rows[0].application_type.mean + 0.05,
+            "app novelty should decay: week1 {} vs week4 {}",
+            rows[0].application_type.mean,
+            rows[1].application_type.mean
+        );
+    }
+}

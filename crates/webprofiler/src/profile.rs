@@ -1,0 +1,328 @@
+//! User profiles: one trained one-class model per user.
+
+use ocsvm::{Kernel, OcSvmModel, OneClassModel, SparseVector, SvddModel, TrainDiagnostics};
+use proxylog::UserId;
+use std::fmt;
+
+use crate::window::WindowConfig;
+
+/// Which one-class classifier family a profile uses (the paper evaluates
+/// both throughout Sect. V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ModelKind {
+    /// ν-One-Class SVM (Sect. II-A).
+    OcSvm,
+    /// Support Vector Data Description (Sect. II-B).
+    Svdd,
+}
+
+impl ModelKind {
+    /// Both families.
+    pub const ALL: [ModelKind; 2] = [ModelKind::OcSvm, ModelKind::Svdd];
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelKind::OcSvm => write!(f, "OC-SVM"),
+            ModelKind::Svdd => write!(f, "SVDD"),
+        }
+    }
+}
+
+/// Hyper-parameters of one profile: the classifier family, its kernel, and
+/// the regularization value (`ν` for OC-SVM, `C` for SVDD; the two are
+/// related by `C = 1/(νl)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProfileParams {
+    /// Classifier family.
+    pub kind: ModelKind,
+    /// Kernel function.
+    pub kernel: Kernel,
+    /// `ν` (OC-SVM) or `C` (SVDD).
+    pub regularization: f64,
+}
+
+impl fmt::Display for ProfileParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let param = match self.kind {
+            ModelKind::OcSvm => "nu",
+            ModelKind::Svdd => "C",
+        };
+        write!(f, "{} {} {param}={}", self.kind, self.kernel, self.regularization)
+    }
+}
+
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub(crate) enum ProfileModel {
+    OcSvm(OcSvmModel),
+    Svdd(SvddModel),
+}
+
+/// A trained profile of one user: apply it to transaction-window feature
+/// vectors with [`UserProfile::accepts`].
+///
+/// Built by [`ProfileTrainer`](crate::ProfileTrainer).
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct UserProfile {
+    pub(crate) user: UserId,
+    pub(crate) params: ProfileParams,
+    pub(crate) window: WindowConfig,
+    pub(crate) model: ProfileModel,
+    pub(crate) training_windows: usize,
+}
+
+impl UserProfile {
+    /// The user this profile models.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// The hyper-parameters the profile was trained with.
+    pub fn params(&self) -> ProfileParams {
+        self.params
+    }
+
+    /// The window configuration the profile expects its inputs to use.
+    pub fn window_config(&self) -> WindowConfig {
+        self.window
+    }
+
+    /// Number of window feature vectors used for training.
+    pub fn training_windows(&self) -> usize {
+        self.training_windows
+    }
+
+    /// Signed decision value for a window feature vector (`>= 0` accepts).
+    pub fn decision_value(&self, features: &SparseVector) -> f64 {
+        match &self.model {
+            ProfileModel::OcSvm(m) => m.decision_value(features),
+            ProfileModel::Svdd(m) => m.decision_value(features),
+        }
+    }
+
+    /// Whether the profile accepts the window as behavior of its user.
+    pub fn accepts(&self, features: &SparseVector) -> bool {
+        self.decision_value(features) >= 0.0
+    }
+
+    /// Support-vector count of the underlying model.
+    pub fn support_vector_count(&self) -> usize {
+        match &self.model {
+            ProfileModel::OcSvm(m) => m.support_vector_count(),
+            ProfileModel::Svdd(m) => m.support_vector_count(),
+        }
+    }
+
+    /// Solver diagnostics recorded at training time.
+    pub fn diagnostics(&self) -> TrainDiagnostics {
+        match &self.model {
+            ProfileModel::OcSvm(m) => m.diagnostics(),
+            ProfileModel::Svdd(m) => m.diagnostics(),
+        }
+    }
+}
+
+impl UserProfile {
+    /// Serializes the profile (metadata + underlying model) in a
+    /// self-contained binary format, so profiles can be trained offline
+    /// and loaded by a monitoring deployment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: std::io::Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        writer.write_all(b"WPRF\x01")?;
+        let kind_tag: u8 = match self.params.kind {
+            ModelKind::OcSvm => 0,
+            ModelKind::Svdd => 1,
+        };
+        writer.write_all(&[kind_tag])?;
+        write_varint(writer, u64::from(self.user.0))?;
+        write_varint(writer, u64::from(self.window.duration_secs()))?;
+        write_varint(writer, u64::from(self.window.shift_secs()))?;
+        write_varint(writer, self.training_windows as u64)?;
+        writer.write_all(&self.params.regularization.to_le_bytes())?;
+        match &self.model {
+            ProfileModel::OcSvm(m) => m.write_to(writer),
+            ProfileModel::Svdd(m) => m.write_to(writer),
+        }
+    }
+
+    /// Deserializes a profile written by [`UserProfile::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for a bad header or corrupt stream; other I/O errors
+    /// from the reader.
+    pub fn read_from<R: std::io::Read>(reader: &mut R) -> std::io::Result<UserProfile> {
+        use std::io::{Error, ErrorKind};
+        let mut header = [0u8; 6];
+        reader.read_exact(&mut header)?;
+        if &header[0..4] != b"WPRF" {
+            return Err(Error::new(ErrorKind::InvalidData, "bad magic, not a WPRF profile"));
+        }
+        if header[4] != 1 {
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                format!("unsupported profile version {}", header[4]),
+            ));
+        }
+        let kind = match header[5] {
+            0 => ModelKind::OcSvm,
+            1 => ModelKind::Svdd,
+            other => {
+                return Err(Error::new(
+                    ErrorKind::InvalidData,
+                    format!("unknown model kind {other}"),
+                ))
+            }
+        };
+        let user = UserId(read_varint(reader)? as u32);
+        let duration = read_varint(reader)? as u32;
+        let shift = read_varint(reader)? as u32;
+        let training_windows = read_varint(reader)? as usize;
+        let mut reg = [0u8; 8];
+        reader.read_exact(&mut reg)?;
+        let regularization = f64::from_le_bytes(reg);
+        let window = WindowConfig::new(duration, shift)
+            .map_err(|e| Error::new(ErrorKind::InvalidData, e.to_string()))?;
+        let model = match kind {
+            ModelKind::OcSvm => ProfileModel::OcSvm(OcSvmModel::read_from(reader)?),
+            ModelKind::Svdd => ProfileModel::Svdd(SvddModel::read_from(reader)?),
+        };
+        let kernel = match &model {
+            ProfileModel::OcSvm(m) => m.kernel(),
+            ProfileModel::Svdd(m) => m.kernel(),
+        };
+        Ok(UserProfile {
+            user,
+            params: ProfileParams { kind, kernel, regularization },
+            window,
+            model,
+            training_windows,
+        })
+    }
+}
+
+fn write_varint<W: std::io::Write>(writer: &mut W, mut value: u64) -> std::io::Result<()> {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            return writer.write_all(&[byte]);
+        }
+        writer.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: std::io::Read>(reader: &mut R) -> std::io::Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte)?;
+        if shift >= 64 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "varint overflow",
+            ));
+        }
+        value |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+impl fmt::Display for UserProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "profile({}, {}, {}, {} windows, {} SVs)",
+            self.user,
+            self.params,
+            self.window,
+            self.training_windows,
+            self.support_vector_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::ProfileTrainer;
+    use crate::vocab::Vocabulary;
+    use proxylog::Taxonomy;
+
+    fn trained(kind: ModelKind) -> (UserProfile, Vec<SparseVector>) {
+        let vocab = Vocabulary::new(Taxonomy::paper_scale());
+        let windows: Vec<SparseVector> = (0..30)
+            .map(|i| {
+                SparseVector::from_pairs(vec![
+                    (0, 1.0),
+                    (7, 0.2 + 0.05 * (i % 4) as f64),
+                    (20 + (i % 3), 1.0),
+                ])
+                .unwrap()
+            })
+            .collect();
+        let profile = ProfileTrainer::new(&vocab)
+            .kind(kind)
+            .regularization(0.3)
+            .train_from_vectors(UserId(9), &windows)
+            .unwrap();
+        (profile, windows)
+    }
+
+    #[test]
+    fn profile_round_trips_through_binary_format() {
+        for kind in ModelKind::ALL {
+            let (profile, windows) = trained(kind);
+            let mut bytes = Vec::new();
+            profile.write_to(&mut bytes).unwrap();
+            let loaded = UserProfile::read_from(&mut bytes.as_slice()).unwrap();
+            assert_eq!(loaded.user(), profile.user());
+            assert_eq!(loaded.params(), profile.params());
+            assert_eq!(loaded.window_config(), profile.window_config());
+            assert_eq!(loaded.training_windows(), profile.training_windows());
+            for w in &windows {
+                assert_eq!(loaded.decision_value(w), profile.decision_value(w), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn profile_rejects_garbage() {
+        assert!(UserProfile::read_from(&mut &b"NOPE\x01\x00rest"[..]).is_err());
+        let (profile, _) = trained(ModelKind::Svdd);
+        let mut bytes = Vec::new();
+        profile.write_to(&mut bytes).unwrap();
+        bytes.truncate(bytes.len() - 5);
+        assert!(UserProfile::read_from(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn model_kind_displays() {
+        assert_eq!(ModelKind::OcSvm.to_string(), "OC-SVM");
+        assert_eq!(ModelKind::Svdd.to_string(), "SVDD");
+    }
+
+    #[test]
+    fn params_display_names_parameter() {
+        let p = ProfileParams {
+            kind: ModelKind::Svdd,
+            kernel: Kernel::Linear,
+            regularization: 0.4,
+        };
+        assert!(p.to_string().contains("C=0.4"));
+        let p = ProfileParams { kind: ModelKind::OcSvm, ..p };
+        assert!(p.to_string().contains("nu=0.4"));
+    }
+}

@@ -1,0 +1,358 @@
+//! Feature-vector vocabulary: the bag-of-words column layout of Tab. I.
+//!
+//! Every value a log field can take becomes one column of the feature
+//! vector. At paper scale the layout is:
+//!
+//! | feature category      | count | columns   |
+//! |-----------------------|-------|-----------|
+//! | http action           | 4     | 0–3       |
+//! | uri scheme             | 2     | 4–5       |
+//! | public address flag   | 1     | 6         |
+//! | reputation (risk)     | 1     | 7         |
+//! | reputation verified   | 1     | 8         |
+//! | category              | 105   | 9–113     |
+//! | supertype             | 8     | 114–121   |
+//! | subtype               | 257   | 122–378   |
+//! | application type      | 464   | 379–842   |
+//!
+//! for a total of 843 columns (Tab. I).
+
+use proxylog::{AppTypeId, CategoryId, SubtypeId, SupertypeId, Taxonomy, Transaction};
+use std::sync::Arc;
+
+/// Index of the public/private destination column.
+const FLAG_COLUMNS: usize = 3; // private flag, risk, verified
+
+/// Which kind of value a column holds, deciding its window aggregation
+/// (binary → logical OR, numeric → mean; Sect. III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnKind {
+    /// Bag-of-words presence column, aggregated by logical disjunction.
+    Binary,
+    /// Numeric column, aggregated by averaging.
+    Numeric,
+}
+
+/// Column layout for a taxonomy, plus single-transaction feature
+/// extraction.
+///
+/// # Examples
+///
+/// ```
+/// use proxylog::Taxonomy;
+/// use webprofiler::Vocabulary;
+///
+/// let vocab = Vocabulary::new(Taxonomy::paper_scale());
+/// assert_eq!(vocab.n_features(), 843);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    taxonomy: Arc<Taxonomy>,
+    scheme_offset: u32,
+    private_flag: u32,
+    risk: u32,
+    verified: u32,
+    category_offset: u32,
+    supertype_offset: u32,
+    subtype_offset: u32,
+    app_offset: u32,
+    n_features: u32,
+}
+
+impl Vocabulary {
+    /// Builds the layout for a taxonomy.
+    pub fn new(taxonomy: Arc<Taxonomy>) -> Self {
+        let scheme_offset = 4u32;
+        let private_flag = 6u32;
+        let risk = 7u32;
+        let verified = 8u32;
+        let category_offset = 4 + 2 + FLAG_COLUMNS as u32;
+        let supertype_offset = category_offset + taxonomy.category_count() as u32;
+        let subtype_offset = supertype_offset + taxonomy.supertype_count() as u32;
+        let app_offset = subtype_offset + taxonomy.subtype_count() as u32;
+        let n_features = app_offset + taxonomy.app_type_count() as u32;
+        Self {
+            taxonomy,
+            scheme_offset,
+            private_flag,
+            risk,
+            verified,
+            category_offset,
+            supertype_offset,
+            subtype_offset,
+            app_offset,
+            n_features,
+        }
+    }
+
+    /// Taxonomy backing this vocabulary.
+    pub fn taxonomy(&self) -> &Arc<Taxonomy> {
+        &self.taxonomy
+    }
+
+    /// Total number of feature columns (843 at paper scale).
+    pub fn n_features(&self) -> usize {
+        self.n_features as usize
+    }
+
+    /// Column of an HTTP action.
+    pub fn action_column(&self, action: proxylog::HttpAction) -> u32 {
+        action.index() as u32
+    }
+
+    /// Column of a URI scheme.
+    pub fn scheme_column(&self, scheme: proxylog::UriScheme) -> u32 {
+        self.scheme_offset + scheme.index() as u32
+    }
+
+    /// Column of the public(0)/private(1) destination feature.
+    pub fn private_flag_column(&self) -> u32 {
+        self.private_flag
+    }
+
+    /// Column of the numeric reputation-risk feature.
+    pub fn risk_column(&self) -> u32 {
+        self.risk
+    }
+
+    /// Column of the reputation-verified feature.
+    pub fn verified_column(&self) -> u32 {
+        self.verified
+    }
+
+    /// Column of a website category.
+    pub fn category_column(&self, id: CategoryId) -> u32 {
+        self.category_offset + u32::from(id.0)
+    }
+
+    /// Column of a media supertype.
+    pub fn supertype_column(&self, id: SupertypeId) -> u32 {
+        self.supertype_offset + u32::from(id.0)
+    }
+
+    /// Column of a media subtype.
+    pub fn subtype_column(&self, id: SubtypeId) -> u32 {
+        self.subtype_offset + u32::from(id.0)
+    }
+
+    /// Column of an application type.
+    pub fn app_type_column(&self, id: AppTypeId) -> u32 {
+        self.app_offset + u32::from(id.0)
+    }
+
+    /// Whether a column is aggregated as binary or numeric.
+    ///
+    /// The paper's aggregation example (Sect. III-C) averages both
+    /// reputation features; the public/private flag is treated the same
+    /// way (the mean is the fraction of private-destination transactions
+    /// in the window), which preserves strictly more information than a
+    /// disjunction. Every bag-of-words column is binary.
+    pub fn column_kind(&self, column: u32) -> ColumnKind {
+        if column == self.private_flag || column == self.risk || column == self.verified {
+            ColumnKind::Numeric
+        } else {
+            ColumnKind::Binary
+        }
+    }
+
+    /// Human-readable label of a column (used by the Tab. I binary and
+    /// debugging output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column >= self.n_features()`.
+    pub fn column_label(&self, column: u32) -> String {
+        assert!(column < self.n_features, "column {column} out of range");
+        if column < self.scheme_offset {
+            return format!("action:{}", proxylog::HttpAction::ALL[column as usize]);
+        }
+        if column < self.private_flag {
+            return format!(
+                "scheme:{}",
+                proxylog::UriScheme::ALL[(column - self.scheme_offset) as usize]
+            );
+        }
+        if column == self.private_flag {
+            return "private_destination".to_owned();
+        }
+        if column == self.risk {
+            return "reputation:risk".to_owned();
+        }
+        if column == self.verified {
+            return "reputation:verified".to_owned();
+        }
+        if column < self.supertype_offset {
+            let id = CategoryId((column - self.category_offset) as u16);
+            return format!("category:{}", self.taxonomy.category_name(id));
+        }
+        if column < self.subtype_offset {
+            let id = SupertypeId((column - self.supertype_offset) as u8);
+            return format!("supertype:{}", self.taxonomy.supertype_name(id));
+        }
+        if column < self.app_offset {
+            let id = SubtypeId((column - self.subtype_offset) as u16);
+            return format!("subtype:{}", self.taxonomy.subtype_name(id));
+        }
+        let id = AppTypeId((column - self.app_offset) as u16);
+        format!("application:{}", self.taxonomy.app_type_name(id))
+    }
+
+    /// The Tab. I breakdown: `(feature category, column count)` rows in the
+    /// paper's order, plus the implied total.
+    pub fn composition(&self) -> Vec<(&'static str, usize)> {
+        vec![
+            ("http action", 4),
+            ("uri scheme", 2),
+            ("public address flag", 1),
+            ("reputation", 1),
+            ("reputation verified", 1),
+            ("category", self.taxonomy.category_count()),
+            ("supertype", self.taxonomy.supertype_count()),
+            ("subtype", self.taxonomy.subtype_count()),
+            ("application type", self.taxonomy.app_type_count()),
+        ]
+    }
+
+    /// The columns set by a single transaction, as `(column, value)` pairs
+    /// in ascending column order (the raw material of both single-vector
+    /// extraction and window aggregation).
+    pub fn transaction_columns(&self, tx: &Transaction) -> [(u32, f64); 9] {
+        // Columns are emitted in layout order: action < scheme < flags <
+        // category < supertype < subtype < app.
+        [
+            (self.action_column(tx.action), 1.0),
+            (self.scheme_column(tx.scheme), 1.0),
+            (self.private_flag, if tx.private_destination { 1.0 } else { 0.0 }),
+            (self.risk, tx.reputation.risk_score()),
+            (self.verified, if tx.reputation.is_verified() { 1.0 } else { 0.0 }),
+            (self.category_column(tx.category), 1.0),
+            (self.supertype_column(self.taxonomy.supertype_of(tx.subtype)), 1.0),
+            (self.subtype_column(tx.subtype), 1.0),
+            (self.app_type_column(tx.app_type), 1.0),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxylog::{
+        DeviceId, HttpAction, Reputation, SiteId, Timestamp, UriScheme, UserId,
+    };
+
+    fn vocab() -> Vocabulary {
+        Vocabulary::new(Taxonomy::paper_scale())
+    }
+
+    fn tx() -> Transaction {
+        Transaction {
+            timestamp: Timestamp(0),
+            user: UserId(0),
+            device: DeviceId(0),
+            site: SiteId(0),
+            action: HttpAction::Connect,
+            scheme: UriScheme::Http,
+            category: CategoryId(3),
+            subtype: SubtypeId(10),
+            app_type: AppTypeId(20),
+            reputation: Reputation::Medium,
+            private_destination: true,
+        }
+    }
+
+    #[test]
+    fn total_is_843_at_paper_scale() {
+        assert_eq!(vocab().n_features(), 843);
+    }
+
+    #[test]
+    fn composition_matches_table_one() {
+        let rows = vocab().composition();
+        let total: usize = rows.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 843);
+        assert_eq!(rows[0], ("http action", 4));
+        assert_eq!(rows[5], ("category", 105));
+        assert_eq!(rows[8], ("application type", 464));
+    }
+
+    #[test]
+    fn columns_are_disjoint_and_in_range() {
+        let v = vocab();
+        let cols = v.transaction_columns(&tx());
+        let mut indices: Vec<u32> = cols.iter().map(|&(c, _)| c).collect();
+        let n = indices.len();
+        indices.dedup();
+        assert_eq!(indices.len(), n, "duplicate columns");
+        assert!(indices.windows(2).all(|w| w[0] < w[1]), "not ascending: {indices:?}");
+        assert!(indices.iter().all(|&c| c < 843));
+    }
+
+    #[test]
+    fn transaction_column_values_match_fields() {
+        let v = vocab();
+        let t = tx();
+        let cols = v.transaction_columns(&t);
+        let get = |col: u32| cols.iter().find(|&&(c, _)| c == col).map(|&(_, val)| val);
+        assert_eq!(get(v.action_column(HttpAction::Connect)), Some(1.0));
+        assert_eq!(get(v.scheme_column(UriScheme::Http)), Some(1.0));
+        assert_eq!(get(v.private_flag_column()), Some(1.0));
+        assert_eq!(get(v.risk_column()), Some(0.5));
+        assert_eq!(get(v.verified_column()), Some(1.0));
+        assert_eq!(get(v.category_column(CategoryId(3))), Some(1.0));
+        assert_eq!(get(v.subtype_column(SubtypeId(10))), Some(1.0));
+        assert_eq!(get(v.app_type_column(AppTypeId(20))), Some(1.0));
+    }
+
+    #[test]
+    fn unverified_minimal_risk_is_all_zero() {
+        let v = vocab();
+        let t = Transaction { reputation: Reputation::Unverified, private_destination: false, ..tx() };
+        let cols = v.transaction_columns(&t);
+        let get = |col: u32| cols.iter().find(|&&(c, _)| c == col).map(|&(_, val)| val);
+        assert_eq!(get(v.risk_column()), Some(0.0));
+        assert_eq!(get(v.verified_column()), Some(0.0));
+        assert_eq!(get(v.private_flag_column()), Some(0.0));
+    }
+
+    #[test]
+    fn column_kinds() {
+        let v = vocab();
+        assert_eq!(v.column_kind(v.private_flag_column()), ColumnKind::Numeric);
+        assert_eq!(v.column_kind(v.risk_column()), ColumnKind::Numeric);
+        assert_eq!(v.column_kind(v.verified_column()), ColumnKind::Numeric);
+        assert_eq!(v.column_kind(0), ColumnKind::Binary);
+        assert_eq!(v.column_kind(842), ColumnKind::Binary);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        let v = vocab();
+        assert_eq!(v.column_label(0), "action:GET");
+        assert_eq!(v.column_label(4), "scheme:HTTP");
+        assert_eq!(v.column_label(6), "private_destination");
+        assert_eq!(v.column_label(7), "reputation:risk");
+        assert_eq!(v.column_label(8), "reputation:verified");
+        assert!(v.column_label(9).starts_with("category:"));
+        assert!(v.column_label(114).starts_with("supertype:"));
+        assert!(v.column_label(122).starts_with("subtype:"));
+        assert!(v.column_label(379).starts_with("application:"));
+        assert!(v.column_label(842).starts_with("application:"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_out_of_range_panics() {
+        let _ = vocab().column_label(843);
+    }
+
+    #[test]
+    fn supertype_derived_from_subtype() {
+        let v = vocab();
+        let taxonomy = v.taxonomy();
+        let html = taxonomy.subtype_by_media_string("text/html").unwrap();
+        let t = Transaction { subtype: html, ..tx() };
+        let cols = v.transaction_columns(&t);
+        let text = taxonomy.supertype_of(html);
+        assert!(cols.contains(&(v.supertype_column(text), 1.0)));
+    }
+}

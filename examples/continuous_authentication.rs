@@ -1,0 +1,82 @@
+//! Continuous authentication (paper, Sect. I): watch a device's web
+//! traffic and automatically "log out" the session when the behavior stops
+//! matching the authenticated user's profile.
+//!
+//! Trains profiles for every user, then replays a device's testing-set
+//! traffic window by window. The device's authenticated user is whoever
+//! the first window belongs to; when that user's model rejects several
+//! consecutive windows the monitor raises a logout, and when a *different*
+//! user's session genuinely starts on the device the monitor should fire
+//! quickly.
+//!
+//! ```text
+//! cargo run --example continuous_authentication --release
+//! ```
+
+use std::collections::BTreeMap;
+use tracegen::{Scenario, TraceGenerator};
+use webprofiler::{
+    identify_on_device, ProfileTrainer, UserProfile, Vocabulary, WindowConfig,
+};
+
+/// Reject this many consecutive windows before logging the session out —
+/// the accuracy/delay trade-off the paper discusses in Sect. V-B (k
+/// windows multiply the decision delay by k·S seconds).
+const LOGOUT_AFTER: usize = 3;
+
+fn main() {
+    let dataset = TraceGenerator::new(Scenario::evaluation(2, 0.3)).generate();
+    let dataset = dataset.filter_min_transactions(200);
+    let (train, test) = dataset.split_chronological_per_user(0.75);
+    let vocab = Vocabulary::new(dataset.taxonomy().clone());
+
+    println!("training {} user profiles...", train.users().len());
+    let trainer = ProfileTrainer::new(&vocab).regularization(0.1).max_training_windows(400);
+    let (profiles, errors): (BTreeMap<_, UserProfile>, _) = trainer.train_all(&train);
+    if !errors.is_empty() {
+        println!("skipped {} users without enough data", errors.len());
+    }
+
+    // Monitor the busiest shared device.
+    let device = test
+        .users_per_device()
+        .into_iter()
+        .max_by_key(|&(device, users)| (users, test.for_device(device).count()))
+        .expect("at least one device")
+        .0;
+    let windows =
+        identify_on_device(&profiles, &vocab, &test, device, WindowConfig::PAPER_DEFAULT);
+    println!("monitoring {device}: {} transaction windows\n", windows.len());
+
+    let mut session_user = None;
+    let mut consecutive_rejects = 0usize;
+    let mut alerts = 0usize;
+    for window in &windows {
+        let current_actual = window.actual_users.first().copied();
+        let authenticated = *session_user.get_or_insert_with(|| {
+            current_actual.expect("non-empty window has a user")
+        });
+        let accepted = window.accepted_by.contains(&authenticated);
+        if accepted {
+            consecutive_rejects = 0;
+        } else {
+            consecutive_rejects += 1;
+        }
+        if consecutive_rejects >= LOGOUT_AFTER {
+            let truth = if current_actual == Some(authenticated) {
+                "false alarm: still the same user"
+            } else {
+                "correct: a different user took over"
+            };
+            println!(
+                "{}  LOGOUT {authenticated} after {consecutive_rejects} rejected windows ({truth})",
+                window.start
+            );
+            alerts += 1;
+            // Re-authenticate as whoever is really there and keep watching.
+            session_user = current_actual;
+            consecutive_rejects = 0;
+        }
+    }
+    println!("\n{alerts} logout decisions over {} windows", windows.len());
+}

@@ -1,0 +1,53 @@
+//! Log interchange: write a generated corpus in both the text and the
+//! compact binary log formats, read them back, and verify the round trip —
+//! the workflow for sharing benchmark corpora between installations.
+//!
+//! ```text
+//! cargo run --example export_logs --release
+//! ```
+
+use proxylog::{read_binary_log, read_log, write_binary_log, write_log, Dataset};
+use std::sync::Arc;
+use tracegen::{Scenario, TraceGenerator};
+
+fn main() -> std::io::Result<()> {
+    let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+    let taxonomy = dataset.taxonomy();
+    println!("generated {} transactions", dataset.len());
+
+    // Text format: human-greppable, one line per transaction.
+    let mut text = Vec::new();
+    write_log(&mut text, dataset.transactions(), taxonomy)?;
+    println!(
+        "text log:   {:>9} bytes ({:.1} bytes/tx)",
+        text.len(),
+        text.len() as f64 / dataset.len() as f64
+    );
+    if let Some(first_line) = text.split(|&b| b == b'\n').next() {
+        println!("  example: {}", String::from_utf8_lossy(first_line));
+    }
+
+    // Binary format: delta-encoded varints for archival.
+    let mut binary = Vec::new();
+    write_binary_log(&mut binary, dataset.transactions())?;
+    println!(
+        "binary log: {:>9} bytes ({:.1} bytes/tx, {:.1}x smaller)",
+        binary.len(),
+        binary.len() as f64 / dataset.len() as f64,
+        text.len() as f64 / binary.len() as f64
+    );
+
+    // Round trips.
+    let from_text = read_log(text.as_slice(), taxonomy)?;
+    let from_binary = read_binary_log(binary.as_slice())?;
+    assert_eq!(from_text, dataset.transactions());
+    assert_eq!(from_binary, dataset.transactions());
+    println!("both formats round-trip bit-exactly");
+
+    // A dataset rebuilt from a parsed log is equivalent for profiling.
+    let rebuilt = Dataset::new(Arc::clone(taxonomy), from_binary);
+    assert_eq!(rebuilt.users(), dataset.users());
+    assert_eq!(rebuilt.user_counts(), dataset.user_counts());
+    println!("rebuilt dataset matches the original ({} users)", rebuilt.users().len());
+    Ok(())
+}

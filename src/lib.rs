@@ -1,0 +1,34 @@
+//! Umbrella crate for the *Profiling Users by Modeling Web Transactions*
+//! reproduction.
+//!
+//! Re-exports the member crates so the repository-level `examples/` and
+//! `tests/` can use one dependency:
+//!
+//! * [`ocsvm`] — ν-OC-SVM and SVDD one-class classifiers (SMO solver,
+//!   sparse vectors, kernels);
+//! * [`proxylog`] — the secure-proxy web-transaction log substrate;
+//! * [`tracegen`] — the synthetic enterprise traffic generator standing in
+//!   for the paper's proprietary benchmark dataset;
+//! * [`webprofiler`] — the paper's contribution: feature extraction,
+//!   sliding windows, per-user profiles, parameter optimization, novelty
+//!   analysis and online identification.
+//!
+//! See `README.md` for a walkthrough, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record of
+//! every table and figure.
+//!
+//! ```
+//! use webprofiler_suite::{tracegen, webprofiler};
+//!
+//! let dataset =
+//!     tracegen::TraceGenerator::new(tracegen::Scenario::quick_test()).generate();
+//! let vocab = webprofiler::Vocabulary::new(dataset.taxonomy().clone());
+//! assert_eq!(vocab.n_features(), 843); // Tab. I
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ocsvm;
+pub use proxylog;
+pub use tracegen;
+pub use webprofiler;

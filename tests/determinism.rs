@@ -1,0 +1,33 @@
+//! Cross-crate integration: the whole pipeline is deterministic in the
+//! scenario seed — generation, windowing, training and decisions.
+
+use tracegen::{Scenario, TraceGenerator};
+use webprofiler::{ProfileTrainer, Vocabulary};
+
+fn train_fingerprint(seed: u64) -> (usize, usize, Vec<f64>) {
+    let dataset = TraceGenerator::new(Scenario::quick_test().with_seed(seed)).generate();
+    let vocab = Vocabulary::new(dataset.taxonomy().clone());
+    let user = *dataset.user_counts().iter().max_by_key(|&(_, &n)| n).unwrap().0;
+    let trainer = ProfileTrainer::new(&vocab).max_training_windows(150);
+    let vectors = trainer.training_vectors(&dataset, user);
+    let profile = trainer.train_from_vectors(user, &vectors).expect("trains");
+    let decisions: Vec<f64> =
+        vectors.iter().take(25).map(|v| profile.decision_value(v)).collect();
+    (dataset.len(), profile.support_vector_count(), decisions)
+}
+
+#[test]
+fn same_seed_reproduces_everything_bitwise() {
+    let a = train_fingerprint(99);
+    let b = train_fingerprint(99);
+    assert_eq!(a.0, b.0, "dataset sizes differ");
+    assert_eq!(a.1, b.1, "support vector counts differ");
+    assert_eq!(a.2, b.2, "decision values differ");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = train_fingerprint(1);
+    let b = train_fingerprint(2);
+    assert_ne!((a.0, a.2.clone()), (b.0, b.2.clone()), "seeds produced identical runs");
+}

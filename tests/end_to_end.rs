@@ -1,0 +1,93 @@
+//! Cross-crate integration: the full paper pipeline at test scale —
+//! generate → filter → split → extract → train → evaluate → identify.
+
+use std::collections::BTreeMap;
+use tracegen::{Scenario, TraceGenerator};
+use webprofiler::{
+    compute_window_sets, identify_on_device, ConfusionMatrix, IdentificationQuality,
+    ModelKind, ProfileTrainer, UserProfile, Vocabulary, WindowConfig,
+};
+
+fn pipeline_dataset() -> proxylog::Dataset {
+    let scenario = Scenario { users: 12, devices: 8, ..Scenario::quick_test() };
+    TraceGenerator::new(scenario).generate().filter_min_transactions(300)
+}
+
+#[test]
+fn differentiation_pipeline_reaches_sane_accuracy() {
+    let dataset = pipeline_dataset();
+    assert!(dataset.users().len() >= 3, "need several profiled users");
+    let (train, test) = dataset.split_chronological_per_user(0.75);
+    let vocab = Vocabulary::new(dataset.taxonomy().clone());
+
+    let trainer = ProfileTrainer::new(&vocab).regularization(0.1).max_training_windows(250);
+    let (profiles, _) = trainer.train_all(&train);
+    assert!(profiles.len() >= 3);
+
+    let test_windows = compute_window_sets(&vocab, &test, WindowConfig::PAPER_DEFAULT, Some(250));
+    let matrix = ConfusionMatrix::compute(&profiles, &test_windows);
+    let summary = matrix.summary();
+    assert!(
+        summary.acc_self > 0.6,
+        "self acceptance collapsed: {summary}"
+    );
+    assert!(
+        summary.acc_other < summary.acc_self - 0.2,
+        "no separation between users: {summary}"
+    );
+}
+
+#[test]
+fn identification_recovers_device_users() {
+    let dataset = pipeline_dataset();
+    let vocab = Vocabulary::new(dataset.taxonomy().clone());
+    let trainer = ProfileTrainer::new(&vocab).regularization(0.1).max_training_windows(250);
+    let (profiles, _): (BTreeMap<_, UserProfile>, _) = trainer.train_all(&dataset);
+
+    // Identify on the device with the most traffic.
+    let device = dataset
+        .devices()
+        .into_iter()
+        .max_by_key(|&d| dataset.for_device(d).count())
+        .unwrap();
+    let windows =
+        identify_on_device(&profiles, &vocab, &dataset, device, WindowConfig::PAPER_DEFAULT);
+    assert!(!windows.is_empty());
+    let quality = IdentificationQuality::measure(&windows);
+    // Profiles were trained on this same traffic: recall must be high.
+    assert!(quality.recall > 0.6, "recall = {}", quality.recall);
+    assert!(quality.precision > 0.2, "precision = {}", quality.precision);
+}
+
+#[test]
+fn both_model_kinds_work_end_to_end() {
+    let dataset = pipeline_dataset();
+    let (train, test) = dataset.split_chronological_per_user(0.75);
+    let vocab = Vocabulary::new(dataset.taxonomy().clone());
+    let user = *train.user_counts().iter().max_by_key(|&(_, &n)| n).unwrap().0;
+    for kind in ModelKind::ALL {
+        let trainer = ProfileTrainer::new(&vocab)
+            .kind(kind)
+            .regularization(0.3)
+            .max_training_windows(250);
+        let profile = trainer.train(&train, user).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let own = trainer.training_vectors(&test, user);
+        let acc = webprofiler::acceptance_ratio(&profile, &own);
+        assert!(acc > 0.5, "{kind} self acceptance {acc}");
+    }
+}
+
+#[test]
+fn split_then_train_never_sees_test_data() {
+    // The 75/25 split is per user and chronological: every training window
+    // must start before every testing window of the same user.
+    let dataset = pipeline_dataset();
+    let (train, test) = dataset.split_chronological_per_user(0.75);
+    for user in dataset.users() {
+        let train_max = train.for_user(user).map(|tx| tx.timestamp).max();
+        let test_min = test.for_user(user).map(|tx| tx.timestamp).min();
+        if let (Some(a), Some(b)) = (train_max, test_min) {
+            assert!(a <= b, "{user}: training data newer than testing data");
+        }
+    }
+}

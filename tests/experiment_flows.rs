@@ -1,0 +1,122 @@
+//! Tiny-scale smoke tests of every experiment flow the bench binaries
+//! run, so a regression in any stage of the evaluation pipeline is caught
+//! by `cargo test` without running the multi-minute binaries.
+
+use tracegen::{Scenario, TraceGenerator};
+use webprofiler::{
+    compute_window_sets, sweep_feature_novelty, sweep_window_novelty, ModelGridSearch,
+    ModelKind, Vocabulary, WindowConfig, WindowGridSearch,
+};
+
+fn tiny() -> (proxylog::Dataset, Vocabulary, proxylog::Timestamp) {
+    let scenario = Scenario { users: 8, devices: 5, ..Scenario::quick_test() };
+    let start = scenario.start;
+    let dataset = TraceGenerator::new(scenario).generate().filter_min_transactions(200);
+    let vocab = Vocabulary::new(dataset.taxonomy().clone());
+    (dataset, vocab, start)
+}
+
+#[test]
+fn window_grid_search_flow() {
+    // The Tab. II sweep at two configurations.
+    let (dataset, vocab, _) = tiny();
+    let (train, _) = dataset.split_chronological_per_user(0.75);
+    let search = WindowGridSearch::new(&vocab).max_windows_per_user(Some(60));
+    let configs = [
+        WindowConfig::new(60, 30).expect("valid"),
+        WindowConfig::new(600, 60).expect("valid"),
+    ];
+    let rows = search.run(&train, &configs);
+    assert_eq!(rows.len(), 2);
+    for row in &rows {
+        assert!((0.0..=1.0).contains(&row.summary.acc_self));
+        assert!((0.0..=1.0).contains(&row.summary.acc_other));
+        assert!(row.summary.acc_self > row.summary.acc_other, "{:?}", row.summary);
+    }
+    // The Tab. II trend: longer windows reduce other-acceptance.
+    assert!(
+        rows[1].summary.acc_other <= rows[0].summary.acc_other + 0.05,
+        "long windows should not raise ACCother: {rows:?}"
+    );
+}
+
+#[test]
+fn model_grid_search_flow() {
+    // The Tab. III sweep for one user, coarse grid.
+    let (dataset, vocab, _) = tiny();
+    let (train, _) = dataset.split_chronological_per_user(0.75);
+    let windows = compute_window_sets(&vocab, &train, WindowConfig::PAPER_DEFAULT, Some(60));
+    let user = *windows.iter().max_by_key(|&(_, w)| w.len()).map(|(u, _)| u).unwrap();
+    let search = ModelGridSearch::new(&vocab, WindowConfig::PAPER_DEFAULT, ModelKind::Svdd)
+        .regularizations(vec![0.9, 0.5, 0.1]);
+    let cells = search.run_user(&windows, user);
+    assert!(!cells.is_empty());
+    assert!(cells.len() <= 12, "4 kernels x 3 values");
+    let best = search.best_for_user(&windows, user).expect("a best exists");
+    assert!(best.regularization > 0.0);
+}
+
+#[test]
+fn novelty_sweep_flows() {
+    // Figs. 1–2 sweeps over two epochs.
+    let (dataset, vocab, start) = tiny();
+    let feature_rows = sweep_feature_novelty(&dataset, start, [1, 2]);
+    assert_eq!(feature_rows.len(), 2);
+    for row in &feature_rows {
+        for value in [row.category.mean, row.media_type.mean, row.application_type.mean] {
+            assert!((0.0..=1.0).contains(&value));
+        }
+    }
+    // Novelty never increases between week 1 and week 2 by much.
+    assert!(
+        feature_rows[1].category.mean <= feature_rows[0].category.mean + 0.1,
+        "category novelty should decay: {feature_rows:?}"
+    );
+    let window_rows =
+        sweep_window_novelty(&vocab, WindowConfig::PAPER_DEFAULT, &dataset, start, [1, 2]);
+    assert_eq!(window_rows.len(), 2);
+    assert!((0.0..=1.0).contains(&window_rows[0].novelty.mean));
+}
+
+#[test]
+fn confusion_matrix_flow() {
+    // The Tab. V evaluation end-to-end at tiny scale.
+    let (dataset, vocab, _) = tiny();
+    let (train, test) = dataset.split_chronological_per_user(0.75);
+    let trainer = webprofiler::ProfileTrainer::new(&vocab).max_training_windows(80);
+    let (profiles, _) = trainer.train_all(&train);
+    let test_windows = compute_window_sets(&vocab, &test, WindowConfig::PAPER_DEFAULT, Some(80));
+    let matrix = webprofiler::ConfusionMatrix::compute(&profiles, &test_windows);
+    let users = matrix.users().to_vec();
+    assert!(!users.is_empty());
+    // Every cell is a valid ratio and the diagonal exists for every user.
+    for &model in &users {
+        for &test_user in &users {
+            let cell = matrix.cell(model, test_user).expect("cell exists");
+            assert!((0.0..=1.0).contains(&cell));
+        }
+        assert!(matrix.self_acceptance(model).is_some());
+    }
+    let summary = matrix.summary();
+    assert!(summary.acc_self >= summary.acc_other, "{summary}");
+}
+
+#[test]
+fn timing_figures_flow() {
+    // Figs. 4–5 mechanics: decisions and composition behave and scale.
+    let (dataset, vocab, _) = tiny();
+    let user = *dataset.user_counts().iter().max_by_key(|&(_, &n)| n).unwrap().0;
+    let trainer = webprofiler::ProfileTrainer::new(&vocab).max_training_windows(100);
+    let vectors = trainer.training_vectors(&dataset, user);
+    let profile = trainer.train_from_vectors(user, &vectors).expect("trains");
+    // Decisions are finite for every window.
+    for window in &vectors {
+        assert!(profile.decision_value(window).is_finite());
+    }
+    // Composition over a big window completes and is bounded.
+    let txs: Vec<proxylog::Transaction> = dataset.for_user(user).take(2_000).copied().collect();
+    let t0 = std::time::Instant::now();
+    let aggregated = webprofiler::aggregate_window(&vocab, &txs);
+    assert!(t0.elapsed().as_secs_f64() < 1.0, "composition exceeded 1s");
+    assert!(aggregated.nnz() > 0);
+}

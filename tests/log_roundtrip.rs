@@ -1,0 +1,46 @@
+//! Cross-crate integration: generated traffic survives the text log
+//! format, and profiles trained on parsed logs equal profiles trained on
+//! the original dataset.
+
+use proxylog::{read_log, write_log, Dataset};
+use std::sync::Arc;
+use tracegen::{Scenario, TraceGenerator};
+use webprofiler::{ProfileTrainer, Vocabulary};
+
+#[test]
+fn generated_dataset_round_trips_through_log_format() {
+    let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+    let taxonomy = dataset.taxonomy();
+    let mut buffer = Vec::new();
+    write_log(&mut buffer, dataset.transactions(), taxonomy).expect("write succeeds");
+    assert!(!buffer.is_empty());
+    let parsed = read_log(buffer.as_slice(), taxonomy).expect("parse succeeds");
+    assert_eq!(parsed, dataset.transactions());
+}
+
+#[test]
+fn profiles_from_parsed_logs_match_original() {
+    let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+    let taxonomy = dataset.taxonomy();
+    let mut buffer = Vec::new();
+    write_log(&mut buffer, dataset.transactions(), taxonomy).expect("write succeeds");
+    let parsed = Dataset::new(Arc::clone(taxonomy), read_log(buffer.as_slice(), taxonomy).unwrap());
+
+    let vocab = Vocabulary::new(Arc::clone(taxonomy));
+    let user = *dataset.user_counts().iter().max_by_key(|&(_, &n)| n).unwrap().0;
+    let trainer = ProfileTrainer::new(&vocab).max_training_windows(200);
+
+    let original = trainer.train(&dataset, user).expect("original trains");
+    let roundtrip = trainer.train(&parsed, user).expect("parsed trains");
+    assert_eq!(original.training_windows(), roundtrip.training_windows());
+
+    // Decisions agree on every window of the parsed dataset.
+    let windows = trainer.training_vectors(&parsed, user);
+    for window in &windows {
+        assert_eq!(
+            original.decision_value(window),
+            roundtrip.decision_value(window),
+            "models diverge after log round-trip"
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Cross-crate integration: profiles trained in one "process", persisted,
+//! and reloaded for monitoring in another — the offline-train /
+//! online-monitor deployment split.
+
+use std::collections::BTreeMap;
+use tracegen::{Scenario, TraceGenerator};
+use webprofiler::{
+    identify_on_device, ProfileTrainer, UserProfile, Vocabulary, WindowConfig,
+};
+
+#[test]
+fn identification_results_survive_profile_persistence() {
+    let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+    let vocab = Vocabulary::new(dataset.taxonomy().clone());
+    let (profiles, _) =
+        ProfileTrainer::new(&vocab).max_training_windows(200).train_all(&dataset);
+    assert!(!profiles.is_empty());
+
+    // "Export" every profile to bytes and "import" in a fresh map.
+    let mut archived: Vec<(proxylog::UserId, Vec<u8>)> = Vec::new();
+    for (user, profile) in &profiles {
+        let mut bytes = Vec::new();
+        profile.write_to(&mut bytes).expect("serialize");
+        archived.push((*user, bytes));
+    }
+    let reloaded: BTreeMap<proxylog::UserId, UserProfile> = archived
+        .iter()
+        .map(|(user, bytes)| {
+            (*user, UserProfile::read_from(&mut bytes.as_slice()).expect("deserialize"))
+        })
+        .collect();
+
+    let device = dataset.devices()[0];
+    let before =
+        identify_on_device(&profiles, &vocab, &dataset, device, WindowConfig::PAPER_DEFAULT);
+    let after =
+        identify_on_device(&reloaded, &vocab, &dataset, device, WindowConfig::PAPER_DEFAULT);
+    assert_eq!(before.len(), after.len());
+    for (a, b) in before.iter().zip(&after) {
+        assert_eq!(a.start, b.start);
+        assert_eq!(a.accepted_by, b.accepted_by, "decisions changed after persistence");
+    }
+}
+
+#[test]
+fn profiles_round_trip_through_files() {
+    let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+    let vocab = Vocabulary::new(dataset.taxonomy().clone());
+    let user = *dataset.user_counts().iter().max_by_key(|&(_, &n)| n).unwrap().0;
+    let profile = ProfileTrainer::new(&vocab)
+        .max_training_windows(150)
+        .train(&dataset, user)
+        .expect("trains");
+
+    let dir = std::env::temp_dir().join(format!("webprofiler-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("profile.wprf");
+    {
+        let mut file = std::fs::File::create(&path).expect("create");
+        profile.write_to(&mut file).expect("write");
+    }
+    let loaded = {
+        let mut file = std::fs::File::open(&path).expect("open");
+        UserProfile::read_from(&mut file).expect("read")
+    };
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(loaded.user(), profile.user());
+    let probes = ProfileTrainer::new(&vocab)
+        .max_training_windows(50)
+        .training_vectors(&dataset, user);
+    for probe in &probes {
+        assert_eq!(loaded.decision_value(probe), profile.decision_value(probe));
+    }
+}
