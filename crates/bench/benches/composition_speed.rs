@@ -52,9 +52,7 @@ fn composition_speed(c: &mut Criterion) {
 
     // Single-transaction extraction, the inner loop of composition.
     let single = window_of(1);
-    c.bench_function("extract_transaction", |b| {
-        b.iter(|| extract_transaction(&vocab, &single[0]))
-    });
+    c.bench_function("extract_transaction", |b| b.iter(|| extract_transaction(&vocab, &single[0])));
 }
 
 criterion_group!(benches, composition_speed);

@@ -1,0 +1,133 @@
+//! Grid-search wall-clock: shared-Gram sweep vs the legacy per-cell path.
+//!
+//! The paper's per-user model optimization (Tab. III) trains 4 kernels × 15
+//! regularizations on the same window vectors. The legacy path recomputes
+//! kernel rows inside every solver run (60 kernel-matrix constructions,
+//! amortized through the row cache); the shared path builds one
+//! [`ocsvm::GramMatrix`] per kernel (4 constructions) and reuses it across
+//! the whole regularization sweep. This harness measures both on
+//! `Scenario::quick_test()` and reports the speedup plus the solver cache
+//! traffic each path generates.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocsvm::{GramMatrix, Kernel, KernelKind};
+use tracegen::{Scenario, TraceGenerator};
+use webprofiler::{
+    acceptance_ratio, compute_window_sets, ModelGridCell, ModelGridSearch, ModelKind,
+    ProfileTrainer, Vocabulary, WindowConfig, WindowSets,
+};
+
+struct Fixture {
+    vocab: Vocabulary,
+    sets: WindowSets,
+    user: proxylog::UserId,
+}
+
+fn fixture() -> Fixture {
+    let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+    let vocab = Vocabulary::new(dataset.taxonomy().clone());
+    let sets = compute_window_sets(&vocab, &dataset, WindowConfig::PAPER_DEFAULT, Some(400));
+    let user = *sets.iter().max_by_key(|&(_, w)| w.len()).map(|(u, _)| u).expect("users");
+    Fixture { vocab, sets, user }
+}
+
+/// The pre-sharing sweep: every (kernel, regularization) cell trains through
+/// `train_from_vectors`, recomputing kernel rows on the fly, and scores
+/// `ACCother` against every other user's full window set (sequentially —
+/// the shape the sweep had before Gram sharing landed).
+fn legacy_run_user(f: &Fixture) -> Vec<ModelGridCell> {
+    let own = &f.sets[&f.user];
+    let mut cells = Vec::new();
+    for &kind in KernelKind::ALL.iter() {
+        let kernel = Kernel::default_for(kind, f.vocab.n_features());
+        for &regularization in ModelGridSearch::PAPER_REGULARIZATIONS.iter() {
+            let trainer = ProfileTrainer::new(&f.vocab)
+                .window(WindowConfig::PAPER_DEFAULT)
+                .kind(ModelKind::OcSvm)
+                .kernel(kernel)
+                .regularization(regularization);
+            let Ok(profile) = trainer.train_from_vectors(f.user, own) else {
+                continue;
+            };
+            let acc_self = acceptance_ratio(&profile, own);
+            let others: Vec<f64> = f
+                .sets
+                .iter()
+                .filter(|&(&u, _)| u != f.user)
+                .map(|(_, w)| acceptance_ratio(&profile, w))
+                .collect();
+            let acc_other = if others.is_empty() {
+                0.0
+            } else {
+                others.iter().sum::<f64>() / others.len() as f64
+            };
+            cells.push(ModelGridCell {
+                kernel: kind,
+                regularization,
+                summary: webprofiler::AcceptanceSummary { acc_self, acc_other },
+            });
+        }
+    }
+    cells
+}
+
+fn report_sharing_stats(f: &Fixture, search: &ModelGridSearch<'_>) {
+    let own = &f.sets[&f.user];
+    let kernel = Kernel::default_for(KernelKind::Rbf, f.vocab.n_features());
+    let trainer = ProfileTrainer::new(&f.vocab)
+        .window(WindowConfig::PAPER_DEFAULT)
+        .kind(ModelKind::OcSvm)
+        .kernel(kernel)
+        .regularization(0.5);
+    let legacy = trainer.train_from_vectors(f.user, own).expect("legacy cell trains");
+    let gram = GramMatrix::compute(kernel, own);
+    let shared = trainer.train_from_vectors_with_gram(f.user, own, &gram).expect("gram cell");
+    let (ld, sd) = (legacy.diagnostics(), shared.diagnostics());
+    println!(
+        "solver cache, one RBF cell  legacy: {} hits / {} misses   shared-gram: {} hits / {} misses (scaled-row memoizations)",
+        ld.cache_hits, ld.cache_misses, sd.cache_hits, sd.cache_misses
+    );
+
+    let before = GramMatrix::computations();
+    let cells = search.run_user(&f.sets, f.user);
+    let delta = GramMatrix::computations() - before;
+    println!(
+        "shared sweep: {} cells trained from {} Gram computations ({} kernels × {} regularizations)",
+        cells.len(),
+        delta,
+        KernelKind::ALL.len(),
+        ModelGridSearch::PAPER_REGULARIZATIONS.len()
+    );
+}
+
+fn gridsearch(c: &mut Criterion) {
+    let f = fixture();
+    let search = ModelGridSearch::new(&f.vocab, WindowConfig::PAPER_DEFAULT, ModelKind::OcSvm)
+        .max_other_windows(usize::MAX);
+
+    report_sharing_stats(&f, &search);
+
+    // Headline comparison: one full sweep per path, timed directly, so the
+    // speedup is printed even in `--test` mode.
+    let start = Instant::now();
+    let legacy_cells = legacy_run_user(&f);
+    let legacy_time = start.elapsed();
+    let start = Instant::now();
+    let shared_cells = search.run_user(&f.sets, f.user);
+    let shared_time = start.elapsed();
+    assert_eq!(legacy_cells.len(), shared_cells.len(), "both paths train the same cells");
+    println!(
+        "full per-user sweep  legacy: {legacy_time:?}   shared-gram: {shared_time:?}   speedup: {:.1}x",
+        legacy_time.as_secs_f64() / shared_time.as_secs_f64().max(f64::MIN_POSITIVE)
+    );
+
+    let mut group = c.benchmark_group("model_grid_search");
+    group.bench_function("legacy_per_cell", |b| b.iter(|| legacy_run_user(&f)));
+    group.bench_function("shared_gram", |b| b.iter(|| search.run_user(&f.sets, f.user)));
+    group.finish();
+}
+
+criterion_group!(benches, gridsearch);
+criterion_main!(benches);

@@ -31,8 +31,7 @@ fn prediction_time(c: &mut Criterion) {
     let mut group = c.benchmark_group("prediction_time");
     // RBF models pay per support vector (the paper's LIBSVM behaviour);
     // linear models collapse to one dot product (this crate's fast path).
-    let kernels =
-        [("rbf", ocsvm::Kernel::Rbf { gamma: 0.05 }), ("linear", ocsvm::Kernel::Linear)];
+    let kernels = [("rbf", ocsvm::Kernel::Rbf { gamma: 0.05 }), ("linear", ocsvm::Kernel::Linear)];
     for kind in ModelKind::ALL {
         for (kernel_label, kernel) in kernels {
             let profile = ProfileTrainer::new(&experiment.vocab)

@@ -54,20 +54,18 @@ fn main() {
     let max_windows = config.max_windows;
     let experiment = Experiment::build(config);
 
-    println!("ABLATION: WINDOW AGGREGATION OPERATOR (SVDD linear C=0.5, {} users)",
-        experiment.train.users().len());
+    println!(
+        "ABLATION: WINDOW AGGREGATION OPERATOR (SVDD linear C=0.5, {} users)",
+        experiment.train.users().len()
+    );
     let widths = [14, 10, 10, 10];
     println!(
         "{}",
-        row(
-            &["aggregation".into(), "ACCself".into(), "ACCother".into(), "ACC".into()],
-            &widths
-        )
+        row(&["aggregation".into(), "ACCself".into(), "ACCother".into(), "ACC".into()], &widths)
     );
-    for (label, mode) in [
-        ("disjunction", AggregationMode::Disjunction),
-        ("frequency", AggregationMode::Frequency),
-    ] {
+    for (label, mode) in
+        [("disjunction", AggregationMode::Disjunction), ("frequency", AggregationMode::Frequency)]
+    {
         let train_sets = window_sets(&experiment, &experiment.train, mode, max_windows);
         let test_sets = window_sets(&experiment, &experiment.test, mode, max_windows);
         let trainer = ProfileTrainer::new(&experiment.vocab);

@@ -13,9 +13,7 @@
 use bench::{pct, row, Experiment, ExperimentConfig};
 use proxylog::UserId;
 use std::collections::BTreeMap;
-use webprofiler::{
-    compute_window_sets, FrequencyProfile, ModelKind, ProfileTrainer, WindowConfig,
-};
+use webprofiler::{compute_window_sets, FrequencyProfile, ModelKind, ProfileTrainer, WindowConfig};
 
 fn main() {
     let config = ExperimentConfig::parse(4);
@@ -44,17 +42,14 @@ fn main() {
     // decision closures per model family: (label, per-user accept fn).
     let mut results: Vec<(String, f64, f64)> = Vec::new();
     for kind in ModelKind::ALL {
-        let trainer = ProfileTrainer::new(&experiment.vocab)
-            .kind(kind)
-            .regularization(match kind {
+        let trainer =
+            ProfileTrainer::new(&experiment.vocab).kind(kind).regularization(match kind {
                 ModelKind::OcSvm => 0.1,
                 ModelKind::Svdd => 0.5,
             });
         let profiles: BTreeMap<UserId, _> = users
             .iter()
-            .filter_map(|&u| {
-                trainer.train_from_vectors(u, &train_windows[&u]).ok().map(|p| (u, p))
-            })
+            .filter_map(|&u| trainer.train_from_vectors(u, &train_windows[&u]).ok().map(|p| (u, p)))
             .collect();
         let (acc_self, acc_other) = evaluate(&users, &test_windows, |user, window| {
             profiles.get(&user).is_some_and(|p| p.accepts(window))
@@ -78,21 +73,13 @@ fn main() {
     let widths = [12, 10, 10, 10];
     println!(
         "{}",
-        row(
-            &["model".into(), "ACCself".into(), "ACCother".into(), "ACC".into()],
-            &widths
-        )
+        row(&["model".into(), "ACCself".into(), "ACCother".into(), "ACC".into()], &widths)
     );
     for (label, acc_self, acc_other) in &results {
         println!(
             "{}",
             row(
-                &[
-                    label.clone(),
-                    pct(*acc_self),
-                    pct(*acc_other),
-                    pct(acc_self - acc_other)
-                ],
+                &[label.clone(), pct(*acc_self), pct(*acc_other), pct(acc_self - acc_other)],
                 &widths
             )
         );

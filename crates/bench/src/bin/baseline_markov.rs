@@ -66,16 +66,14 @@ fn main() {
         if own.is_empty() {
             continue;
         }
-        let acc_self =
-            own.iter().filter(|w| profile.accepts(w)).count() as f64 / own.len() as f64;
+        let acc_self = own.iter().filter(|w| profile.accepts(w)).count() as f64 / own.len() as f64;
         let mut others = Vec::new();
         for (&other_user, windows) in &test {
             if other_user == user || windows.is_empty() {
                 continue;
             }
             others.push(
-                windows.iter().filter(|w| profile.accepts(w)).count() as f64
-                    / windows.len() as f64,
+                windows.iter().filter(|w| profile.accepts(w)).count() as f64 / windows.len() as f64,
             );
         }
         let acc_other = others.iter().sum::<f64>() / others.len().max(1) as f64;
@@ -85,12 +83,7 @@ fn main() {
         println!(
             "{}",
             row(
-                &[
-                    user.to_string(),
-                    pct(acc_self),
-                    pct(acc_other),
-                    pct(acc_self - acc_other)
-                ],
+                &[user.to_string(), pct(acc_self), pct(acc_other), pct(acc_self - acc_other)],
                 &widths
             )
         );

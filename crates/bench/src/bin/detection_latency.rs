@@ -11,9 +11,7 @@
 
 use bench::{row, Experiment, ExperimentConfig};
 use proxylog::UserId;
-use webprofiler::{
-    compute_window_sets, ProfileTrainer, TakeoverEvaluation, WindowConfig,
-};
+use webprofiler::{compute_window_sets, ProfileTrainer, TakeoverEvaluation, WindowConfig};
 
 fn main() {
     let config = ExperimentConfig::parse(4);
@@ -66,8 +64,7 @@ fn main() {
             if intruder == owner {
                 continue;
             }
-            let Ok(profile) = trainer.train_from_vectors(owner, &train_windows[&owner])
-            else {
+            let Ok(profile) = trainer.train_from_vectors(owner, &train_windows[&owner]) else {
                 continue;
             };
             let result = TakeoverEvaluation::replay(
@@ -91,9 +88,7 @@ fn main() {
                     k.to_string(),
                     format!("{false_alarms} / {pairs} replays"),
                     format!("{} / {pairs}", detections.len()),
-                    median_windows
-                        .map(|w| format!("{w} windows"))
-                        .unwrap_or_else(|| "-".into()),
+                    median_windows.map(|w| format!("{w} windows")).unwrap_or_else(|| "-".into()),
                     median_windows
                         .map(|w| (w as u32 * shift).to_string())
                         .unwrap_or_else(|| "-".into()),

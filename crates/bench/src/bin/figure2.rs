@@ -19,9 +19,15 @@ fn main() {
     let start = experiment.config.scenario().start;
     let max_week = experiment.config.weeks.saturating_sub(1).clamp(1, 21);
 
-    println!("FIGURE 2: WINDOW-VECTOR NOVELTY OVER OBSERVATION WEEKS ({})", WindowConfig::PAPER_DEFAULT);
+    println!(
+        "FIGURE 2: WINDOW-VECTOR NOVELTY OVER OBSERVATION WEEKS ({})",
+        WindowConfig::PAPER_DEFAULT
+    );
     let widths = [4, 10, 10, 6];
-    println!("{}", row(&["week".into(), "mean%".into(), "variance".into(), "users".into()], &widths));
+    println!(
+        "{}",
+        row(&["week".into(), "mean%".into(), "variance".into(), "users".into()], &widths)
+    );
     let rows = sweep_window_novelty(
         &experiment.vocab,
         WindowConfig::PAPER_DEFAULT,

@@ -48,9 +48,8 @@ fn main() {
     let params = search.optimize_all(&train_windows);
     let mut profiles: BTreeMap<UserId, UserProfile> = BTreeMap::new();
     for (&user, &p) in &params {
-        let trainer = ProfileTrainer::new(&experiment.vocab)
-            .window(WindowConfig::PAPER_DEFAULT)
-            .params(p);
+        let trainer =
+            ProfileTrainer::new(&experiment.vocab).window(WindowConfig::PAPER_DEFAULT).params(p);
         if let Ok(profile) = trainer.train_from_vectors(user, &train_windows[&user]) {
             profiles.insert(user, profile);
         }
@@ -71,9 +70,7 @@ fn main() {
         WindowConfig::PAPER_DEFAULT,
     );
 
-    println!(
-        "FIGURE 3: IDENTIFICATION ON {device} OVER 100 MINUTES (from {span_start})"
-    );
+    println!("FIGURE 3: IDENTIFICATION ON {device} OVER 100 MINUTES (from {span_start})");
     println!("(# = actual usage, + = model accepted, * = both; one column per 30s window)");
 
     // Rows: every user that is actual or accepted somewhere.
@@ -98,12 +95,7 @@ fn main() {
         }
         println!("{:>8} |{}|", user.to_string(), line.iter().collect::<String>());
     }
-    println!(
-        "{:>8}  0 min{:>width$}",
-        "",
-        "100 min",
-        width = n_slots.saturating_sub(5)
-    );
+    println!("{:>8}  0 min{:>width$}", "", "100 min", width = n_slots.saturating_sub(5));
 
     let quality = IdentificationQuality::measure(&identified);
     println!();
@@ -129,7 +121,9 @@ fn main() {
         votes.len(),
         correct
     );
-    println!("# paper shape: a handful of models accept; longest consecutive runs match the actual user");
+    println!(
+        "# paper shape: a handful of models accept; longest consecutive runs match the actual user"
+    );
 }
 
 /// Finds `(device, span_start)` maximizing distinct actual users within a
@@ -141,11 +135,8 @@ fn find_shared_span(
 ) -> Option<(DeviceId, Timestamp)> {
     let mut best: Option<(usize, usize, DeviceId, Timestamp)> = None;
     for device in test.devices() {
-        let txs: Vec<_> = test
-            .for_device(device)
-            .filter(|tx| profiles.contains_key(&tx.user))
-            .copied()
-            .collect();
+        let txs: Vec<_> =
+            test.for_device(device).filter(|tx| profiles.contains_key(&tx.user)).copied().collect();
         let mut lo = 0usize;
         for hi in 0..txs.len() {
             while txs[hi].timestamp - txs[lo].timestamp > SPAN_SECS {

@@ -70,12 +70,7 @@ fn main() {
         timings.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
         let median = timings[timings.len() / 2];
         points.push((n as f64, median));
-        println!(
-            "{:>8} {:>10.3}ms {:>14.2}",
-            n,
-            median * 1_000.0,
-            median * 1e6 / n as f64
-        );
+        println!("{:>8} {:>10.3}ms {:>14.2}", n, median * 1_000.0, median * 1e6 / n as f64);
     }
     // Least-squares slope through the origin-ish: report linearity.
     let n = points.len() as f64;

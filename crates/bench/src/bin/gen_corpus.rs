@@ -20,7 +20,10 @@ fn main() -> std::io::Result<()> {
         PathBuf::from(ExperimentConfig::arg_value("--out").unwrap_or_else(|| "corpus".into()));
     std::fs::create_dir_all(&out_dir)?;
 
-    eprintln!("# generating ({} weeks, rate {}, seed {})...", config.weeks, config.rate, config.seed);
+    eprintln!(
+        "# generating ({} weeks, rate {}, seed {})...",
+        config.weeks, config.rate, config.seed
+    );
     let dataset = TraceGenerator::new(config.scenario()).generate();
     println!("{}", CorpusSummary::measure(&dataset));
 

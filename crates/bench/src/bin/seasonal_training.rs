@@ -28,11 +28,8 @@ fn main() {
         WindowConfig::PAPER_DEFAULT,
         Some(max_windows),
     );
-    let train_end: Timestamp = experiment
-        .train
-        .time_range()
-        .map(|(_, last)| last)
-        .expect("training data is non-empty");
+    let train_end: Timestamp =
+        experiment.train.time_range().map(|(_, last)| last).expect("training data is non-empty");
 
     println!("SEASONAL TRAINING: EPOCH LENGTH vs TESTING ACCURACY");
     let widths = [16, 10, 10, 10, 12];
@@ -75,8 +72,7 @@ fn main() {
         let mean_windows = if profiles.is_empty() {
             0
         } else {
-            profiles.values().map(UserProfile::training_windows).sum::<usize>()
-                / profiles.len()
+            profiles.values().map(UserProfile::training_windows).sum::<usize>() / profiles.len()
         };
         println!(
             "{}",

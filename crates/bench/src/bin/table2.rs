@@ -21,12 +21,14 @@ fn main() {
     let max_windows = config.max_windows;
     let experiment = Experiment::build(config);
 
-    let search = WindowGridSearch::new(&experiment.vocab)
-        .max_windows_per_user(Some(max_windows));
+    let search = WindowGridSearch::new(&experiment.vocab).max_windows_per_user(Some(max_windows));
     let rows = search.run(&experiment.train, &[]);
 
     println!("TABLE II: GRID SEARCH ON WINDOW DURATION D AND SHIFT S");
-    println!("(SVDD, C = 0.5, linear kernel; averages over {} users)", experiment.train.users().len());
+    println!(
+        "(SVDD, C = 0.5, linear kernel; averages over {} users)",
+        experiment.train.users().len()
+    );
     let widths = [20, 8, 8, 8, 8, 8, 8];
     let mut header = vec!["".to_string()];
     header.extend(rows.iter().map(|r| dur(r.config.duration_secs())));
@@ -51,5 +53,7 @@ fn main() {
     println!("# ACCself       91.1  93.3  90.1  90.9  87.6  83.6");
     println!("# ACCother      17.2  15.8  12.7  11.4   9.6   8.6");
     println!("# ACC           73.8  77.5  77.3  79.5  77.9  75.0");
-    println!("# shape: short windows maximize ACCself; longer windows trade ACCself for lower ACCother");
+    println!(
+        "# shape: short windows maximize ACCself; longer windows trade ACCself for lower ACCother"
+    );
 }

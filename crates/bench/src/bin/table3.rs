@@ -63,10 +63,7 @@ fn main() {
 
     if let Some(best) = search.best_for_user(&windows, user) {
         println!();
-        println!(
-            "# retained for {user}: {} kernel, C = {}",
-            best.kernel, best.regularization
-        );
+        println!("# retained for {user}: {} kernel, C = {}", best.kernel, best.regularization);
     }
     println!("# paper ({user}): linear kernel, C = 0.4, ACC = 95.4");
     println!("# shape: linear dominates, polynomial collapses, RBF/sigmoid unstable across C");

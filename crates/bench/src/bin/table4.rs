@@ -24,7 +24,7 @@ use ocsvm::Kernel;
 use proxylog::UserId;
 use std::collections::BTreeMap;
 use webprofiler::{
-    compute_window_sets, ConfusionMatrix, AcceptanceSummary, ModelGridSearch, ModelKind,
+    compute_window_sets, AcceptanceSummary, ConfusionMatrix, ModelGridSearch, ModelKind,
     ProfileParams, ProfileTrainer, UserProfile, WindowConfig, WindowGridSearch,
 };
 
@@ -50,38 +50,26 @@ fn main() {
                 window,
                 Some(max_windows),
             );
-            let test_windows = compute_window_sets(
-                &experiment.vocab,
-                &experiment.test,
-                window,
-                Some(max_windows),
-            );
+            let test_windows =
+                compute_window_sets(&experiment.vocab, &experiment.test, window, Some(max_windows));
             let params: BTreeMap<UserId, ProfileParams> = if global {
                 train_windows
                     .keys()
                     .map(|&user| {
-                        (
-                            user,
-                            ProfileParams {
-                                kind,
-                                kernel: Kernel::Linear,
-                                regularization: 0.5,
-                            },
-                        )
+                        (user, ProfileParams { kind, kernel: Kernel::Linear, regularization: 0.5 })
                     })
                     .collect()
             } else {
                 let mut search = ModelGridSearch::new(&experiment.vocab, window, kind);
                 if !fine {
-                    search = search
-                        .regularizations(ModelGridSearch::COARSE_REGULARIZATIONS.to_vec());
+                    search =
+                        search.regularizations(ModelGridSearch::COARSE_REGULARIZATIONS.to_vec());
                 }
                 search.optimize_all(&train_windows)
             };
             let mut profiles: BTreeMap<UserId, UserProfile> = BTreeMap::new();
             for (&user, &p) in &params {
-                let trainer =
-                    ProfileTrainer::new(&experiment.vocab).window(window).params(p);
+                let trainer = ProfileTrainer::new(&experiment.vocab).window(window).params(p);
                 if let Ok(profile) = trainer.train_from_vectors(user, &train_windows[&user]) {
                     profiles.insert(user, profile);
                 }
@@ -91,8 +79,10 @@ fn main() {
         }
     }
 
-    println!("TABLE IV: AVERAGED ACCEPTANCE ON THE TESTING SET ({} parameters)",
-        if global { "global linear/0.5" } else { "per-user optimized" });
+    println!(
+        "TABLE IV: AVERAGED ACCEPTANCE ON THE TESTING SET ({} parameters)",
+        if global { "global linear/0.5" } else { "per-user optimized" }
+    );
     let widths = [8, 10, 8, 8, 8, 8, 8, 8];
     let mut header = vec!["".to_string(), "D".to_string()];
     header.extend(configs.iter().map(|c| dur(c.duration_secs())));
@@ -109,10 +99,8 @@ fn main() {
             ("ACC", Box::new(|s: &AcceptanceSummary| s.acc())),
         ];
         for (i, (label, value)) in rows.into_iter().enumerate() {
-            let mut cells = vec![
-                if i == 0 { kind.to_string() } else { String::new() },
-                label.to_string(),
-            ];
+            let mut cells =
+                vec![if i == 0 { kind.to_string() } else { String::new() }, label.to_string()];
             cells.extend(summaries.iter().map(|s| pct(value(s))));
             println!("{}", row(&cells, &widths));
         }

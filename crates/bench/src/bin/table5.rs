@@ -16,15 +16,16 @@ use bench::{pct, Experiment, ExperimentConfig};
 use proxylog::UserId;
 use std::collections::BTreeMap;
 use webprofiler::{
-    compute_window_sets, ConfusionMatrix, ModelGridSearch, ModelKind, ProfileTrainer,
-    UserProfile, WindowConfig,
+    compute_window_sets, ConfusionMatrix, ModelGridSearch, ModelKind, ProfileTrainer, UserProfile,
+    WindowConfig,
 };
 
 fn main() {
     let config = ExperimentConfig::parse(8);
     let max_windows = config.max_windows;
     let experiment = Experiment::build(config);
-    let kind = if ExperimentConfig::has_flag("--svdd") { ModelKind::Svdd } else { ModelKind::OcSvm };
+    let kind =
+        if ExperimentConfig::has_flag("--svdd") { ModelKind::Svdd } else { ModelKind::OcSvm };
 
     let train_windows = compute_window_sets(
         &experiment.vocab,
@@ -64,12 +65,12 @@ fn main() {
     for &user in matrix.users() {
         let confusions = matrix.confusions(user, 0.5);
         if !confusions.is_empty() {
-            let list: Vec<String> = confusions
-                .iter()
-                .map(|(u, ratio)| format!("t{}:{}", u.0, pct(*ratio)))
-                .collect();
+            let list: Vec<String> =
+                confusions.iter().map(|(u, ratio)| format!("t{}:{}", u.0, pct(*ratio))).collect();
             println!("# m{} strongly accepts {}", user.0, list.join(", "));
         }
     }
-    println!("# paper shape: diagonal >= 75 for most users; sparse off-diagonal confusion clusters");
+    println!(
+        "# paper shape: diagonal >= 75 for most users; sparse off-diagonal confusion clusters"
+    );
 }

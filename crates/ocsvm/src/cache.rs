@@ -4,18 +4,26 @@
 //! For the window counts produced by months of traffic the full `l × l`
 //! matrix does not fit in memory, so rows are computed on demand and kept in
 //! a least-recently-used cache bounded by a byte budget — the same strategy
-//! LIBSVM uses.
+//! LIBSVM uses. Recency is tracked exactly: every access re-keys the row
+//! under a fresh monotone tick in an ordered index, so eviction pops the
+//! true least-recently-used row in `O(log n)` instead of scanning every
+//! entry.
 
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// LRU cache mapping a row index to a computed kernel row.
 ///
-/// Rows are reference-counted so a caller can keep using a row after it has
-/// been evicted.
+/// Rows are reference-counted (and `Send + Sync`) so a caller can keep
+/// using a row after it has been evicted, and so rows can be shared across
+/// threads by precomputed-Gram consumers.
 #[derive(Debug)]
 pub(crate) struct RowCache {
     rows: HashMap<usize, CachedRow>,
+    /// Exact recency order: `last_used` tick → row index. Ticks come from a
+    /// strictly monotone counter, so every key is unique and the first
+    /// entry is always the least recently used row.
+    order: BTreeMap<u64, usize>,
     capacity_rows: usize,
     tick: u64,
     hits: u64,
@@ -24,7 +32,7 @@ pub(crate) struct RowCache {
 
 #[derive(Debug)]
 struct CachedRow {
-    data: Rc<[f64]>,
+    data: Arc<[f64]>,
     last_used: u64,
 }
 
@@ -35,7 +43,14 @@ impl RowCache {
     pub(crate) fn with_byte_budget(max_bytes: usize, row_len: usize) -> Self {
         let bytes_per_row = (row_len.max(1)) * std::mem::size_of::<f64>();
         let capacity_rows = (max_bytes / bytes_per_row).max(2);
-        Self { rows: HashMap::new(), capacity_rows, tick: 0, hits: 0, misses: 0 }
+        Self {
+            rows: HashMap::new(),
+            order: BTreeMap::new(),
+            capacity_rows,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Returns row `i`, computing it with `compute` on a miss.
@@ -43,25 +58,28 @@ impl RowCache {
         &mut self,
         i: usize,
         compute: impl FnOnce() -> Vec<f64>,
-    ) -> Rc<[f64]> {
+    ) -> Arc<[f64]> {
         self.tick += 1;
         let tick = self.tick;
         if let Some(entry) = self.rows.get_mut(&i) {
+            self.order.remove(&entry.last_used);
+            self.order.insert(tick, i);
             entry.last_used = tick;
             self.hits += 1;
-            return Rc::clone(&entry.data);
+            return Arc::clone(&entry.data);
         }
         self.misses += 1;
-        let data: Rc<[f64]> = compute().into();
+        let data: Arc<[f64]> = compute().into();
         if self.rows.len() >= self.capacity_rows {
             self.evict_lru();
         }
-        self.rows.insert(i, CachedRow { data: Rc::clone(&data), last_used: tick });
+        self.rows.insert(i, CachedRow { data: Arc::clone(&data), last_used: tick });
+        self.order.insert(tick, i);
         data
     }
 
     fn evict_lru(&mut self) {
-        if let Some((&victim, _)) = self.rows.iter().min_by_key(|(_, row)| row.last_used) {
+        if let Some((_, victim)) = self.order.pop_first() {
             self.rows.remove(&victim);
         }
     }
@@ -112,6 +130,33 @@ mod tests {
             row_of(1.0, 4)
         });
         assert!(recomputed);
+    }
+
+    #[test]
+    fn eviction_follows_exact_recency_order() {
+        // Capacity 3; access pattern leaves recency order 2 < 0 < 3 so
+        // inserting 4 then 5 evicts exactly rows 2 then 0.
+        let mut cache = RowCache::with_byte_budget(3 * 4 * 8, 4);
+        for i in 0..3 {
+            cache.get_or_compute(i, || row_of(i as f64, 4));
+        }
+        cache.get_or_compute(0, || panic!("cached"));
+        cache.get_or_compute(3, || row_of(3.0, 4)); // evicts 1 (LRU)
+        cache.get_or_compute(1, || row_of(1.0, 4)); // recomputes 1, evicts 2
+        let mut recomputed_two = false;
+        cache.get_or_compute(2, || {
+            recomputed_two = true;
+            row_of(2.0, 4)
+        }); // evicts 0
+        assert!(recomputed_two);
+        let mut recomputed_zero = false;
+        cache.get_or_compute(0, || {
+            recomputed_zero = true;
+            row_of(0.0, 4)
+        });
+        assert!(recomputed_zero, "row 0 should have been the LRU victim");
+        // Order index and row map stay in lock-step.
+        assert_eq!(cache.order.len(), cache.rows.len());
     }
 
     #[test]

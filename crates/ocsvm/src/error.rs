@@ -26,6 +26,17 @@ pub enum TrainError {
         /// The smallest feasible value, `1/l`.
         min: f64,
     },
+    /// A precomputed Gram matrix does not cover the training set: its row
+    /// count differs from the number of training points.
+    GramSizeMismatch {
+        /// Rows in the Gram matrix.
+        rows: usize,
+        /// Points in the training set.
+        points: usize,
+    },
+    /// A precomputed Gram matrix was computed with a different kernel than
+    /// the trainer is configured to use.
+    GramKernelMismatch,
 }
 
 impl fmt::Display for TrainError {
@@ -40,6 +51,16 @@ impl fmt::Display for TrainError {
             }
             TrainError::InfeasibleC { c, min } => {
                 write!(f, "C = {c} is infeasible for this training set, need C >= 1/l = {min}")
+            }
+            TrainError::GramSizeMismatch { rows, points } => {
+                write!(
+                    f,
+                    "precomputed Gram matrix has {rows} rows but the training set has \
+                     {points} points"
+                )
+            }
+            TrainError::GramKernelMismatch => {
+                write!(f, "precomputed Gram matrix was built with a different kernel")
             }
         }
     }

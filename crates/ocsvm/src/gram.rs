@@ -1,0 +1,303 @@
+//! Precomputed kernel (Gram) rows shared across solver runs and scoring.
+//!
+//! The paper's per-user model optimization (Tab. III) trains the *same*
+//! window vectors dozens of times — one solver run per regularization value
+//! per kernel — and evaluates every resulting model on the same probe
+//! windows. The O(l·d) kernel-row evaluations dominate both steps, and the
+//! rows are identical across the whole sweep. Two shared structures
+//! eliminate the recomputation:
+//!
+//! * [`GramMatrix`]: the symmetric matrix `K[i][j] = k(xᵢ, xⱼ)` over one
+//!   training set. Rows are materialized lazily, each **at most once per
+//!   (training set, kernel)**, and reused by every solver run of the sweep
+//!   via [`NuOcSvm::train_with_gram`](crate::NuOcSvm::train_with_gram) and
+//!   [`Svdd::train_with_gram`](crate::Svdd::train_with_gram) — and by
+//!   training-set scoring via
+//!   [`OcSvmModel::training_decision_values`](crate::OcSvmModel::training_decision_values).
+//! * [`CrossGram`]: the rectangular matrix `k(xᵢ, pⱼ)` between the training
+//!   set and a fixed probe set, also row-lazy, consumed by
+//!   [`OcSvmModel::cross_decision_values`](crate::OcSvmModel::cross_decision_values)
+//!   (and the SVDD equivalents) so a sweep scores every model against the
+//!   probes without re-evaluating the kernel per model.
+//!
+//! Rows are `Arc<[f64]>` behind `OnceLock`, so both structures are
+//! `Send + Sync` and a whole sweep can share one instance across threads.
+
+use crate::error::TrainError;
+use crate::kernel::Kernel;
+use crate::sparse::SparseVector;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide count of [`GramMatrix::compute`] calls, i.e. of distinct
+/// (training set, kernel) matrices built. Tests and benchmarks use deltas of
+/// this counter to verify that a sweep builds each matrix exactly once.
+static COMPUTATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of kernel rows materialized by [`GramMatrix`] and
+/// [`CrossGram`] — the expensive O(l·d)-per-row step sharing avoids.
+static ROWS_COMPUTED: AtomicU64 = AtomicU64::new(0);
+
+/// A symmetric kernel matrix `K[i][j] = k(xᵢ, xⱼ)` over a fixed, ordered
+/// training set, with lazily materialized rows.
+///
+/// Entries are produced by exactly the same kernel evaluations as the
+/// solver's on-the-fly path (`Kernel::compute` for every pair including the
+/// diagonal; `Kernel::compute_self` for the stored diagonal), so training
+/// through a `GramMatrix` yields numerically identical models (same `α`,
+/// `ρ`/`R²`, decision values) — see the equivalence tests in the crate.
+/// Each row is computed at most once for the lifetime of the matrix, no
+/// matter how many solver runs or scoring passes read it.
+///
+/// # Examples
+///
+/// ```
+/// use ocsvm::{GramMatrix, Kernel, NuOcSvm, OneClassModel, SparseVector};
+///
+/// let data: Vec<SparseVector> =
+///     (0..40).map(|i| SparseVector::from_dense(&[1.0, 0.02 * (i % 5) as f64])).collect();
+/// let kernel = Kernel::Rbf { gamma: 1.0 };
+/// let gram = GramMatrix::compute(kernel, &data);
+/// // One kernel matrix, many solver runs:
+/// for nu in [0.05, 0.1, 0.2, 0.5] {
+///     let model = NuOcSvm::new(nu, kernel).train_with_gram(&data, &gram)?;
+///     assert!(model.support_vector_count() > 0);
+/// }
+/// # Ok::<(), ocsvm::TrainError>(())
+/// ```
+#[derive(Debug)]
+pub struct GramMatrix<'a> {
+    kernel: Kernel,
+    points: &'a [SparseVector],
+    rows: Vec<OnceLock<Arc<[f64]>>>,
+    diag: Vec<f64>,
+}
+
+impl<'a> GramMatrix<'a> {
+    /// Prepares the kernel matrix over `points`. Rows are computed on first
+    /// access; the diagonal (`Kernel::compute_self`) is computed eagerly.
+    pub fn compute(kernel: Kernel, points: &'a [SparseVector]) -> Self {
+        COMPUTATIONS.fetch_add(1, Ordering::Relaxed);
+        let diag: Vec<f64> = points.iter().map(|x| kernel.compute_self(x)).collect();
+        let rows = (0..points.len()).map(|_| OnceLock::new()).collect();
+        Self { kernel, points, rows, diag }
+    }
+
+    /// Number of training points (= rows = columns).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the matrix covers zero points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The kernel the matrix was computed with.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Diagonal entry `k(xᵢ, xᵢ)` (via `Kernel::compute_self`).
+    pub fn diag_value(&self, i: usize) -> f64 {
+        self.diag[i]
+    }
+
+    /// Shared row `K[i][·]`, materialized on first access.
+    pub(crate) fn row(&self, i: usize) -> &Arc<[f64]> {
+        self.rows[i].get_or_init(|| {
+            ROWS_COMPUTED.fetch_add(1, Ordering::Relaxed);
+            let xi = &self.points[i];
+            self.points.iter().map(|xj| self.kernel.compute(xi, xj)).collect::<Vec<f64>>().into()
+        })
+    }
+
+    /// Process-wide number of [`GramMatrix::compute`] calls so far.
+    ///
+    /// Monotone; callers interested in a particular code path should take
+    /// a delta around it.
+    pub fn computations() -> u64 {
+        COMPUTATIONS.load(Ordering::Relaxed)
+    }
+
+    /// Process-wide number of kernel rows materialized by [`GramMatrix`]
+    /// and [`CrossGram`] instances so far (monotone, use deltas).
+    pub fn rows_computed() -> u64 {
+        ROWS_COMPUTED.load(Ordering::Relaxed)
+    }
+}
+
+/// A rectangular kernel matrix `k(xᵢ, pⱼ)` between a training set and a
+/// fixed probe set, with lazily materialized rows.
+///
+/// One `CrossGram` per (training set, kernel, probe set) lets every model of
+/// a regularization sweep score the same probes while each support vector's
+/// kernel row against the probes is evaluated at most once — across *all*
+/// models of the sweep (their support vectors heavily overlap).
+///
+/// # Examples
+///
+/// ```
+/// use ocsvm::{CrossGram, GramMatrix, Kernel, NuOcSvm, SparseVector};
+///
+/// let data: Vec<SparseVector> =
+///     (0..40).map(|i| SparseVector::from_dense(&[1.0, 0.02 * (i % 5) as f64])).collect();
+/// let probes: Vec<SparseVector> =
+///     (0..10).map(|i| SparseVector::from_dense(&[0.9, 0.03 * i as f64])).collect();
+/// let kernel = Kernel::Rbf { gamma: 1.0 };
+/// let gram = GramMatrix::compute(kernel, &data);
+/// let cross = CrossGram::new(kernel, &data, probes.iter().collect());
+/// for nu in [0.1, 0.5] {
+///     let model = NuOcSvm::new(nu, kernel).train_with_gram(&data, &gram)?;
+///     let values = model.cross_decision_values(&cross).expect("compatible");
+///     assert_eq!(values.len(), probes.len());
+/// }
+/// # Ok::<(), ocsvm::TrainError>(())
+/// ```
+#[derive(Debug)]
+pub struct CrossGram<'a> {
+    kernel: Kernel,
+    train: &'a [SparseVector],
+    probes: Vec<&'a SparseVector>,
+    rows: Vec<OnceLock<Arc<[f64]>>>,
+    probe_diag: Vec<f64>,
+}
+
+impl<'a> CrossGram<'a> {
+    /// Prepares the cross matrix between `train` and `probes`. Rows (one per
+    /// training point) are computed on first access; the probe diagonal
+    /// `k(pⱼ, pⱼ)` (needed by SVDD decisions) is computed eagerly.
+    pub fn new(kernel: Kernel, train: &'a [SparseVector], probes: Vec<&'a SparseVector>) -> Self {
+        let probe_diag = probes.iter().map(|p| kernel.compute_self(p)).collect();
+        let rows = (0..train.len()).map(|_| OnceLock::new()).collect();
+        Self { kernel, train, probes, rows, probe_diag }
+    }
+
+    /// Number of probe points (= row width).
+    pub fn probe_count(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Number of training points (= rows).
+    pub fn train_len(&self) -> usize {
+        self.train.len()
+    }
+
+    /// The kernel the matrix is computed with.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Shared row `k(xᵢ, p·)`, materialized on first access.
+    pub(crate) fn row(&self, i: usize) -> &Arc<[f64]> {
+        self.rows[i].get_or_init(|| {
+            ROWS_COMPUTED.fetch_add(1, Ordering::Relaxed);
+            let xi = &self.train[i];
+            self.probes.iter().map(|p| self.kernel.compute(xi, p)).collect::<Vec<f64>>().into()
+        })
+    }
+
+    /// Probe diagonal entry `k(pⱼ, pⱼ)` (via `Kernel::compute_self`).
+    pub(crate) fn probe_diag(&self, j: usize) -> f64 {
+        self.probe_diag[j]
+    }
+}
+
+/// Validates that `gram` is usable for training `points` with `kernel`.
+pub(crate) fn check_compatible(
+    gram: &GramMatrix<'_>,
+    points: usize,
+    kernel: Kernel,
+) -> Result<(), TrainError> {
+    if gram.len() != points {
+        return Err(TrainError::GramSizeMismatch { rows: gram.len(), points });
+    }
+    if gram.kernel() != kernel {
+        return Err(TrainError::GramKernelMismatch);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points() -> Vec<SparseVector> {
+        (0..6).map(|i| SparseVector::from_dense(&[1.0 + 0.1 * i as f64, (i % 3) as f64])).collect()
+    }
+
+    #[test]
+    fn matches_direct_kernel_evaluation() {
+        let pts = points();
+        for kernel in [Kernel::Linear, Kernel::Rbf { gamma: 0.7 }] {
+            let gram = GramMatrix::compute(kernel, &pts);
+            assert_eq!(gram.len(), pts.len());
+            for i in 0..pts.len() {
+                assert_eq!(gram.diag_value(i), kernel.compute_self(&pts[i]));
+                for j in 0..pts.len() {
+                    assert_eq!(gram.row(i)[j], kernel.compute(&pts[i], &pts[j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_matches_direct_kernel_evaluation() {
+        let pts = points();
+        let (train, probes) = pts.split_at(4);
+        let kernel = Kernel::Rbf { gamma: 0.7 };
+        let cross = CrossGram::new(kernel, train, probes.iter().collect());
+        assert_eq!(cross.train_len(), 4);
+        assert_eq!(cross.probe_count(), 2);
+        for (i, x) in train.iter().enumerate() {
+            for (j, p) in probes.iter().enumerate() {
+                assert_eq!(cross.row(i)[j], kernel.compute(x, p));
+            }
+        }
+        for (j, p) in probes.iter().enumerate() {
+            assert_eq!(cross.probe_diag(j), kernel.compute_self(p));
+        }
+    }
+
+    #[test]
+    fn computation_counter_increments_once_per_compute() {
+        let pts = points();
+        let before = GramMatrix::computations();
+        let _one = GramMatrix::compute(Kernel::Linear, &pts);
+        let _two = GramMatrix::compute(Kernel::Rbf { gamma: 1.0 }, &pts);
+        assert!(GramMatrix::computations() >= before + 2);
+    }
+
+    #[test]
+    fn rows_are_computed_lazily_and_at_most_once() {
+        let pts = points();
+        let gram = GramMatrix::compute(Kernel::Linear, &pts);
+        let before = GramMatrix::rows_computed();
+        let first = Arc::as_ptr(gram.row(2));
+        assert_eq!(GramMatrix::rows_computed(), before + 1, "first access materializes");
+        assert_eq!(Arc::as_ptr(gram.row(2)), first, "repeat access returns the same row");
+        assert_eq!(GramMatrix::rows_computed(), before + 1, "repeat access computes nothing");
+    }
+
+    #[test]
+    fn compatibility_checks() {
+        let pts = points();
+        let gram = GramMatrix::compute(Kernel::Linear, &pts);
+        assert!(check_compatible(&gram, pts.len(), Kernel::Linear).is_ok());
+        assert_eq!(
+            check_compatible(&gram, pts.len() + 1, Kernel::Linear),
+            Err(TrainError::GramSizeMismatch { rows: pts.len(), points: pts.len() + 1 })
+        );
+        assert_eq!(
+            check_compatible(&gram, pts.len(), Kernel::Rbf { gamma: 1.0 }),
+            Err(TrainError::GramKernelMismatch)
+        );
+    }
+
+    #[test]
+    fn gram_matrix_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GramMatrix<'static>>();
+        assert_send_sync::<CrossGram<'static>>();
+    }
+}

@@ -114,7 +114,6 @@ impl Kernel {
     }
 }
 
-
 impl fmt::Display for Kernel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {

@@ -16,7 +16,13 @@
 //! Both are trained by a shared SMO solver (second-order
 //! working-set selection, LRU kernel-row cache) over [`SparseVector`]
 //! samples, and both expose their decision function through the
-//! [`OneClassModel`] trait.
+//! [`OneClassModel`] trait. When one training set is swept over many
+//! regularization values (the paper's per-user grid search), a
+//! [`GramMatrix`] materializes each kernel row at most once and shares it —
+//! thread-safely — across every solver run of the sweep via
+//! [`NuOcSvm::train_with_gram`] and [`Svdd::train_with_gram`]; a
+//! [`CrossGram`] does the same for scoring all of the sweep's models
+//! against a fixed probe set.
 //!
 //! # Quick start
 //!
@@ -43,6 +49,7 @@
 
 mod cache;
 mod error;
+mod gram;
 mod kernel;
 mod model;
 mod ocsvm;
@@ -53,6 +60,7 @@ mod sparse;
 mod svdd;
 
 pub use error::TrainError;
+pub use gram::{CrossGram, GramMatrix};
 pub use kernel::{Kernel, KernelKind};
 pub use model::{OneClassModel, TrainDiagnostics};
 pub use ocsvm::{NuOcSvm, OcSvmModel};
@@ -70,6 +78,8 @@ mod trait_tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SparseVector>();
         assert_send_sync::<Kernel>();
+        assert_send_sync::<GramMatrix<'static>>();
+        assert_send_sync::<CrossGram<'static>>();
         assert_send_sync::<OcSvmModel>();
         assert_send_sync::<SvddModel>();
         assert_send_sync::<TrainError>();

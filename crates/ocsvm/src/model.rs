@@ -53,33 +53,34 @@ pub(crate) struct SupportVectorSet {
     pub(crate) kernel: Kernel,
     /// `Σᵢ αᵢxᵢ`, present iff the kernel is linear.
     collapsed: Option<SparseVector>,
+    /// Training-set indices of the support vectors, present iff the model
+    /// was trained in-process (a deserialized model no longer knows its
+    /// training set). Lets scoring read precomputed kernel rows instead of
+    /// re-evaluating `k(svᵢ, ·)`.
+    indices: Option<Vec<usize>>,
 }
 
 impl SupportVectorSet {
     /// Keeps only the points with `α > 0` from a full solution.
-    pub(crate) fn from_solution(
-        points: &[SparseVector],
-        alpha: &[f64],
-        kernel: Kernel,
-    ) -> Self {
+    pub(crate) fn from_solution(points: &[SparseVector], alpha: &[f64], kernel: Kernel) -> Self {
         let mut vectors = Vec::new();
         let mut kept = Vec::new();
-        for (x, &a) in points.iter().zip(alpha) {
+        let mut indices = Vec::new();
+        for (i, (x, &a)) in points.iter().zip(alpha).enumerate() {
             if a > 0.0 {
                 vectors.push(x.clone());
                 kept.push(a);
+                indices.push(i);
             }
         }
-        Self::from_parts(vectors, kept, kernel)
+        let mut set = Self::from_parts(vectors, kept, kernel);
+        set.indices = Some(indices);
+        set
     }
 
     /// Rebuilds a set from already-pruned support vectors (model
     /// deserialization), recomputing the linear fast path.
-    pub(crate) fn from_parts(
-        vectors: Vec<SparseVector>,
-        alpha: Vec<f64>,
-        kernel: Kernel,
-    ) -> Self {
+    pub(crate) fn from_parts(vectors: Vec<SparseVector>, alpha: Vec<f64>, kernel: Kernel) -> Self {
         let collapsed = match kernel {
             Kernel::Linear => {
                 let mut builder = crate::sparse::SparseVectorBuilder::new();
@@ -92,18 +93,33 @@ impl SupportVectorSet {
             }
             _ => None,
         };
-        Self { vectors, alpha, kernel, collapsed }
+        Self { vectors, alpha, kernel, collapsed, indices: None }
+    }
+
+    /// Training-set indices of the support vectors, when known.
+    pub(crate) fn indices(&self) -> Option<&[usize]> {
+        self.indices.as_deref()
+    }
+
+    /// `Σᵢ αᵢ·rowsᵢ[j]` for every probe column `j`, over precomputed kernel
+    /// rows (one per support vector, in support-vector order). The inner sum
+    /// runs in the same order as [`Self::weighted_kernel_sum`], so for
+    /// non-linear kernels the results are bit-identical to on-the-fly
+    /// evaluation (the linear kernel's collapsed fast path only agrees up to
+    /// floating-point association).
+    pub(crate) fn weighted_row_sums(
+        &self,
+        rows: &[&std::sync::Arc<[f64]>],
+        width: usize,
+    ) -> Vec<f64> {
+        (0..width).map(|j| rows.iter().zip(&self.alpha).map(|(row, &a)| a * row[j]).sum()).collect()
     }
 
     pub(crate) fn weighted_kernel_sum(&self, x: &SparseVector) -> f64 {
         if let Some(w) = &self.collapsed {
             return w.dot(x);
         }
-        self.vectors
-            .iter()
-            .zip(&self.alpha)
-            .map(|(sv, &a)| a * self.kernel.compute(sv, x))
-            .sum()
+        self.vectors.iter().zip(&self.alpha).map(|(sv, &a)| a * self.kernel.compute(sv, x)).sum()
     }
 
     pub(crate) fn len(&self) -> usize {
@@ -162,11 +178,7 @@ mod tests {
         let alpha = [0.2, 0.3, 0.5];
         let set = SupportVectorSet::from_solution(&points, &alpha, Kernel::Linear);
         let probe = SparseVector::from_dense(&[0.7, -1.2, 3.0]);
-        let explicit: f64 = points
-            .iter()
-            .zip(&alpha)
-            .map(|(sv, &a)| a * sv.dot(&probe))
-            .sum();
+        let explicit: f64 = points.iter().zip(&alpha).map(|(sv, &a)| a * sv.dot(&probe)).sum();
         assert!((set.weighted_kernel_sum(&probe) - explicit).abs() < 1e-12);
     }
 

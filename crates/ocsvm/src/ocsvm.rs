@@ -13,9 +13,10 @@
 //! (Schölkopf et al. 2001).
 
 use crate::error::TrainError;
+use crate::gram::{self, CrossGram, GramMatrix};
 use crate::kernel::Kernel;
 use crate::model::{OneClassModel, SupportVectorSet, TrainDiagnostics};
-use crate::smo::{self, KernelQ, SolverOptions};
+use crate::smo::{self, KernelQ, PrecomputedQ, SolverOptions, SolverQ};
 use crate::sparse::SparseVector;
 
 /// Trainer configuration for a ν-OC-SVM.
@@ -75,18 +76,59 @@ impl NuOcSvm {
     /// * [`TrainError::EmptyTrainingSet`] if `points` is empty.
     /// * [`TrainError::InvalidNu`] if `ν ∉ (0, 1]` or is not finite.
     pub fn train(&self, points: &[SparseVector]) -> Result<OcSvmModel, TrainError> {
+        self.validate(points)?;
+        let mut q = KernelQ::new(self.kernel, points, 1.0, self.options.cache_bytes);
+        self.train_on(points, &mut q)
+    }
+
+    /// Trains on `points` reusing a precomputed [`GramMatrix`] over exactly
+    /// those points (same kernel, same order).
+    ///
+    /// Numerically identical to [`train`](Self::train) — the solver
+    /// consumes the same `Q` entries — but skips the O(l²·d) kernel
+    /// evaluations, which dominate when one training set is swept over many
+    /// `ν` values (per-user grid search). The Gram matrix is read-only and
+    /// `Sync`, so concurrent sweeps can share one instance.
+    ///
+    /// # Errors
+    ///
+    /// In addition to [`train`](Self::train)'s errors:
+    ///
+    /// * [`TrainError::GramSizeMismatch`] if `gram` covers a different
+    ///   number of points.
+    /// * [`TrainError::GramKernelMismatch`] if `gram` was computed with a
+    ///   different kernel.
+    pub fn train_with_gram(
+        &self,
+        points: &[SparseVector],
+        gram: &GramMatrix,
+    ) -> Result<OcSvmModel, TrainError> {
+        self.validate(points)?;
+        gram::check_compatible(gram, points.len(), self.kernel)?;
+        let mut q = PrecomputedQ::new(gram, 1.0);
+        self.train_on(points, &mut q)
+    }
+
+    fn validate(&self, points: &[SparseVector]) -> Result<(), TrainError> {
         if points.is_empty() {
             return Err(TrainError::EmptyTrainingSet);
         }
         if !self.nu.is_finite() || self.nu <= 0.0 || self.nu > 1.0 {
             return Err(TrainError::InvalidNu { nu: self.nu });
         }
+        Ok(())
+    }
+
+    fn train_on<Q: SolverQ>(
+        &self,
+        points: &[SparseVector],
+        q: &mut Q,
+    ) -> Result<OcSvmModel, TrainError> {
         let l = points.len();
         let upper = 1.0 / (self.nu * l as f64);
         let p = vec![0.0; l];
-        let mut q = KernelQ::new(self.kernel, points, 1.0, self.options.cache_bytes);
         let alpha0 = smo::initial_alpha(l, upper);
-        let solution = smo::solve(&mut q, &p, upper, alpha0, &self.options);
+        let solution = smo::solve(q, &p, upper, alpha0, &self.options);
 
         let rho = recover_rho(&solution.alpha, &solution.gradient, upper);
         let (cache_hits, cache_misses) = q.cache_stats();
@@ -185,6 +227,45 @@ impl OcSvmModel {
         crate::persist::read_ocsvm(reader)
     }
 
+    /// Decision values over the *training set*, read from the shared
+    /// [`GramMatrix`] the model was (or could have been) trained with —
+    /// no kernel evaluations are performed beyond the matrix's lazily
+    /// materialized rows.
+    ///
+    /// For non-linear kernels the values are bit-identical to calling
+    /// [`decision_value`](OneClassModel::decision_value) on each training
+    /// point; for the linear kernel they agree up to floating-point
+    /// association (the on-the-fly path uses a collapsed weight vector).
+    ///
+    /// Returns `None` when the model was deserialized (its training indices
+    /// are unknown) or `gram` does not match the model's kernel and
+    /// training-set size.
+    pub fn training_decision_values(&self, gram: &GramMatrix<'_>) -> Option<Vec<f64>> {
+        let indices = self.support.indices()?;
+        if gram.kernel() != self.support.kernel || gram.len() != self.diagnostics.train_size {
+            return None;
+        }
+        let rows: Vec<_> = indices.iter().map(|&i| gram.row(i)).collect();
+        let sums = self.support.weighted_row_sums(&rows, gram.len());
+        Some(sums.into_iter().map(|s| s - self.rho).collect())
+    }
+
+    /// Decision values over a fixed probe set, read from a shared
+    /// [`CrossGram`] between the model's training set and the probes.
+    ///
+    /// Same exactness and availability rules as
+    /// [`training_decision_values`](Self::training_decision_values).
+    pub fn cross_decision_values(&self, cross: &CrossGram<'_>) -> Option<Vec<f64>> {
+        let indices = self.support.indices()?;
+        if cross.kernel() != self.support.kernel || cross.train_len() != self.diagnostics.train_size
+        {
+            return None;
+        }
+        let rows: Vec<_> = indices.iter().map(|&i| cross.row(i)).collect();
+        let sums = self.support.weighted_row_sums(&rows, cross.probe_count());
+        Some(sums.into_iter().map(|s| s - self.rho).collect())
+    }
+
     pub(crate) fn support(&self) -> &SupportVectorSet {
         &self.support
     }
@@ -252,11 +333,7 @@ mod tests {
         let data = cluster(&[1.0, 2.0, 0.0], 0.05, 60);
         let model = NuOcSvm::new(0.1, Kernel::Rbf { gamma: 1.0 }).train(&data).unwrap();
         let accepted = data.iter().filter(|x| model.accepts(x)).count();
-        assert!(
-            accepted as f64 >= 0.85 * data.len() as f64,
-            "accepted {accepted}/{}",
-            data.len()
-        );
+        assert!(accepted as f64 >= 0.85 * data.len() as f64, "accepted {accepted}/{}", data.len());
         assert!(!model.accepts(&SparseVector::from_dense(&[10.0, -10.0, 5.0])));
     }
 
@@ -282,15 +359,9 @@ mod tests {
             // solver tolerance) are not margin errors.
             let rejected = data.iter().filter(|x| model.decision_value(x) < -1e-5).count() as f64
                 / data.len() as f64;
-            assert!(
-                rejected <= nu + 0.05,
-                "nu = {nu}: rejected fraction {rejected} exceeds bound"
-            );
+            assert!(rejected <= nu + 0.05, "nu = {nu}: rejected fraction {rejected} exceeds bound");
             let sv_fraction = model.support_vector_count() as f64 / data.len() as f64;
-            assert!(
-                sv_fraction >= nu - 0.05,
-                "nu = {nu}: SV fraction {sv_fraction} below bound"
-            );
+            assert!(sv_fraction >= nu - 0.05, "nu = {nu}: SV fraction {sv_fraction} below bound");
         }
     }
 

@@ -251,8 +251,7 @@ mod tests {
     #[test]
     fn ocsvm_round_trips_bitwise() {
         let data = training_data();
-        let model =
-            NuOcSvm::new(0.2, Kernel::Rbf { gamma: 0.5 }).train(&data).unwrap();
+        let model = NuOcSvm::new(0.2, Kernel::Rbf { gamma: 0.5 }).train(&data).unwrap();
         let mut bytes = Vec::new();
         model.write_to(&mut bytes).unwrap();
         let loaded = OcSvmModel::read_from(&mut bytes.as_slice()).unwrap();

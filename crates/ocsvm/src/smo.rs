@@ -19,9 +19,10 @@
 //! kernel-row cache.
 
 use crate::cache::RowCache;
+use crate::gram::GramMatrix;
 use crate::kernel::Kernel;
 use crate::sparse::SparseVector;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Denominator floor for pairs whose quadratic coefficient is non-positive
 /// (possible with the sigmoid kernel, which is not PSD).
@@ -34,7 +35,17 @@ pub(crate) trait QMatrix {
     /// Diagonal entry `Q[i][i]`.
     fn diag(&self, i: usize) -> f64;
     /// Full row `Q[i][·]`, possibly served from cache.
-    fn row(&mut self, i: usize) -> Rc<[f64]>;
+    fn row(&mut self, i: usize) -> Arc<[f64]>;
+}
+
+/// What the trainers need from a `Q` matrix beyond [`QMatrix`] itself: raw
+/// kernel diagonals (for the SVDD linear term) and row-store counters (for
+/// [`TrainDiagnostics`](crate::TrainDiagnostics)).
+pub(crate) trait SolverQ: QMatrix {
+    /// Raw kernel diagonal `K(xᵢ, xᵢ)` (without the `Q` scale factor).
+    fn kernel_diag(&self, i: usize) -> f64;
+    /// (hits, misses) of the row store.
+    fn cache_stats(&self) -> (u64, u64);
 }
 
 /// `Q = scale · K` over a set of sparse training points, with an LRU row
@@ -54,19 +65,18 @@ impl<'a> KernelQ<'a> {
         scale: f64,
         cache_bytes: usize,
     ) -> Self {
-        let diag =
-            points.iter().map(|x| scale * kernel.compute_self(x)).collect::<Vec<_>>();
+        let diag = points.iter().map(|x| scale * kernel.compute_self(x)).collect::<Vec<_>>();
         let cache = RowCache::with_byte_budget(cache_bytes, points.len());
         Self { kernel, points, scale, diag, cache }
     }
+}
 
-    /// Raw kernel diagonal `K(xᵢ, xᵢ)` (without the `Q` scale factor).
-    pub(crate) fn kernel_diag(&self, i: usize) -> f64 {
+impl SolverQ for KernelQ<'_> {
+    fn kernel_diag(&self, i: usize) -> f64 {
         self.diag[i] / self.scale
     }
 
-    /// (hits, misses) of the row cache.
-    pub(crate) fn cache_stats(&self) -> (u64, u64) {
+    fn cache_stats(&self) -> (u64, u64) {
         self.cache.stats()
     }
 }
@@ -80,12 +90,70 @@ impl QMatrix for KernelQ<'_> {
         self.diag[i]
     }
 
-    fn row(&mut self, i: usize) -> Rc<[f64]> {
+    fn row(&mut self, i: usize) -> Arc<[f64]> {
         let (kernel, points, scale) = (self.kernel, self.points, self.scale);
         self.cache.get_or_compute(i, || {
             let xi = &points[i];
             points.iter().map(|xj| scale * kernel.compute(xi, xj)).collect()
         })
+    }
+}
+
+/// `Q = scale · K` served from a shared, precomputed [`GramMatrix`].
+///
+/// At `scale = 1` (OC-SVM) rows are handed out zero-copy. At other scales
+/// (SVDD uses `Q = 2K`) each scaled row is materialized lazily, once, and
+/// memoized for the lifetime of the solver run; the products `scale · Kᵢⱼ`
+/// are exactly the ones [`KernelQ`] computes, so both paths feed the solver
+/// bit-identical values.
+pub(crate) struct PrecomputedQ<'g> {
+    gram: &'g GramMatrix<'g>,
+    scale: f64,
+    scaled_rows: Vec<Option<Arc<[f64]>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<'g> PrecomputedQ<'g> {
+    pub(crate) fn new(gram: &'g GramMatrix<'g>, scale: f64) -> Self {
+        Self { gram, scale, scaled_rows: vec![None; gram.len()], hits: 0, misses: 0 }
+    }
+}
+
+impl SolverQ for PrecomputedQ<'_> {
+    fn kernel_diag(&self, i: usize) -> f64 {
+        self.gram.diag_value(i)
+    }
+
+    fn cache_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+impl QMatrix for PrecomputedQ<'_> {
+    fn len(&self) -> usize {
+        self.gram.len()
+    }
+
+    fn diag(&self, i: usize) -> f64 {
+        self.scale * self.gram.diag_value(i)
+    }
+
+    fn row(&mut self, i: usize) -> Arc<[f64]> {
+        if self.scale == 1.0 {
+            self.hits += 1;
+            return Arc::clone(self.gram.row(i));
+        }
+        if let Some(row) = &self.scaled_rows[i] {
+            self.hits += 1;
+            return Arc::clone(row);
+        }
+        self.misses += 1;
+        let scale = self.scale;
+        let row: Arc<[f64]> =
+            self.gram.row(i).iter().map(|&v| scale * v).collect::<Vec<f64>>().into();
+        self.scaled_rows[i] = Some(Arc::clone(&row));
+        row
     }
 }
 
@@ -157,6 +225,8 @@ pub(crate) fn solve(
 
     let mut iterations = 0;
     let mut converged = false;
+    // Set after recovering from a non-positive step; cleared by progress.
+    let mut stuck_recovery = false;
     while iterations < max_iterations {
         if options.shrinking && l > 2 {
             shrink_countdown -= 1;
@@ -176,9 +246,7 @@ pub(crate) fn solve(
                 reconstruct_gradient(q, p, &alpha, &mut gradient);
                 active = (0..l).collect();
                 shrink_countdown = shrink_period;
-                if select_working_set(q, &alpha, &gradient, upper, options.eps, &active)
-                    .is_none()
-                {
+                if select_working_set(q, &alpha, &gradient, upper, options.eps, &active).is_none() {
                     converged = true;
                     break;
                 }
@@ -196,12 +264,26 @@ pub(crate) fn solve(
                 let t_unclipped = (gradient[j] - gradient[i]) / quad;
                 let t = t_unclipped.min(upper - alpha[i]).min(alpha[j]);
                 if t <= 0.0 {
-                    // Numerically stuck pair; the stopping criterion will
-                    // fire on the next selection round at a looser eps, but
-                    // avoid spinning forever here.
-                    converged = true;
-                    break;
+                    // The selection invariants (G[j] > G[i], α[i] < U,
+                    // α[j] > 0) force t > 0 whenever the gradient entries
+                    // behind them are exact, so a non-positive step means
+                    // the pair was picked from degraded state. Rebuild the
+                    // exact gradient, restore the full active set and let
+                    // selection re-check against the true KKT conditions.
+                    // If that already happened and the pair still cannot
+                    // move, the solver is numerically stuck short of the
+                    // stopping tolerance: bail out with `converged` left
+                    // false rather than claim an unmet criterion holds.
+                    if stuck_recovery {
+                        break;
+                    }
+                    stuck_recovery = true;
+                    reconstruct_gradient(q, p, &alpha, &mut gradient);
+                    active = (0..l).collect();
+                    shrink_countdown = shrink_period;
+                    continue;
                 }
+                stuck_recovery = false;
                 alpha[i] += t;
                 alpha[j] -= t;
                 // Snap to the box to stop drift from accumulating.
@@ -490,14 +572,8 @@ mod tests {
         // At the optimum, with rho = G_i for free SVs:
         //   α = 0      ⇒ G_i ≥ rho − eps
         //   α = upper  ⇒ G_i ≤ rho + eps
-        let pts = points(&[
-            &[1.0, 0.2],
-            &[0.8, 0.3],
-            &[0.9, 0.1],
-            &[0.0, 2.0],
-            &[0.1, 1.9],
-            &[0.5, 0.5],
-        ]);
+        let pts =
+            points(&[&[1.0, 0.2], &[0.8, 0.3], &[0.9, 0.1], &[0.0, 2.0], &[0.1, 1.9], &[0.5, 0.5]]);
         let upper = 0.4;
         let p = vec![0.0; pts.len()];
         let sol = solve_kernel(Kernel::Rbf { gamma: 0.8 }, &pts, 1.0, &p, upper);
@@ -509,8 +585,7 @@ mod tests {
         if free.is_empty() {
             return; // stopping criterion trivially satisfied via bounds
         }
-        let rho: f64 =
-            free.iter().map(|&i| sol.gradient[i]).sum::<f64>() / free.len() as f64;
+        let rho: f64 = free.iter().map(|&i| sol.gradient[i]).sum::<f64>() / free.len() as f64;
         let eps = 2e-3;
         for i in 0..pts.len() {
             if sol.alpha[i] <= 1e-9 {
@@ -602,6 +677,140 @@ mod tests {
                 "stale gradient at {t}: {} vs {expected}",
                 sol.gradient[t]
             );
+        }
+    }
+
+    #[test]
+    fn precomputed_gram_matches_kernel_q_exactly() {
+        // The precomputed-Gram path must feed the solver the same Q entries
+        // as the on-the-fly path, so the whole trajectory — α, gradient,
+        // objective, iteration count — is bit-identical.
+        let pts: Vec<SparseVector> = (0..40)
+            .map(|i| {
+                SparseVector::from_dense(&[
+                    ((i * 37) % 101) as f64 / 101.0,
+                    ((i * 53 + 17) % 101) as f64 / 101.0,
+                    (i % 5) as f64 * 0.2,
+                ])
+            })
+            .collect();
+        let kernels = [
+            Kernel::Linear,
+            Kernel::Rbf { gamma: 1.3 },
+            Kernel::Polynomial { gamma: 0.5, coef0: 1.0, degree: 3 },
+            Kernel::Sigmoid { gamma: 0.2, coef0: -0.5 },
+        ];
+        for kernel in kernels {
+            for scale in [1.0, 2.0] {
+                let l = pts.len();
+                let upper = 1.0 / (0.3 * l as f64);
+                // SVDD-style linear term for scale 2, zero otherwise.
+                let p: Vec<f64> = if scale == 2.0 {
+                    pts.iter().map(|x| -kernel.compute_self(x)).collect()
+                } else {
+                    vec![0.0; l]
+                };
+                let options = SolverOptions::default();
+                let mut on_the_fly = KernelQ::new(kernel, &pts, scale, 1 << 20);
+                let direct = solve(&mut on_the_fly, &p, upper, initial_alpha(l, upper), &options);
+                let gram = GramMatrix::compute(kernel, &pts);
+                let mut precomputed = PrecomputedQ::new(&gram, scale);
+                let shared = solve(&mut precomputed, &p, upper, initial_alpha(l, upper), &options);
+                assert_eq!(direct.converged, shared.converged, "{kernel:?} scale {scale}");
+                assert_eq!(
+                    direct.iterations, shared.iterations,
+                    "{kernel:?} scale {scale}: trajectories diverged"
+                );
+                assert_eq!(direct.alpha, shared.alpha, "{kernel:?} scale {scale}");
+                assert_eq!(direct.gradient, shared.gradient, "{kernel:?} scale {scale}");
+                assert_eq!(direct.objective, shared.objective, "{kernel:?} scale {scale}");
+            }
+        }
+    }
+
+    #[test]
+    fn precomputed_gram_counts_zero_copy_hits() {
+        let pts = points(&[&[1.0, 0.0], &[0.0, 1.0], &[0.5, 0.5], &[0.3, 0.7]]);
+        let gram = GramMatrix::compute(Kernel::Rbf { gamma: 1.0 }, &pts);
+        // Scale 1: every row access is a zero-copy hit.
+        let mut q1 = PrecomputedQ::new(&gram, 1.0);
+        let _ = solve(&mut q1, &[0.0; 4], 0.3, initial_alpha(4, 0.3), &SolverOptions::default());
+        let (hits, misses) = q1.cache_stats();
+        assert!(hits > 0);
+        assert_eq!(misses, 0, "scale-1 rows must be shared zero-copy");
+        // Scale 2: each scaled row is materialized at most once.
+        let mut q2 = PrecomputedQ::new(&gram, 2.0);
+        let p: Vec<f64> = (0..4).map(|i| -q2.kernel_diag(i)).collect();
+        let _ = solve(&mut q2, &p, 0.5, initial_alpha(4, 0.5), &SolverOptions::default());
+        let (_, misses2) = q2.cache_stats();
+        assert!(misses2 <= 4, "each scaled row materialized at most once, got {misses2}");
+        // A repeated request is served from the memoized scaled row.
+        let _ = q2.row(0);
+        let (hits_before, misses_before) = q2.cache_stats();
+        let _ = q2.row(0);
+        assert_eq!(q2.cache_stats(), (hits_before + 1, misses_before));
+    }
+
+    #[test]
+    fn convergence_flag_is_truthful_under_stress() {
+        // Regression for the old stuck-pair exit, which set `converged =
+        // true` without re-checking the KKT conditions: whenever the solver
+        // reports convergence, the maximal violating pair — measured on an
+        // independently recomputed, exact gradient — must be within eps.
+        // Exercised across shrinking, a non-PSD kernel and duplicate-heavy
+        // data (the TAU-floored denominators most likely to misbehave).
+        let mut datasets: Vec<Vec<SparseVector>> = Vec::new();
+        datasets.push(
+            (0..90)
+                .map(|i| {
+                    SparseVector::from_dense(&[
+                        ((i * 41) % 97) as f64 / 97.0,
+                        ((i * 59 + 13) % 97) as f64 / 97.0,
+                    ])
+                })
+                .collect(),
+        );
+        // Heavy duplication: only 4 distinct points among 80.
+        datasets.push((0..80).map(|i| SparseVector::from_dense(&[(i % 4) as f64, 1.0])).collect());
+        let kernels = [Kernel::Rbf { gamma: 2.0 }, Kernel::Sigmoid { gamma: 0.3, coef0: -1.0 }];
+        for pts in &datasets {
+            for kernel in kernels {
+                for nu in [0.1, 0.5] {
+                    let l = pts.len();
+                    let upper = 1.0 / (nu * l as f64);
+                    let p = vec![0.0; l];
+                    let options =
+                        SolverOptions { eps: 1e-5, shrinking: true, ..Default::default() };
+                    let mut q = KernelQ::new(kernel, pts, 1.0, 1 << 20);
+                    let sol = solve(&mut q, &p, upper, initial_alpha(l, upper), &options);
+                    if !sol.converged {
+                        continue;
+                    }
+                    // Exact gradient, recomputed from scratch.
+                    let gradient: Vec<f64> = (0..l)
+                        .map(|t| {
+                            (0..l)
+                                .map(|j| sol.alpha[j] * kernel.compute(&pts[j], &pts[t]))
+                                .sum::<f64>()
+                        })
+                        .collect();
+                    let mut gmax = f64::NEG_INFINITY;
+                    let mut gmax2 = f64::NEG_INFINITY;
+                    for (&a, &g) in sol.alpha.iter().zip(&gradient) {
+                        if a < upper {
+                            gmax = gmax.max(-g);
+                        }
+                        if a > 0.0 {
+                            gmax2 = gmax2.max(g);
+                        }
+                    }
+                    assert!(
+                        gmax + gmax2 < options.eps + 1e-9,
+                        "{kernel:?} nu={nu}: converged=true but KKT violation {}",
+                        gmax + gmax2
+                    );
+                }
+            }
         }
     }
 

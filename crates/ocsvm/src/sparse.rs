@@ -80,10 +80,16 @@ impl SparseVector {
     pub fn from_pairs(pairs: Vec<(u32, f64)>) -> Result<Self, InvalidPairsError> {
         for (pos, window) in pairs.windows(2).enumerate() {
             if window[0].0 == window[1].0 {
-                return Err(InvalidPairsError { position: pos + 1, kind: InvalidPairsKind::Duplicate });
+                return Err(InvalidPairsError {
+                    position: pos + 1,
+                    kind: InvalidPairsKind::Duplicate,
+                });
             }
             if window[0].0 > window[1].0 {
-                return Err(InvalidPairsError { position: pos + 1, kind: InvalidPairsKind::Unsorted });
+                return Err(InvalidPairsError {
+                    position: pos + 1,
+                    kind: InvalidPairsKind::Unsorted,
+                });
             }
         }
         Ok(Self { entries: pairs })

@@ -16,9 +16,10 @@
 //! distance to the center does not exceed `R²`.
 
 use crate::error::TrainError;
+use crate::gram::{self, CrossGram, GramMatrix};
 use crate::kernel::Kernel;
 use crate::model::{OneClassModel, SupportVectorSet, TrainDiagnostics};
-use crate::smo::{self, KernelQ, SolverOptions};
+use crate::smo::{self, KernelQ, PrecomputedQ, SolverOptions, SolverQ};
 use crate::sparse::SparseVector;
 
 /// Trainer configuration for SVDD.
@@ -76,25 +77,68 @@ impl Svdd {
     /// * [`TrainError::InfeasibleC`] if `C < 1/l`, which makes the dual
     ///   constraint set empty.
     pub fn train(&self, points: &[SparseVector]) -> Result<SvddModel, TrainError> {
+        self.validate(points)?;
+        let mut q = KernelQ::new(self.kernel, points, 2.0, self.options.cache_bytes);
+        self.train_on(points, &mut q)
+    }
+
+    /// Trains on `points` reusing a precomputed [`GramMatrix`] over exactly
+    /// those points (same kernel, same order).
+    ///
+    /// Numerically identical to [`train`](Self::train) — `Q = 2K` rows are
+    /// rescaled lazily from the shared matrix with the same products the
+    /// on-the-fly path computes — but skips the O(l²·d) kernel
+    /// evaluations, which dominate when one training set is swept over many
+    /// `C` values (per-user grid search). The Gram matrix is read-only and
+    /// `Sync`, so concurrent sweeps can share one instance.
+    ///
+    /// # Errors
+    ///
+    /// In addition to [`train`](Self::train)'s errors:
+    ///
+    /// * [`TrainError::GramSizeMismatch`] if `gram` covers a different
+    ///   number of points.
+    /// * [`TrainError::GramKernelMismatch`] if `gram` was computed with a
+    ///   different kernel.
+    pub fn train_with_gram(
+        &self,
+        points: &[SparseVector],
+        gram: &GramMatrix,
+    ) -> Result<SvddModel, TrainError> {
+        self.validate(points)?;
+        gram::check_compatible(gram, points.len(), self.kernel)?;
+        let mut q = PrecomputedQ::new(gram, 2.0);
+        self.train_on(points, &mut q)
+    }
+
+    fn validate(&self, points: &[SparseVector]) -> Result<(), TrainError> {
         if points.is_empty() {
             return Err(TrainError::EmptyTrainingSet);
         }
         if !self.c.is_finite() || self.c <= 0.0 {
             return Err(TrainError::InvalidC { c: self.c });
         }
-        let l = points.len();
-        let min_c = 1.0 / l as f64;
+        let min_c = 1.0 / points.len() as f64;
         if self.c < min_c {
             return Err(TrainError::InfeasibleC { c: self.c, min: min_c });
         }
+        Ok(())
+    }
+
+    fn train_on<Q: SolverQ>(
+        &self,
+        points: &[SparseVector],
+        q: &mut Q,
+    ) -> Result<SvddModel, TrainError> {
+        let l = points.len();
         let upper = self.c;
-        let mut q = KernelQ::new(self.kernel, points, 2.0, self.options.cache_bytes);
         let p: Vec<f64> = (0..l).map(|i| -q.kernel_diag(i)).collect();
         let alpha0 = smo::initial_alpha(l, upper);
-        let solution = smo::solve(&mut q, &p, upper, alpha0, &self.options);
+        let solution = smo::solve(q, &p, upper, alpha0, &self.options);
 
         // αᵀKα = ½(αᵀG − αᵀp) since G = 2Kα + p.
-        let alpha_g: f64 = solution.alpha.iter().zip(&solution.gradient).map(|(&a, &g)| a * g).sum();
+        let alpha_g: f64 =
+            solution.alpha.iter().zip(&solution.gradient).map(|(&a, &g)| a * g).sum();
         let alpha_p: f64 = solution.alpha.iter().zip(&p).map(|(&a, &pi)| a * pi).sum();
         let alpha_k_alpha = 0.5 * (alpha_g - alpha_p);
 
@@ -205,6 +249,62 @@ impl SvddModel {
     /// other I/O errors from the reader.
     pub fn read_from<R: std::io::Read>(reader: &mut R) -> std::io::Result<SvddModel> {
         crate::persist::read_svdd(reader)
+    }
+
+    /// Decision values over the *training set*, read from the shared
+    /// [`GramMatrix`] the model was (or could have been) trained with —
+    /// no kernel evaluations are performed beyond the matrix's lazily
+    /// materialized rows (the probe self-kernels come from the matrix
+    /// diagonal).
+    ///
+    /// For non-linear kernels the values are bit-identical to calling
+    /// [`decision_value`](OneClassModel::decision_value) on each training
+    /// point; for the linear kernel they agree up to floating-point
+    /// association (the on-the-fly path uses a collapsed weight vector).
+    ///
+    /// Returns `None` when the model was deserialized (its training indices
+    /// are unknown) or `gram` does not match the model's kernel and
+    /// training-set size.
+    pub fn training_decision_values(&self, gram: &GramMatrix<'_>) -> Option<Vec<f64>> {
+        let indices = self.support.indices()?;
+        if gram.kernel() != self.support.kernel || gram.len() != self.diagnostics.train_size {
+            return None;
+        }
+        let rows: Vec<_> = indices.iter().map(|&i| gram.row(i)).collect();
+        let sums = self.support.weighted_row_sums(&rows, gram.len());
+        Some(
+            sums.into_iter()
+                .enumerate()
+                .map(|(j, s)| {
+                    let squared = gram.diag_value(j) - 2.0 * s + self.alpha_k_alpha;
+                    self.r_squared - squared
+                })
+                .collect(),
+        )
+    }
+
+    /// Decision values over a fixed probe set, read from a shared
+    /// [`CrossGram`] between the model's training set and the probes.
+    ///
+    /// Same exactness and availability rules as
+    /// [`training_decision_values`](Self::training_decision_values).
+    pub fn cross_decision_values(&self, cross: &CrossGram<'_>) -> Option<Vec<f64>> {
+        let indices = self.support.indices()?;
+        if cross.kernel() != self.support.kernel || cross.train_len() != self.diagnostics.train_size
+        {
+            return None;
+        }
+        let rows: Vec<_> = indices.iter().map(|&i| cross.row(i)).collect();
+        let sums = self.support.weighted_row_sums(&rows, cross.probe_count());
+        Some(
+            sums.into_iter()
+                .enumerate()
+                .map(|(j, s)| {
+                    let squared = cross.probe_diag(j) - 2.0 * s + self.alpha_k_alpha;
+                    self.r_squared - squared
+                })
+                .collect(),
+        )
     }
 
     pub(crate) fn support(&self) -> &SupportVectorSet {

@@ -21,8 +21,7 @@ fn clustered_training_set() -> impl Strategy<Value = Vec<SparseVector>> {
         jitters
             .into_iter()
             .map(|j| {
-                let point: Vec<f64> =
-                    center.iter().zip(&j).map(|(c, x)| c + 0.1 * x).collect();
+                let point: Vec<f64> = center.iter().zip(&j).map(|(c, x)| c + 0.1 * x).collect();
                 SparseVector::from_dense(&point)
             })
             .collect()

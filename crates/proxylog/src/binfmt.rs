@@ -13,9 +13,7 @@
 //! packed byte holding action (2 bits), scheme (1), reputation (2) and the
 //! private-destination flag (1).
 
-use crate::record::{
-    DeviceId, HttpAction, Reputation, SiteId, Transaction, UriScheme, UserId,
-};
+use crate::record::{DeviceId, HttpAction, Reputation, SiteId, Transaction, UriScheme, UserId};
 use crate::taxonomy::{AppTypeId, CategoryId, SubtypeId};
 use crate::time::Timestamp;
 use std::io::{self, Read, Write};
@@ -32,10 +30,7 @@ const VERSION: u8 = 1;
 ///
 /// I/O errors from the writer, or `InvalidInput` if `transactions` is not
 /// sorted by timestamp.
-pub fn write_binary_log<W: Write>(
-    mut writer: W,
-    transactions: &[Transaction],
-) -> io::Result<()> {
+pub fn write_binary_log<W: Write>(mut writer: W, transactions: &[Transaction]) -> io::Result<()> {
     if let Some(pair) = transactions.windows(2).find(|w| w[0].timestamp > w[1].timestamp) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -116,8 +111,7 @@ pub fn read_binary_log<R: Read>(mut reader: R) -> io::Result<Vec<Transaction>> {
             .get((packed & 0b11) as usize)
             .copied()
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad action code"))?;
-        let scheme =
-            if (packed >> 2) & 1 == 1 { UriScheme::Https } else { UriScheme::Http };
+        let scheme = if (packed >> 2) & 1 == 1 { UriScheme::Https } else { UriScheme::Http };
         let reputation = reputation_from_code((packed >> 3) & 0b11)?;
         let private_destination = (packed >> 5) & 1 == 1;
         transactions.push(Transaction {
@@ -249,12 +243,7 @@ mod tests {
         write_binary_log(&mut binary, &txs).unwrap();
         let mut text = Vec::new();
         write_log(&mut text, &txs, &taxonomy).unwrap();
-        assert!(
-            binary.len() * 4 < text.len(),
-            "binary {} vs text {}",
-            binary.len(),
-            text.len()
-        );
+        assert!(binary.len() * 4 < text.len(), "binary {} vs text {}", binary.len(), text.len());
     }
 
     #[test]

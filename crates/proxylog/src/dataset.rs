@@ -127,12 +127,8 @@ impl Dataset {
     /// Keeps only users with at least `min` transactions (the paper uses
     /// [`PAPER_MIN_TRANSACTIONS_PER_USER`], reducing 36 users to 25).
     pub fn filter_min_transactions(&self, min: usize) -> Dataset {
-        let keep: std::collections::BTreeSet<UserId> = self
-            .by_user
-            .iter()
-            .filter(|(_, idx)| idx.len() >= min)
-            .map(|(&u, _)| u)
-            .collect();
+        let keep: std::collections::BTreeSet<UserId> =
+            self.by_user.iter().filter(|(_, idx)| idx.len() >= min).map(|(&u, _)| u).collect();
         let transactions =
             self.transactions.iter().filter(|tx| keep.contains(&tx.user)).copied().collect();
         Dataset::new(Arc::clone(&self.taxonomy), transactions)

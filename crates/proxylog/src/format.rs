@@ -97,8 +97,7 @@ pub fn parse_line(line: &str, taxonomy: &Taxonomy) -> Result<Transaction, ParseL
             format!("expected {FIELD_COUNT} fields, found {}", fields.len()),
         ));
     }
-    let timestamp: Timestamp =
-        fields[0].parse().map_err(|e| field_err(0, format!("{e}")))?;
+    let timestamp: Timestamp = fields[0].parse().map_err(|e| field_err(0, format!("{e}")))?;
     let site = parse_site(fields[1]).ok_or_else(|| field_err(1, "invalid domain"))?;
     let scheme: UriScheme = fields[2].parse().map_err(|e| field_err(2, format!("{e}")))?;
     let action: HttpAction = fields[3].parse().map_err(|e| field_err(3, format!("{e}")))?;
@@ -304,10 +303,7 @@ mod tests {
     #[test]
     fn write_and_read_log() {
         let taxonomy = Taxonomy::paper_scale();
-        let txs = vec![
-            example(&taxonomy),
-            Transaction { user: UserId(2), ..example(&taxonomy) },
-        ];
+        let txs = vec![example(&taxonomy), Transaction { user: UserId(2), ..example(&taxonomy) }];
         let mut buffer = Vec::new();
         write_log(&mut buffer, &txs, &taxonomy).unwrap();
         let read = read_log(buffer.as_slice(), &taxonomy).unwrap();

@@ -50,10 +50,10 @@ mod time;
 pub use binfmt::{read_binary_log, write_binary_log};
 pub use dataset::{Dataset, PAPER_MIN_TRANSACTIONS_PER_USER, PAPER_TRAIN_FRACTION};
 pub use format::{format_line, parse_line, read_log, write_log, LogReader, ParseLineError};
-pub use stats::{window_population, CorpusSummary, CountSummary};
 pub use record::{
     DeviceId, HttpAction, ParseFieldError, Reputation, SiteId, Transaction, UriScheme, UserId,
 };
+pub use stats::{window_population, CorpusSummary, CountSummary};
 pub use taxonomy::{
     AppTypeId, CategoryId, SubtypeId, SupertypeId, Taxonomy, PAPER_APP_TYPE_COUNT,
     PAPER_CATEGORY_COUNT, PAPER_SUBTYPE_COUNT, PAPER_SUPERTYPE_COUNT,

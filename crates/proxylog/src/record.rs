@@ -26,10 +26,7 @@ macro_rules! display_id {
                 s.strip_prefix(concat!($prefix, "_"))
                     .and_then(|n| n.parse().ok())
                     .map($ty)
-                    .ok_or_else(|| ParseFieldError {
-                        field: stringify!($ty),
-                        value: s.to_owned(),
-                    })
+                    .ok_or_else(|| ParseFieldError { field: stringify!($ty), value: s.to_owned() })
             }
         }
     };

@@ -76,10 +76,8 @@ impl CorpusSummary {
     /// Computes the summary over a dataset.
     pub fn measure(dataset: &Dataset) -> Self {
         let per_user: Vec<usize> = dataset.user_counts().values().copied().collect();
-        let devices_per_user: Vec<usize> =
-            dataset.devices_per_user().values().copied().collect();
-        let users_per_device: Vec<usize> =
-            dataset.users_per_device().values().copied().collect();
+        let devices_per_user: Vec<usize> = dataset.devices_per_user().values().copied().collect();
+        let users_per_device: Vec<usize> = dataset.users_per_device().values().copied().collect();
         let duration_days = dataset
             .time_range()
             .map(|(first, last)| ((last - first) as f64 / 86_400.0).ceil() as u32)
@@ -113,8 +111,7 @@ pub fn window_population(dataset: &Dataset, bucket_secs: i64) -> CountSummary {
     assert!(bucket_secs > 0, "bucket size must be positive");
     let mut buckets: BTreeMap<(UserId, i64), usize> = BTreeMap::new();
     for tx in dataset.transactions() {
-        *buckets.entry((tx.user, tx.timestamp.as_secs().div_euclid(bucket_secs))).or_insert(0) +=
-            1;
+        *buckets.entry((tx.user, tx.timestamp.as_secs().div_euclid(bucket_secs))).or_insert(0) += 1;
     }
     CountSummary::of(buckets.into_values().collect())
 }

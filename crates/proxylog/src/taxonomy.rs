@@ -42,17 +42,66 @@ pub const PAPER_SUBTYPE_COUNT: usize = 257;
 pub const PAPER_APP_TYPE_COUNT: usize = 464;
 
 const SEED_CATEGORIES: &[&str] = &[
-    "Games", "Restaurants", "Phishing", "Messaging", "News", "Search Engines",
-    "Social Networking", "Streaming Media", "Shopping", "Sports", "Travel", "Webmail",
-    "Business", "Education", "Entertainment", "Finance", "Government", "Health",
-    "Job Search", "Gambling", "Advertising", "Software Downloads", "Technology",
-    "Weather", "Real Estate", "Auctions", "Blogs", "Chat", "Classifieds",
-    "Content Delivery", "Dating", "File Sharing", "Forums", "Hosting",
-    "Internet Services", "Legal", "Lifestyle", "Military", "Music",
-    "Online Storage", "Personal Sites", "Photo Sharing", "Politics", "Portals",
-    "Radio", "Religion", "Science", "Security", "Translation", "Vehicles",
-    "Video Sharing", "Web Analytics", "Maps", "Banking", "Insurance", "Charity",
-    "Art", "Libraries", "Recipes", "Parenting",
+    "Games",
+    "Restaurants",
+    "Phishing",
+    "Messaging",
+    "News",
+    "Search Engines",
+    "Social Networking",
+    "Streaming Media",
+    "Shopping",
+    "Sports",
+    "Travel",
+    "Webmail",
+    "Business",
+    "Education",
+    "Entertainment",
+    "Finance",
+    "Government",
+    "Health",
+    "Job Search",
+    "Gambling",
+    "Advertising",
+    "Software Downloads",
+    "Technology",
+    "Weather",
+    "Real Estate",
+    "Auctions",
+    "Blogs",
+    "Chat",
+    "Classifieds",
+    "Content Delivery",
+    "Dating",
+    "File Sharing",
+    "Forums",
+    "Hosting",
+    "Internet Services",
+    "Legal",
+    "Lifestyle",
+    "Military",
+    "Music",
+    "Online Storage",
+    "Personal Sites",
+    "Photo Sharing",
+    "Politics",
+    "Portals",
+    "Radio",
+    "Religion",
+    "Science",
+    "Security",
+    "Translation",
+    "Vehicles",
+    "Video Sharing",
+    "Web Analytics",
+    "Maps",
+    "Banking",
+    "Insurance",
+    "Charity",
+    "Art",
+    "Libraries",
+    "Recipes",
+    "Parenting",
 ];
 
 const SUPERTYPES: [&str; PAPER_SUPERTYPE_COUNT] =
@@ -60,28 +109,110 @@ const SUPERTYPES: [&str; PAPER_SUPERTYPE_COUNT] =
 
 /// Realistic subtypes per supertype (index into [`SUPERTYPES`]).
 const SEED_SUBTYPES: &[(&str, usize)] = &[
-    ("json", 0), ("xml", 0), ("javascript", 0), ("pdf", 0), ("zip", 0),
-    ("octet-stream", 0), ("x-www-form-urlencoded", 0), ("msword", 0),
-    ("vnd.ms-excel", 0), ("x-shockwave-flash", 0), ("gzip", 0), ("wasm", 0),
-    ("mpeg", 1), ("wav", 1), ("ogg", 1), ("mp4", 1), ("aac", 1), ("flac", 1),
-    ("woff", 2), ("woff2", 2), ("ttf", 2), ("otf", 2),
-    ("png", 3), ("jpeg", 3), ("gif", 3), ("svg+xml", 3), ("webp", 3), ("x-icon", 3),
-    ("http", 4), ("rfc822", 4),
-    ("gltf+json", 5), ("stl", 5),
-    ("html", 6), ("plain", 6), ("css", 6), ("csv", 6), ("calendar", 6),
-    ("mp4", 7), ("mpeg", 7), ("webm", 7), ("quicktime", 7), ("x-msvideo", 7),
+    ("json", 0),
+    ("xml", 0),
+    ("javascript", 0),
+    ("pdf", 0),
+    ("zip", 0),
+    ("octet-stream", 0),
+    ("x-www-form-urlencoded", 0),
+    ("msword", 0),
+    ("vnd.ms-excel", 0),
+    ("x-shockwave-flash", 0),
+    ("gzip", 0),
+    ("wasm", 0),
+    ("mpeg", 1),
+    ("wav", 1),
+    ("ogg", 1),
+    ("mp4", 1),
+    ("aac", 1),
+    ("flac", 1),
+    ("woff", 2),
+    ("woff2", 2),
+    ("ttf", 2),
+    ("otf", 2),
+    ("png", 3),
+    ("jpeg", 3),
+    ("gif", 3),
+    ("svg+xml", 3),
+    ("webp", 3),
+    ("x-icon", 3),
+    ("http", 4),
+    ("rfc822", 4),
+    ("gltf+json", 5),
+    ("stl", 5),
+    ("html", 6),
+    ("plain", 6),
+    ("css", 6),
+    ("csv", 6),
+    ("calendar", 6),
+    ("mp4", 7),
+    ("mpeg", 7),
+    ("webm", 7),
+    ("quicktime", 7),
+    ("x-msvideo", 7),
 ];
 
 const SEED_APP_TYPES: &[&str] = &[
-    "Rhapsody", "CloudFlare", "Speedyshare", "YouTube", "Facebook", "Gmail",
-    "Dropbox", "Office365", "Slack", "Spotify", "Netflix", "Twitter", "LinkedIn",
-    "Instagram", "WhatsApp Web", "Google Drive", "OneDrive", "Salesforce", "Zendesk",
-    "Jira", "Confluence", "GitHub", "GitLab", "Bitbucket", "StackOverflow",
-    "Wikipedia", "Amazon", "eBay", "PayPal", "Stripe", "Zoom", "WebEx", "Skype",
-    "Google Maps", "Bing", "DuckDuckGo", "Yahoo Mail", "Outlook Web", "Trello",
-    "Asana", "Notion", "Box", "WeTransfer", "Imgur", "Reddit", "Twitch", "Vimeo",
-    "SoundCloud", "Pandora", "Deezer", "Akamai", "Fastly", "Google Analytics",
-    "DoubleClick", "AdSense", "Hotjar", "Intercom", "HubSpot", "Mailchimp",
+    "Rhapsody",
+    "CloudFlare",
+    "Speedyshare",
+    "YouTube",
+    "Facebook",
+    "Gmail",
+    "Dropbox",
+    "Office365",
+    "Slack",
+    "Spotify",
+    "Netflix",
+    "Twitter",
+    "LinkedIn",
+    "Instagram",
+    "WhatsApp Web",
+    "Google Drive",
+    "OneDrive",
+    "Salesforce",
+    "Zendesk",
+    "Jira",
+    "Confluence",
+    "GitHub",
+    "GitLab",
+    "Bitbucket",
+    "StackOverflow",
+    "Wikipedia",
+    "Amazon",
+    "eBay",
+    "PayPal",
+    "Stripe",
+    "Zoom",
+    "WebEx",
+    "Skype",
+    "Google Maps",
+    "Bing",
+    "DuckDuckGo",
+    "Yahoo Mail",
+    "Outlook Web",
+    "Trello",
+    "Asana",
+    "Notion",
+    "Box",
+    "WeTransfer",
+    "Imgur",
+    "Reddit",
+    "Twitch",
+    "Vimeo",
+    "SoundCloud",
+    "Pandora",
+    "Deezer",
+    "Akamai",
+    "Fastly",
+    "Google Analytics",
+    "DoubleClick",
+    "AdSense",
+    "Hotjar",
+    "Intercom",
+    "HubSpot",
+    "Mailchimp",
     "SurveyMonkey",
 ];
 
@@ -170,7 +301,15 @@ impl Taxonomy {
             .map(|(i, name)| (name.clone(), AppTypeId(i as u16)))
             .collect();
 
-        Taxonomy { categories, supertypes, subtypes, app_types, category_index, media_index, app_index }
+        Taxonomy {
+            categories,
+            supertypes,
+            subtypes,
+            app_types,
+            category_index,
+            media_index,
+            app_index,
+        }
     }
 
     /// Number of website categories.

@@ -32,12 +32,24 @@ impl Timestamp {
     ///
     /// Panics if the components do not form a valid date/time (month 1–12,
     /// day valid for the month, hour < 24, minute/second < 60).
-    pub fn from_civil(year: i32, month: u32, day: u32, hour: u32, minute: u32, second: u32) -> Self {
+    pub fn from_civil(
+        year: i32,
+        month: u32,
+        day: u32,
+        hour: u32,
+        minute: u32,
+        second: u32,
+    ) -> Self {
         assert!((1..=12).contains(&month), "month {month} out of range");
-        assert!(day >= 1 && day <= days_in_month(year, month), "day {day} invalid for {year}-{month}");
+        assert!(
+            day >= 1 && day <= days_in_month(year, month),
+            "day {day} invalid for {year}-{month}"
+        );
         assert!(hour < 24 && minute < 60 && second < 60, "invalid time {hour}:{minute}:{second}");
         let days = days_from_civil(year, month, day);
-        Timestamp(days * 86_400 + i64::from(hour) * 3600 + i64::from(minute) * 60 + i64::from(second))
+        Timestamp(
+            days * 86_400 + i64::from(hour) * 3600 + i64::from(minute) * 60 + i64::from(second),
+        )
     }
 
     /// Decomposes into `(year, month, day, hour, minute, second)`.
@@ -231,9 +243,17 @@ mod tests {
 
     #[test]
     fn rejects_malformed_strings() {
-        for bad in ["", "2015-05-29", "2015/05/29 05:05:04", "2015-13-01 00:00:00",
-                    "2015-00-10 00:00:00", "2015-01-32 00:00:00", "2015-01-01 24:00:00",
-                    "2015-01-01 00:60:00", "not a date at all"] {
+        for bad in [
+            "",
+            "2015-05-29",
+            "2015/05/29 05:05:04",
+            "2015-13-01 00:00:00",
+            "2015-00-10 00:00:00",
+            "2015-01-32 00:00:00",
+            "2015-01-01 24:00:00",
+            "2015-01-01 00:60:00",
+            "not a date at all",
+        ] {
             assert!(bad.parse::<Timestamp>().is_err(), "accepted {bad:?}");
         }
     }

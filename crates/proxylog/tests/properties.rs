@@ -3,9 +3,9 @@
 
 use proptest::prelude::*;
 use proxylog::{
-    parse_line, read_binary_log, read_log, write_binary_log, write_log, AppTypeId, CategoryId,
-    Dataset, DeviceId, HttpAction, Reputation, SiteId, SubtypeId, Taxonomy, Timestamp,
-    Transaction, UriScheme, UserId, format_line,
+    format_line, parse_line, read_binary_log, read_log, write_binary_log, write_log, AppTypeId,
+    CategoryId, Dataset, DeviceId, HttpAction, Reputation, SiteId, SubtypeId, Taxonomy, Timestamp,
+    Transaction, UriScheme, UserId,
 };
 use std::sync::Arc;
 
@@ -37,23 +37,21 @@ fn transaction_strategy() -> impl Strategy<Value = Transaction> {
         reputation_strategy(),
         any::<bool>(),
     )
-        .prop_map(
-            |(secs, user, device, site, action, scheme, cat, sub, app, rep, private)| {
-                Transaction {
-                    timestamp: Timestamp(secs),
-                    user: UserId(user),
-                    device: DeviceId(device),
-                    site: SiteId(site),
-                    action,
-                    scheme,
-                    category: CategoryId(cat),
-                    subtype: SubtypeId(sub),
-                    app_type: AppTypeId(app),
-                    reputation: rep,
-                    private_destination: private,
-                }
-            },
-        )
+        .prop_map(|(secs, user, device, site, action, scheme, cat, sub, app, rep, private)| {
+            Transaction {
+                timestamp: Timestamp(secs),
+                user: UserId(user),
+                device: DeviceId(device),
+                site: SiteId(site),
+                action,
+                scheme,
+                category: CategoryId(cat),
+                subtype: SubtypeId(sub),
+                app_type: AppTypeId(app),
+                reputation: rep,
+                private_destination: private,
+            }
+        })
 }
 
 fn transactions_strategy() -> impl Strategy<Value = Vec<Transaction>> {

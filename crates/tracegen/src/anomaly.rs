@@ -76,8 +76,7 @@ pub fn busiest_interval(
     duration_secs: i64,
 ) -> Option<Timestamp> {
     assert!(duration_secs > 0, "interval must be positive");
-    let times: Vec<i64> =
-        dataset.for_user(attacker).map(|tx| tx.timestamp.as_secs()).collect();
+    let times: Vec<i64> = dataset.for_user(attacker).map(|tx| tx.timestamp.as_secs()).collect();
     if times.is_empty() {
         return None;
     }
@@ -115,8 +114,7 @@ mod tests {
         let d = dataset();
         let (victim, attacker) = two_active_users(&d);
         let start = busiest_interval(&d, attacker, 3_600).unwrap();
-        let (modified, scenario) =
-            inject_takeover(&d, victim, attacker, start, 3_600).unwrap();
+        let (modified, scenario) = inject_takeover(&d, victim, attacker, start, 3_600).unwrap();
         assert_eq!(modified.len(), d.len());
         assert!(scenario.injected > 0);
     }
@@ -126,8 +124,7 @@ mod tests {
         let d = dataset();
         let (victim, attacker) = two_active_users(&d);
         let start = busiest_interval(&d, attacker, 3_600).unwrap();
-        let (modified, scenario) =
-            inject_takeover(&d, victim, attacker, start, 3_600).unwrap();
+        let (modified, scenario) = inject_takeover(&d, victim, attacker, start, 3_600).unwrap();
         // The attacker has no transactions inside the interval any more.
         let attacker_inside = modified
             .for_user(attacker)
@@ -135,8 +132,7 @@ mod tests {
             .count();
         assert_eq!(attacker_inside, 0);
         // The victim gained exactly the injected count.
-        let victim_gain =
-            modified.for_user(victim).count() - d.for_user(victim).count();
+        let victim_gain = modified.for_user(victim).count() - d.for_user(victim).count();
         assert_eq!(victim_gain, scenario.injected);
         // Outside the interval, nothing changed for the attacker.
         let attacker_outside_before = d

@@ -1,9 +1,9 @@
 //! End-to-end trace generation.
 
+use crate::arrivals;
 use crate::profile::{ActivityClass, RoleTemplate, UserBehaviorProfile};
 use crate::scenario::Scenario;
 use crate::schedule::{propose_user_day, DeviceAssignment, DeviceCalendar, Session};
-use crate::arrivals;
 use proxylog::{Dataset, Transaction, UserId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -77,10 +77,10 @@ impl TraceGenerator {
         // Role templates: contiguous user blocks share a role, giving the
         // contiguous confusion clusters visible in the paper's Tab. V.
         let n_roles = (scenario.users / 4).max(2);
-        let roles: Vec<RoleTemplate> =
-            (0..n_roles).map(|i| RoleTemplate::generate(&mut master, i, n_roles, taxonomy)).collect();
-        let assignment =
-            DeviceAssignment::generate(&mut master, scenario.users, scenario.devices);
+        let roles: Vec<RoleTemplate> = (0..n_roles)
+            .map(|i| RoleTemplate::generate(&mut master, i, n_roles, taxonomy))
+            .collect();
+        let assignment = DeviceAssignment::generate(&mut master, scenario.users, scenario.devices);
 
         let profiles: Vec<UserBehaviorProfile> = (0..scenario.users)
             .map(|u| {
@@ -102,17 +102,15 @@ impl TraceGenerator {
         // conflict resolution is deterministic.
         let mut calendar = DeviceCalendar::new();
         let mut sessions: Vec<Session> = Vec::new();
-        let mut session_rngs: Vec<StdRng> = (0..scenario.users)
-            .map(|u| derived_rng(scenario.seed, u as u64, 2))
-            .collect();
+        let mut session_rngs: Vec<StdRng> =
+            (0..scenario.users).map(|u| derived_rng(scenario.seed, u as u64, 2)).collect();
         for day in 0..scenario.days() {
             let day_start = scenario.start + i64::from(day) * 86_400;
             let day_end = day_start + 86_399;
             for (u, profile) in profiles.iter().enumerate() {
                 let rng = &mut session_rngs[u];
                 let devices = assignment.devices_of(UserId(u as u32));
-                for (device, start, duration) in
-                    propose_user_day(rng, profile, devices, day_start)
+                for (device, start, duration) in propose_user_day(rng, profile, devices, day_start)
                 {
                     if let Some((booked_start, booked_end)) =
                         calendar.book(device, start, duration, day_end)
@@ -130,9 +128,8 @@ impl TraceGenerator {
         sessions.sort_by_key(|s| s.start);
 
         // Emit the traffic of every session.
-        let mut tx_rngs: Vec<StdRng> = (0..scenario.users)
-            .map(|u| derived_rng(scenario.seed, u as u64, 3))
-            .collect();
+        let mut tx_rngs: Vec<StdRng> =
+            (0..scenario.users).map(|u| derived_rng(scenario.seed, u as u64, 3)).collect();
         let mut transactions: Vec<Transaction> = Vec::new();
         for session in &sessions {
             let u = session.user.0 as usize;
@@ -264,12 +261,7 @@ mod tests {
             let mut sorted = sessions.clone();
             sorted.sort_by_key(|s| s.start);
             for w in sorted.windows(2) {
-                assert!(
-                    w[0].end <= w[1].start,
-                    "overlap on device: {:?} then {:?}",
-                    w[0],
-                    w[1]
-                );
+                assert!(w[0].end <= w[1].start, "overlap on device: {:?} then {:?}", w[0], w[1]);
             }
         }
     }
@@ -305,8 +297,10 @@ mod tests {
         let scenario = Scenario { users: 20, weeks: 2, ..Scenario::quick_test() };
         let dataset = TraceGenerator::new(scenario).generate();
         let stats = CorpusStatistics::measure(&dataset);
-        assert!(stats.max_per_user > 10 * stats.median_per_user.max(1),
-            "expected heavy tail, got {stats:?}");
+        assert!(
+            stats.max_per_user > 10 * stats.median_per_user.max(1),
+            "expected heavy tail, got {stats:?}"
+        );
         assert!(stats.mean_users_per_device >= 1.0);
     }
 

@@ -45,6 +45,8 @@ mod schedule;
 pub use anomaly::{busiest_interval, inject_takeover, TakeoverScenario};
 pub use arrivals::session_transactions;
 pub use generator::{CorpusStatistics, GeneratedTrace, TraceGenerator};
-pub use profile::{ActivityClass, Repertoire, RoleTemplate, SiteProfile, SiteResource, UserBehaviorProfile};
+pub use profile::{
+    ActivityClass, Repertoire, RoleTemplate, SiteProfile, SiteResource, UserBehaviorProfile,
+};
 pub use scenario::Scenario;
 pub use schedule::{propose_user_day, DeviceAssignment, DeviceCalendar, Session};

@@ -120,8 +120,7 @@ impl<T: Copy> Repertoire<T> {
     /// [`Repertoire::generate`], which always unlocks at least one item at
     /// the start).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, now: Timestamp) -> T {
-        let total: f64 =
-            self.items.iter().filter(|i| i.unlock <= now).map(|i| i.weight).sum();
+        let total: f64 = self.items.iter().filter(|i| i.unlock <= now).map(|i| i.weight).sum();
         if total <= 0.0 {
             return self.items[0].value;
         }
@@ -238,15 +237,14 @@ fn sample_role_ids<R: Rng + ?Sized>(
     // 80 % of the universe is split into per-role exclusive slices.
     let slice_width = (universe * 4 / 5) / n_roles;
     let slice_start = (role % n_roles) * slice_width;
-    let mut exclusive: Vec<u16> =
-        (slice_start..slice_start + slice_width.max(1).min(universe - slice_start))
-            .map(|i| i as u16)
-            .collect();
+    let mut exclusive: Vec<u16> = (slice_start
+        ..slice_start + slice_width.max(1).min(universe - slice_start))
+        .map(|i| i as u16)
+        .collect();
     exclusive.shuffle(rng);
     let from_slice = (count * 17 / 20).min(exclusive.len());
     let mut picked: Vec<u16> = exclusive.into_iter().take(from_slice).collect();
-    let mut everywhere: Vec<u16> =
-        (0..universe as u16).filter(|id| !picked.contains(id)).collect();
+    let mut everywhere: Vec<u16> = (0..universe as u16).filter(|id| !picked.contains(id)).collect();
     everywhere.shuffle(rng);
     picked.extend(everywhere.into_iter().take(count.saturating_sub(from_slice)));
     picked.into_iter()
@@ -421,9 +419,7 @@ impl UserBehaviorProfile {
                     } else if roll < high_risk_probability + medium_risk_probability {
                         Reputation::Medium
                     } else if roll
-                        < high_risk_probability
-                            + medium_risk_probability
-                            + unverified_probability
+                        < high_risk_probability + medium_risk_probability + unverified_probability
                     {
                         Reputation::Unverified
                     } else {
@@ -432,9 +428,9 @@ impl UserBehaviorProfile {
                 };
                 let mut resources: Vec<SiteResource> = Vec::new();
                 let push = |rng: &mut R,
-                                resources: &mut Vec<SiteResource>,
-                                subtype: SubtypeId,
-                                action: HttpAction| {
+                            resources: &mut Vec<SiteResource>,
+                            subtype: SubtypeId,
+                            action: HttpAction| {
                     let reputation = sample_reputation(rng);
                     resources.push(SiteResource { subtype, action, reputation });
                 };
@@ -579,11 +575,7 @@ impl UserBehaviorProfile {
 /// repertoire item is carried by some site (pure weighted sampling leaves
 /// tail items orphaned and the per-user feature coverage falls below the
 /// paper's ≈18-value statistics).
-fn forced_item<T: Copy>(
-    rank: usize,
-    unlock: Timestamp,
-    repertoire: &Repertoire<T>,
-) -> Option<T> {
+fn forced_item<T: Copy>(rank: usize, unlock: Timestamp, repertoire: &Repertoire<T>) -> Option<T> {
     let idx = rank % repertoire.len();
     match repertoire.unlock_at(idx) {
         Some(item_unlock) if item_unlock <= unlock => repertoire.value_at(idx),
@@ -700,8 +692,11 @@ mod tests {
             subtype_total += p.subtype_repertoire().len();
             app_total += p.app_repertoire().len();
         }
-        let (c, s, a) =
-            (category_total as f64 / n as f64, subtype_total as f64 / n as f64, app_total as f64 / n as f64);
+        let (c, s, a) = (
+            category_total as f64 / n as f64,
+            subtype_total as f64 / n as f64,
+            app_total as f64 / n as f64,
+        );
         assert!((12.0..=22.0).contains(&c), "categories/user = {c}");
         assert!((12.0..=22.0).contains(&s), "subtypes/user = {s}");
         assert!((14.0..=24.0).contains(&a), "app types/user = {a}");
@@ -817,18 +812,38 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(77);
         let role_a = RoleTemplate::generate(&mut rng, 0, 9, &taxonomy);
         let role_b = RoleTemplate::generate(&mut rng, 1, 9, &taxonomy);
-        let overlap = |xs: &[CategoryId], ys: &[CategoryId]| {
-            xs.iter().filter(|x| ys.contains(x)).count()
-        };
+        let overlap =
+            |xs: &[CategoryId], ys: &[CategoryId]| xs.iter().filter(|x| ys.contains(x)).count();
         let mut mates = 0usize;
         let mut strangers = 0usize;
         for seed in 0..10u64 {
             let mut rng_1 = StdRng::seed_from_u64(1000 + seed);
             let mut rng_2 = StdRng::seed_from_u64(2000 + seed);
             let mut rng_3 = StdRng::seed_from_u64(3000 + seed);
-            let u1 = UserBehaviorProfile::generate(&mut rng_1, UserId(1), &role_a, ActivityClass::Regular, &taxonomy, Timestamp(0));
-            let u2 = UserBehaviorProfile::generate(&mut rng_2, UserId(2), &role_a, ActivityClass::Regular, &taxonomy, Timestamp(0));
-            let u3 = UserBehaviorProfile::generate(&mut rng_3, UserId(3), &role_b, ActivityClass::Regular, &taxonomy, Timestamp(0));
+            let u1 = UserBehaviorProfile::generate(
+                &mut rng_1,
+                UserId(1),
+                &role_a,
+                ActivityClass::Regular,
+                &taxonomy,
+                Timestamp(0),
+            );
+            let u2 = UserBehaviorProfile::generate(
+                &mut rng_2,
+                UserId(2),
+                &role_a,
+                ActivityClass::Regular,
+                &taxonomy,
+                Timestamp(0),
+            );
+            let u3 = UserBehaviorProfile::generate(
+                &mut rng_3,
+                UserId(3),
+                &role_b,
+                ActivityClass::Regular,
+                &taxonomy,
+                Timestamp(0),
+            );
             let c1: Vec<CategoryId> = u1.category_repertoire().values().collect();
             let c2: Vec<CategoryId> = u2.category_repertoire().values().collect();
             let c3: Vec<CategoryId> = u3.category_repertoire().values().collect();
@@ -846,7 +861,14 @@ mod tests {
             for seed in 0..20u64 {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let role = RoleTemplate::generate(&mut rng, 0, 9, &taxonomy);
-                let p = UserBehaviorProfile::generate(&mut rng, UserId(0), &role, class, &taxonomy, Timestamp(0));
+                let p = UserBehaviorProfile::generate(
+                    &mut rng,
+                    UserId(0),
+                    &role,
+                    class,
+                    &taxonomy,
+                    Timestamp(0),
+                );
                 total += p.visits_per_hour;
             }
             total / 20.0

@@ -40,10 +40,8 @@ impl DeviceAssignment {
                 dist::geometric(rng, 0.55) as usize
             };
             let mut devices = vec![primary];
-            let mut pool: Vec<DeviceId> = (0..n_devices as u32)
-                .map(DeviceId)
-                .filter(|&d| d != primary)
-                .collect();
+            let mut pool: Vec<DeviceId> =
+                (0..n_devices as u32).map(DeviceId).filter(|&d| d != primary).collect();
             pool.shuffle(rng);
             devices.extend(pool.into_iter().take(extra.min(n_devices - 1)));
             user_devices.push(devices);

@@ -4,19 +4,12 @@
 
 use proptest::prelude::*;
 use tracegen::{
-    dist, busiest_interval, inject_takeover, CorpusStatistics, Scenario, TraceGenerator,
+    busiest_interval, dist, inject_takeover, CorpusStatistics, Scenario, TraceGenerator,
 };
 
 fn small_scenario() -> impl Strategy<Value = Scenario> {
     (1u64..1000, 2usize..10, 1usize..8, 1u32..3).prop_map(|(seed, users, devices, weeks)| {
-        Scenario {
-            seed,
-            users,
-            devices,
-            weeks,
-            rate_multiplier: 0.2,
-            ..Scenario::quick_test()
-        }
+        Scenario { seed, users, devices, weeks, rate_multiplier: 0.2, ..Scenario::quick_test() }
     })
 }
 
@@ -133,8 +126,7 @@ fn takeover_window_is_detectable_end_to_end() {
     // The injected interval must change which windows a victim profile
     // accepts — the full loop the intrusion-monitoring example runs.
     let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
-    let mut counts: Vec<(proxylog::UserId, usize)> =
-        dataset.user_counts().into_iter().collect();
+    let mut counts: Vec<(proxylog::UserId, usize)> = dataset.user_counts().into_iter().collect();
     counts.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     let (victim, attacker) = (counts[0].0, counts[1].0);
     let start = busiest_interval(&dataset, attacker, 7_200).expect("attacker active");

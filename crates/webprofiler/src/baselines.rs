@@ -66,10 +66,8 @@ impl FrequencyProfile {
         }
         let mean = builder.build_summed();
         let mean_norm = mean.squared_norm().sqrt();
-        let mut similarities: Vec<f64> = windows
-            .iter()
-            .map(|w| cosine(&mean, mean_norm, w))
-            .collect();
+        let mut similarities: Vec<f64> =
+            windows.iter().map(|w| cosine(&mean, mean_norm, w)).collect();
         similarities.sort_by(|a, b| a.partial_cmp(b).expect("finite similarity"));
         let index =
             ((windows.len() as f64 * quantile) as usize).min(windows.len().saturating_sub(1));

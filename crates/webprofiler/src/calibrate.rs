@@ -69,16 +69,11 @@ pub fn calibrate_without_impostors(
         let holdout_acceptance = crate::metrics::acceptance_ratio(&profile, holdout);
         let training_rejection = 1.0 - crate::metrics::acceptance_ratio(&profile, fit);
         if holdout_acceptance >= target_acceptance
-            && best_meeting
-                .as_ref()
-                .is_none_or(|&(rejection, _, _)| training_rejection > rejection)
+            && best_meeting.as_ref().is_none_or(|&(rejection, _, _)| training_rejection > rejection)
         {
             best_meeting = Some((training_rejection, holdout_acceptance, params));
         }
-        if best_overall
-            .as_ref()
-            .is_none_or(|&(acceptance, _, _)| holdout_acceptance > acceptance)
-        {
+        if best_overall.as_ref().is_none_or(|&(acceptance, _, _)| holdout_acceptance > acceptance) {
             best_overall = Some((holdout_acceptance, training_rejection, params));
         }
     }
@@ -131,14 +126,9 @@ mod tests {
         let vocab = Vocabulary::new(Taxonomy::paper_scale());
         let trainer = ProfileTrainer::new(&vocab);
         let own = windows(60);
-        let result = calibrate_without_impostors(
-            &trainer,
-            UserId(1),
-            &own,
-            &default_candidates(),
-            0.85,
-        )
-        .unwrap();
+        let result =
+            calibrate_without_impostors(&trainer, UserId(1), &own, &default_candidates(), 0.85)
+                .unwrap();
         assert!(result.holdout_acceptance >= 0.85, "{result:?}");
         // The calibrated profile accepts its own data and rejects foreign
         // shapes.
@@ -155,14 +145,9 @@ mod tests {
         let vocab = Vocabulary::new(Taxonomy::paper_scale());
         let trainer = ProfileTrainer::new(&vocab);
         let own = windows(40);
-        let result = calibrate_without_impostors(
-            &trainer,
-            UserId(2),
-            &own,
-            &default_candidates(),
-            0.7,
-        )
-        .unwrap();
+        let result =
+            calibrate_without_impostors(&trainer, UserId(2), &own, &default_candidates(), 0.7)
+                .unwrap();
         assert!(result.holdout_acceptance >= 0.7);
         assert!(result.training_rejection <= 0.35);
     }
@@ -186,7 +171,6 @@ mod tests {
     fn empty_candidate_list_is_an_error() {
         let vocab = Vocabulary::new(Taxonomy::paper_scale());
         let trainer = ProfileTrainer::new(&vocab);
-        assert!(calibrate_without_impostors(&trainer, UserId(4), &windows(20), &[], 0.9)
-            .is_err());
+        assert!(calibrate_without_impostors(&trainer, UserId(4), &windows(20), &[], 0.9).is_err());
     }
 }

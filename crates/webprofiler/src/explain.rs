@@ -58,9 +58,7 @@ pub fn explain_decision(
             }
         })
         .collect();
-    contributions.sort_by(|a, b| {
-        b.delta.partial_cmp(&a.delta).expect("finite decision values")
-    });
+    contributions.sort_by(|a, b| b.delta.partial_cmp(&a.delta).expect("finite decision values"));
     contributions
 }
 
@@ -73,10 +71,8 @@ pub fn explanation_report(
 ) -> String {
     let decision = profile.decision_value(window);
     let verdict = if decision >= 0.0 { "ACCEPTED" } else { "REJECTED" };
-    let mut out = format!(
-        "window {verdict} by {} (decision value {decision:.4})\n",
-        profile.user()
-    );
+    let mut out =
+        format!("window {verdict} by {} (decision value {decision:.4})\n", profile.user());
     for contribution in explain_decision(profile, vocab, window).into_iter().take(n) {
         out.push_str(&format!(
             "  {:+.4}  {} = {}\n",
@@ -115,12 +111,8 @@ mod tests {
             .train_from_vectors(UserId(3), &windows)
             .unwrap();
         let alien_column = 90u32;
-        let probe = SparseVector::from_pairs(vec![
-            (0, 1.0),
-            (7, 0.24),
-            (alien_column, 1.0),
-        ])
-        .unwrap();
+        let probe =
+            SparseVector::from_pairs(vec![(0, 1.0), (7, 0.24), (alien_column, 1.0)]).unwrap();
         (profile, vocab, probe, alien_column)
     }
 

@@ -35,11 +35,8 @@ use proxylog::Transaction;
 /// assert!(features.nnz() >= 6);
 /// ```
 pub fn extract_transaction(vocab: &Vocabulary, tx: &Transaction) -> SparseVector {
-    let pairs: Vec<(u32, f64)> = vocab
-        .transaction_columns(tx)
-        .into_iter()
-        .filter(|&(_, value)| value != 0.0)
-        .collect();
+    let pairs: Vec<(u32, f64)> =
+        vocab.transaction_columns(tx).into_iter().filter(|&(_, value)| value != 0.0).collect();
     SparseVector::from_pairs(pairs).expect("transaction_columns yields ascending columns")
 }
 
@@ -124,7 +121,8 @@ pub fn aggregate_window_with(
             }
         }
     }
-    for (col, sum) in [(private_col, private_sum), (risk_col, risk_sum), (verified_col, verified_sum)]
+    for (col, sum) in
+        [(private_col, private_sum), (risk_col, risk_sum), (verified_col, verified_sum)]
     {
         let mean = sum / n;
         if mean != 0.0 {
@@ -241,11 +239,7 @@ mod tests {
         let v = vocab();
         let t1 = tx(HttpAction::Get, UriScheme::Http, Reputation::Minimal);
         let t2 = tx(HttpAction::Post, UriScheme::Http, Reputation::Minimal);
-        let agg = aggregate_window_with(
-            &v,
-            &[t1, t1, t1, t2],
-            AggregationMode::Frequency,
-        );
+        let agg = aggregate_window_with(&v, &[t1, t1, t1, t2], AggregationMode::Frequency);
         assert!((agg.get(v.action_column(HttpAction::Get)) - 0.75).abs() < 1e-12);
         assert!((agg.get(v.action_column(HttpAction::Post)) - 0.25).abs() < 1e-12);
         assert!((agg.get(v.scheme_column(UriScheme::Http)) - 1.0).abs() < 1e-12);

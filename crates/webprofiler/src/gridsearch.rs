@@ -13,12 +13,12 @@
 //!    optimized *per user* at the retained window configuration, picking
 //!    the combination with maximal `ACC = ACCself − ACCother`.
 
-use crate::metrics::{acceptance_ratio, AcceptanceSummary, ConfusionMatrix};
+use crate::metrics::{acceptance_ratio, acceptance_ratio_refs, AcceptanceSummary, ConfusionMatrix};
 use crate::profile::{ModelKind, ProfileParams};
-use crate::trainer::{parallel_map, ProfileTrainer};
+use crate::trainer::{parallel_map, subsample_evenly, ProfileTrainer};
 use crate::vocab::Vocabulary;
 use crate::window::WindowConfig;
-use ocsvm::{Kernel, KernelKind, SparseVector};
+use ocsvm::{CrossGram, GramMatrix, Kernel, KernelKind, SparseVector};
 use proxylog::{Dataset, UserId};
 use std::collections::BTreeMap;
 
@@ -26,6 +26,13 @@ use std::collections::BTreeMap;
 /// stages (computing them once per window configuration dominates the cost
 /// otherwise).
 pub type WindowSets = BTreeMap<UserId, Vec<SparseVector>>;
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
 
 /// Computes user-specific window sets for every user of `dataset`, capped
 /// at `max_windows_per_user` by even subsampling.
@@ -97,12 +104,10 @@ impl<'a> WindowGridSearch<'a> {
     /// windows, score the full confusion matrix on those same windows.
     pub fn evaluate(&self, train: &Dataset, config: WindowConfig) -> WindowGridRow {
         let windows = compute_window_sets(self.vocab, train, config, self.max_windows_per_user);
-        let trainer =
-            ProfileTrainer::new(self.vocab).window(config).params(self.params);
+        let trainer = ProfileTrainer::new(self.vocab).window(config).params(self.params);
         let users: Vec<UserId> = windows.keys().copied().collect();
-        let trained = parallel_map(&users, |user| {
-            trainer.train_from_vectors(*user, &windows[user]).ok()
-        });
+        let trained =
+            parallel_map(&users, |user| trainer.train_from_vectors(*user, &windows[user]).ok());
         let profiles: BTreeMap<_, _> = users
             .iter()
             .zip(trained)
@@ -147,9 +152,8 @@ pub struct ModelGridSearch<'a> {
 
 impl<'a> ModelGridSearch<'a> {
     /// The `C` (and `ν`) values of the paper's Tab. III rows.
-    pub const PAPER_REGULARIZATIONS: [f64; 15] = [
-        0.999, 0.99, 0.95, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.05, 0.01, 0.001,
-    ];
+    pub const PAPER_REGULARIZATIONS: [f64; 15] =
+        [0.999, 0.99, 0.95, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.05, 0.01, 0.001];
 
     /// A coarser grid for sweeps that optimize many users × window
     /// configurations (Tab. IV).
@@ -183,46 +187,114 @@ impl<'a> ModelGridSearch<'a> {
         self
     }
 
+    /// Per-user `ACCother` samples: an even subsample of every user's
+    /// windows, borrowed from `windows`. Computed once and shared across
+    /// all cells — and, in [`optimize_all`](Self::optimize_all), across all
+    /// users — instead of cloning each user's vectors for every sweep.
+    fn other_window_samples<'w>(
+        &self,
+        windows: &'w WindowSets,
+    ) -> BTreeMap<UserId, Vec<&'w SparseVector>> {
+        windows
+            .iter()
+            .map(|(&u, w)| (u, subsample_evenly(w.iter().collect(), self.max_other_windows)))
+            .collect()
+    }
+
     /// Evaluates every kernel × regularization combination for one user.
     ///
     /// `windows` must contain the user's own training windows as well as
     /// the other users' (used for `ACCother`). Cells whose training fails
     /// (e.g. an infeasible `C` for the window count) are skipped.
+    ///
+    /// The kernel matrix over the user's windows is computed exactly once
+    /// per kernel (as a shared [`ocsvm::GramMatrix`]) and reused by every
+    /// regularization of that kernel's sweep, so the whole sweep performs
+    /// 4 Gram computations instead of 60.
     pub fn run_user(&self, windows: &WindowSets, user: UserId) -> Vec<ModelGridCell> {
+        let samples = self.other_window_samples(windows);
+        self.run_user_sampled(windows, &samples, user)
+    }
+
+    fn run_user_sampled<'w>(
+        &self,
+        windows: &'w WindowSets,
+        samples: &BTreeMap<UserId, Vec<&'w SparseVector>>,
+        user: UserId,
+    ) -> Vec<ModelGridCell> {
         let Some(own) = windows.get(&user) else {
             return Vec::new();
         };
         let n_features = self.vocab.n_features();
-        let mut cells = Vec::new();
-        // Sampled other-user windows, shared by every cell of the sweep.
-        let other_samples: Vec<(UserId, Vec<SparseVector>)> = windows
-            .iter()
-            .filter(|&(&u, _)| u != user)
-            .map(|(&u, w)| {
-                (u, crate::trainer::subsample_evenly(w.clone(), self.max_other_windows))
-            })
+        // The `ACCother` probes of every other user, flattened so one
+        // `CrossGram` row covers them all; `ranges` recovers the per-user
+        // slices for the per-user acceptance means.
+        let mut probes: Vec<&'w SparseVector> = Vec::new();
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        for (_, w) in samples.iter().filter(|&(&u, _)| u != user) {
+            let start = probes.len();
+            probes.extend(w.iter().copied());
+            ranges.push((start, probes.len()));
+        }
+        // One Gram matrix (and, for non-linear kernels, one cross matrix
+        // against the probes) per kernel over this user's training windows.
+        // Rows materialize lazily, each at most once, shared read-only by
+        // every regularization of the sweep — training *and* scoring. The
+        // linear kernel skips the shared-row scoring: its models collapse to
+        // a single weight vector, which is already cheaper than row lookups.
+        let kernels: Vec<(KernelKind, Kernel, GramMatrix<'w>, Option<CrossGram<'w>>)> =
+            KernelKind::ALL
+                .iter()
+                .map(|&kind| {
+                    let kernel = Kernel::default_for(kind, n_features);
+                    let cross = (kernel != Kernel::Linear)
+                        .then(|| CrossGram::new(kernel, own, probes.clone()));
+                    (kind, kernel, GramMatrix::compute(kernel, own), cross)
+                })
+                .collect();
+        let combos: Vec<(usize, f64)> = (0..kernels.len())
+            .flat_map(|k| self.regularizations.iter().map(move |&c| (k, c)))
             .collect();
-        let combos: Vec<(KernelKind, f64)> = KernelKind::ALL
-            .iter()
-            .flat_map(|&k| self.regularizations.iter().map(move |&c| (k, c)))
-            .collect();
-        let results = parallel_map(&combos, |&(kernel_kind, regularization)| {
-            let kernel = Kernel::default_for(kernel_kind, n_features);
+        let results = parallel_map(&combos, |&(k, regularization)| {
+            let (kernel_kind, kernel, ref gram, ref cross) = kernels[k];
             let trainer = ProfileTrainer::new(self.vocab)
                 .window(self.window)
                 .kind(self.kind)
                 .kernel(kernel)
                 .regularization(regularization);
-            let profile = trainer.train_from_vectors(user, own).ok()?;
-            let acc_self = acceptance_ratio(&profile, own);
-            let others: Vec<f64> = other_samples
-                .iter()
-                .map(|(_, w)| acceptance_ratio(&profile, w))
-                .collect();
-            let acc_other = if others.is_empty() {
-                0.0
-            } else {
-                others.iter().sum::<f64>() / others.len() as f64
+            let profile = trainer.train_from_vectors_with_gram(user, own, gram).ok()?;
+            let shared = cross.as_ref().and_then(|cross| {
+                Some((
+                    profile.training_decision_values(gram)?,
+                    profile.cross_decision_values(cross)?,
+                ))
+            });
+            let (acc_self, acc_other) = match shared {
+                Some((self_values, probe_values)) => {
+                    let accepted = self_values.iter().filter(|&&v| v >= 0.0).count();
+                    let acc_self = accepted as f64 / own.len() as f64;
+                    let others: Vec<f64> = ranges
+                        .iter()
+                        .map(|&(start, end)| {
+                            if start == end {
+                                return 0.0;
+                            }
+                            let accepted =
+                                probe_values[start..end].iter().filter(|&&v| v >= 0.0).count();
+                            accepted as f64 / (end - start) as f64
+                        })
+                        .collect();
+                    (acc_self, mean(&others))
+                }
+                None => {
+                    let acc_self = acceptance_ratio(&profile, own);
+                    let others: Vec<f64> = samples
+                        .iter()
+                        .filter(|&(&u, _)| u != user)
+                        .map(|(_, w)| acceptance_ratio_refs(&profile, w))
+                        .collect();
+                    (acc_self, mean(&others))
+                }
             };
             Some(ModelGridCell {
                 kernel: kernel_kind,
@@ -230,17 +302,19 @@ impl<'a> ModelGridSearch<'a> {
                 summary: AcceptanceSummary { acc_self, acc_other },
             })
         });
-        cells.extend(results.into_iter().flatten());
-        cells
+        results.into_iter().flatten().collect()
     }
 
     /// The best parameters for one user (maximal `ACC`), or `None` when no
     /// cell trained successfully.
     pub fn best_for_user(&self, windows: &WindowSets, user: UserId) -> Option<ProfileParams> {
-        let cells = self.run_user(windows, user);
-        let best = cells.into_iter().max_by(|a, b| {
-            a.summary.acc().partial_cmp(&b.summary.acc()).expect("ACC is finite")
-        })?;
+        self.pick_best(self.run_user(windows, user))
+    }
+
+    fn pick_best(&self, cells: Vec<ModelGridCell>) -> Option<ProfileParams> {
+        let best = cells
+            .into_iter()
+            .max_by(|a, b| a.summary.acc().partial_cmp(&b.summary.acc()).expect("ACC is finite"))?;
         Some(ProfileParams {
             kind: self.kind,
             kernel: Kernel::default_for(best.kernel, self.vocab.n_features()),
@@ -248,11 +322,22 @@ impl<'a> ModelGridSearch<'a> {
         })
     }
 
-    /// Optimizes every user in the window sets.
+    /// Optimizes every user in the window sets, in parallel.
+    ///
+    /// The `ACCother` window samples are drawn once and shared by reference
+    /// across all users' sweeps. Memory scales with the per-user Gram
+    /// matrices held by in-flight sweeps (`O(l²)` each), so cap the window
+    /// sets (see [`compute_window_sets`]) on large datasets.
     pub fn optimize_all(&self, windows: &WindowSets) -> BTreeMap<UserId, ProfileParams> {
-        windows
-            .keys()
-            .filter_map(|&user| self.best_for_user(windows, user).map(|p| (user, p)))
+        let samples = self.other_window_samples(windows);
+        let users: Vec<UserId> = windows.keys().copied().collect();
+        let results = parallel_map(&users, |&user| {
+            self.pick_best(self.run_user_sampled(windows, &samples, user))
+        });
+        users
+            .into_iter()
+            .zip(results)
+            .filter_map(|(user, params)| params.map(|p| (user, p)))
             .collect()
     }
 }
@@ -260,7 +345,7 @@ impl<'a> ModelGridSearch<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use tracegen::{Scenario, TraceGenerator};
 
     fn small_dataset() -> Dataset {
@@ -271,8 +356,7 @@ mod tests {
     fn window_sets_cover_users_and_respect_cap() {
         let dataset = small_dataset();
         let vocab = Vocabulary::new(dataset.taxonomy().clone());
-        let sets =
-            compute_window_sets(&vocab, &dataset, WindowConfig::PAPER_DEFAULT, Some(50));
+        let sets = compute_window_sets(&vocab, &dataset, WindowConfig::PAPER_DEFAULT, Some(50));
         assert_eq!(sets.len(), dataset.users().len());
         assert!(sets.values().all(|w| w.len() <= 50));
         assert!(sets.values().any(|w| !w.is_empty()));
@@ -304,11 +388,7 @@ mod tests {
         let dataset = small_dataset();
         let vocab = Vocabulary::new(dataset.taxonomy().clone());
         let sets = compute_window_sets(&vocab, &dataset, WindowConfig::PAPER_DEFAULT, Some(60));
-        let user = *sets
-            .iter()
-            .max_by_key(|&(_, w)| w.len())
-            .map(|(u, _)| u)
-            .unwrap();
+        let user = *sets.iter().max_by_key(|&(_, w)| w.len()).map(|(u, _)| u).unwrap();
         let search = ModelGridSearch::new(&vocab, WindowConfig::PAPER_DEFAULT, ModelKind::Svdd);
         let cells = search.run_user(&sets, user);
         assert!(!cells.is_empty());
@@ -318,10 +398,7 @@ mod tests {
         assert_eq!(best.kind, ModelKind::Svdd);
         assert!(best.regularization > 0.0);
         // The best ACC is at least as good as every cell.
-        let best_acc = cells
-            .iter()
-            .map(|c| c.summary.acc())
-            .fold(f64::NEG_INFINITY, f64::max);
+        let best_acc = cells.iter().map(|c| c.summary.acc()).fold(f64::NEG_INFINITY, f64::max);
         let chosen = cells
             .iter()
             .find(|c| {

@@ -99,11 +99,8 @@ impl IdentificationQuality {
             accepted_pairs += w.accepted_by.len();
             correct_pairs += w.accepted_by.iter().filter(|u| w.actual_users.contains(u)).count();
         }
-        let precision = if accepted_pairs == 0 {
-            0.0
-        } else {
-            correct_pairs as f64 / accepted_pairs as f64
-        };
+        let precision =
+            if accepted_pairs == 0 { 0.0 } else { correct_pairs as f64 / accepted_pairs as f64 };
         Self { recall, precision, exact, windows: windows.len() }
     }
 
@@ -245,10 +242,7 @@ impl<'a> OnlineIdentifier<'a> {
         &self.history
     }
 
-    fn fold(
-        &mut self,
-        windows: Vec<crate::window::TransactionWindow>,
-    ) -> Vec<IdentifiedWindow> {
+    fn fold(&mut self, windows: Vec<crate::window::TransactionWindow>) -> Vec<IdentifiedWindow> {
         let mut out = Vec::with_capacity(windows.len());
         for window in windows {
             let accepted_by: Vec<UserId> = self
@@ -302,9 +296,9 @@ mod tests {
     #[test]
     fn quality_measures() {
         let windows = vec![
-            window(0, &[1], &[1]),    // exact
+            window(0, &[1], &[1]),     // exact
             window(30, &[1, 2], &[1]), // covered, one spurious
-            window(60, &[], &[1]),    // missed
+            window(60, &[], &[1]),     // missed
         ];
         let q = IdentificationQuality::measure(&windows);
         assert_eq!(q.windows, 3);
@@ -322,11 +316,8 @@ mod tests {
 
     #[test]
     fn vote_identifies_majority_user() {
-        let windows = vec![
-            window(0, &[1], &[1]),
-            window(30, &[1, 2], &[1]),
-            window(60, &[1], &[1]),
-        ];
+        let windows =
+            vec![window(0, &[1], &[1]), window(30, &[1, 2], &[1]), window(60, &[1], &[1])];
         let votes = consecutive_window_vote(&windows, 3);
         assert_eq!(votes[2].1, Some(UserId(1)));
     }
@@ -377,13 +368,8 @@ mod tests {
         let (profiles, _) =
             ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
         let device = dataset.devices()[0];
-        let batch = identify_on_device(
-            &profiles,
-            &vocab,
-            &dataset,
-            device,
-            WindowConfig::PAPER_DEFAULT,
-        );
+        let batch =
+            identify_on_device(&profiles, &vocab, &dataset, device, WindowConfig::PAPER_DEFAULT);
         let mut online =
             OnlineIdentifier::new(&profiles, &vocab, WindowConfig::PAPER_DEFAULT, device, 3);
         let mut streamed = Vec::new();
@@ -410,11 +396,8 @@ mod tests {
         let (profiles, _) =
             ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
         // Monitor the busiest device.
-        let device = dataset
-            .devices()
-            .into_iter()
-            .max_by_key(|&d| dataset.for_device(d).count())
-            .unwrap();
+        let device =
+            dataset.devices().into_iter().max_by_key(|&d| dataset.for_device(d).count()).unwrap();
         let mut online =
             OnlineIdentifier::new(&profiles, &vocab, WindowConfig::PAPER_DEFAULT, device, 3);
         let mut correct = 0usize;
@@ -430,10 +413,7 @@ mod tests {
             }
         }
         assert!(decided > 0, "vote never decided");
-        assert!(
-            correct * 2 > decided,
-            "votes mostly wrong: {correct}/{decided}"
-        );
+        assert!(correct * 2 > decided, "votes mostly wrong: {correct}/{decided}");
     }
 
     #[test]
@@ -452,13 +432,8 @@ mod tests {
             .max_training_windows(200);
         let (profiles, _) = trainer.train_all(&dataset);
         let device = dataset.devices()[0];
-        let identified = identify_on_device(
-            &profiles,
-            &vocab,
-            &dataset,
-            device,
-            WindowConfig::PAPER_DEFAULT,
-        );
+        let identified =
+            identify_on_device(&profiles, &vocab, &dataset, device, WindowConfig::PAPER_DEFAULT);
         assert!(!identified.is_empty());
         let quality = IdentificationQuality::measure(&identified);
         // Models were trained on this same data; their own windows should

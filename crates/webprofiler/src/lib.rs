@@ -57,8 +57,8 @@
 #![warn(missing_debug_implementations)]
 
 mod auth;
-mod calibrate;
 mod baselines;
+mod calibrate;
 mod drift;
 mod explain;
 mod features;
@@ -77,12 +77,8 @@ pub use auth::{AuthDecision, AuthenticationMonitor, TakeoverEvaluation};
 pub use baselines::FrequencyProfile;
 pub use calibrate::{calibrate_without_impostors, default_candidates, Calibration};
 pub use drift::DriftMonitor;
-pub use markov::MarkovProfile;
 pub use explain::{explain_decision, explanation_report, FeatureContribution};
-pub use features::{
-    aggregate_window, aggregate_window_with, extract_transaction, AggregationMode,
-};
-pub use roc::{auc, best_operating_point, roc_curve, RocPoint};
+pub use features::{aggregate_window, aggregate_window_with, extract_transaction, AggregationMode};
 pub use gridsearch::{
     compute_window_sets, ModelGridCell, ModelGridSearch, WindowGridRow, WindowGridSearch,
     WindowSets,
@@ -91,12 +87,14 @@ pub use identify::{
     consecutive_window_vote, identify_on_device, IdentificationQuality, IdentifiedWindow,
     OnlineIdentifier,
 };
-pub use metrics::{acceptance_ratio, AcceptanceSummary, ConfusionMatrix};
+pub use markov::MarkovProfile;
+pub use metrics::{acceptance_ratio, acceptance_ratio_refs, AcceptanceSummary, ConfusionMatrix};
 pub use novelty::{
-    feature_novelty, sweep_feature_novelty, sweep_window_novelty, window_novelty,
-    FeatureNovelty, FeatureNoveltyRow, MeanVariance, WindowNoveltyRow,
+    feature_novelty, sweep_feature_novelty, sweep_window_novelty, window_novelty, FeatureNovelty,
+    FeatureNoveltyRow, MeanVariance, WindowNoveltyRow,
 };
 pub use profile::{ModelKind, ProfileParams, UserProfile};
+pub use roc::{auc, best_operating_point, roc_curve, RocPoint};
 pub use trainer::{ProfileError, ProfileTrainer};
 pub use vocab::{ColumnKind, Vocabulary};
 pub use window::{

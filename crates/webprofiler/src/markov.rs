@@ -247,15 +247,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty window")]
     fn scoring_empty_window_panics() {
-        let profile =
-            MarkovProfile::train(UserId(0), &windows_of(&[0], 3), 2, 0.1).unwrap();
+        let profile = MarkovProfile::train(UserId(0), &windows_of(&[0], 3), 2, 0.1).unwrap();
         let _ = profile.mean_log_likelihood(&[]);
     }
 
     #[test]
     fn display_names_user_and_states() {
-        let profile =
-            MarkovProfile::train(UserId(7), &windows_of(&[0, 1], 3), 5, 0.1).unwrap();
+        let profile = MarkovProfile::train(UserId(7), &windows_of(&[0, 1], 3), 5, 0.1).unwrap();
         let text = profile.to_string();
         assert!(text.contains("user_7") && text.contains("5 states"));
     }

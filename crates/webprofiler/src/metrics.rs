@@ -24,6 +24,17 @@ pub fn acceptance_ratio(profile: &UserProfile, windows: &[SparseVector]) -> f64 
     accepted as f64 / windows.len() as f64
 }
 
+/// [`acceptance_ratio`] over borrowed windows. Grid searches subsample
+/// other users' windows by reference, so the shared sample sets never clone
+/// feature vectors.
+pub fn acceptance_ratio_refs(profile: &UserProfile, windows: &[&SparseVector]) -> f64 {
+    if windows.is_empty() {
+        return 0.0;
+    }
+    let accepted = windows.iter().filter(|w| profile.accepts(w)).count();
+    accepted as f64 / windows.len() as f64
+}
+
 /// Summary acceptance figures averaged over users.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AcceptanceSummary {
@@ -82,11 +93,8 @@ impl ConfusionMatrix {
         profiles: &BTreeMap<UserId, UserProfile>,
         windows: &BTreeMap<UserId, Vec<SparseVector>>,
     ) -> Self {
-        let users: Vec<UserId> = profiles
-            .keys()
-            .filter(|user| windows.contains_key(user))
-            .copied()
-            .collect();
+        let users: Vec<UserId> =
+            profiles.keys().filter(|user| windows.contains_key(user)).copied().collect();
         let cells = parallel_map(&users, |model_user| {
             let profile = &profiles[model_user];
             users
@@ -192,10 +200,7 @@ mod tests {
 
     /// Builds two synthetic users with clearly distinct windows and their
     /// trained profiles.
-    fn two_user_fixture() -> (
-        BTreeMap<UserId, UserProfile>,
-        BTreeMap<UserId, Vec<SparseVector>>,
-    ) {
+    fn two_user_fixture() -> (BTreeMap<UserId, UserProfile>, BTreeMap<UserId, Vec<SparseVector>>) {
         let vocab = Vocabulary::new(Taxonomy::paper_scale());
         let make = |base: u32, n: usize| -> Vec<SparseVector> {
             (0..n)

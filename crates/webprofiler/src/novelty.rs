@@ -95,10 +95,8 @@ pub fn window_novelty(
         .iter()
         .map(|w| canonical(w.features.as_pairs()))
         .collect();
-    let novel = subsequent
-        .iter()
-        .filter(|w| !observed.contains(&canonical(w.features.as_pairs())))
-        .count();
+    let novel =
+        subsequent.iter().filter(|w| !observed.contains(&canonical(w.features.as_pairs()))).count();
     Some(novel as f64 / subsequent.len() as f64)
 }
 
@@ -216,7 +214,6 @@ mod tests {
         AppTypeId, CategoryId, DeviceId, HttpAction, Reputation, SiteId, SubtypeId, Taxonomy,
         UriScheme,
     };
-    
 
     fn tx(secs: i64, category: u16, subtype: u16, app: u16) -> Transaction {
         Transaction {
@@ -266,12 +263,7 @@ mod tests {
     fn partial_novelty_is_a_ratio_of_values_not_transactions() {
         // Subsequent categories {1, 9}: one of two is new, regardless of
         // how many transactions carry each.
-        let d = dataset(vec![
-            tx(0, 1, 2, 3),
-            tx(100, 1, 2, 3),
-            tx(101, 1, 2, 3),
-            tx(102, 9, 2, 3),
-        ]);
+        let d = dataset(vec![tx(0, 1, 2, 3), tx(100, 1, 2, 3), tx(101, 1, 2, 3), tx(102, 9, 2, 3)]);
         let n = feature_novelty(&d, UserId(0), Timestamp(50)).unwrap();
         assert_eq!(n.category, 0.5);
         assert_eq!(n.media_type, 0.0);

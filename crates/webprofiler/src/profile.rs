@@ -125,6 +125,29 @@ impl UserProfile {
             ProfileModel::Svdd(m) => m.diagnostics(),
         }
     }
+
+    /// Decision values over the profile's training set, read from the
+    /// shared Gram matrix the profile was trained with (see
+    /// [`OcSvmModel::training_decision_values`]). `None` when the matrix
+    /// does not match or the model was deserialized.
+    pub(crate) fn training_decision_values(
+        &self,
+        gram: &ocsvm::GramMatrix<'_>,
+    ) -> Option<Vec<f64>> {
+        match &self.model {
+            ProfileModel::OcSvm(m) => m.training_decision_values(gram),
+            ProfileModel::Svdd(m) => m.training_decision_values(gram),
+        }
+    }
+
+    /// Decision values over a fixed probe set via a shared [`ocsvm::CrossGram`]
+    /// (see [`OcSvmModel::cross_decision_values`]).
+    pub(crate) fn cross_decision_values(&self, cross: &ocsvm::CrossGram<'_>) -> Option<Vec<f64>> {
+        match &self.model {
+            ProfileModel::OcSvm(m) => m.cross_decision_values(cross),
+            ProfileModel::Svdd(m) => m.cross_decision_values(cross),
+        }
+    }
 }
 
 impl UserProfile {
@@ -227,10 +250,7 @@ fn read_varint<R: std::io::Read>(reader: &mut R) -> std::io::Result<u64> {
         let mut byte = [0u8; 1];
         reader.read_exact(&mut byte)?;
         if shift >= 64 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "varint overflow",
-            ));
+            return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "varint overflow"));
         }
         value |= u64::from(byte[0] & 0x7f) << shift;
         if byte[0] & 0x80 == 0 {
@@ -316,11 +336,8 @@ mod tests {
 
     #[test]
     fn params_display_names_parameter() {
-        let p = ProfileParams {
-            kind: ModelKind::Svdd,
-            kernel: Kernel::Linear,
-            regularization: 0.4,
-        };
+        let p =
+            ProfileParams { kind: ModelKind::Svdd, kernel: Kernel::Linear, regularization: 0.4 };
         assert!(p.to_string().contains("C=0.4"));
         let p = ProfileParams { kind: ModelKind::OcSvm, ..p };
         assert!(p.to_string().contains("nu=0.4"));

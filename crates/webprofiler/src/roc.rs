@@ -37,8 +37,7 @@ pub fn roc_curve(
         return Vec::new();
     }
     let mut own: Vec<f64> = own_windows.iter().map(|w| profile.decision_value(w)).collect();
-    let mut other: Vec<f64> =
-        other_windows.iter().map(|w| profile.decision_value(w)).collect();
+    let mut other: Vec<f64> = other_windows.iter().map(|w| profile.decision_value(w)).collect();
     own.sort_by(|a, b| a.partial_cmp(b).expect("finite decision values"));
     other.sort_by(|a, b| a.partial_cmp(b).expect("finite decision values"));
 
@@ -59,9 +58,7 @@ pub fn roc_curve(
     }
     // Reject-everything endpoint.
     points.push(RocPoint { threshold: f64::INFINITY, tpr: 0.0, fpr: 0.0 });
-    points.sort_by(|a, b| {
-        (a.fpr, a.tpr).partial_cmp(&(b.fpr, b.tpr)).expect("finite rates")
-    });
+    points.sort_by(|a, b| (a.fpr, a.tpr).partial_cmp(&(b.fpr, b.tpr)).expect("finite rates"));
     points
 }
 

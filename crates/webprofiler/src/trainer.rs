@@ -3,7 +3,7 @@
 use crate::profile::{ModelKind, ProfileModel, ProfileParams, UserProfile};
 use crate::vocab::Vocabulary;
 use crate::window::{WindowAggregator, WindowConfig};
-use ocsvm::{Kernel, NuOcSvm, SolverOptions, SparseVector, Svdd, TrainError};
+use ocsvm::{GramMatrix, Kernel, NuOcSvm, SolverOptions, SparseVector, Svdd, TrainError};
 use proxylog::{Dataset, UserId};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -151,8 +151,7 @@ impl<'a> ProfileTrainer<'a> {
     pub fn training_vectors(&self, dataset: &Dataset, user: UserId) -> Vec<SparseVector> {
         let aggregator = WindowAggregator::new(self.vocab, self.window);
         let windows = aggregator.user_windows(dataset, user);
-        let mut vectors: Vec<SparseVector> =
-            windows.into_iter().map(|w| w.features).collect();
+        let mut vectors: Vec<SparseVector> = windows.into_iter().map(|w| w.features).collect();
         if let Some(max) = self.max_training_windows {
             vectors = subsample_evenly(vectors, max);
         }
@@ -194,6 +193,53 @@ impl<'a> ProfileTrainer<'a> {
                 Svdd::new(self.params.regularization, self.params.kernel)
                     .with_options(self.solver)
                     .train(vectors)?,
+            ),
+        };
+        Ok(UserProfile {
+            user,
+            params: self.params,
+            window: self.window,
+            model,
+            training_windows: vectors.len(),
+        })
+    }
+
+    /// Trains a profile from precomputed window vectors and a precomputed
+    /// Gram matrix over exactly those vectors.
+    ///
+    /// Numerically identical to
+    /// [`train_from_vectors`](Self::train_from_vectors) but skips the
+    /// kernel-matrix computation, which dominates when the same vectors are
+    /// trained repeatedly with different regularizations — the
+    /// [`ModelGridSearch`](crate::ModelGridSearch) computes one `GramMatrix`
+    /// per (user, kernel) and shares it across the whole sweep. The
+    /// trainer's configured kernel must match `gram`'s.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`train_from_vectors`](Self::train_from_vectors), plus the
+    /// solver's Gram-compatibility errors
+    /// ([`TrainError::GramSizeMismatch`], [`TrainError::GramKernelMismatch`])
+    /// wrapped in [`ProfileError::Train`].
+    pub fn train_from_vectors_with_gram(
+        &self,
+        user: UserId,
+        vectors: &[SparseVector],
+        gram: &GramMatrix<'_>,
+    ) -> Result<UserProfile, ProfileError> {
+        if vectors.is_empty() {
+            return Err(ProfileError::NoWindows { user });
+        }
+        let model = match self.params.kind {
+            ModelKind::OcSvm => ProfileModel::OcSvm(
+                NuOcSvm::new(self.params.regularization, self.params.kernel)
+                    .with_options(self.solver)
+                    .train_with_gram(vectors, gram)?,
+            ),
+            ModelKind::Svdd => ProfileModel::Svdd(
+                Svdd::new(self.params.regularization, self.params.kernel)
+                    .with_options(self.solver)
+                    .train_with_gram(vectors, gram)?,
             ),
         };
         Ok(UserProfile {
@@ -279,7 +325,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use tracegen::{Scenario, TraceGenerator};
 
     fn setup() -> (Dataset, Vocabulary) {
@@ -291,16 +337,10 @@ mod tests {
     #[test]
     fn trains_a_profile_for_an_active_user() {
         let (dataset, vocab) = setup();
-        let user = *dataset
-            .user_counts()
-            .iter()
-            .max_by_key(|&(_, &count)| count)
-            .map(|(u, _)| u)
-            .unwrap();
-        let profile = ProfileTrainer::new(&vocab)
-            .max_training_windows(400)
-            .train(&dataset, user)
-            .unwrap();
+        let user =
+            *dataset.user_counts().iter().max_by_key(|&(_, &count)| count).map(|(u, _)| u).unwrap();
+        let profile =
+            ProfileTrainer::new(&vocab).max_training_windows(400).train(&dataset, user).unwrap();
         assert_eq!(profile.user(), user);
         assert!(profile.training_windows() > 0);
         assert!(profile.support_vector_count() > 0);
@@ -329,12 +369,8 @@ mod tests {
     #[test]
     fn svdd_and_ocsvm_both_train() {
         let (dataset, vocab) = setup();
-        let user = *dataset
-            .user_counts()
-            .iter()
-            .max_by_key(|&(_, &count)| count)
-            .map(|(u, _)| u)
-            .unwrap();
+        let user =
+            *dataset.user_counts().iter().max_by_key(|&(_, &count)| count).map(|(u, _)| u).unwrap();
         for kind in ModelKind::ALL {
             let profile = ProfileTrainer::new(&vocab)
                 .kind(kind)
@@ -349,15 +385,9 @@ mod tests {
     #[test]
     fn profile_accepts_own_training_windows_mostly() {
         let (dataset, vocab) = setup();
-        let user = *dataset
-            .user_counts()
-            .iter()
-            .max_by_key(|&(_, &count)| count)
-            .map(|(u, _)| u)
-            .unwrap();
-        let trainer = ProfileTrainer::new(&vocab)
-            .regularization(0.1)
-            .max_training_windows(300);
+        let user =
+            *dataset.user_counts().iter().max_by_key(|&(_, &count)| count).map(|(u, _)| u).unwrap();
+        let trainer = ProfileTrainer::new(&vocab).regularization(0.1).max_training_windows(300);
         let vectors = trainer.training_vectors(&dataset, user);
         let profile = trainer.train_from_vectors(user, &vectors).unwrap();
         let accepted = vectors.iter().filter(|v| profile.accepts(v)).count();
@@ -371,9 +401,8 @@ mod tests {
     #[test]
     fn train_all_covers_all_users() {
         let (dataset, vocab) = setup();
-        let (profiles, errors) = ProfileTrainer::new(&vocab)
-            .max_training_windows(150)
-            .train_all(&dataset);
+        let (profiles, errors) =
+            ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
         assert_eq!(profiles.len() + errors.len(), dataset.users().len());
         assert!(!profiles.is_empty());
         for (user, profile) in &profiles {
@@ -402,12 +431,8 @@ mod tests {
     #[test]
     fn training_vectors_respect_cap() {
         let (dataset, vocab) = setup();
-        let user = *dataset
-            .user_counts()
-            .iter()
-            .max_by_key(|&(_, &count)| count)
-            .map(|(u, _)| u)
-            .unwrap();
+        let user =
+            *dataset.user_counts().iter().max_by_key(|&(_, &count)| count).map(|(u, _)| u).unwrap();
         let trainer = ProfileTrainer::new(&vocab).max_training_windows(37);
         assert!(trainer.training_vectors(&dataset, user).len() <= 37);
     }

@@ -236,9 +236,7 @@ impl Vocabulary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proxylog::{
-        DeviceId, HttpAction, Reputation, SiteId, Timestamp, UriScheme, UserId,
-    };
+    use proxylog::{DeviceId, HttpAction, Reputation, SiteId, Timestamp, UriScheme, UserId};
 
     fn vocab() -> Vocabulary {
         Vocabulary::new(Taxonomy::paper_scale())
@@ -306,7 +304,8 @@ mod tests {
     #[test]
     fn unverified_minimal_risk_is_all_zero() {
         let v = vocab();
-        let t = Transaction { reputation: Reputation::Unverified, private_destination: false, ..tx() };
+        let t =
+            Transaction { reputation: Reputation::Unverified, private_destination: false, ..tx() };
         let cols = v.transaction_columns(&t);
         let get = |col: u32| cols.iter().find(|&&(c, _)| c == col).map(|&(_, val)| val);
         assert_eq!(get(v.risk_column()), Some(0.0));

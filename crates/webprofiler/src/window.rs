@@ -494,10 +494,8 @@ mod tests {
     fn user_windows_are_user_specific() {
         let v = vocab();
         let taxonomy = Taxonomy::paper_scale();
-        let dataset = Dataset::new(
-            Arc::clone(&taxonomy),
-            vec![tx_at(0, 0), tx_at(1, 1), tx_at(2, 0)],
-        );
+        let dataset =
+            Dataset::new(Arc::clone(&taxonomy), vec![tx_at(0, 0), tx_at(1, 1), tx_at(2, 0)]);
         let agg = WindowAggregator::new(&v, WindowConfig::PAPER_DEFAULT);
         let w0 = agg.user_windows(&dataset, UserId(0));
         assert!(w0.iter().all(|w| w.key == WindowKey::User(UserId(0))));
@@ -509,8 +507,7 @@ mod tests {
     fn device_windows_mix_users() {
         let v = vocab();
         let taxonomy = Taxonomy::paper_scale();
-        let dataset =
-            Dataset::new(Arc::clone(&taxonomy), vec![tx_at(0, 0), tx_at(1, 1)]);
+        let dataset = Dataset::new(Arc::clone(&taxonomy), vec![tx_at(0, 0), tx_at(1, 1)]);
         let agg = WindowAggregator::new(&v, WindowConfig::new(60, 60).unwrap());
         let windows = agg.device_windows(&dataset, DeviceId(0));
         assert_eq!(windows.len(), 1);

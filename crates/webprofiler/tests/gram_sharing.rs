@@ -1,0 +1,92 @@
+//! Verifies the shared-Gram grid search end to end: the kernel matrix is
+//! computed exactly once per (user, kernel), and sharing it changes no cell
+//! of the sweep.
+//!
+//! Everything lives in ONE `#[test]`: `GramMatrix::computations()` is a
+//! process-wide counter, so concurrent tests in the same binary would
+//! pollute each other's deltas. Integration tests run one process per file,
+//! which keeps the deltas exact.
+
+use ocsvm::{GramMatrix, Kernel, KernelKind};
+use tracegen::{Scenario, TraceGenerator};
+use webprofiler::{
+    acceptance_ratio, compute_window_sets, ModelGridSearch, ModelKind, ProfileTrainer, Vocabulary,
+    WindowConfig,
+};
+
+#[test]
+fn grid_search_computes_each_gram_once_and_cells_match_legacy_path() {
+    let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+    let vocab = Vocabulary::new(dataset.taxonomy().clone());
+    let sets = compute_window_sets(&vocab, &dataset, WindowConfig::PAPER_DEFAULT, Some(60));
+    let user = *sets.iter().max_by_key(|&(_, w)| w.len()).map(|(u, _)| u).unwrap();
+    // usize::MAX disables ACCother subsampling so the legacy replication
+    // below scores exactly the same window sets.
+    let search = ModelGridSearch::new(&vocab, WindowConfig::PAPER_DEFAULT, ModelKind::Svdd)
+        .max_other_windows(usize::MAX);
+
+    // (a) One user's sweep: exactly one Gram computation per kernel family,
+    // not one per (kernel, regularization) cell.
+    let before = GramMatrix::computations();
+    let cells = search.run_user(&sets, user);
+    let delta = GramMatrix::computations() - before;
+    assert_eq!(
+        delta,
+        KernelKind::ALL.len() as u64,
+        "run_user must compute one Gram matrix per kernel"
+    );
+    assert!(!cells.is_empty());
+
+    // (b) The all-users optimization: once per (user, kernel).
+    let before = GramMatrix::computations();
+    let best = search.optimize_all(&sets);
+    let delta = GramMatrix::computations() - before;
+    assert_eq!(
+        delta,
+        (sets.len() * KernelKind::ALL.len()) as u64,
+        "optimize_all must compute one Gram matrix per (user, kernel)"
+    );
+    assert!(best.contains_key(&user), "most active user optimizes");
+
+    // (c) Cell parity with the legacy per-cell training path: retrain every
+    // (kernel, regularization) combination without the shared Gram matrix
+    // and recompute both acceptance ratios from scratch.
+    let own = &sets[&user];
+    let legacy: Vec<(KernelKind, f64, f64, f64)> = KernelKind::ALL
+        .iter()
+        .flat_map(|&kind| ModelGridSearch::PAPER_REGULARIZATIONS.iter().map(move |&c| (kind, c)))
+        .filter_map(|(kind, regularization)| {
+            let kernel = Kernel::default_for(kind, vocab.n_features());
+            let trainer = ProfileTrainer::new(&vocab)
+                .window(WindowConfig::PAPER_DEFAULT)
+                .kind(ModelKind::Svdd)
+                .kernel(kernel)
+                .regularization(regularization);
+            let profile = trainer.train_from_vectors(user, own).ok()?;
+            let acc_self = acceptance_ratio(&profile, own);
+            let others: Vec<f64> = sets
+                .iter()
+                .filter(|&(&u, _)| u != user)
+                .map(|(_, w)| acceptance_ratio(&profile, w))
+                .collect();
+            let acc_other = others.iter().sum::<f64>() / others.len() as f64;
+            Some((kind, regularization, acc_self, acc_other))
+        })
+        .collect();
+
+    assert_eq!(cells.len(), legacy.len(), "same combinations must train on both paths");
+    for (cell, &(kind, regularization, acc_self, acc_other)) in cells.iter().zip(&legacy) {
+        assert_eq!(cell.kernel, kind);
+        assert_eq!(cell.regularization, regularization);
+        assert!(
+            (cell.summary.acc_self - acc_self).abs() < 1e-9,
+            "ACCself diverged for {kind:?} c={regularization}: {} vs {acc_self}",
+            cell.summary.acc_self
+        );
+        assert!(
+            (cell.summary.acc_other - acc_other).abs() < 1e-9,
+            "ACCother diverged for {kind:?} c={regularization}: {} vs {acc_other}",
+            cell.summary.acc_other
+        );
+    }
+}

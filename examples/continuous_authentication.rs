@@ -15,9 +15,7 @@
 
 use std::collections::BTreeMap;
 use tracegen::{Scenario, TraceGenerator};
-use webprofiler::{
-    identify_on_device, ProfileTrainer, UserProfile, Vocabulary, WindowConfig,
-};
+use webprofiler::{identify_on_device, ProfileTrainer, UserProfile, Vocabulary, WindowConfig};
 
 /// Reject this many consecutive windows before logging the session out —
 /// the accuracy/delay trade-off the paper discusses in Sect. V-B (k
@@ -44,8 +42,7 @@ fn main() {
         .max_by_key(|&(device, users)| (users, test.for_device(device).count()))
         .expect("at least one device")
         .0;
-    let windows =
-        identify_on_device(&profiles, &vocab, &test, device, WindowConfig::PAPER_DEFAULT);
+    let windows = identify_on_device(&profiles, &vocab, &test, device, WindowConfig::PAPER_DEFAULT);
     println!("monitoring {device}: {} transaction windows\n", windows.len());
 
     let mut session_user = None;
@@ -53,9 +50,8 @@ fn main() {
     let mut alerts = 0usize;
     for window in &windows {
         let current_actual = window.actual_users.first().copied();
-        let authenticated = *session_user.get_or_insert_with(|| {
-            current_actual.expect("non-empty window has a user")
-        });
+        let authenticated = *session_user
+            .get_or_insert_with(|| current_actual.expect("non-empty window has a user"));
         let accepted = window.accepted_by.contains(&authenticated);
         if accepted {
             consecutive_rejects = 0;

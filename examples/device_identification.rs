@@ -11,8 +11,8 @@
 use std::collections::BTreeMap;
 use tracegen::{Scenario, TraceGenerator};
 use webprofiler::{
-    explanation_report, DriftMonitor, OnlineIdentifier, ProfileTrainer, UserProfile,
-    Vocabulary, WindowConfig,
+    explanation_report, DriftMonitor, OnlineIdentifier, ProfileTrainer, UserProfile, Vocabulary,
+    WindowConfig,
 };
 
 fn main() {
@@ -73,7 +73,9 @@ fn main() {
                 if !explained_example {
                     if let Some(&user) = window.actual_users.first() {
                         if let Some(profile) = profiles.get(&user) {
-                            println!("--- first window nobody accepted, explained against {user} ---");
+                            println!(
+                                "--- first window nobody accepted, explained against {user} ---"
+                            );
                             print!(
                                 "{}",
                                 explanation_report(

@@ -42,11 +42,7 @@ fn main() {
     let stolen = trainer.training_vectors(&test, attacker);
     let acc_stolen = acceptance_ratio(&profile, &stolen);
 
-    println!(
-        "owner traffic accepted:    {:>5.1}%  ({} windows)",
-        acc_own * 100.0,
-        own.len()
-    );
+    println!("owner traffic accepted:    {:>5.1}%  ({} windows)", acc_own * 100.0, own.len());
     println!(
         "attacker traffic accepted: {:>5.1}%  ({} windows, posing as {victim})",
         acc_stolen * 100.0,
@@ -55,7 +51,10 @@ fn main() {
 
     let alert_rate = 1.0 - acc_stolen;
     if alert_rate > 0.5 {
-        println!("=> takeover by {attacker} would be flagged on {:.0}% of windows", alert_rate * 100.0);
+        println!(
+            "=> takeover by {attacker} would be flagged on {:.0}% of windows",
+            alert_rate * 100.0
+        );
     } else {
         println!("=> weak separation; consider per-user parameter optimization (table3)");
     }

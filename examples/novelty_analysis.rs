@@ -11,9 +11,7 @@
 //! ```
 
 use tracegen::{Scenario, TraceGenerator};
-use webprofiler::{
-    feature_novelty, sweep_window_novelty, Vocabulary, WindowConfig,
-};
+use webprofiler::{feature_novelty, sweep_window_novelty, Vocabulary, WindowConfig};
 
 fn main() {
     let scenario = Scenario::evaluation(6, 0.3);
@@ -37,7 +35,8 @@ fn main() {
     }
 
     println!("\nwhole-window novelty (mean over users):");
-    for row in sweep_window_novelty(&vocab, WindowConfig::PAPER_DEFAULT, &dataset, start, [1, 2, 4]) {
+    for row in sweep_window_novelty(&vocab, WindowConfig::PAPER_DEFAULT, &dataset, start, [1, 2, 4])
+    {
         println!(
             "  after {} week(s): {:.1}% of subsequent windows are new shapes",
             row.week,

@@ -29,12 +29,8 @@ fn main() {
 
     // 3. Profile the busiest user with paper-default windowing (60s/30s).
     let vocab = Vocabulary::new(dataset.taxonomy().clone());
-    let user = *train
-        .user_counts()
-        .iter()
-        .max_by_key(|&(_, &count)| count)
-        .expect("at least one user")
-        .0;
+    let user =
+        *train.user_counts().iter().max_by_key(|&(_, &count)| count).expect("at least one user").0;
     let trainer = ProfileTrainer::new(&vocab)
         .window(WindowConfig::PAPER_DEFAULT)
         .regularization(0.1)
@@ -45,11 +41,7 @@ fn main() {
     // 4. Evaluate on held-out windows.
     let own_windows = trainer.training_vectors(&test, user);
     let acc_self = acceptance_ratio(&profile, &own_windows);
-    println!(
-        "self-acceptance on {} held-out windows: {:.1}%",
-        own_windows.len(),
-        acc_self * 100.0
-    );
+    println!("self-acceptance on {} held-out windows: {:.1}%", own_windows.len(), acc_self * 100.0);
     for other in test.users().into_iter().filter(|&u| u != user).take(5) {
         let other_windows = trainer.training_vectors(&test, other);
         if other_windows.is_empty() {

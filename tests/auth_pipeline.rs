@@ -32,28 +32,19 @@ fn takeover_fixture() -> (
     let aggregator = WindowAggregator::new(&vocab, WindowConfig::PAPER_DEFAULT);
 
     // Train only on the victim's traffic *before* the takeover.
-    let clean = dataset.restrict_to_user(victim).restrict_to_range(
-        dataset.time_range().expect("non-empty").0,
-        scenario.start,
-    );
-    let train_windows: Vec<_> = aggregator
-        .user_windows(&clean, victim)
-        .into_iter()
-        .map(|w| w.features)
-        .collect();
+    let clean = dataset
+        .restrict_to_user(victim)
+        .restrict_to_range(dataset.time_range().expect("non-empty").0, scenario.start);
+    let train_windows: Vec<_> =
+        aggregator.user_windows(&clean, victim).into_iter().map(|w| w.features).collect();
     let profile = ProfileTrainer::new(&vocab)
         .max_training_windows(300)
         .train_from_vectors(victim, &train_windows)
         .expect("victim has clean training data");
 
-    let during = modified
-        .restrict_to_user(victim)
-        .restrict_to_range(scenario.start, scenario.end);
-    let takeover_windows: Vec<_> = aggregator
-        .user_windows(&during, victim)
-        .into_iter()
-        .map(|w| w.features)
-        .collect();
+    let during = modified.restrict_to_user(victim).restrict_to_range(scenario.start, scenario.end);
+    let takeover_windows: Vec<_> =
+        aggregator.user_windows(&during, victim).into_iter().map(|w| w.features).collect();
     (profile, train_windows, takeover_windows)
 }
 

@@ -11,8 +11,7 @@ fn train_fingerprint(seed: u64) -> (usize, usize, Vec<f64>) {
     let trainer = ProfileTrainer::new(&vocab).max_training_windows(150);
     let vectors = trainer.training_vectors(&dataset, user);
     let profile = trainer.train_from_vectors(user, &vectors).expect("trains");
-    let decisions: Vec<f64> =
-        vectors.iter().take(25).map(|v| profile.decision_value(v)).collect();
+    let decisions: Vec<f64> = vectors.iter().take(25).map(|v| profile.decision_value(v)).collect();
     (dataset.len(), profile.support_vector_count(), decisions)
 }
 

@@ -4,8 +4,8 @@
 use std::collections::BTreeMap;
 use tracegen::{Scenario, TraceGenerator};
 use webprofiler::{
-    compute_window_sets, identify_on_device, ConfusionMatrix, IdentificationQuality,
-    ModelKind, ProfileTrainer, UserProfile, Vocabulary, WindowConfig,
+    compute_window_sets, identify_on_device, ConfusionMatrix, IdentificationQuality, ModelKind,
+    ProfileTrainer, UserProfile, Vocabulary, WindowConfig,
 };
 
 fn pipeline_dataset() -> proxylog::Dataset {
@@ -27,14 +27,8 @@ fn differentiation_pipeline_reaches_sane_accuracy() {
     let test_windows = compute_window_sets(&vocab, &test, WindowConfig::PAPER_DEFAULT, Some(250));
     let matrix = ConfusionMatrix::compute(&profiles, &test_windows);
     let summary = matrix.summary();
-    assert!(
-        summary.acc_self > 0.6,
-        "self acceptance collapsed: {summary}"
-    );
-    assert!(
-        summary.acc_other < summary.acc_self - 0.2,
-        "no separation between users: {summary}"
-    );
+    assert!(summary.acc_self > 0.6, "self acceptance collapsed: {summary}");
+    assert!(summary.acc_other < summary.acc_self - 0.2, "no separation between users: {summary}");
 }
 
 #[test]
@@ -45,11 +39,8 @@ fn identification_recovers_device_users() {
     let (profiles, _): (BTreeMap<_, UserProfile>, _) = trainer.train_all(&dataset);
 
     // Identify on the device with the most traffic.
-    let device = dataset
-        .devices()
-        .into_iter()
-        .max_by_key(|&d| dataset.for_device(d).count())
-        .unwrap();
+    let device =
+        dataset.devices().into_iter().max_by_key(|&d| dataset.for_device(d).count()).unwrap();
     let windows =
         identify_on_device(&profiles, &vocab, &dataset, device, WindowConfig::PAPER_DEFAULT);
     assert!(!windows.is_empty());
@@ -66,10 +57,8 @@ fn both_model_kinds_work_end_to_end() {
     let vocab = Vocabulary::new(dataset.taxonomy().clone());
     let user = *train.user_counts().iter().max_by_key(|&(_, &n)| n).unwrap().0;
     for kind in ModelKind::ALL {
-        let trainer = ProfileTrainer::new(&vocab)
-            .kind(kind)
-            .regularization(0.3)
-            .max_training_windows(250);
+        let trainer =
+            ProfileTrainer::new(&vocab).kind(kind).regularization(0.3).max_training_windows(250);
         let profile = trainer.train(&train, user).unwrap_or_else(|e| panic!("{kind}: {e}"));
         let own = trainer.training_vectors(&test, user);
         let acc = webprofiler::acceptance_ratio(&profile, &own);

@@ -4,8 +4,8 @@
 
 use tracegen::{Scenario, TraceGenerator};
 use webprofiler::{
-    compute_window_sets, sweep_feature_novelty, sweep_window_novelty, ModelGridSearch,
-    ModelKind, Vocabulary, WindowConfig, WindowGridSearch,
+    compute_window_sets, sweep_feature_novelty, sweep_window_novelty, ModelGridSearch, ModelKind,
+    Vocabulary, WindowConfig, WindowGridSearch,
 };
 
 fn tiny() -> (proxylog::Dataset, Vocabulary, proxylog::Timestamp) {
@@ -22,10 +22,8 @@ fn window_grid_search_flow() {
     let (dataset, vocab, _) = tiny();
     let (train, _) = dataset.split_chronological_per_user(0.75);
     let search = WindowGridSearch::new(&vocab).max_windows_per_user(Some(60));
-    let configs = [
-        WindowConfig::new(60, 30).expect("valid"),
-        WindowConfig::new(600, 60).expect("valid"),
-    ];
+    let configs =
+        [WindowConfig::new(60, 30).expect("valid"), WindowConfig::new(600, 60).expect("valid")];
     let rows = search.run(&train, &configs);
     assert_eq!(rows.len(), 2);
     for row in &rows {

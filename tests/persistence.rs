@@ -4,16 +4,13 @@
 
 use std::collections::BTreeMap;
 use tracegen::{Scenario, TraceGenerator};
-use webprofiler::{
-    identify_on_device, ProfileTrainer, UserProfile, Vocabulary, WindowConfig,
-};
+use webprofiler::{identify_on_device, ProfileTrainer, UserProfile, Vocabulary, WindowConfig};
 
 #[test]
 fn identification_results_survive_profile_persistence() {
     let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
     let vocab = Vocabulary::new(dataset.taxonomy().clone());
-    let (profiles, _) =
-        ProfileTrainer::new(&vocab).max_training_windows(200).train_all(&dataset);
+    let (profiles, _) = ProfileTrainer::new(&vocab).max_training_windows(200).train_all(&dataset);
     assert!(!profiles.is_empty());
 
     // "Export" every profile to bytes and "import" in a fresh map.
@@ -66,9 +63,8 @@ fn profiles_round_trip_through_files() {
     std::fs::remove_dir_all(&dir).ok();
 
     assert_eq!(loaded.user(), profile.user());
-    let probes = ProfileTrainer::new(&vocab)
-        .max_training_windows(50)
-        .training_vectors(&dataset, user);
+    let probes =
+        ProfileTrainer::new(&vocab).max_training_windows(50).training_vectors(&dataset, user);
     for probe in &probes {
         assert_eq!(loaded.decision_value(probe), profile.decision_value(probe));
     }

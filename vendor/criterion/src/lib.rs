@@ -1,0 +1,343 @@
+//! Workspace-local stand-in for the subset of the `criterion 0.5` API this
+//! repository uses, so benchmarks build and run without network access to a
+//! crates.io mirror.
+//!
+//! Measurement model: each routine is warmed up, then timed in batches that
+//! are grown until the measurement window (default 1 s) is filled; the
+//! harness reports mean wall-clock time per iteration. There are no HTML
+//! reports or statistical comparisons. When invoked with `--test` (as
+//! `cargo test` does for `harness = false` bench targets) every routine runs
+//! exactly once so the suite stays fast.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// How the per-iteration cost of `iter_batched` setup is amortized.
+/// Retained for API compatibility; the stub times routines identically for
+/// every variant (setup is always excluded from measurement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine input: upstream batches many per allocation.
+    SmallInput,
+    /// Large routine input: upstream batches few per allocation.
+    LargeInput,
+    /// One setup call per routine call.
+    PerIteration,
+}
+
+/// Units processed per iteration, used to annotate reported timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Benchmark driver; obtained from [`criterion_group!`]'s generated code.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { test_mode: false, measurement_time: Duration::from_secs(1) }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration; honours `--test` (run every
+    /// routine once, as `cargo test` requests for bench targets) and
+    /// ignores the rest of upstream's flags.
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Overrides the measurement window.
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.id, None, &mut routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    fn run_one<F>(&mut self, full_id: &str, throughput: Option<Throughput>, routine: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            measurement_time: self.measurement_time,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        routine(&mut bencher);
+        if self.test_mode {
+            println!("test {full_id} ... ok");
+            return;
+        }
+        let per_iter = if bencher.iterations == 0 {
+            Duration::ZERO
+        } else {
+            bencher.elapsed / bencher.iterations.max(1) as u32
+        };
+        let rate = throughput.and_then(|t| {
+            let per_iter_secs = per_iter.as_secs_f64();
+            if per_iter_secs <= 0.0 {
+                return None;
+            }
+            Some(match t {
+                Throughput::Elements(n) => format!(" ({:.3e} elem/s)", n as f64 / per_iter_secs),
+                Throughput::Bytes(n) => format!(" ({:.3e} B/s)", n as f64 / per_iter_secs),
+            })
+        });
+        println!(
+            "{full_id:<55} time: {:>12?}  ({} iterations){}",
+            per_iter,
+            bencher.iterations,
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// A named group of benchmarks sharing throughput annotations.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes measurement by wall
+    /// clock, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Overrides the measurement window for this group.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.criterion.measurement_time = duration;
+        self
+    }
+
+    /// Benchmarks `routine` under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, self.throughput, &mut routine);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, self.throughput, &mut |b: &mut Bencher| routine(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the stub prints as it
+    /// goes).
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to it by a benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    measurement_time: Duration,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.iterations = 1;
+            return;
+        }
+        // Warmup and batch-size calibration: grow the batch until one batch
+        // takes ≥ ~10 ms or we know the routine is slow.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(10) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let deadline = Instant::now() + self.measurement_time;
+        let mut elapsed = Duration::ZERO;
+        let mut iterations = 0u64;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            elapsed += start.elapsed();
+            iterations += batch;
+        }
+        self.elapsed = elapsed;
+        self.iterations = iterations.max(1);
+    }
+
+    /// Times `routine` over inputs produced by `setup`; `setup` time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.iterations = 1;
+            return;
+        }
+        let mut batch: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(10) || batch >= 1 << 16 {
+                break;
+            }
+            batch *= 4;
+        }
+        let deadline = Instant::now() + self.measurement_time;
+        let mut elapsed = Duration::ZERO;
+        let mut iterations = 0u64;
+        while Instant::now() < deadline {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            elapsed += start.elapsed();
+            iterations += batch;
+        }
+        self.elapsed = elapsed;
+        self.iterations = iterations.max(1);
+    }
+}
+
+/// Declares a benchmark entry point running each target function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_upstream() {
+        assert_eq!(BenchmarkId::new("train", 42).id, "train/42");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn bencher_runs_routines_in_test_mode() {
+        let mut c = Criterion { test_mode: true, ..Criterion::default() };
+        let mut calls = 0u32;
+        c.bench_function("counts", |b| b.iter(|| calls += 1));
+        assert!(calls >= 1);
+        let mut batched_calls = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(3));
+        group.bench_with_input(BenchmarkId::new("f", 1), &5u32, |b, &x| {
+            b.iter_batched(|| x, |v| batched_calls += v, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(batched_calls, 5);
+    }
+}

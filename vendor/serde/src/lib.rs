@@ -1,0 +1,20 @@
+//! Workspace-local stand-in for `serde`, so the workspace's optional
+//! `serde` features resolve and compile without network access to a
+//! crates.io mirror.
+//!
+//! `Serialize` and `Deserialize` are **marker traits only** — there is no
+//! data model, no serializers, and no format crates. The in-tree binary
+//! persistence (`UserProfile::write_to` and friends) is hand-rolled and does
+//! not go through serde; the derives exist purely so downstream code can
+//! keep the `#[cfg_attr(feature = "serde", derive(...))]` annotations and
+//! trait bounds compiling. Swap this stub for the real crates.io `serde` to
+//! regain actual serialization support.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

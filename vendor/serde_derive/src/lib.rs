@@ -1,0 +1,45 @@
+//! Derive macros for the vendored `serde` stub.
+//!
+//! The stub's `Serialize`/`Deserialize` are marker traits with no items, so
+//! deriving them only requires locating the type's name and emitting an
+//! empty impl. Generic types are not supported (none in this workspace
+//! derive serde traits); `#[serde(...)]` helper attributes are accepted and
+//! ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the stub's marker `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the stub's marker `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+/// Finds the identifier following the first top-level `struct`/`enum`/`union`
+/// keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => return name.to_string(),
+                    other => panic!("expected a type name after `{word}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde stub derive: no struct/enum/union found in input")
+}
