@@ -62,7 +62,7 @@ mod svdd;
 pub use error::TrainError;
 pub use gram::{CrossGram, GramMatrix};
 pub use kernel::{Kernel, KernelKind};
-pub use model::{OneClassModel, TrainDiagnostics};
+pub use model::{LinearBatchScorer, OneClassModel, TrainDiagnostics};
 pub use ocsvm::{NuOcSvm, OcSvmModel};
 pub use scale::MinMaxScaler;
 pub use smo::SolverOptions;

@@ -1,5 +1,6 @@
 //! Shared trained-model machinery.
 
+use crate::gram::CrossGram;
 use crate::kernel::Kernel;
 use crate::sparse::SparseVector;
 
@@ -101,6 +102,13 @@ impl SupportVectorSet {
         self.indices.as_deref()
     }
 
+    /// Reattaches training-set indices to a deserialized set (persist
+    /// format v2 stores them so restored models keep shared-row scoring).
+    pub(crate) fn restore_indices(&mut self, indices: Vec<usize>) {
+        debug_assert_eq!(indices.len(), self.vectors.len());
+        self.indices = Some(indices);
+    }
+
     /// `Σᵢ αᵢ·rowsᵢ[j]` for every probe column `j`, over precomputed kernel
     /// rows (one per support vector, in support-vector order). The inner sum
     /// runs in the same order as [`Self::weighted_kernel_sum`], so for
@@ -122,8 +130,78 @@ impl SupportVectorSet {
         self.vectors.iter().zip(&self.alpha).map(|(sv, &a)| a * self.kernel.compute(sv, x)).sum()
     }
 
+    /// `Σᵢ αᵢ·k(svᵢ, pⱼ)` for every probe `pⱼ`, amortizing kernel work over
+    /// the whole batch.
+    ///
+    /// Non-linear kernels go through a [`CrossGram`] over the support
+    /// vectors themselves — one kernel-row materialization per support
+    /// vector per batch, summed in support-vector order, so every value is
+    /// bit-identical to [`Self::weighted_kernel_sum`]. The linear kernel
+    /// goes through a dense [`LinearBatchScorer`] built from the collapsed
+    /// weight vector, which adds exactly the same products in the same
+    /// (column-ascending) order as the sparse merge dot and is therefore
+    /// also bit-identical.
+    ///
+    /// Unlike the training-set row paths this needs no training indices, so
+    /// it works for deserialized models too.
+    pub(crate) fn batch_weighted_kernel_sums(&self, probes: &[&SparseVector]) -> Vec<f64> {
+        if let Some(w) = &self.collapsed {
+            return LinearBatchScorer::from_collapsed(w).weighted_sums(probes);
+        }
+        let cross = CrossGram::new(self.kernel, &self.vectors, probes.to_vec());
+        let rows: Vec<_> = (0..self.vectors.len()).map(|i| cross.row(i)).collect();
+        self.weighted_row_sums(&rows, probes.len())
+    }
+
     pub(crate) fn len(&self) -> usize {
         self.vectors.len()
+    }
+}
+
+/// Dense weight vector of a linear model, scoring a whole probe batch as
+/// one dense GEMV (`sums[j] = Σ_c w[c]·pⱼ[c]`).
+///
+/// Built from the collapsed `w = Σᵢ αᵢxᵢ` a linear [`SupportVectorSet`]
+/// maintains. Stored-zero columns never occur in `w` (the sparse builder
+/// prunes them), and the dense walk skips absent columns, so each probe's
+/// sum adds exactly the products the sparse merge dot adds, in the same
+/// column order — results are bit-identical to `w.dot(p)` per probe while
+/// replacing the per-probe sorted merge with O(nnz) dense lookups.
+#[derive(Debug, Clone)]
+pub struct LinearBatchScorer {
+    weights: Vec<f64>,
+}
+
+impl LinearBatchScorer {
+    pub(crate) fn from_collapsed(w: &SparseVector) -> Self {
+        let mut weights = vec![0.0; w.dimension_lower_bound()];
+        for (column, value) in w.iter() {
+            weights[column as usize] = value;
+        }
+        Self { weights }
+    }
+
+    /// The dense weight vector (trailing all-zero columns are truncated).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// `Σ_c w[c]·p[c]` for every probe, one dense pass per probe.
+    pub fn weighted_sums(&self, probes: &[&SparseVector]) -> Vec<f64> {
+        probes.iter().map(|p| self.weighted_sum(p)).collect()
+    }
+
+    /// `Σ_c w[c]·p[c]` for one probe.
+    pub fn weighted_sum(&self, probe: &SparseVector) -> f64 {
+        let mut sum = 0.0;
+        for (column, value) in probe.iter() {
+            if let Some(&w) = self.weights.get(column as usize) {
+                if w != 0.0 {
+                    sum += w * value;
+                }
+            }
+        }
+        sum
     }
 }
 
@@ -189,5 +267,51 @@ mod tests {
         assert!(set.collapsed.is_none());
         let probe = SparseVector::from_dense(&[0.0]);
         assert!((set.weighted_kernel_sum(&probe) - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    fn probe_batch() -> Vec<SparseVector> {
+        vec![
+            SparseVector::from_dense(&[0.7, -1.2, 3.0]),
+            SparseVector::from_dense(&[0.0, 0.0, 0.0]),
+            SparseVector::from_dense(&[1.0, 0.0, 2.0]),
+            SparseVector::from_pairs(vec![(1, 0.4), (7, 9.0)]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn batch_sums_match_per_point_bitwise_for_every_kernel() {
+        let points = vec![
+            SparseVector::from_dense(&[1.0, 0.0, 2.0]),
+            SparseVector::from_dense(&[0.0, 3.0, -1.0]),
+            SparseVector::from_dense(&[0.5, 0.5, 0.5]),
+        ];
+        let probes = probe_batch();
+        let refs: Vec<&SparseVector> = probes.iter().collect();
+        for kernel in [
+            Kernel::Linear,
+            Kernel::Rbf { gamma: 0.7 },
+            Kernel::Polynomial { gamma: 0.3, coef0: 1.0, degree: 3 },
+            Kernel::Sigmoid { gamma: 0.1, coef0: -0.2 },
+        ] {
+            let set = SupportVectorSet::from_solution(&points, &[0.2, 0.3, 0.5], kernel);
+            let batch = set.batch_weighted_kernel_sums(&refs);
+            for (probe, &sum) in refs.iter().zip(&batch) {
+                assert_eq!(sum, set.weighted_kernel_sum(probe), "{kernel:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_batch_scorer_matches_sparse_dot_bitwise() {
+        let w = SparseVector::from_pairs(vec![(0, 0.25), (2, -1.5), (9, 3.0)]).unwrap();
+        let scorer = LinearBatchScorer::from_collapsed(&w);
+        assert_eq!(scorer.weights().len(), 10);
+        for probe in probe_batch() {
+            assert_eq!(scorer.weighted_sum(&probe), w.dot(&probe));
+        }
+        // Probes reaching past the dense width contribute nothing, like the
+        // sparse merge.
+        let far = SparseVector::from_pairs(vec![(2, 2.0), (100, 5.0)]).unwrap();
+        assert_eq!(scorer.weighted_sum(&far), w.dot(&far));
     }
 }

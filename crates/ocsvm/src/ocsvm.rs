@@ -266,6 +266,21 @@ impl OcSvmModel {
         Some(sums.into_iter().map(|s| s - self.rho).collect())
     }
 
+    /// Decision values for a whole probe micro-batch, amortizing kernel
+    /// work over the batch: non-linear kernels materialize one kernel row
+    /// per support vector (via an internal [`CrossGram`] over the support
+    /// vectors), the linear kernel collapses into one dense-weight GEMV
+    /// ([`crate::LinearBatchScorer`]).
+    ///
+    /// Every value is bit-identical to calling
+    /// [`decision_value`](OneClassModel::decision_value) on the same probe.
+    /// Unlike [`cross_decision_values`](Self::cross_decision_values) this
+    /// needs no training-set indices, so it also works for deserialized
+    /// models.
+    pub fn batch_decision_values(&self, probes: &[&SparseVector]) -> Vec<f64> {
+        self.support.batch_weighted_kernel_sums(probes).into_iter().map(|s| s - self.rho).collect()
+    }
+
     pub(crate) fn support(&self) -> &SupportVectorSet {
         &self.support
     }
@@ -418,6 +433,20 @@ mod tests {
         let model = NuOcSvm::new(0.2, Kernel::Rbf { gamma: 1.0 }).train(&data).unwrap();
         assert!(model.accepts(&SparseVector::from_dense(&[1.0, 1.0])));
         assert!(!model.accepts(&SparseVector::from_dense(&[4.0, -4.0])));
+    }
+
+    #[test]
+    fn batch_decision_values_match_per_point_bitwise() {
+        let data = cluster(&[1.0, 2.0, 0.0], 0.1, 50);
+        let probes: Vec<&SparseVector> = data.iter().take(20).collect();
+        for kernel in [Kernel::Linear, Kernel::Rbf { gamma: 0.8 }] {
+            let model = NuOcSvm::new(0.2, kernel).train(&data).unwrap();
+            let batch = model.batch_decision_values(&probes);
+            assert_eq!(batch.len(), probes.len());
+            for (probe, &value) in probes.iter().zip(&batch) {
+                assert_eq!(value, model.decision_value(probe), "{kernel:?}");
+            }
+        }
     }
 
     #[cfg(feature = "serde")]

@@ -307,6 +307,29 @@ impl SvddModel {
         )
     }
 
+    /// Decision values for a whole probe micro-batch, amortizing kernel
+    /// work over the batch: non-linear kernels materialize one kernel row
+    /// per support vector (via an internal [`CrossGram`] over the support
+    /// vectors), the linear kernel collapses into one dense-weight GEMV
+    /// ([`crate::LinearBatchScorer`]).
+    ///
+    /// Every value is bit-identical to calling
+    /// [`decision_value`](OneClassModel::decision_value) on the same probe.
+    /// Unlike [`cross_decision_values`](Self::cross_decision_values) this
+    /// needs no training-set indices, so it also works for deserialized
+    /// models.
+    pub fn batch_decision_values(&self, probes: &[&SparseVector]) -> Vec<f64> {
+        let sums = self.support.batch_weighted_kernel_sums(probes);
+        probes
+            .iter()
+            .zip(sums)
+            .map(|(p, s)| {
+                let squared = self.support.kernel.compute_self(p) - 2.0 * s + self.alpha_k_alpha;
+                self.r_squared - squared
+            })
+            .collect()
+    }
+
     pub(crate) fn support(&self) -> &SupportVectorSet {
         &self.support
     }
@@ -460,6 +483,20 @@ mod tests {
         assert_eq!(d.train_size, 40);
         assert_eq!(d.support_vectors, model.support_vector_count());
         assert!(d.support_vectors >= 1);
+    }
+
+    #[test]
+    fn batch_decision_values_match_per_point_bitwise() {
+        let data = cluster(&[1.0, -1.0], 0.2, 40);
+        let probes: Vec<&SparseVector> = data.iter().step_by(2).collect();
+        for kernel in [Kernel::Linear, Kernel::Rbf { gamma: 0.6 }] {
+            let model = Svdd::new(0.3, kernel).train(&data).unwrap();
+            let batch = model.batch_decision_values(&probes);
+            assert_eq!(batch.len(), probes.len());
+            for (probe, &value) in probes.iter().zip(&batch) {
+                assert_eq!(value, model.decision_value(probe), "{kernel:?}");
+            }
+        }
     }
 
     #[cfg(feature = "serde")]

@@ -186,11 +186,16 @@ fn shared_row_scoring_rejects_incompatible_matrices() {
     let wrong_cross = CrossGram::new(Kernel::Linear, &data, probe_store.iter().collect());
     assert!(model.cross_decision_values(&wrong_cross).is_none());
 
-    // A deserialized model no longer knows its training indices.
+    // A deserialized model keeps its training indices (persist v2) — the
+    // shared-row paths stay available and agree with the in-process model.
     let mut buffer = Vec::new();
     model.write_to(&mut buffer).expect("serializes");
     let restored = ocsvm::OcSvmModel::read_from(&mut buffer.as_slice()).expect("deserializes");
-    assert!(restored.training_decision_values(&gram).is_none());
+    assert_eq!(
+        restored.training_decision_values(&gram).expect("indices survive the round trip"),
+        model.training_decision_values(&gram).unwrap()
+    );
+    assert!(restored.training_decision_values(&wrong_kernel).is_none());
     assert_eq!(restored.decision_value(&data[0]), model.decision_value(&data[0]));
 }
 

@@ -15,7 +15,7 @@ use crate::record::{HttpAction, Reputation, SiteId, Transaction, UriScheme};
 use crate::taxonomy::Taxonomy;
 use crate::time::Timestamp;
 use std::fmt;
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
 
 /// Number of comma-separated fields per line.
 const FIELD_COUNT: usize = 11;
@@ -221,6 +221,119 @@ impl<R: BufRead> Iterator for LogReader<'_, R> {
     }
 }
 
+/// Poll-based tail reader for live logs: the streaming engine's file
+/// source.
+///
+/// [`LogReader`] treats end-of-input as the end of the log; `LogTail`
+/// treats it as "no more data *yet*". Each [`poll`](LogTail::poll) reads
+/// everything currently available, parses the complete lines, and carries
+/// any trailing partial line until its newline arrives in a later poll —
+/// so a producer appending to the underlying file (or channel) mid-line
+/// never corrupts a record. A reader returning `WouldBlock` (non-blocking
+/// sources) ends the poll like end-of-file does.
+///
+/// # Examples
+///
+/// ```
+/// use proxylog::{LogTail, Taxonomy};
+///
+/// let taxonomy = Taxonomy::paper_scale();
+/// let mut tail = LogTail::new(std::io::empty(), &taxonomy);
+/// assert!(tail.poll().unwrap().is_empty()); // nothing yet — not an error
+/// ```
+#[derive(Debug)]
+pub struct LogTail<'a, R> {
+    reader: R,
+    taxonomy: &'a Taxonomy,
+    /// Bytes read but not yet terminated by a newline.
+    carry: Vec<u8>,
+    /// Transactions parsed before a bad line stopped a poll, delivered by
+    /// the next poll.
+    pending: Vec<Transaction>,
+    line_no: usize,
+}
+
+impl<'a, R: Read> LogTail<'a, R> {
+    /// Creates a tail over `reader` (typically a `File` whose producer
+    /// keeps appending; the file cursor picks up appended data on the next
+    /// poll).
+    pub fn new(reader: R, taxonomy: &'a Taxonomy) -> Self {
+        Self { reader, taxonomy, carry: Vec::new(), pending: Vec::new(), line_no: 0 }
+    }
+
+    /// Bytes of a trailing partial line waiting for their newline.
+    pub fn carried_bytes(&self) -> usize {
+        self.carry.len()
+    }
+
+    /// Reads everything currently available and returns the transactions
+    /// of all newly completed lines, in file order. An empty result means
+    /// no complete line has appeared yet.
+    ///
+    /// # Errors
+    ///
+    /// Read failures are propagated; a malformed line yields
+    /// `io::ErrorKind::InvalidData` with the line number. Both leave the
+    /// tail usable: the next poll resumes after the offending line, and
+    /// transactions parsed before the error are not lost (they lead the
+    /// next poll's result).
+    pub fn poll(&mut self) -> io::Result<Vec<Transaction>> {
+        self.fill()?;
+        let mut out = std::mem::take(&mut self.pending);
+        let mut consumed = 0;
+        let mut error = None;
+        while error.is_none() {
+            let Some(nl) = self.carry[consumed..].iter().position(|&b| b == b'\n') else {
+                break;
+            };
+            let line_end = consumed + nl;
+            self.line_no += 1;
+            let raw = &self.carry[consumed..line_end];
+            consumed = line_end + 1;
+            match std::str::from_utf8(raw) {
+                Ok(line) if line.trim().is_empty() => {}
+                Ok(line) => match parse_line(line.trim_end_matches('\r'), self.taxonomy) {
+                    Ok(tx) => out.push(tx),
+                    Err(e) => {
+                        error = Some(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("line {}: {e}", self.line_no),
+                        ));
+                    }
+                },
+                Err(_) => {
+                    error = Some(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("line {}: invalid UTF-8", self.line_no),
+                    ));
+                }
+            }
+        }
+        self.carry.drain(..consumed);
+        match error {
+            Some(e) => {
+                self.pending = out;
+                Err(e)
+            }
+            None => Ok(out),
+        }
+    }
+
+    /// Drains the reader to its current end into the carry buffer.
+    fn fill(&mut self) -> io::Result<()> {
+        let mut chunk = [0u8; 8192];
+        loop {
+            match self.reader.read(&mut chunk) {
+                Ok(0) => return Ok(()),
+                Ok(n) => self.carry.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +438,77 @@ mod tests {
         // The reader can continue past the bad line.
         assert!(reader.next().unwrap().is_ok());
         assert!(reader.next().is_none());
+    }
+
+    /// A readable source another handle can append to mid-stream, like a
+    /// log file a proxy keeps writing.
+    #[derive(Clone)]
+    struct GrowingSource {
+        data: std::sync::Arc<std::sync::Mutex<Vec<u8>>>,
+        pos: usize,
+    }
+
+    impl GrowingSource {
+        fn new() -> Self {
+            Self { data: Default::default(), pos: 0 }
+        }
+
+        fn append(&self, bytes: &[u8]) {
+            self.data.lock().unwrap().extend_from_slice(bytes);
+        }
+    }
+
+    impl Read for GrowingSource {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let data = self.data.lock().unwrap();
+            let available = &data[self.pos..];
+            let n = available.len().min(buf.len());
+            buf[..n].copy_from_slice(&available[..n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn tail_carries_partial_lines_across_polls() {
+        let taxonomy = Taxonomy::paper_scale();
+        let tx = example(&taxonomy);
+        let line = format_line(&tx, &taxonomy);
+        let source = GrowingSource::new();
+        let mut tail = LogTail::new(source.clone(), &taxonomy);
+
+        assert!(tail.poll().unwrap().is_empty(), "nothing yet");
+        // Half a line: nothing to emit, bytes are carried.
+        let (head, rest) = line.split_at(20);
+        source.append(head.as_bytes());
+        assert!(tail.poll().unwrap().is_empty());
+        assert_eq!(tail.carried_bytes(), 20);
+        // The rest arrives (plus a second complete line): both parse.
+        source.append(rest.as_bytes());
+        source.append(b"\n");
+        source.append(line.as_bytes());
+        source.append(b"\n");
+        let got = tail.poll().unwrap();
+        assert_eq!(got, vec![tx, tx]);
+        assert_eq!(tail.carried_bytes(), 0);
+        // Quiet stream: polls stay empty, not errors.
+        assert!(tail.poll().unwrap().is_empty());
+    }
+
+    #[test]
+    fn tail_survives_bad_lines_without_losing_records() {
+        let taxonomy = Taxonomy::paper_scale();
+        let tx = example(&taxonomy);
+        let line = format_line(&tx, &taxonomy);
+        let source = GrowingSource::new();
+        let mut tail = LogTail::new(source.clone(), &taxonomy);
+        source.append(format!("{line}\ngarbage\n{line}\n").as_bytes());
+        let err = tail.poll().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"), "got {err}");
+        // The record before the bad line leads the next poll; the one
+        // after it parses too.
+        assert_eq!(tail.poll().unwrap(), vec![tx, tx]);
     }
 
     #[test]

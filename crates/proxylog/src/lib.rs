@@ -49,7 +49,9 @@ mod time;
 
 pub use binfmt::{read_binary_log, write_binary_log};
 pub use dataset::{Dataset, PAPER_MIN_TRANSACTIONS_PER_USER, PAPER_TRAIN_FRACTION};
-pub use format::{format_line, parse_line, read_log, write_log, LogReader, ParseLineError};
+pub use format::{
+    format_line, parse_line, read_log, write_log, LogReader, LogTail, ParseLineError,
+};
 pub use record::{
     DeviceId, HttpAction, ParseFieldError, Reputation, SiteId, Transaction, UriScheme, UserId,
 };

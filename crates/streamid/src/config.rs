@@ -1,0 +1,52 @@
+//! Engine configuration.
+
+use webprofiler::WindowConfig;
+
+/// Tuning knobs of a [`StreamEngine`](crate::StreamEngine).
+///
+/// The defaults mirror the paper's deployment choices where it makes them
+/// (window grid `D = 60 s / S = 30 s`, vote over 3 consecutive windows)
+/// and pick pragmatic values elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Sliding-window duration and shift (the paper retains 60 s / 30 s).
+    pub window: WindowConfig,
+    /// Trailing windows per device the majority vote runs over
+    /// (`k` of [`webprofiler::consecutive_window_vote`]). Must be positive.
+    pub vote_k: usize,
+    /// Closed windows to accumulate (across all devices) before a scoring
+    /// batch runs. Larger batches amortize kernel rows better at the cost
+    /// of decision latency; 1 degenerates to per-window scoring. Must be
+    /// positive.
+    pub batch_windows: usize,
+    /// Allowed out-of-order lateness in seconds: a window only closes once
+    /// event time moves this far past its end, and transactions at most
+    /// this far behind the stream head are never dropped.
+    pub lateness_secs: u32,
+    /// Bound on closed-but-unscored windows per device. When a device
+    /// exceeds it (e.g. the scorer cannot keep up with a flood), its
+    /// oldest pending windows are shed and counted. Must be positive.
+    pub max_pending_per_device: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            window: WindowConfig::PAPER_DEFAULT,
+            vote_k: 3,
+            batch_windows: 64,
+            lateness_secs: 0,
+            max_pending_per_device: 1024,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Validates the configuration, panicking on zero-valued knobs that
+    /// must be positive (done once at engine construction).
+    pub(crate) fn validate(&self) {
+        assert!(self.vote_k > 0, "vote_k must be positive");
+        assert!(self.batch_windows > 0, "batch_windows must be positive");
+        assert!(self.max_pending_per_device > 0, "max_pending_per_device must be positive");
+    }
+}

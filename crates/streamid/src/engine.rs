@@ -1,0 +1,478 @@
+//! The streaming identification engine.
+
+use crate::config::EngineConfig;
+#[cfg(feature = "tracelog")]
+use crate::telemetry::TraceEvent;
+use ocsvm::SparseVector;
+use proxylog::{DeviceId, Timestamp, Transaction, UserId};
+#[cfg(feature = "tracelog")]
+use std::collections::BTreeSet;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::time::{Duration, Instant};
+use webprofiler::{
+    majority_vote, parallel_map, TransactionWindow, UserProfile, Vocabulary, WindowKey,
+    WindowStream,
+};
+
+/// Estimated per-batch scoring operations (windows × support vectors,
+/// windows × 1 for collapsed linear models) below which a batch is scored
+/// inline instead of fanning profiles out across cores — spawning scoped
+/// threads costs tens of microseconds, which dwarfs small batches.
+const PARALLEL_WORK_THRESHOLD: usize = 16_384;
+
+/// One scored window on a monitored device, with its running vote.
+///
+/// The identification fields (`start`, `accepted_by`, `actual_users`)
+/// match what [`webprofiler::identify_on_device`] produces for the same
+/// window, and `vote` matches [`webprofiler::consecutive_window_vote`]
+/// over the trailing [`EngineConfig::vote_k`] windows of the device — the
+/// engine's batched scoring is bit-identical to offline per-window
+/// scoring.
+#[derive(Debug, Clone)]
+pub struct WindowDecision {
+    /// Device the window was observed on.
+    pub device: DeviceId,
+    /// Window start time (epoch-aligned grid).
+    pub start: Timestamp,
+    /// Transactions aggregated into the window.
+    pub transaction_count: usize,
+    /// The window's aggregated feature vector (kept so replays can verify
+    /// bit-identity against offline aggregation).
+    pub features: SparseVector,
+    /// User models that accepted the window, ascending.
+    pub accepted_by: Vec<UserId>,
+    /// Ground-truth users active in the window, ascending.
+    pub actual_users: Vec<UserId>,
+    /// Strict-majority vote over the device's trailing windows, if any.
+    pub vote: Option<UserId>,
+    /// Wall-clock time the window spent closed-but-unscored (decision
+    /// latency attributable to micro-batching).
+    pub queue_latency: Duration,
+}
+
+/// Per-device incremental state: the open-window composer plus the
+/// trailing acceptance sets the vote runs over.
+#[derive(Debug)]
+struct DeviceState<'a> {
+    stream: WindowStream<'a>,
+    /// Acceptance sets of the last `vote_k` scored windows, oldest first.
+    history: VecDeque<Vec<UserId>>,
+}
+
+/// A closed window waiting for the next scoring batch.
+#[derive(Debug)]
+struct PendingWindow {
+    device: DeviceId,
+    window: TransactionWindow,
+    enqueued: Instant,
+}
+
+/// Counters accumulated over an engine's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Devices with window state.
+    pub devices: usize,
+    /// Windows scored (decisions emitted).
+    pub windows_scored: u64,
+    /// Closed windows shed by per-device backpressure, never scored.
+    pub windows_shed: u64,
+    /// Transactions dropped as too late for every window that could have
+    /// contained them (summed over devices).
+    pub late_dropped: u64,
+    /// Scoring batches run.
+    pub batches: u64,
+    /// Largest batch scored.
+    pub max_batch: usize,
+    /// Total wall-clock time spent in batched scoring.
+    pub scoring: Duration,
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} devices, {} windows scored in {} batches (max {}), \
+             {} shed, {} late-dropped, {:.3}s scoring",
+            self.devices,
+            self.windows_scored,
+            self.batches,
+            self.max_batch,
+            self.windows_shed,
+            self.late_dropped,
+            self.scoring.as_secs_f64(),
+        )
+    }
+}
+
+/// Online identification engine over an unbounded transaction stream.
+///
+/// Feed transactions from any source — a [`proxylog::LogTail`], a
+/// channel, a live `tracegen` replay — via [`observe`](Self::observe);
+/// decisions come back as soon as their scoring batch runs. See the crate
+/// docs for the pipeline and the bit-identity guarantee.
+#[derive(Debug)]
+pub struct StreamEngine<'a> {
+    profiles: &'a BTreeMap<UserId, UserProfile>,
+    vocab: &'a Vocabulary,
+    config: EngineConfig,
+    devices: BTreeMap<DeviceId, DeviceState<'a>>,
+    /// Closed windows across all devices, oldest first, awaiting scoring.
+    pending: Vec<PendingWindow>,
+    windows_scored: u64,
+    windows_shed: u64,
+    batches: u64,
+    max_batch: usize,
+    scoring: Duration,
+    #[cfg(feature = "tracelog")]
+    events: Vec<TraceEvent>,
+}
+
+impl<'a> StreamEngine<'a> {
+    /// Creates an engine scoring against `profiles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any [`EngineConfig`] knob that must be positive is zero.
+    pub fn new(
+        profiles: &'a BTreeMap<UserId, UserProfile>,
+        vocab: &'a Vocabulary,
+        config: EngineConfig,
+    ) -> Self {
+        config.validate();
+        Self {
+            profiles,
+            vocab,
+            config,
+            devices: BTreeMap::new(),
+            pending: Vec::new(),
+            windows_scored: 0,
+            windows_shed: 0,
+            batches: 0,
+            max_batch: 0,
+            scoring: Duration::ZERO,
+            #[cfg(feature = "tracelog")]
+            events: Vec::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Closed windows currently waiting for a scoring batch.
+    pub fn pending_windows(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Feeds one transaction; returns the decisions of any scoring batch
+    /// it triggered (usually empty — decisions arrive in bursts of
+    /// [`EngineConfig::batch_windows`]).
+    ///
+    /// Transactions may arrive out of order within the configured
+    /// lateness; older stragglers are dropped and counted
+    /// ([`EngineStats::late_dropped`]), never scored into a wrong window.
+    pub fn observe(&mut self, tx: Transaction) -> Vec<WindowDecision> {
+        let device = tx.device;
+        if !self.devices.contains_key(&device) {
+            #[cfg(feature = "tracelog")]
+            self.events.push(TraceEvent::StreamOpened { device });
+            self.devices.insert(
+                device,
+                DeviceState {
+                    stream: WindowStream::new(
+                        self.vocab,
+                        self.config.window,
+                        WindowKey::Device(device),
+                    )
+                    .with_lateness(self.config.lateness_secs),
+                    history: VecDeque::with_capacity(self.config.vote_k),
+                },
+            );
+        }
+        let state = self.devices.get_mut(&device).expect("just inserted");
+        let closed = state.stream.offer(tx);
+        self.enqueue(device, closed);
+        if self.pending.len() >= self.config.batch_windows {
+            self.score_pending()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Scores every pending window now, without waiting for a full batch —
+    /// for latency-sensitive callers or quiet periods.
+    pub fn drain(&mut self) -> Vec<WindowDecision> {
+        self.score_pending()
+    }
+
+    /// Ends the stream: flushes every device's open windows and scores
+    /// everything still pending. The engine stays usable afterwards (its
+    /// window streams restart on the next transaction).
+    pub fn finish(&mut self) -> Vec<WindowDecision> {
+        let flushed: Vec<(DeviceId, Vec<TransactionWindow>)> = self
+            .devices
+            .iter_mut()
+            .map(|(&device, state)| (device, state.stream.flush()))
+            .collect();
+        for (device, windows) in flushed {
+            self.enqueue(device, windows);
+        }
+        self.score_pending()
+    }
+
+    /// Lifetime counters (devices seen, windows scored/shed, batch sizes,
+    /// scoring time).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            devices: self.devices.len(),
+            windows_scored: self.windows_scored,
+            windows_shed: self.windows_shed,
+            late_dropped: self.devices.values().map(|s| s.stream.late_dropped()).sum(),
+            batches: self.batches,
+            max_batch: self.max_batch,
+            scoring: self.scoring,
+        }
+    }
+
+    /// The structured event log (only with the `tracelog` feature).
+    #[cfg(feature = "tracelog")]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Queues closed windows for scoring, shedding the device's oldest
+    /// pending windows beyond [`EngineConfig::max_pending_per_device`].
+    fn enqueue(&mut self, device: DeviceId, windows: Vec<TransactionWindow>) {
+        if windows.is_empty() {
+            return;
+        }
+        #[cfg(feature = "tracelog")]
+        self.events.push(TraceEvent::WindowsClosed { device, count: windows.len() });
+        let now = Instant::now();
+        self.pending.extend(windows.into_iter().map(|window| PendingWindow {
+            device,
+            window,
+            enqueued: now,
+        }));
+        let queued = self.pending.iter().filter(|p| p.device == device).count();
+        if queued > self.config.max_pending_per_device {
+            let mut excess = queued - self.config.max_pending_per_device;
+            let shed = excess;
+            self.pending.retain(|p| {
+                if excess > 0 && p.device == device {
+                    excess -= 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            self.windows_shed += shed as u64;
+            #[cfg(feature = "tracelog")]
+            self.events.push(TraceEvent::WindowsShed { device, count: shed });
+        }
+    }
+
+    /// Scores every pending window in one micro-batch: one
+    /// [`batch_decision_values`](UserProfile::batch_decision_values) call
+    /// per profile (profiles fan out across cores), then per-window
+    /// acceptance sets and trailing votes in arrival order.
+    fn score_pending(&mut self) -> Vec<WindowDecision> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        let batch: Vec<PendingWindow> = std::mem::take(&mut self.pending);
+        let started = Instant::now();
+        let probes: Vec<&SparseVector> = batch.iter().map(|p| &p.window.features).collect();
+        let entries: Vec<(&UserId, &UserProfile)> = self.profiles.iter().collect();
+        // Fan profiles out across cores only when the kernel work dwarfs
+        // the cost of spawning the scoped threads; small batches (linear
+        // models especially, whose batched path is one dense GEMV) are
+        // faster scored inline.
+        let work: usize = entries
+            .iter()
+            .map(|(_, profile)| match profile.params().kernel {
+                ocsvm::Kernel::Linear => batch.len(),
+                _ => batch.len() * profile.support_vector_count(),
+            })
+            .sum();
+        let values: Vec<Vec<f64>> = if work >= PARALLEL_WORK_THRESHOLD {
+            parallel_map(&entries, |(_, profile)| profile.batch_decision_values(&probes))
+        } else {
+            entries.iter().map(|(_, profile)| profile.batch_decision_values(&probes)).collect()
+        };
+        self.scoring += started.elapsed();
+        self.batches += 1;
+        self.max_batch = self.max_batch.max(batch.len());
+        self.windows_scored += batch.len() as u64;
+        #[cfg(feature = "tracelog")]
+        {
+            let devices: BTreeSet<DeviceId> = batch.iter().map(|p| p.device).collect();
+            self.events
+                .push(TraceEvent::BatchScored { windows: batch.len(), devices: devices.len() });
+        }
+        let mut decisions = Vec::with_capacity(batch.len());
+        for (j, pending) in batch.into_iter().enumerate() {
+            // BTreeMap iteration keeps the accepted set ascending, exactly
+            // like the offline identifier's profile scan.
+            let accepted_by: Vec<UserId> = entries
+                .iter()
+                .zip(&values)
+                .filter(|(_, vals)| vals[j] >= 0.0)
+                .map(|((&user, _), _)| user)
+                .collect();
+            let state = self.devices.get_mut(&pending.device).expect("scored unknown device");
+            state.history.push_back(accepted_by.clone());
+            if state.history.len() > self.config.vote_k {
+                state.history.pop_front();
+            }
+            let vote = majority_vote(state.history.iter().map(|set| set.as_slice()));
+            decisions.push(WindowDecision {
+                device: pending.device,
+                start: pending.window.start,
+                transaction_count: pending.window.transaction_count,
+                features: pending.window.features,
+                accepted_by,
+                actual_users: pending.window.users,
+                vote,
+                queue_latency: pending.enqueued.elapsed(),
+            });
+        }
+        decisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxylog::{AppTypeId, CategoryId, HttpAction, Reputation, SiteId, SubtypeId, UriScheme};
+    use tracegen::{Scenario, TraceGenerator};
+    use webprofiler::ProfileTrainer;
+
+    fn tx_at(secs: i64, user: u32, device: u32) -> Transaction {
+        Transaction {
+            timestamp: Timestamp(secs),
+            user: UserId(user),
+            device: DeviceId(device),
+            site: SiteId(0),
+            action: HttpAction::Get,
+            scheme: UriScheme::Http,
+            category: CategoryId(0),
+            subtype: SubtypeId(0),
+            app_type: AppTypeId(0),
+            reputation: Reputation::Minimal,
+            private_destination: false,
+        }
+    }
+
+    fn trained() -> (proxylog::Dataset, Vocabulary) {
+        let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+        let vocab = Vocabulary::new(dataset.taxonomy().clone());
+        (dataset, vocab)
+    }
+
+    #[test]
+    fn decisions_arrive_in_batches_and_finish_flushes_the_tail() {
+        let (dataset, vocab) = trained();
+        let (profiles, _) =
+            ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
+        let config = EngineConfig { batch_windows: 16, ..EngineConfig::default() };
+        let mut engine = StreamEngine::new(&profiles, &vocab, config);
+        let mut bursts = Vec::new();
+        for tx in dataset.transactions() {
+            let decisions = engine.observe(*tx);
+            if !decisions.is_empty() {
+                assert!(decisions.len() >= 16, "partial batch of {}", decisions.len());
+                bursts.push(decisions.len());
+            }
+        }
+        let tail = engine.finish();
+        assert!(!bursts.is_empty(), "no full batch ever fired");
+        assert!(!tail.is_empty(), "finish flushed nothing");
+        let stats = engine.stats();
+        assert_eq!(stats.windows_scored, bursts.iter().sum::<usize>() as u64 + tail.len() as u64);
+        assert_eq!(stats.windows_shed, 0);
+        assert!(stats.max_batch >= 16);
+        assert_eq!(stats.devices, dataset.devices().len());
+    }
+
+    #[test]
+    fn backpressure_sheds_oldest_windows_per_device() {
+        let (dataset, vocab) = trained();
+        let (profiles, _) =
+            ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
+        // A huge batch threshold so nothing is scored while device 0 floods
+        // the queue past its quota.
+        let config = EngineConfig {
+            batch_windows: usize::MAX,
+            max_pending_per_device: 4,
+            ..EngineConfig::default()
+        };
+        let mut engine = StreamEngine::new(&profiles, &vocab, config);
+        // Non-overlapping 60 s windows, one transaction each, in order:
+        // every new window closes the previous one.
+        for i in 0..20 {
+            let out = engine.observe(tx_at(i64::from(i) * 120, 0, 0));
+            assert!(out.is_empty(), "nothing should be scored yet");
+        }
+        assert_eq!(engine.pending_windows(), 4, "quota bounds the queue");
+        let stats = engine.stats();
+        assert!(stats.windows_shed > 0);
+        let decisions = engine.drain();
+        assert_eq!(decisions.len(), 4);
+        // The survivors are the newest windows.
+        let starts: Vec<i64> = decisions.iter().map(|d| d.start.as_secs()).collect();
+        assert!(starts.windows(2).all(|w| w[0] < w[1]));
+        assert!(starts[0] >= 15 * 120, "oldest windows were shed first: {starts:?}");
+    }
+
+    #[test]
+    fn drain_scores_partial_batches() {
+        let (dataset, vocab) = trained();
+        let (profiles, _) =
+            ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
+        let mut engine = StreamEngine::new(&profiles, &vocab, EngineConfig::default());
+        let device = dataset.devices()[0];
+        let txs: Vec<Transaction> = dataset.for_device(device).copied().collect();
+        for tx in &txs[..txs.len().min(200)] {
+            let _ = engine.observe(*tx);
+        }
+        if engine.pending_windows() > 0 {
+            let decisions = engine.drain();
+            assert!(!decisions.is_empty());
+        }
+        assert_eq!(engine.pending_windows(), 0);
+        // Draining an empty queue is a no-op.
+        assert!(engine.drain().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_windows must be positive")]
+    fn zero_batch_size_is_rejected() {
+        let (dataset, vocab) = trained();
+        let (profiles, _) =
+            ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
+        let config = EngineConfig { batch_windows: 0, ..EngineConfig::default() };
+        let _ = StreamEngine::new(&profiles, &vocab, config);
+    }
+
+    #[cfg(feature = "tracelog")]
+    #[test]
+    fn tracelog_records_engine_events() {
+        let (dataset, vocab) = trained();
+        let (profiles, _) =
+            ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
+        let config = EngineConfig { batch_windows: 8, ..EngineConfig::default() };
+        let mut engine = StreamEngine::new(&profiles, &vocab, config);
+        for tx in dataset.transactions() {
+            let _ = engine.observe(*tx);
+        }
+        let _ = engine.finish();
+        let events = engine.events();
+        let opened = events.iter().filter(|e| matches!(e, TraceEvent::StreamOpened { .. })).count();
+        assert_eq!(opened, dataset.devices().len());
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::WindowsClosed { .. })));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::BatchScored { .. })));
+    }
+}

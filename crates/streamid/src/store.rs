@@ -1,0 +1,150 @@
+//! Persisted profile directories.
+//!
+//! A monitoring deployment trains profiles offline and ships them to the
+//! streaming engine as a directory of `user_<id>.profile` files (the
+//! [`webprofiler::UserProfile`] binary format). Since ocsvm persist v2
+//! keeps each model's support-vector training indices, reloaded profiles
+//! score through the same shared-row fast paths as freshly trained ones.
+
+use proxylog::UserId;
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Error, ErrorKind};
+use std::path::{Path, PathBuf};
+use webprofiler::UserProfile;
+
+/// A directory of persisted user profiles, one `user_<id>.profile` file
+/// per user.
+#[derive(Debug, Clone)]
+pub struct ModelStore {
+    dir: PathBuf,
+}
+
+impl ModelStore {
+    /// Points the store at a directory (created lazily on
+    /// [`save`](Self::save)).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The directory backing the store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes every profile into the store, returning how many were
+    /// written. Existing files for the same users are overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file I/O errors.
+    pub fn save(&self, profiles: &BTreeMap<UserId, UserProfile>) -> io::Result<usize> {
+        fs::create_dir_all(&self.dir)?;
+        for (user, profile) in profiles {
+            let path = self.profile_path(*user);
+            let mut writer = BufWriter::new(File::create(&path)?);
+            profile.write_to(&mut writer)?;
+        }
+        Ok(profiles.len())
+    }
+
+    /// Loads every `*.profile` file in the store, keyed by the profiled
+    /// user recorded *inside* each file (file names are a convention, not
+    /// trusted).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` if a file is corrupt or two files profile the same
+    /// user; other I/O errors from the filesystem.
+    pub fn load(&self) -> io::Result<BTreeMap<UserId, UserProfile>> {
+        let mut profiles = BTreeMap::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("profile") {
+                continue;
+            }
+            let mut reader = BufReader::new(File::open(&path)?);
+            let profile = UserProfile::read_from(&mut reader)
+                .map_err(|e| Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+            let user = profile.user();
+            if profiles.insert(user, profile).is_some() {
+                return Err(Error::new(
+                    ErrorKind::InvalidData,
+                    format!("duplicate profile for user {user:?} at {}", path.display()),
+                ));
+            }
+        }
+        Ok(profiles)
+    }
+
+    fn profile_path(&self, user: UserId) -> PathBuf {
+        self.dir.join(format!("user_{}.profile", user.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracegen::{Scenario, TraceGenerator};
+    use webprofiler::{ProfileTrainer, Vocabulary, WindowAggregator, WindowConfig};
+
+    fn temp_store(tag: &str) -> ModelStore {
+        let dir = std::env::temp_dir().join(format!("streamid-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ModelStore::new(dir)
+    }
+
+    #[test]
+    fn round_trip_preserves_every_decision() {
+        let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+        let vocab = Vocabulary::new(dataset.taxonomy().clone());
+        let (profiles, _) =
+            ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
+        let store = temp_store("roundtrip");
+        assert_eq!(store.save(&profiles).unwrap(), profiles.len());
+        let loaded = store.load().unwrap();
+        assert_eq!(loaded.len(), profiles.len());
+
+        // Reloaded profiles make bit-identical decisions on real windows.
+        let device = dataset.devices()[0];
+        let aggregator = WindowAggregator::new(&vocab, WindowConfig::PAPER_DEFAULT);
+        let windows = aggregator.device_windows(&dataset, device);
+        assert!(!windows.is_empty());
+        for (user, original) in &profiles {
+            let restored = &loaded[user];
+            for window in &windows {
+                assert_eq!(
+                    original.decision_value(&window.features),
+                    restored.decision_value(&window.features),
+                    "user {user:?} window {:?}",
+                    window.start
+                );
+            }
+        }
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn load_rejects_corrupt_files_with_the_path_in_the_error() {
+        let store = temp_store("corrupt");
+        fs::create_dir_all(store.dir()).unwrap();
+        fs::write(store.dir().join("user_0.profile"), b"not a profile").unwrap();
+        let err = store.load().unwrap_err();
+        assert!(err.to_string().contains("user_0.profile"), "error was: {err}");
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn non_profile_files_are_ignored() {
+        let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+        let vocab = Vocabulary::new(dataset.taxonomy().clone());
+        let (profiles, _) =
+            ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
+        let store = temp_store("ignore");
+        store.save(&profiles).unwrap();
+        fs::write(store.dir().join("README.txt"), b"not a model").unwrap();
+        let loaded = store.load().unwrap();
+        assert_eq!(loaded.len(), profiles.len());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

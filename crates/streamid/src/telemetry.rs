@@ -1,0 +1,41 @@
+//! Feature-gated structured event log (`tracelog`).
+//!
+//! A zero-dependency stand-in for a `tracing` subscriber: the engine
+//! appends one [`TraceEvent`] per notable action to an in-memory log the
+//! embedder (e.g. the replay benchmark) reads back for its summary. Off by
+//! default; enabling the `tracelog` feature adds the log without changing
+//! any decision.
+
+use proxylog::DeviceId;
+
+/// One structured engine event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A device was seen for the first time and its window stream opened.
+    StreamOpened {
+        /// The new device.
+        device: DeviceId,
+    },
+    /// Windows closed on a device (event time passed their watermark) and
+    /// entered the scoring queue.
+    WindowsClosed {
+        /// The device whose windows closed.
+        device: DeviceId,
+        /// How many closed at once.
+        count: usize,
+    },
+    /// Pending windows were shed on an over-quota device (oldest first).
+    WindowsShed {
+        /// The device that exceeded its pending bound.
+        device: DeviceId,
+        /// How many windows were dropped.
+        count: usize,
+    },
+    /// A scoring batch ran.
+    BatchScored {
+        /// Windows scored in the batch.
+        windows: usize,
+        /// Distinct devices covered by the batch.
+        devices: usize,
+    },
+}

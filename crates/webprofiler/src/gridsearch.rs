@@ -13,7 +13,7 @@
 //!    optimized *per user* at the retained window configuration, picking
 //!    the combination with maximal `ACC = ACCself − ACCother`.
 
-use crate::metrics::{acceptance_ratio, acceptance_ratio_refs, AcceptanceSummary, ConfusionMatrix};
+use crate::metrics::{AcceptanceSummary, ConfusionMatrix};
 use crate::profile::{ModelKind, ProfileParams};
 use crate::trainer::{parallel_map, subsample_evenly, ProfileTrainer};
 use crate::vocab::Vocabulary;
@@ -240,8 +240,9 @@ impl<'a> ModelGridSearch<'a> {
         // against the probes) per kernel over this user's training windows.
         // Rows materialize lazily, each at most once, shared read-only by
         // every regularization of the sweep — training *and* scoring. The
-        // linear kernel skips the shared-row scoring: its models collapse to
-        // a single weight vector, which is already cheaper than row lookups.
+        // linear kernel needs neither for scoring: its models collapse to a
+        // single weight vector, scored below as one dense GEMV per batch.
+        let own_refs: Vec<&'w SparseVector> = own.iter().collect();
         let kernels: Vec<(KernelKind, Kernel, GramMatrix<'w>, Option<CrossGram<'w>>)> =
             KernelKind::ALL
                 .iter()
@@ -269,33 +270,29 @@ impl<'a> ModelGridSearch<'a> {
                     profile.cross_decision_values(cross)?,
                 ))
             });
-            let (acc_self, acc_other) = match shared {
-                Some((self_values, probe_values)) => {
-                    let accepted = self_values.iter().filter(|&&v| v >= 0.0).count();
-                    let acc_self = accepted as f64 / own.len() as f64;
-                    let others: Vec<f64> = ranges
-                        .iter()
-                        .map(|&(start, end)| {
-                            if start == end {
-                                return 0.0;
-                            }
-                            let accepted =
-                                probe_values[start..end].iter().filter(|&&v| v >= 0.0).count();
-                            accepted as f64 / (end - start) as f64
-                        })
-                        .collect();
-                    (acc_self, mean(&others))
-                }
-                None => {
-                    let acc_self = acceptance_ratio(&profile, own);
-                    let others: Vec<f64> = samples
-                        .iter()
-                        .filter(|&(&u, _)| u != user)
-                        .map(|(_, w)| acceptance_ratio_refs(&profile, w))
-                        .collect();
-                    (acc_self, mean(&others))
-                }
+            // Linear models have no CrossGram: their collapsed weight
+            // vector scores each batch as one dense GEMV, bit-identical
+            // to per-point decisions.
+            let (self_values, probe_values) = match shared {
+                Some(values) => values,
+                None => (
+                    profile.batch_decision_values(&own_refs),
+                    profile.batch_decision_values(&probes),
+                ),
             };
+            let accepted = self_values.iter().filter(|&&v| v >= 0.0).count();
+            let acc_self = accepted as f64 / own.len() as f64;
+            let others: Vec<f64> = ranges
+                .iter()
+                .map(|&(start, end)| {
+                    if start == end {
+                        return 0.0;
+                    }
+                    let accepted = probe_values[start..end].iter().filter(|&&v| v >= 0.0).count();
+                    accepted as f64 / (end - start) as f64
+                })
+                .collect();
+            let acc_other = mean(&others);
             Some(ModelGridCell {
                 kernel: kernel_kind,
                 regularization,

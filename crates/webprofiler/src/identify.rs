@@ -130,29 +130,49 @@ pub fn consecutive_window_vote(
     let mut result = Vec::with_capacity(windows.len());
     for (i, window) in windows.iter().enumerate() {
         let lo = (i + 1).saturating_sub(k);
-        let recent = &windows[lo..=i];
-        let mut counts: BTreeMap<UserId, usize> = BTreeMap::new();
-        for w in recent {
-            for &user in &w.accepted_by {
-                *counts.entry(user).or_insert(0) += 1;
-            }
-        }
-        let need = recent.len() / 2; // strictly more than half
-        let mut winner: Option<UserId> = None;
-        let mut best = need;
-        let mut tie = false;
-        for (&user, &count) in &counts {
-            if count > best {
-                winner = Some(user);
-                best = count;
-                tie = false;
-            } else if count == best && winner.is_some() {
-                tie = true;
-            }
-        }
-        result.push((window.start, if tie { None } else { winner }));
+        let vote = majority_vote(windows[lo..=i].iter().map(|w| w.accepted_by.as_slice()));
+        result.push((window.start, vote));
     }
     result
+}
+
+/// Strict-majority vote over a group of windows' acceptance sets: the
+/// winner's model must have accepted strictly more than half of the
+/// windows; ties and the absence of a majority yield `None`.
+///
+/// This is the single vote rule behind [`consecutive_window_vote`] and the
+/// streaming engine's per-device decisions, so batch and online runs can
+/// never disagree on it.
+pub fn majority_vote<'a, I>(accept_sets: I) -> Option<UserId>
+where
+    I: IntoIterator<Item = &'a [UserId]>,
+{
+    let mut counts: BTreeMap<UserId, usize> = BTreeMap::new();
+    let mut total = 0usize;
+    for set in accept_sets {
+        total += 1;
+        for &user in set {
+            *counts.entry(user).or_insert(0) += 1;
+        }
+    }
+    let need = total / 2; // strictly more than half
+    let mut winner: Option<UserId> = None;
+    let mut best = need;
+    let mut tie = false;
+    for (&user, &count) in &counts {
+        if count > best {
+            winner = Some(user);
+            best = count;
+            tie = false;
+        } else if count == best && winner.is_some() {
+            tie = true;
+        }
+    }
+    if tie {
+        None
+    } else {
+        winner
+    }
 }
 
 /// Streaming identifier: feed raw device transactions as they arrive and
@@ -356,6 +376,27 @@ mod tests {
     #[should_panic(expected = "vote length")]
     fn vote_rejects_zero_k() {
         let _ = consecutive_window_vote(&[], 0);
+    }
+
+    #[test]
+    fn majority_vote_requires_strict_majority() {
+        let one = vec![UserId(1)];
+        let two = vec![UserId(2)];
+        let both = vec![UserId(1), UserId(2)];
+        // 2 of 4 windows is not strictly more than half.
+        assert_eq!(
+            majority_vote([one.as_slice(), one.as_slice(), two.as_slice(), two.as_slice()]),
+            None
+        );
+        // 3 of 4 is.
+        assert_eq!(
+            majority_vote([one.as_slice(), one.as_slice(), one.as_slice(), two.as_slice()]),
+            Some(UserId(1))
+        );
+        // Ties at the top yield None.
+        assert_eq!(majority_vote([both.as_slice(), both.as_slice(), both.as_slice()]), None);
+        // No acceptances at all: no winner.
+        assert_eq!(majority_vote([[].as_slice()]), None);
     }
 
     #[test]

@@ -84,8 +84,8 @@ pub use gridsearch::{
     WindowSets,
 };
 pub use identify::{
-    consecutive_window_vote, identify_on_device, IdentificationQuality, IdentifiedWindow,
-    OnlineIdentifier,
+    consecutive_window_vote, identify_on_device, majority_vote, IdentificationQuality,
+    IdentifiedWindow, OnlineIdentifier,
 };
 pub use markov::MarkovProfile;
 pub use metrics::{acceptance_ratio, acceptance_ratio_refs, AcceptanceSummary, ConfusionMatrix};
@@ -95,7 +95,7 @@ pub use novelty::{
 };
 pub use profile::{ModelKind, ProfileParams, UserProfile};
 pub use roc::{auc, best_operating_point, roc_curve, RocPoint};
-pub use trainer::{ProfileError, ProfileTrainer};
+pub use trainer::{parallel_map, ProfileError, ProfileTrainer};
 pub use vocab::{ColumnKind, Vocabulary};
 pub use window::{
     InvalidWindowConfigError, TransactionWindow, WindowAggregator, WindowConfig, WindowKey,

@@ -110,6 +110,19 @@ impl UserProfile {
         self.decision_value(features) >= 0.0
     }
 
+    /// Decision values for a whole window micro-batch, amortizing kernel
+    /// work across the batch (see [`OcSvmModel::batch_decision_values`]):
+    /// non-linear kernels materialize one kernel row per support vector,
+    /// the linear kernel runs one dense-weight GEMV. Every value is
+    /// bit-identical to [`decision_value`](Self::decision_value) on the
+    /// same window, and the path works for deserialized profiles too.
+    pub fn batch_decision_values(&self, features: &[&SparseVector]) -> Vec<f64> {
+        match &self.model {
+            ProfileModel::OcSvm(m) => m.batch_decision_values(features),
+            ProfileModel::Svdd(m) => m.batch_decision_values(features),
+        }
+    }
+
     /// Support-vector count of the underlying model.
     pub fn support_vector_count(&self) -> usize {
         match &self.model {

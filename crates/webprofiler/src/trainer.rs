@@ -298,7 +298,14 @@ pub(crate) fn subsample_evenly<T>(items: Vec<T>, max: usize) -> Vec<T> {
 
 /// Maps `f` over `items` using scoped threads; result order matches input
 /// order.
-pub(crate) fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+///
+/// The crate's shared fan-out helper (profile training, identification,
+/// and the streaming engine's per-profile batch scoring all go through
+/// it): items are split into one contiguous chunk per available core, so
+/// the overhead is a handful of thread spawns per call, nothing per item.
+/// Falls back to a plain sequential map for single-item inputs or
+/// single-core machines.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,

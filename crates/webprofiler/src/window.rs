@@ -293,12 +293,39 @@ pub struct WindowStream<'a> {
     /// already emitted or permanently empty).
     next_k: Option<i64>,
     last_time: Option<i64>,
+    /// Allowed lateness `L` for [`offer`](Self::offer): emission lags the
+    /// newest event time by `L` seconds so stragglers can still land.
+    lateness_secs: i64,
+    /// Newest event time seen (the watermark is this minus the lateness).
+    max_time: Option<i64>,
+    /// Transactions dropped by [`offer`](Self::offer) because every window
+    /// that could contain them was already emitted.
+    late_dropped: u64,
 }
 
 impl<'a> WindowStream<'a> {
     /// Creates an empty stream.
     pub fn new(vocab: &'a Vocabulary, config: WindowConfig, key: WindowKey) -> Self {
-        Self { vocab, config, key, buffer: Vec::new(), next_k: None, last_time: None }
+        Self {
+            vocab,
+            config,
+            key,
+            buffer: Vec::new(),
+            next_k: None,
+            last_time: None,
+            lateness_secs: 0,
+            max_time: None,
+            late_dropped: 0,
+        }
+    }
+
+    /// Sets the allowed lateness (seconds) for [`offer`](Self::offer):
+    /// window emission lags the newest event time by this much, so any
+    /// transaction at most this far behind the stream head is never
+    /// dropped.
+    pub fn with_lateness(mut self, lateness_secs: u32) -> Self {
+        self.lateness_secs = i64::from(lateness_secs);
+        self
     }
 
     /// The grouping key windows are tagged with.
@@ -309,6 +336,12 @@ impl<'a> WindowStream<'a> {
     /// Number of buffered (not yet fully emitted) transactions.
     pub fn buffered(&self) -> usize {
         self.buffer.len()
+    }
+
+    /// Transactions [`offer`](Self::offer) dropped as too late (all their
+    /// windows were already emitted).
+    pub fn late_dropped(&self) -> u64 {
+        self.late_dropped
     }
 
     /// Feeds one transaction; returns every window that became complete
@@ -325,6 +358,7 @@ impl<'a> WindowStream<'a> {
             tx.timestamp
         );
         self.last_time = Some(t);
+        self.max_time = Some(self.max_time.map_or(t, |m| m.max(t)));
         let s = i64::from(self.config.shift_secs());
         let d = i64::from(self.config.duration_secs());
         if self.next_k.is_none() {
@@ -338,6 +372,41 @@ impl<'a> WindowStream<'a> {
         emitted
     }
 
+    /// Feeds one transaction that may arrive out of order, unlike
+    /// [`push`](Self::push) which panics on disorder.
+    ///
+    /// A transaction is accepted as long as none of the windows that could
+    /// contain it has been emitted yet. Emission is watermark-driven: a
+    /// window closes once its end falls behind `newest event time − L`,
+    /// where `L` is the allowed lateness ([`with_lateness`](Self::with_lateness)),
+    /// so any transaction at most `L` seconds behind the stream head is
+    /// always accepted. Older stragglers are dropped and counted
+    /// ([`late_dropped`](Self::late_dropped)).
+    ///
+    /// In-order input is never dropped regardless of `L`, and with the
+    /// default `L = 0` this emits exactly like [`push`](Self::push).
+    pub fn offer(&mut self, tx: Transaction) -> Vec<TransactionWindow> {
+        let t = tx.timestamp.as_secs();
+        let s = i64::from(self.config.shift_secs());
+        let d = i64::from(self.config.duration_secs());
+        // First window that can contain this transaction.
+        let k_min = (t - d).div_euclid(s) + 1;
+        if self.next_k.is_some_and(|next_k| k_min < next_k) {
+            self.late_dropped += 1;
+            return Vec::new();
+        }
+        if self.next_k.is_none() {
+            self.next_k = Some(k_min);
+        }
+        let pos = self.buffer.partition_point(|b| b.timestamp <= tx.timestamp);
+        self.buffer.insert(pos, tx);
+        let max_time = self.max_time.map_or(t, |m| m.max(t));
+        self.max_time = Some(max_time);
+        self.last_time = self.max_time;
+        // Windows with end <= watermark are complete.
+        self.emit_through((max_time - self.lateness_secs - d).div_euclid(s))
+    }
+
     /// Emits every remaining non-empty window and clears the stream.
     pub fn flush(&mut self) -> Vec<TransactionWindow> {
         let Some(last) = self.buffer.last() else {
@@ -349,6 +418,7 @@ impl<'a> WindowStream<'a> {
         self.buffer.clear();
         self.next_k = None;
         self.last_time = None;
+        self.max_time = None;
         emitted
     }
 
@@ -619,6 +689,122 @@ mod tests {
         // Times may restart after a flush.
         assert!(stream.push(tx_at(0, 0)).is_empty());
         assert_eq!(stream.flush().len(), 1);
+    }
+
+    #[test]
+    fn windows_straddle_day_boundaries() {
+        // Transactions just before and after midnight share the straddling
+        // windows: the epoch-aligned grid does not restart at day breaks.
+        let v = vocab();
+        let agg = WindowAggregator::new(&v, WindowConfig::new(60, 30).unwrap());
+        let midnight = 86_400;
+        let txs = vec![tx_at(midnight - 10, 0), tx_at(midnight + 10, 1)];
+        let windows = agg.windows_over(&txs, WindowKey::Device(DeviceId(0)));
+        let both: Vec<_> = windows.iter().filter(|w| w.transaction_count == 2).collect();
+        assert_eq!(both.len(), 1, "one window spans the boundary");
+        assert_eq!(both[0].start.as_secs(), midnight - 30);
+        assert_eq!(both[0].users, vec![UserId(0), UserId(1)]);
+        assert_stream_matches_batch(&txs, WindowConfig::new(60, 30).unwrap());
+    }
+
+    #[test]
+    fn single_transaction_device_emits_all_overlaps() {
+        // A device with exactly one transaction: D/S overlapping windows,
+        // batch and stream alike, and flush-only emission (nothing closes
+        // while the stream is live).
+        let config = WindowConfig::new(60, 30).unwrap();
+        let v = vocab();
+        let mut stream = WindowStream::new(&v, config, WindowKey::Device(DeviceId(0)));
+        assert!(stream.push(tx_at(12_345, 3)).is_empty());
+        let tail = stream.flush();
+        assert_eq!(tail.len(), 2);
+        assert!(tail.iter().all(|w| w.transaction_count == 1 && w.users == vec![UserId(3)]));
+        assert_stream_matches_batch(&[tx_at(12_345, 3)], config);
+    }
+
+    #[test]
+    fn duplicate_timestamps_stay_in_one_window() {
+        let config = WindowConfig::new(60, 30).unwrap();
+        let txs = vec![tx_at(90, 0), tx_at(90, 1), tx_at(90, 0), tx_at(90, 2)];
+        let v = vocab();
+        let agg = WindowAggregator::new(&v, config);
+        let windows = agg.windows_over(&txs, WindowKey::Device(DeviceId(0)));
+        assert_eq!(windows.len(), 2);
+        for w in &windows {
+            assert_eq!(w.transaction_count, 4);
+            assert_eq!(w.users, vec![UserId(0), UserId(1), UserId(2)]);
+        }
+        assert_stream_matches_batch(&txs, config);
+    }
+
+    #[test]
+    fn offer_accepts_out_of_order_within_watermark() {
+        // A shuffled arrival order within the allowed lateness must produce
+        // exactly the batch windows over the time-sorted input.
+        let config = WindowConfig::new(60, 30).unwrap();
+        let sorted: Vec<Transaction> = (0..40).map(|i| tx_at(i * 13, (i % 3) as u32)).collect();
+        // Swap adjacent pairs: each transaction arrives at most 13 s late.
+        let mut shuffled = sorted.clone();
+        for pair in shuffled.chunks_mut(2) {
+            pair.reverse();
+        }
+        let v = vocab();
+        let batch =
+            WindowAggregator::new(&v, config).windows_over(&sorted, WindowKey::User(UserId(0)));
+        let mut stream =
+            WindowStream::new(&v, config, WindowKey::User(UserId(0))).with_lateness(15);
+        let mut streamed = Vec::new();
+        for tx in &shuffled {
+            streamed.extend(stream.offer(*tx));
+        }
+        streamed.extend(stream.flush());
+        assert_eq!(stream.late_dropped(), 0, "nothing within the watermark is dropped");
+        assert_eq!(streamed.len(), batch.len());
+        for (a, b) in streamed.iter().zip(&batch) {
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.features, b.features);
+            assert_eq!(a.users, b.users);
+        }
+    }
+
+    #[test]
+    fn offer_drops_and_counts_too_late_transactions() {
+        let config = WindowConfig::new(60, 30).unwrap();
+        let v = vocab();
+        let mut stream = WindowStream::new(&v, config, WindowKey::User(UserId(0)));
+        let _ = stream.offer(tx_at(10, 0));
+        // Event time far ahead: windows around t=10 are all emitted.
+        let emitted = stream.offer(tx_at(1_000, 0));
+        assert!(!emitted.is_empty());
+        // A straggler whose windows are long closed is dropped...
+        assert!(stream.offer(tx_at(20, 0)).is_empty());
+        assert_eq!(stream.late_dropped(), 1);
+        assert_eq!(stream.buffered(), 1, "the straggler is not buffered");
+        // ...but one that still fits an open window is kept.
+        let _ = stream.offer(tx_at(990, 0));
+        assert_eq!(stream.late_dropped(), 1);
+        let tail = stream.flush();
+        assert!(tail.iter().any(|w| w.transaction_count == 2));
+    }
+
+    #[test]
+    fn offer_matches_push_for_in_order_input() {
+        let config = WindowConfig::new(60, 30).unwrap();
+        let txs: Vec<Transaction> = (0..50).map(|i| tx_at(i * 11, 0)).collect();
+        let v = vocab();
+        let mut pushed = WindowStream::new(&v, config, WindowKey::User(UserId(0)));
+        let mut offered = WindowStream::new(&v, config, WindowKey::User(UserId(0)));
+        for tx in &txs {
+            let a = pushed.push(*tx);
+            let b = offered.offer(*tx);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.start, y.start);
+                assert_eq!(x.features, y.features);
+            }
+        }
+        assert_eq!(pushed.flush().len(), offered.flush().len());
+        assert_eq!(offered.late_dropped(), 0);
     }
 
     #[test]
