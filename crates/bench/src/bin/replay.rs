@@ -10,8 +10,10 @@
 //! ```
 //!
 //! `--smoke` replays the tiny `quick_test` corpus (sub-second; used by
-//! CI). `--speed F` paces the replay at `F×` real time (default 0 =
-//! unpaced, as fast as possible). Profiles are persisted to a
+//! CI). `--json PATH` additionally writes the headline metrics as a flat
+//! `BENCH_replay.json` for the perf gate. `--speed F` paces the replay at
+//! `F×` real time (default 0 = unpaced, as fast as possible). Profiles
+//! are persisted to a
 //! [`streamid::ModelStore`] and reloaded before the replay, so the run
 //! exercises the deployment path: train offline, ship model files, score
 //! a live stream.
@@ -169,6 +171,22 @@ fn main() {
     );
     if speedup < 2.0 {
         eprintln!("WARNING: batched speedup below 2x ({speedup:.2}x)");
+    }
+    if let Some(path) = ExperimentConfig::arg_value("--json") {
+        let metrics = [
+            ("tx_per_sec", replayed.len() as f64 / elapsed.as_secs_f64().max(1e-9)),
+            ("windows_per_sec", decisions as f64 / elapsed.as_secs_f64().max(1e-9)),
+            ("scoring_speedup", speedup),
+            ("decisions", decisions as f64),
+            ("profiles", profiles.len() as f64),
+            ("baseline_seconds", baseline_time.as_secs_f64()),
+            ("batched_seconds", engine_scoring.as_secs_f64()),
+            ("latency_p50_ms", percentile(&latencies, 0.50).as_secs_f64() * 1e3),
+            ("latency_p99_ms", percentile(&latencies, 0.99).as_secs_f64() * 1e3),
+            ("vote_accuracy", if voted > 0 { vote_correct as f64 / voted as f64 } else { 0.0 }),
+        ];
+        std::fs::write(&path, bench::json::emit(&metrics)).expect("writing replay metrics");
+        eprintln!("# wrote {path}");
     }
     let _ = std::fs::remove_dir_all(&store_dir);
 }

@@ -152,6 +152,116 @@ impl Experiment {
     }
 }
 
+/// Minimal flat-JSON support for the `BENCH_*.json` artifacts the perf
+/// gate compares.
+///
+/// The benchmarks emit one flat object of numeric metrics; the checked-in
+/// baselines are the same shape. A full JSON implementation would pull in
+/// a dependency for what is ultimately `{"metric": number, ...}`, so this
+/// module hand-rolls exactly that subset: string keys, finite `f64`
+/// values, no nesting.
+pub mod json {
+    /// Serializes metric pairs as a flat JSON object, preserving order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite values: NaN/inf have no JSON representation
+    /// and a gate comparing them is meaningless.
+    pub fn emit(pairs: &[(&str, f64)]) -> String {
+        let mut out = String::from("{\n");
+        for (i, (key, value)) in pairs.iter().enumerate() {
+            assert!(value.is_finite(), "metric {key} is not finite: {value}");
+            let comma = if i + 1 < pairs.len() { "," } else { "" };
+            out.push_str(&format!("  \"{key}\": {value}{comma}\n"));
+        }
+        out.push('}');
+        out.push('\n');
+        out
+    }
+
+    /// Parses a flat JSON object of numeric values (the shape [`emit`]
+    /// writes). Returns key/value pairs in file order.
+    pub fn parse(text: &str) -> Result<Vec<(String, f64)>, String> {
+        let body = text
+            .trim()
+            .strip_prefix('{')
+            .and_then(|t| t.strip_suffix('}'))
+            .ok_or("expected a top-level JSON object")?;
+        let mut pairs = Vec::new();
+        for entry in body.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (key, value) =
+                entry.split_once(':').ok_or_else(|| format!("missing ':' in entry {entry:?}"))?;
+            let key = key
+                .trim()
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .ok_or_else(|| format!("key is not a JSON string: {key:?}"))?;
+            let value: f64 = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad number for {key:?}: {e} ({value:?})"))?;
+            pairs.push((key.to_string(), value));
+        }
+        Ok(pairs)
+    }
+}
+
+/// The perf gate: compares a benchmark's current metrics against a
+/// committed baseline and fails when a watched metric regresses by more
+/// than the tolerance.
+pub mod gate {
+    /// One metric's comparison result.
+    #[derive(Debug, Clone)]
+    pub struct GateCheck {
+        /// Metric name.
+        pub metric: String,
+        /// Committed baseline value.
+        pub baseline: f64,
+        /// Freshly measured value.
+        pub current: f64,
+        /// `current / baseline` (∞-safe: baseline 0 passes anything ≥ 0).
+        pub ratio: f64,
+        /// Whether the metric is within tolerance.
+        pub pass: bool,
+    }
+
+    fn lookup(pairs: &[(String, f64)], metric: &str) -> Option<f64> {
+        pairs.iter().find(|(k, _)| k == metric).map(|&(_, v)| v)
+    }
+
+    /// Checks each watched higher-is-better metric: pass iff
+    /// `current >= baseline * (1 - tolerance)`. Errors if a watched
+    /// metric is missing from either side.
+    pub fn check(
+        baseline: &[(String, f64)],
+        current: &[(String, f64)],
+        metrics: &[&str],
+        tolerance: f64,
+    ) -> Result<Vec<GateCheck>, String> {
+        metrics
+            .iter()
+            .map(|&metric| {
+                let base = lookup(baseline, metric)
+                    .ok_or_else(|| format!("baseline is missing metric {metric:?}"))?;
+                let cur = lookup(current, metric)
+                    .ok_or_else(|| format!("current run is missing metric {metric:?}"))?;
+                let ratio = if base == 0.0 { f64::INFINITY } else { cur / base };
+                Ok(GateCheck {
+                    metric: metric.to_string(),
+                    baseline: base,
+                    current: cur,
+                    ratio,
+                    pass: cur >= base * (1.0 - tolerance),
+                })
+            })
+            .collect()
+    }
+}
+
 /// Renders one table row of fixed-width cells.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     cells
@@ -202,6 +312,47 @@ mod tests {
     fn pct_formatting() {
         assert_eq!(pct(0.933), "93.3");
         assert_eq!(pct(0.0), "0.0");
+    }
+
+    #[test]
+    fn flat_json_round_trips() {
+        let text = json::emit(&[
+            ("cells_per_sec", 1234.5),
+            ("arena_hit_rate", 0.875),
+            ("steals", 0.0),
+            ("tiny", 1e-9),
+        ]);
+        let parsed = json::parse(&text).unwrap();
+        assert_eq!(parsed.len(), 4);
+        assert_eq!(parsed[0], ("cells_per_sec".to_string(), 1234.5));
+        assert_eq!(parsed[1], ("arena_hit_rate".to_string(), 0.875));
+        assert_eq!(parsed[2], ("steals".to_string(), 0.0));
+        assert_eq!(parsed[3], ("tiny".to_string(), 1e-9));
+    }
+
+    #[test]
+    fn flat_json_rejects_garbage() {
+        assert!(json::parse("[]").is_err());
+        assert!(json::parse("{\"a\" 1}").is_err());
+        assert!(json::parse("{\"a\": \"text\"}").is_err());
+        assert!(json::parse("{a: 1}").is_err());
+        // Empty object is fine.
+        assert_eq!(json::parse("{}").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond_it() {
+        let baseline = vec![("tput".to_string(), 100.0), ("rate".to_string(), 0.9)];
+        let current = vec![("tput".to_string(), 80.0), ("rate".to_string(), 0.5)];
+        let checks = gate::check(&baseline, &current, &["tput", "rate"], 0.25).unwrap();
+        assert!(checks[0].pass, "80 is within 25% of 100");
+        assert!(!checks[1].pass, "0.5 regressed more than 25% from 0.9");
+        assert!((checks[0].ratio - 0.8).abs() < 1e-12);
+
+        // Improvements always pass; missing metrics are hard errors.
+        let better = vec![("tput".to_string(), 250.0), ("rate".to_string(), 0.95)];
+        assert!(gate::check(&baseline, &better, &["tput"], 0.25).unwrap()[0].pass);
+        assert!(gate::check(&baseline, &current, &["absent"], 0.25).is_err());
     }
 
     #[test]

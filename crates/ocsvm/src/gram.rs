@@ -23,9 +23,11 @@
 //! Rows are `Arc<[f64]>` behind `OnceLock`, so both structures are
 //! `Send + Sync` and a whole sweep can share one instance across threads.
 
+use crate::arena::{KernelRowArena, RowKey, RowSpace};
 use crate::error::TrainError;
-use crate::kernel::Kernel;
+use crate::kernel::{Kernel, KernelKind};
 use crate::sparse::SparseVector;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -203,9 +205,308 @@ impl<'a> CrossGram<'a> {
     }
 }
 
+/// Read-only access to the rows of a symmetric training-set kernel matrix.
+///
+/// Implemented by [`GramMatrix`] (per-sweep ownership, rows live as long as
+/// the matrix) and [`ArenaGram`] (rows live in a shared, byte-budgeted
+/// [`KernelRowArena`]). Training and scoring paths that are generic over
+/// this trait — [`NuOcSvm::train_with_rows`](crate::NuOcSvm::train_with_rows),
+/// [`OcSvmModel::training_decision_values`](crate::OcSvmModel::training_decision_values)
+/// and the SVDD equivalents — behave bit-identically over either source,
+/// because both hand out rows produced by the same kernel evaluations in
+/// the same order.
+pub trait KernelRows {
+    /// Number of training points (= rows = columns).
+    fn len(&self) -> usize;
+    /// Whether the matrix covers zero points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// The kernel the rows are computed with.
+    fn kernel(&self) -> Kernel;
+    /// Diagonal entry `k(xᵢ, xᵢ)`.
+    fn diag_value(&self, i: usize) -> f64;
+    /// Row `K[i][·]` as a shared allocation.
+    fn row_arc(&self, i: usize) -> Arc<[f64]>;
+}
+
+impl KernelRows for GramMatrix<'_> {
+    fn len(&self) -> usize {
+        GramMatrix::len(self)
+    }
+
+    fn kernel(&self) -> Kernel {
+        GramMatrix::kernel(self)
+    }
+
+    fn diag_value(&self, i: usize) -> f64 {
+        GramMatrix::diag_value(self, i)
+    }
+
+    fn row_arc(&self, i: usize) -> Arc<[f64]> {
+        Arc::clone(self.row(i))
+    }
+}
+
+/// Read-only access to the rows of a rectangular training × probe kernel
+/// matrix; the rectangular counterpart of [`KernelRows`], implemented by
+/// [`CrossGram`] and [`ArenaCrossGram`].
+pub trait CrossRows {
+    /// Number of training points (= rows).
+    fn train_len(&self) -> usize;
+    /// Number of probe points (= row width).
+    fn probe_count(&self) -> usize;
+    /// The kernel the rows are computed with.
+    fn kernel(&self) -> Kernel;
+    /// Row `k(xᵢ, p·)` as a shared allocation.
+    fn row_arc(&self, i: usize) -> Arc<[f64]>;
+    /// Probe diagonal entry `k(pⱼ, pⱼ)`.
+    fn probe_diag(&self, j: usize) -> f64;
+}
+
+impl CrossRows for CrossGram<'_> {
+    fn train_len(&self) -> usize {
+        CrossGram::train_len(self)
+    }
+
+    fn probe_count(&self) -> usize {
+        CrossGram::probe_count(self)
+    }
+
+    fn kernel(&self) -> Kernel {
+        CrossGram::kernel(self)
+    }
+
+    fn row_arc(&self, i: usize) -> Arc<[f64]> {
+        Arc::clone(self.row(i))
+    }
+
+    fn probe_diag(&self, j: usize) -> f64 {
+        CrossGram::probe_diag(self, j)
+    }
+}
+
+/// Stable in-process slot for a kernel family, used in [`RowKey::kernel`].
+fn kind_slot(kind: KernelKind) -> u8 {
+    match kind {
+        KernelKind::Linear => 0,
+        KernelKind::Polynomial => 1,
+        KernelKind::Rbf => 2,
+        KernelKind::Sigmoid => 3,
+    }
+}
+
+fn hash_kernel<H: Hasher>(kernel: Kernel, state: &mut H) {
+    match kernel {
+        Kernel::Linear => 0u8.hash(state),
+        Kernel::Polynomial { gamma, coef0, degree } => {
+            1u8.hash(state);
+            gamma.to_bits().hash(state);
+            coef0.to_bits().hash(state);
+            degree.hash(state);
+        }
+        Kernel::Rbf { gamma } => {
+            2u8.hash(state);
+            gamma.to_bits().hash(state);
+        }
+        Kernel::Sigmoid { gamma, coef0 } => {
+            3u8.hash(state);
+            gamma.to_bits().hash(state);
+            coef0.to_bits().hash(state);
+        }
+    }
+}
+
+fn hash_vector<H: Hasher>(vector: &SparseVector, state: &mut H) {
+    for (column, value) in vector.iter() {
+        column.hash(state);
+        value.to_bits().hash(state);
+    }
+    u64::MAX.hash(state); // vector separator
+}
+
+/// Content fingerprint of (kernel parameters, training set, probe set) —
+/// the [`RowKey::tag`] used by [`ArenaGram`]/[`ArenaCrossGram`]. Any change
+/// to a kernel parameter, a vector's coordinates, the point order or the
+/// probe set changes the tag, so arena entries can never be served for the
+/// wrong inputs even when two sweeps reuse the same `owner`.
+pub fn content_fingerprint(
+    kernel: Kernel,
+    train: &[SparseVector],
+    probes: Option<&[&SparseVector]>,
+) -> u64 {
+    let mut state = std::collections::hash_map::DefaultHasher::new();
+    hash_kernel(kernel, &mut state);
+    train.len().hash(&mut state);
+    for x in train {
+        hash_vector(x, &mut state);
+    }
+    if let Some(probes) = probes {
+        probes.len().hash(&mut state);
+        for p in probes {
+            hash_vector(p, &mut state);
+        }
+    }
+    state.finish()
+}
+
+/// A [`KernelRows`] source whose rows live in a shared, byte-budgeted
+/// [`KernelRowArena`] instead of being owned by the matrix.
+///
+/// Functionally a [`GramMatrix`] — same kernel evaluations, same row
+/// layout, bit-identical training results — but the arena bounds the
+/// *total* bytes retained across every concurrent sweep, evicting
+/// least-recently-used rows process-wide. An evicted row is transparently
+/// recomputed on next access; the `tag` fingerprint of the construction
+/// inputs guarantees a recomputed or raced row always matches.
+///
+/// # Examples
+///
+/// ```
+/// use ocsvm::{ArenaGram, Kernel, KernelRowArena, NuOcSvm, OneClassModel, SparseVector};
+///
+/// let data: Vec<SparseVector> =
+///     (0..40).map(|i| SparseVector::from_dense(&[1.0, 0.02 * (i % 5) as f64])).collect();
+/// let arena = KernelRowArena::with_budget(8 << 20);
+/// let gram = ArenaGram::new(Kernel::Rbf { gamma: 1.0 }, &data, &arena, 7);
+/// for nu in [0.05, 0.1, 0.2] {
+///     let model = NuOcSvm::new(nu, Kernel::Rbf { gamma: 1.0 }).train_with_rows(&data, &gram)?;
+///     assert!(model.support_vector_count() > 0);
+/// }
+/// assert!(arena.stats().hits > 0);
+/// # Ok::<(), ocsvm::TrainError>(())
+/// ```
+#[derive(Debug)]
+pub struct ArenaGram<'a> {
+    kernel: Kernel,
+    points: &'a [SparseVector],
+    diag: Vec<f64>,
+    arena: Arc<KernelRowArena>,
+    owner: u64,
+    tag: u64,
+}
+
+impl<'a> ArenaGram<'a> {
+    /// Prepares arena-backed rows over `points` under the `owner`
+    /// namespace. The diagonal is computed eagerly (it is O(l) and every
+    /// consumer needs it); rows are fetched from — or computed into — the
+    /// arena on access.
+    pub fn new(
+        kernel: Kernel,
+        points: &'a [SparseVector],
+        arena: &Arc<KernelRowArena>,
+        owner: u64,
+    ) -> Self {
+        let diag = points.iter().map(|x| kernel.compute_self(x)).collect();
+        let tag = content_fingerprint(kernel, points, None);
+        Self { kernel, points, diag, arena: Arc::clone(arena), owner, tag }
+    }
+
+    /// The arena backing this matrix.
+    pub fn arena(&self) -> &Arc<KernelRowArena> {
+        &self.arena
+    }
+}
+
+impl KernelRows for ArenaGram<'_> {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    fn diag_value(&self, i: usize) -> f64 {
+        self.diag[i]
+    }
+
+    fn row_arc(&self, i: usize) -> Arc<[f64]> {
+        let key = RowKey {
+            owner: self.owner,
+            kernel: kind_slot(self.kernel.kind()),
+            space: RowSpace::Gram,
+            row: i as u32,
+            tag: self.tag,
+        };
+        self.arena.get_or_compute(key, || {
+            ROWS_COMPUTED.fetch_add(1, Ordering::Relaxed);
+            let xi = &self.points[i];
+            self.points.iter().map(|xj| self.kernel.compute(xi, xj)).collect()
+        })
+    }
+}
+
+/// The [`CrossRows`] counterpart of [`ArenaGram`]: training × probe kernel
+/// rows living in a shared [`KernelRowArena`].
+#[derive(Debug)]
+pub struct ArenaCrossGram<'a> {
+    kernel: Kernel,
+    train: &'a [SparseVector],
+    probes: Vec<&'a SparseVector>,
+    probe_diag: Vec<f64>,
+    arena: Arc<KernelRowArena>,
+    owner: u64,
+    tag: u64,
+}
+
+impl<'a> ArenaCrossGram<'a> {
+    /// Prepares arena-backed cross rows between `train` and `probes` under
+    /// the `owner` namespace; the probe diagonal is computed eagerly.
+    pub fn new(
+        kernel: Kernel,
+        train: &'a [SparseVector],
+        probes: Vec<&'a SparseVector>,
+        arena: &Arc<KernelRowArena>,
+        owner: u64,
+    ) -> Self {
+        let probe_diag = probes.iter().map(|p| kernel.compute_self(p)).collect();
+        let tag = content_fingerprint(kernel, train, Some(&probes));
+        Self { kernel, train, probes, probe_diag, arena: Arc::clone(arena), owner, tag }
+    }
+
+    /// The arena backing this matrix.
+    pub fn arena(&self) -> &Arc<KernelRowArena> {
+        &self.arena
+    }
+}
+
+impl CrossRows for ArenaCrossGram<'_> {
+    fn train_len(&self) -> usize {
+        self.train.len()
+    }
+
+    fn probe_count(&self) -> usize {
+        self.probes.len()
+    }
+
+    fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    fn row_arc(&self, i: usize) -> Arc<[f64]> {
+        let key = RowKey {
+            owner: self.owner,
+            kernel: kind_slot(self.kernel.kind()),
+            space: RowSpace::Cross,
+            row: i as u32,
+            tag: self.tag,
+        };
+        self.arena.get_or_compute(key, || {
+            ROWS_COMPUTED.fetch_add(1, Ordering::Relaxed);
+            let xi = &self.train[i];
+            self.probes.iter().map(|p| self.kernel.compute(xi, p)).collect()
+        })
+    }
+
+    fn probe_diag(&self, j: usize) -> f64 {
+        self.probe_diag[j]
+    }
+}
+
 /// Validates that `gram` is usable for training `points` with `kernel`.
-pub(crate) fn check_compatible(
-    gram: &GramMatrix<'_>,
+pub(crate) fn check_compatible<G: KernelRows>(
+    gram: &G,
     points: usize,
     kernel: Kernel,
 ) -> Result<(), TrainError> {
@@ -299,5 +600,69 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<GramMatrix<'static>>();
         assert_send_sync::<CrossGram<'static>>();
+        assert_send_sync::<ArenaGram<'static>>();
+        assert_send_sync::<ArenaCrossGram<'static>>();
+    }
+
+    #[test]
+    fn arena_gram_rows_match_gram_matrix_bitwise() {
+        let pts = points();
+        let arena = KernelRowArena::with_budget(1 << 20);
+        for kernel in [Kernel::Linear, Kernel::Rbf { gamma: 0.7 }] {
+            let gram = GramMatrix::compute(kernel, &pts);
+            let shared = ArenaGram::new(kernel, &pts, &arena, 1);
+            assert_eq!(KernelRows::len(&shared), KernelRows::len(&gram));
+            for i in 0..pts.len() {
+                assert_eq!(KernelRows::diag_value(&shared, i), KernelRows::diag_value(&gram, i));
+                assert_eq!(shared.row_arc(i)[..], gram.row_arc(i)[..], "{kernel:?} row {i}");
+            }
+        }
+        assert!(arena.stats().fills > 0);
+    }
+
+    #[test]
+    fn arena_gram_repeat_access_hits_the_arena() {
+        let pts = points();
+        let arena = KernelRowArena::with_budget(1 << 20);
+        let gram = ArenaGram::new(Kernel::Rbf { gamma: 1.1 }, &pts, &arena, 3);
+        let first = gram.row_arc(2);
+        let hits_before = arena.stats().hits;
+        let second = gram.row_arc(2);
+        assert_eq!(Arc::as_ptr(&first), Arc::as_ptr(&second), "same shared allocation");
+        assert_eq!(arena.stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn arena_cross_rows_match_cross_gram_bitwise() {
+        let pts = points();
+        let (train, probe_pts) = pts.split_at(4);
+        let probes: Vec<&SparseVector> = probe_pts.iter().collect();
+        let arena = KernelRowArena::with_budget(1 << 20);
+        let kernel = Kernel::Polynomial { gamma: 0.4, coef0: 1.0, degree: 2 };
+        let direct = CrossGram::new(kernel, train, probes.clone());
+        let shared = ArenaCrossGram::new(kernel, train, probes, &arena, 5);
+        assert_eq!(CrossRows::probe_count(&shared), CrossRows::probe_count(&direct));
+        for i in 0..train.len() {
+            assert_eq!(shared.row_arc(i)[..], CrossRows::row_arc(&direct, i)[..], "row {i}");
+        }
+        for j in 0..CrossRows::probe_count(&direct) {
+            assert_eq!(CrossRows::probe_diag(&shared, j), CrossRows::probe_diag(&direct, j));
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_inputs() {
+        let pts = points();
+        let base = content_fingerprint(Kernel::Rbf { gamma: 1.0 }, &pts, None);
+        assert_eq!(content_fingerprint(Kernel::Rbf { gamma: 1.0 }, &pts, None), base);
+        assert_ne!(content_fingerprint(Kernel::Rbf { gamma: 2.0 }, &pts, None), base);
+        assert_ne!(content_fingerprint(Kernel::Linear, &pts, None), base);
+        assert_ne!(content_fingerprint(Kernel::Rbf { gamma: 1.0 }, &pts[..5], None), base);
+        let probe = &pts[0];
+        assert_ne!(
+            content_fingerprint(Kernel::Rbf { gamma: 1.0 }, &pts, Some(&[probe])),
+            base,
+            "probe set participates in the fingerprint"
+        );
     }
 }

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arena;
 mod cache;
 mod error;
 mod gram;
@@ -59,8 +60,11 @@ mod smo;
 mod sparse;
 mod svdd;
 
+pub use arena::{ArenaStats, KernelRowArena, RowKey, RowSpace, DEFAULT_GLOBAL_BUDGET};
 pub use error::TrainError;
-pub use gram::{CrossGram, GramMatrix};
+pub use gram::{
+    content_fingerprint, ArenaCrossGram, ArenaGram, CrossGram, CrossRows, GramMatrix, KernelRows,
+};
 pub use kernel::{Kernel, KernelKind};
 pub use model::{LinearBatchScorer, OneClassModel, TrainDiagnostics};
 pub use ocsvm::{NuOcSvm, OcSvmModel};

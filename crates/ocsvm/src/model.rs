@@ -117,7 +117,7 @@ impl SupportVectorSet {
     /// floating-point association).
     pub(crate) fn weighted_row_sums(
         &self,
-        rows: &[&std::sync::Arc<[f64]>],
+        rows: &[std::sync::Arc<[f64]>],
         width: usize,
     ) -> Vec<f64> {
         (0..width).map(|j| rows.iter().zip(&self.alpha).map(|(row, &a)| a * row[j]).sum()).collect()
@@ -149,7 +149,35 @@ impl SupportVectorSet {
             return LinearBatchScorer::from_collapsed(w).weighted_sums(probes);
         }
         let cross = CrossGram::new(self.kernel, &self.vectors, probes.to_vec());
-        let rows: Vec<_> = (0..self.vectors.len()).map(|i| cross.row(i)).collect();
+        let rows: Vec<_> =
+            (0..self.vectors.len()).map(|i| std::sync::Arc::clone(cross.row(i))).collect();
+        self.weighted_row_sums(&rows, probes.len())
+    }
+
+    /// [`Self::batch_weighted_kernel_sums`] with the non-linear kernel rows
+    /// charged to a shared [`KernelRowArena`](crate::KernelRowArena) under
+    /// `owner` instead of a private transient [`CrossGram`]. Linear models
+    /// keep their collapsed fast path (nothing to cache). Each row is
+    /// computed from the same kernel evaluations in the same order, so the
+    /// sums are bit-identical to the un-arena'd path.
+    pub(crate) fn batch_weighted_kernel_sums_in(
+        &self,
+        probes: &[&SparseVector],
+        arena: &std::sync::Arc<crate::arena::KernelRowArena>,
+        owner: u64,
+    ) -> Vec<f64> {
+        if let Some(w) = &self.collapsed {
+            return LinearBatchScorer::from_collapsed(w).weighted_sums(probes);
+        }
+        let cross = crate::gram::ArenaCrossGram::new(
+            self.kernel,
+            &self.vectors,
+            probes.to_vec(),
+            arena,
+            owner,
+        );
+        let rows: Vec<_> =
+            (0..self.vectors.len()).map(|i| crate::gram::CrossRows::row_arc(&cross, i)).collect();
         self.weighted_row_sums(&rows, probes.len())
     }
 
@@ -161,7 +189,7 @@ impl SupportVectorSet {
 /// Dense weight vector of a linear model, scoring a whole probe batch as
 /// one dense GEMV (`sums[j] = Σ_c w[c]·pⱼ[c]`).
 ///
-/// Built from the collapsed `w = Σᵢ αᵢxᵢ` a linear [`SupportVectorSet`]
+/// Built from the collapsed `w = Σᵢ αᵢxᵢ` a linear `SupportVectorSet`
 /// maintains. Stored-zero columns never occur in `w` (the sparse builder
 /// prunes them), and the dense walk skips absent columns, so each probe's
 /// sum adds exactly the products the sparse merge dot adds, in the same

@@ -13,7 +13,7 @@
 //! (Schölkopf et al. 2001).
 
 use crate::error::TrainError;
-use crate::gram::{self, CrossGram, GramMatrix};
+use crate::gram::{self, CrossRows, GramMatrix, KernelRows};
 use crate::kernel::Kernel;
 use crate::model::{OneClassModel, SupportVectorSet, TrainDiagnostics};
 use crate::smo::{self, KernelQ, PrecomputedQ, SolverOptions, SolverQ};
@@ -78,7 +78,9 @@ impl NuOcSvm {
     pub fn train(&self, points: &[SparseVector]) -> Result<OcSvmModel, TrainError> {
         self.validate(points)?;
         let mut q = KernelQ::new(self.kernel, points, 1.0, self.options.cache_bytes);
-        self.train_on(points, &mut q)
+        let upper = 1.0 / (self.nu * points.len() as f64);
+        let alpha0 = smo::initial_alpha(points.len(), upper);
+        Ok(self.train_on(points, &mut q, alpha0).0)
     }
 
     /// Trains on `points` reusing a precomputed [`GramMatrix`] over exactly
@@ -103,10 +105,55 @@ impl NuOcSvm {
         points: &[SparseVector],
         gram: &GramMatrix,
     ) -> Result<OcSvmModel, TrainError> {
+        self.train_with_rows(points, gram)
+    }
+
+    /// Trains on `points` reusing any shared [`KernelRows`] source — a
+    /// per-sweep [`GramMatrix`] or an arena-backed
+    /// [`ArenaGram`](crate::ArenaGram). Identical to
+    /// [`train_with_gram`](Self::train_with_gram) for a `GramMatrix`
+    /// argument; an arena-backed source produces bit-identical models
+    /// because it hands out rows from the same kernel evaluations.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`train_with_gram`](Self::train_with_gram).
+    pub fn train_with_rows<G: KernelRows>(
+        &self,
+        points: &[SparseVector],
+        rows: &G,
+    ) -> Result<OcSvmModel, TrainError> {
+        Ok(self.train_with_rows_seeded(points, rows, None)?.0)
+    }
+
+    /// Like [`train_with_rows`](Self::train_with_rows), but optionally
+    /// warm-starts the solver from the full multiplier vector of an
+    /// adjacent sweep cell's solution (projected onto this problem's
+    /// feasible box) and returns this solution's full multiplier vector for
+    /// chaining into the next cell.
+    ///
+    /// The problem is convex, so a seeded solve reaches the same optimum as
+    /// a cold start (within the solver tolerance) — usually in far fewer
+    /// iterations when `seed` comes from a neighbouring `ν`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`train_with_gram`](Self::train_with_gram).
+    pub fn train_with_rows_seeded<G: KernelRows>(
+        &self,
+        points: &[SparseVector],
+        rows: &G,
+        seed: Option<&[f64]>,
+    ) -> Result<(OcSvmModel, Vec<f64>), TrainError> {
         self.validate(points)?;
-        gram::check_compatible(gram, points.len(), self.kernel)?;
-        let mut q = PrecomputedQ::new(gram, 1.0);
-        self.train_on(points, &mut q)
+        gram::check_compatible(rows, points.len(), self.kernel)?;
+        let mut q = PrecomputedQ::new(rows, 1.0);
+        let upper = 1.0 / (self.nu * points.len() as f64);
+        let alpha0 = match seed {
+            Some(previous) => smo::seeded_alpha(previous, upper),
+            None => smo::initial_alpha(points.len(), upper),
+        };
+        Ok(self.train_on(points, &mut q, alpha0))
     }
 
     fn validate(&self, points: &[SparseVector]) -> Result<(), TrainError> {
@@ -123,11 +170,11 @@ impl NuOcSvm {
         &self,
         points: &[SparseVector],
         q: &mut Q,
-    ) -> Result<OcSvmModel, TrainError> {
+        alpha0: Vec<f64>,
+    ) -> (OcSvmModel, Vec<f64>) {
         let l = points.len();
         let upper = 1.0 / (self.nu * l as f64);
         let p = vec![0.0; l];
-        let alpha0 = smo::initial_alpha(l, upper);
         let solution = smo::solve(q, &p, upper, alpha0, &self.options);
 
         let rho = recover_rho(&solution.alpha, &solution.gradient, upper);
@@ -142,7 +189,7 @@ impl NuOcSvm {
             cache_hits,
             cache_misses,
         };
-        Ok(OcSvmModel { support, rho, nu: self.nu, diagnostics })
+        (OcSvmModel { support, rho, nu: self.nu, diagnostics }, solution.alpha)
     }
 }
 
@@ -240,35 +287,52 @@ impl OcSvmModel {
     /// Returns `None` when the model was deserialized (its training indices
     /// are unknown) or `gram` does not match the model's kernel and
     /// training-set size.
-    pub fn training_decision_values(&self, gram: &GramMatrix<'_>) -> Option<Vec<f64>> {
+    pub fn training_decision_values<G: KernelRows>(&self, gram: &G) -> Option<Vec<f64>> {
         let indices = self.support.indices()?;
         if gram.kernel() != self.support.kernel || gram.len() != self.diagnostics.train_size {
             return None;
         }
-        let rows: Vec<_> = indices.iter().map(|&i| gram.row(i)).collect();
+        let rows: Vec<_> = indices.iter().map(|&i| gram.row_arc(i)).collect();
         let sums = self.support.weighted_row_sums(&rows, gram.len());
         Some(sums.into_iter().map(|s| s - self.rho).collect())
     }
 
     /// Decision values over a fixed probe set, read from a shared
-    /// [`CrossGram`] between the model's training set and the probes.
+    /// [`CrossRows`] source — a [`CrossGram`](crate::CrossGram) or an
+    /// arena-backed [`ArenaCrossGram`](crate::ArenaCrossGram) — between the
+    /// model's training set and the probes.
     ///
     /// Same exactness and availability rules as
     /// [`training_decision_values`](Self::training_decision_values).
-    pub fn cross_decision_values(&self, cross: &CrossGram<'_>) -> Option<Vec<f64>> {
+    pub fn cross_decision_values<C: CrossRows>(&self, cross: &C) -> Option<Vec<f64>> {
         let indices = self.support.indices()?;
         if cross.kernel() != self.support.kernel || cross.train_len() != self.diagnostics.train_size
         {
             return None;
         }
-        let rows: Vec<_> = indices.iter().map(|&i| cross.row(i)).collect();
+        let rows: Vec<_> = indices.iter().map(|&i| cross.row_arc(i)).collect();
         let sums = self.support.weighted_row_sums(&rows, cross.probe_count());
         Some(sums.into_iter().map(|s| s - self.rho).collect())
     }
 
+    /// The full training multiplier vector `α` (zeros for non-support
+    /// points), reconstructed from the support vectors' training indices —
+    /// the warm-start seed for an adjacent regularization value.
+    ///
+    /// `None` for deserialized models trained by a pre-v2 binary (their
+    /// training indices are unknown).
+    pub fn training_alpha(&self) -> Option<Vec<f64>> {
+        let indices = self.support.indices()?;
+        let mut alpha = vec![0.0; self.diagnostics.train_size];
+        for (&i, &a) in indices.iter().zip(&self.support.alpha) {
+            alpha[i] = a;
+        }
+        Some(alpha)
+    }
+
     /// Decision values for a whole probe micro-batch, amortizing kernel
     /// work over the batch: non-linear kernels materialize one kernel row
-    /// per support vector (via an internal [`CrossGram`] over the support
+    /// per support vector (via an internal [`crate::CrossGram`] over the support
     /// vectors), the linear kernel collapses into one dense-weight GEMV
     /// ([`crate::LinearBatchScorer`]).
     ///
@@ -279,6 +343,26 @@ impl OcSvmModel {
     /// models.
     pub fn batch_decision_values(&self, probes: &[&SparseVector]) -> Vec<f64> {
         self.support.batch_weighted_kernel_sums(probes).into_iter().map(|s| s - self.rho).collect()
+    }
+
+    /// [`batch_decision_values`](Self::batch_decision_values), with the
+    /// non-linear kernel rows charged to a shared
+    /// [`KernelRowArena`](crate::KernelRowArena) under the `owner`
+    /// namespace instead of a private transient matrix — the process-wide
+    /// byte budget then also bounds scoring, and repeated scoring of the
+    /// same (support vectors, probe batch) pair is served from the arena.
+    /// Values are bit-identical to the un-arena'd path.
+    pub fn batch_decision_values_in(
+        &self,
+        probes: &[&SparseVector],
+        arena: &std::sync::Arc<crate::KernelRowArena>,
+        owner: u64,
+    ) -> Vec<f64> {
+        self.support
+            .batch_weighted_kernel_sums_in(probes, arena, owner)
+            .into_iter()
+            .map(|s| s - self.rho)
+            .collect()
     }
 
     pub(crate) fn support(&self) -> &SupportVectorSet {

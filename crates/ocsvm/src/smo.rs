@@ -19,7 +19,7 @@
 //! kernel-row cache.
 
 use crate::cache::RowCache;
-use crate::gram::GramMatrix;
+use crate::gram::KernelRows;
 use crate::kernel::Kernel;
 use crate::sparse::SparseVector;
 use std::sync::Arc;
@@ -99,28 +99,43 @@ impl QMatrix for KernelQ<'_> {
     }
 }
 
-/// `Q = scale · K` served from a shared, precomputed [`GramMatrix`].
+/// `Q = scale · K` served from shared, precomputed [`KernelRows`] — a
+/// per-sweep [`GramMatrix`](crate::GramMatrix) or an arena-backed
+/// [`ArenaGram`](crate::ArenaGram).
 ///
 /// At `scale = 1` (OC-SVM) rows are handed out zero-copy. At other scales
 /// (SVDD uses `Q = 2K`) each scaled row is materialized lazily, once, and
 /// memoized for the lifetime of the solver run; the products `scale · Kᵢⱼ`
 /// are exactly the ones [`KernelQ`] computes, so both paths feed the solver
 /// bit-identical values.
-pub(crate) struct PrecomputedQ<'g> {
-    gram: &'g GramMatrix<'g>,
+///
+/// Every fetched row is also pinned locally for the duration of the solve,
+/// so an arena-backed source is consulted (and locked) at most once per
+/// row per solver run — the SMO inner loop never contends on the shared
+/// arena, and eviction between accesses cannot force a recompute mid-solve.
+pub(crate) struct PrecomputedQ<'g, G: KernelRows> {
+    gram: &'g G,
     scale: f64,
+    base_rows: Vec<Option<Arc<[f64]>>>,
     scaled_rows: Vec<Option<Arc<[f64]>>>,
     hits: u64,
     misses: u64,
 }
 
-impl<'g> PrecomputedQ<'g> {
-    pub(crate) fn new(gram: &'g GramMatrix<'g>, scale: f64) -> Self {
-        Self { gram, scale, scaled_rows: vec![None; gram.len()], hits: 0, misses: 0 }
+impl<'g, G: KernelRows> PrecomputedQ<'g, G> {
+    pub(crate) fn new(gram: &'g G, scale: f64) -> Self {
+        Self {
+            gram,
+            scale,
+            base_rows: vec![None; gram.len()],
+            scaled_rows: vec![None; gram.len()],
+            hits: 0,
+            misses: 0,
+        }
     }
 }
 
-impl SolverQ for PrecomputedQ<'_> {
+impl<G: KernelRows> SolverQ for PrecomputedQ<'_, G> {
     fn kernel_diag(&self, i: usize) -> f64 {
         self.gram.diag_value(i)
     }
@@ -130,7 +145,7 @@ impl SolverQ for PrecomputedQ<'_> {
     }
 }
 
-impl QMatrix for PrecomputedQ<'_> {
+impl<G: KernelRows> QMatrix for PrecomputedQ<'_, G> {
     fn len(&self) -> usize {
         self.gram.len()
     }
@@ -141,8 +156,16 @@ impl QMatrix for PrecomputedQ<'_> {
 
     fn row(&mut self, i: usize) -> Arc<[f64]> {
         if self.scale == 1.0 {
+            // Precomputed rows count as hits regardless of whether this
+            // solve has touched them yet: the expensive kernel work
+            // happened (at most) once in the shared source, not here.
             self.hits += 1;
-            return Arc::clone(self.gram.row(i));
+            if let Some(row) = &self.base_rows[i] {
+                return Arc::clone(row);
+            }
+            let row = self.gram.row_arc(i);
+            self.base_rows[i] = Some(Arc::clone(&row));
+            return row;
         }
         if let Some(row) = &self.scaled_rows[i] {
             self.hits += 1;
@@ -151,7 +174,7 @@ impl QMatrix for PrecomputedQ<'_> {
         self.misses += 1;
         let scale = self.scale;
         let row: Arc<[f64]> =
-            self.gram.row(i).iter().map(|&v| scale * v).collect::<Vec<f64>>().into();
+            self.gram.row_arc(i).iter().map(|&v| scale * v).collect::<Vec<f64>>().into();
         self.scaled_rows[i] = Some(Arc::clone(&row));
         row
     }
@@ -466,9 +489,46 @@ pub(crate) fn initial_alpha(l: usize, upper: f64) -> Vec<f64> {
     alpha
 }
 
+/// Projects a solution of an adjacent regularization value onto the feasible
+/// set of the current one (warm start): clamp each multiplier to the new box
+/// `[0, upper]`, then restore `Σα = 1` by greedily adding the deficit to
+/// entries with headroom (or removing the excess from positive entries).
+///
+/// A solver started here reaches the same optimum as one started from
+/// [`initial_alpha`] — the problem is convex and the stopping criterion
+/// unchanged — but typically in far fewer iterations, because adjacent
+/// regularization values keep most multipliers at or near the same bounds.
+pub(crate) fn seeded_alpha(previous: &[f64], upper: f64) -> Vec<f64> {
+    let mut alpha: Vec<f64> = previous.iter().map(|&a| a.clamp(0.0, upper)).collect();
+    let sum: f64 = alpha.iter().sum();
+    if sum < 1.0 {
+        let mut deficit = 1.0 - sum;
+        for a in alpha.iter_mut() {
+            let add = (upper - *a).min(deficit);
+            *a += add;
+            deficit -= add;
+            if deficit <= 0.0 {
+                break;
+            }
+        }
+    } else if sum > 1.0 {
+        let mut excess = sum - 1.0;
+        for a in alpha.iter_mut() {
+            let take = (*a).min(excess);
+            *a -= take;
+            excess -= take;
+            if excess <= 0.0 {
+                break;
+            }
+        }
+    }
+    alpha
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gram::GramMatrix;
     use crate::kernel::Kernel;
     use crate::sparse::SparseVector;
 
@@ -811,6 +871,61 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn seeded_alpha_is_feasible_in_both_directions() {
+        // Shrinking box: previous solution had a larger upper bound.
+        let previous = [0.5, 0.5, 0.0, 0.0];
+        for upper in [0.3, 0.5, 0.9] {
+            let alpha = seeded_alpha(&previous, upper);
+            assert_feasible(&alpha, upper);
+        }
+        // Growing box from a fully saturated solution.
+        let saturated = [0.25, 0.25, 0.25, 0.25];
+        let alpha = seeded_alpha(&saturated, 1.0);
+        assert_feasible(&alpha, 1.0);
+        // A degraded seed (sum drifted above 1) is repaired too.
+        let drifted = [0.7, 0.7, 0.0, 0.0];
+        let alpha = seeded_alpha(&drifted, 0.8);
+        assert_feasible(&alpha, 0.8);
+    }
+
+    #[test]
+    fn seeded_solve_reaches_cold_start_objective() {
+        let pts: Vec<SparseVector> = (0..50)
+            .map(|i| {
+                SparseVector::from_dense(&[
+                    ((i * 37) % 101) as f64 / 101.0,
+                    ((i * 53 + 17) % 101) as f64 / 101.0,
+                ])
+            })
+            .collect();
+        let kernel = Kernel::Rbf { gamma: 1.2 };
+        let l = pts.len();
+        let p = vec![0.0; l];
+        let options = SolverOptions { eps: 1e-6, ..Default::default() };
+        let mut previous: Option<Vec<f64>> = None;
+        for nu in [0.9, 0.7, 0.5, 0.3, 0.1] {
+            let upper = 1.0 / (nu * l as f64);
+            let mut q_cold = KernelQ::new(kernel, &pts, 1.0, 1 << 20);
+            let cold = solve(&mut q_cold, &p, upper, initial_alpha(l, upper), &options);
+            let seed = match &previous {
+                Some(alpha) => seeded_alpha(alpha, upper),
+                None => initial_alpha(l, upper),
+            };
+            assert_feasible(&seed, upper);
+            let mut q_warm = KernelQ::new(kernel, &pts, 1.0, 1 << 20);
+            let warm = solve(&mut q_warm, &p, upper, seed, &options);
+            assert!(cold.converged && warm.converged, "nu = {nu}");
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-6,
+                "nu = {nu}: warm objective {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+            previous = Some(warm.alpha);
         }
     }
 

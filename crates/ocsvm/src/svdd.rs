@@ -16,7 +16,7 @@
 //! distance to the center does not exceed `R²`.
 
 use crate::error::TrainError;
-use crate::gram::{self, CrossGram, GramMatrix};
+use crate::gram::{self, CrossRows, GramMatrix, KernelRows};
 use crate::kernel::Kernel;
 use crate::model::{OneClassModel, SupportVectorSet, TrainDiagnostics};
 use crate::smo::{self, KernelQ, PrecomputedQ, SolverOptions, SolverQ};
@@ -79,7 +79,8 @@ impl Svdd {
     pub fn train(&self, points: &[SparseVector]) -> Result<SvddModel, TrainError> {
         self.validate(points)?;
         let mut q = KernelQ::new(self.kernel, points, 2.0, self.options.cache_bytes);
-        self.train_on(points, &mut q)
+        let alpha0 = smo::initial_alpha(points.len(), self.c);
+        Ok(self.train_on(points, &mut q, alpha0).0)
     }
 
     /// Trains on `points` reusing a precomputed [`GramMatrix`] over exactly
@@ -105,10 +106,54 @@ impl Svdd {
         points: &[SparseVector],
         gram: &GramMatrix,
     ) -> Result<SvddModel, TrainError> {
+        self.train_with_rows(points, gram)
+    }
+
+    /// Trains on `points` reusing any shared [`KernelRows`] source — a
+    /// per-sweep [`GramMatrix`] or an arena-backed
+    /// [`ArenaGram`](crate::ArenaGram). Identical to
+    /// [`train_with_gram`](Self::train_with_gram) for a `GramMatrix`
+    /// argument; an arena-backed source produces bit-identical models
+    /// because it hands out rows from the same kernel evaluations.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`train_with_gram`](Self::train_with_gram).
+    pub fn train_with_rows<G: KernelRows>(
+        &self,
+        points: &[SparseVector],
+        rows: &G,
+    ) -> Result<SvddModel, TrainError> {
+        Ok(self.train_with_rows_seeded(points, rows, None)?.0)
+    }
+
+    /// Like [`train_with_rows`](Self::train_with_rows), but optionally
+    /// warm-starts the solver from the full multiplier vector of an
+    /// adjacent sweep cell's solution (projected onto this problem's
+    /// feasible box) and returns this solution's full multiplier vector for
+    /// chaining into the next cell.
+    ///
+    /// The problem is convex, so a seeded solve reaches the same optimum as
+    /// a cold start (within the solver tolerance) — usually in far fewer
+    /// iterations when `seed` comes from a neighbouring `C`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`train_with_gram`](Self::train_with_gram).
+    pub fn train_with_rows_seeded<G: KernelRows>(
+        &self,
+        points: &[SparseVector],
+        rows: &G,
+        seed: Option<&[f64]>,
+    ) -> Result<(SvddModel, Vec<f64>), TrainError> {
         self.validate(points)?;
-        gram::check_compatible(gram, points.len(), self.kernel)?;
-        let mut q = PrecomputedQ::new(gram, 2.0);
-        self.train_on(points, &mut q)
+        gram::check_compatible(rows, points.len(), self.kernel)?;
+        let mut q = PrecomputedQ::new(rows, 2.0);
+        let alpha0 = match seed {
+            Some(previous) => smo::seeded_alpha(previous, self.c),
+            None => smo::initial_alpha(points.len(), self.c),
+        };
+        Ok(self.train_on(points, &mut q, alpha0))
     }
 
     fn validate(&self, points: &[SparseVector]) -> Result<(), TrainError> {
@@ -129,11 +174,11 @@ impl Svdd {
         &self,
         points: &[SparseVector],
         q: &mut Q,
-    ) -> Result<SvddModel, TrainError> {
+        alpha0: Vec<f64>,
+    ) -> (SvddModel, Vec<f64>) {
         let l = points.len();
         let upper = self.c;
         let p: Vec<f64> = (0..l).map(|i| -q.kernel_diag(i)).collect();
-        let alpha0 = smo::initial_alpha(l, upper);
         let solution = smo::solve(q, &p, upper, alpha0, &self.options);
 
         // αᵀKα = ½(αᵀG − αᵀp) since G = 2Kα + p.
@@ -159,7 +204,7 @@ impl Svdd {
             cache_hits,
             cache_misses,
         };
-        Ok(SvddModel { support, r_squared, alpha_k_alpha, c: self.c, diagnostics })
+        (SvddModel { support, r_squared, alpha_k_alpha, c: self.c, diagnostics }, solution.alpha)
     }
 }
 
@@ -265,12 +310,12 @@ impl SvddModel {
     /// Returns `None` when the model was deserialized (its training indices
     /// are unknown) or `gram` does not match the model's kernel and
     /// training-set size.
-    pub fn training_decision_values(&self, gram: &GramMatrix<'_>) -> Option<Vec<f64>> {
+    pub fn training_decision_values<G: KernelRows>(&self, gram: &G) -> Option<Vec<f64>> {
         let indices = self.support.indices()?;
         if gram.kernel() != self.support.kernel || gram.len() != self.diagnostics.train_size {
             return None;
         }
-        let rows: Vec<_> = indices.iter().map(|&i| gram.row(i)).collect();
+        let rows: Vec<_> = indices.iter().map(|&i| gram.row_arc(i)).collect();
         let sums = self.support.weighted_row_sums(&rows, gram.len());
         Some(
             sums.into_iter()
@@ -284,17 +329,19 @@ impl SvddModel {
     }
 
     /// Decision values over a fixed probe set, read from a shared
-    /// [`CrossGram`] between the model's training set and the probes.
+    /// [`CrossRows`] source — a [`CrossGram`](crate::CrossGram) or an
+    /// arena-backed [`ArenaCrossGram`](crate::ArenaCrossGram) — between the
+    /// model's training set and the probes.
     ///
     /// Same exactness and availability rules as
     /// [`training_decision_values`](Self::training_decision_values).
-    pub fn cross_decision_values(&self, cross: &CrossGram<'_>) -> Option<Vec<f64>> {
+    pub fn cross_decision_values<C: CrossRows>(&self, cross: &C) -> Option<Vec<f64>> {
         let indices = self.support.indices()?;
         if cross.kernel() != self.support.kernel || cross.train_len() != self.diagnostics.train_size
         {
             return None;
         }
-        let rows: Vec<_> = indices.iter().map(|&i| cross.row(i)).collect();
+        let rows: Vec<_> = indices.iter().map(|&i| cross.row_arc(i)).collect();
         let sums = self.support.weighted_row_sums(&rows, cross.probe_count());
         Some(
             sums.into_iter()
@@ -309,7 +356,7 @@ impl SvddModel {
 
     /// Decision values for a whole probe micro-batch, amortizing kernel
     /// work over the batch: non-linear kernels materialize one kernel row
-    /// per support vector (via an internal [`CrossGram`] over the support
+    /// per support vector (via an internal [`crate::CrossGram`] over the support
     /// vectors), the linear kernel collapses into one dense-weight GEMV
     /// ([`crate::LinearBatchScorer`]).
     ///
@@ -328,6 +375,45 @@ impl SvddModel {
                 self.r_squared - squared
             })
             .collect()
+    }
+
+    /// [`batch_decision_values`](Self::batch_decision_values), with the
+    /// non-linear kernel rows charged to a shared
+    /// [`KernelRowArena`](crate::KernelRowArena) under the `owner`
+    /// namespace instead of a private transient matrix — the process-wide
+    /// byte budget then also bounds scoring, and repeated scoring of the
+    /// same (support vectors, probe batch) pair is served from the arena.
+    /// Values are bit-identical to the un-arena'd path.
+    pub fn batch_decision_values_in(
+        &self,
+        probes: &[&SparseVector],
+        arena: &std::sync::Arc<crate::KernelRowArena>,
+        owner: u64,
+    ) -> Vec<f64> {
+        let sums = self.support.batch_weighted_kernel_sums_in(probes, arena, owner);
+        probes
+            .iter()
+            .zip(sums)
+            .map(|(p, s)| {
+                let squared = self.support.kernel.compute_self(p) - 2.0 * s + self.alpha_k_alpha;
+                self.r_squared - squared
+            })
+            .collect()
+    }
+
+    /// The full training multiplier vector `α` (zeros for non-support
+    /// points), reconstructed from the support vectors' training indices —
+    /// the warm-start seed for an adjacent regularization value.
+    ///
+    /// `None` for deserialized models trained by a pre-v2 binary (their
+    /// training indices are unknown).
+    pub fn training_alpha(&self) -> Option<Vec<f64>> {
+        let indices = self.support.indices()?;
+        let mut alpha = vec![0.0; self.diagnostics.train_size];
+        for (&i, &a) in indices.iter().zip(&self.support.alpha) {
+            alpha[i] = a;
+        }
+        Some(alpha)
     }
 
     pub(crate) fn support(&self) -> &SupportVectorSet {

@@ -1,0 +1,131 @@
+//! Concurrency stress test for the process-wide kernel-row arena: eight
+//! threads hammer an overlapping key set through a tiny byte budget and the
+//! counter invariants must hold at every observation point.
+//!
+//! Loom-free by design (no external deps): instead of exploring
+//! interleavings exhaustively, the test drives heavy real contention —
+//! shared keys, constant eviction, racing fills — and checks the invariants
+//! that must survive *any* interleaving:
+//!
+//! * every returned row has the exact contents its key demands (no
+//!   aliasing, no torn rows),
+//! * `hits + misses == requests`, `fills <= misses <= requests`,
+//! * `bytes <= budget` after every eviction pass (sampled concurrently),
+//! * monotone counters never decrease.
+
+use ocsvm::{KernelRowArena, RowKey, RowSpace};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 300;
+const OWNERS: u64 = 4;
+const ROWS_PER_OWNER: u32 = 16;
+const ROW_LEN: usize = 64;
+
+/// Deterministic row contents derived from the key, so any thread can
+/// verify any row it receives.
+fn expected_row(owner: u64, row: u32) -> Vec<f64> {
+    (0..ROW_LEN).map(|j| (owner * 1_000 + u64::from(row)) as f64 + j as f64 * 0.5).collect()
+}
+
+fn key(owner: u64, row: u32) -> RowKey {
+    RowKey { owner, kernel: (owner % 4) as u8, space: RowSpace::Gram, row, tag: 0xfeed }
+}
+
+#[test]
+fn eight_threads_share_a_budgeted_arena_without_breaking_invariants() {
+    // Budget fits ~12 of the 64 rows in play: constant eviction pressure.
+    let budget = 12 * ROW_LEN * std::mem::size_of::<f64>();
+    let arena = KernelRowArena::with_budget(budget);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        // Seven workers request overlapping (owner, row) keys in skewed
+        // orders; an eighth samples the stats concurrently, asserting the
+        // byte budget and counter relations mid-flight.
+        for t in 0..THREADS - 1 {
+            let arena = Arc::clone(&arena);
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    let owner = ((t + round) as u64) % OWNERS;
+                    let row = ((t * 7 + round * 3) as u32) % ROWS_PER_OWNER;
+                    let got = arena.get_or_compute(key(owner, row), || expected_row(owner, row));
+                    assert_eq!(
+                        &got[..],
+                        &expected_row(owner, row)[..],
+                        "row contents must match key"
+                    );
+                }
+            });
+        }
+        {
+            let arena = Arc::clone(&arena);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut last = arena.stats();
+                while !stop.load(Ordering::Acquire) {
+                    let s = arena.stats();
+                    assert!(s.bytes <= s.budget, "bytes {} over budget {}", s.bytes, s.budget);
+                    assert_eq!(s.hits + s.misses, s.requests);
+                    assert!(s.fills <= s.misses, "fills {} > misses {}", s.fills, s.misses);
+                    assert!(s.requests >= last.requests, "monotone counter went backwards");
+                    assert!(s.fills >= last.fills);
+                    assert!(s.evictions >= last.evictions);
+                    assert!(s.peak_bytes >= s.bytes);
+                    last = s;
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // Scope drops worker handles first; flag the sampler once workers
+        // are done by spawning a joiner is overkill — workers finish fast,
+        // so just stop the sampler after re-running the workload inline.
+        for round in 0..ROUNDS {
+            let owner = (round as u64) % OWNERS;
+            let row = (round as u32) % ROWS_PER_OWNER;
+            let got = arena.get_or_compute(key(owner, row), || expected_row(owner, row));
+            assert_eq!(&got[..], &expected_row(owner, row)[..]);
+        }
+        stop.store(true, Ordering::Release);
+    });
+
+    let s = arena.stats();
+    let total_requests = (THREADS - 1) as u64 * ROUNDS as u64 + ROUNDS as u64;
+    assert_eq!(s.requests, total_requests);
+    assert_eq!(s.hits + s.misses, s.requests);
+    assert!(s.fills <= s.misses);
+    assert!(s.fills >= (OWNERS * u64::from(ROWS_PER_OWNER)), "every key must fill at least once");
+    assert!(s.evictions > 0, "tiny budget must evict under this load");
+    assert!(s.bytes <= s.budget, "final bytes {} over budget {}", s.bytes, s.budget);
+    assert!(
+        s.peak_bytes <= s.budget + ROW_LEN * std::mem::size_of::<f64>() * THREADS,
+        "peak may transiently exceed budget only by in-flight fills"
+    );
+    assert_eq!(s.budget, budget);
+}
+
+#[test]
+fn racing_fills_of_one_key_agree_on_a_single_row() {
+    // All threads fight over the same key through a budget that can hold
+    // it: whoever loses the fill race must adopt the winner's row.
+    let arena = KernelRowArena::with_budget(1 << 20);
+    let k = key(0, 0);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let arena = Arc::clone(&arena);
+            scope.spawn(move || {
+                for _ in 0..200 {
+                    let row = arena.get_or_compute(k, || expected_row(0, 0));
+                    assert_eq!(&row[..], &expected_row(0, 0)[..]);
+                }
+            });
+        }
+    });
+    let s = arena.stats();
+    assert_eq!(s.requests, (THREADS * 200) as u64);
+    assert_eq!(s.hits + s.misses, s.requests);
+    // One resident row at the end, however many racing fills happened.
+    assert_eq!(arena.len(), 1);
+    assert_eq!(s.bytes, ROW_LEN * std::mem::size_of::<f64>());
+}

@@ -176,3 +176,68 @@ proptest! {
         prop_assert_eq!(a.support_vector_count(), b.support_vector_count());
     }
 }
+
+proptest! {
+    // Warm-started ladders retrain the same set many times; fewer, larger
+    // cases keep the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Warm-starting a solve from the adjacent regularization's `α` must
+    /// change only the iteration path, never the solution: at a tight KKT
+    /// tolerance the seeded solve reaches the cold start's objective and
+    /// decision function across the whole ladder, for both families.
+    #[test]
+    fn warm_started_ladder_matches_cold_solves(
+        data in clustered_training_set(),
+        k in any_kernel(),
+    ) {
+        use ocsvm::GramMatrix;
+        let ladder = [0.9, 0.7, 0.5, 0.3, 0.2];
+        let opts = SolverOptions { eps: 1e-8, ..Default::default() };
+        let gram = GramMatrix::compute(k, &data);
+
+        let mut seed: Option<Vec<f64>> = None;
+        for &c in &ladder {
+            let svdd = Svdd::new(c, k).with_options(opts);
+            let (warm, alpha) = svdd.train_with_rows_seeded(&data, &gram, seed.as_deref()).unwrap();
+            let (cold, _) = svdd.train_with_rows_seeded(&data, &gram, None).unwrap();
+            let obj_scale = 1.0 + cold.diagnostics().objective.abs();
+            prop_assert!(
+                (warm.diagnostics().objective - cold.diagnostics().objective).abs() <= 1e-6 * obj_scale,
+                "SVDD C={c}: warm objective {} vs cold {}",
+                warm.diagnostics().objective, cold.diagnostics().objective
+            );
+            let scale = 1.0 + data.iter().map(|x| cold.decision_value(x).abs()).fold(0.0, f64::max);
+            for x in &data {
+                prop_assert!(
+                    (warm.decision_value(x) - cold.decision_value(x)).abs() <= 1e-4 * scale,
+                    "SVDD C={c}: warm decision {} vs cold {}",
+                    warm.decision_value(x), cold.decision_value(x)
+                );
+            }
+            seed = Some(alpha);
+        }
+
+        let mut seed: Option<Vec<f64>> = None;
+        for &nu in &ladder {
+            let ocsvm = NuOcSvm::new(nu, k).with_options(opts);
+            let (warm, alpha) = ocsvm.train_with_rows_seeded(&data, &gram, seed.as_deref()).unwrap();
+            let (cold, _) = ocsvm.train_with_rows_seeded(&data, &gram, None).unwrap();
+            let obj_scale = 1.0 + cold.diagnostics().objective.abs();
+            prop_assert!(
+                (warm.diagnostics().objective - cold.diagnostics().objective).abs() <= 1e-6 * obj_scale,
+                "OC-SVM nu={nu}: warm objective {} vs cold {}",
+                warm.diagnostics().objective, cold.diagnostics().objective
+            );
+            let scale = 1.0 + data.iter().map(|x| cold.decision_value(x).abs()).fold(0.0, f64::max);
+            for x in &data {
+                prop_assert!(
+                    (warm.decision_value(x) - cold.decision_value(x)).abs() <= 1e-4 * scale,
+                    "OC-SVM nu={nu}: warm decision {} vs cold {}",
+                    warm.decision_value(x), cold.decision_value(x)
+                );
+            }
+            seed = Some(alpha);
+        }
+    }
+}

@@ -124,6 +124,7 @@ pub struct StreamEngine<'a> {
     batches: u64,
     max_batch: usize,
     scoring: Duration,
+    arena: Option<std::sync::Arc<ocsvm::KernelRowArena>>,
     #[cfg(feature = "tracelog")]
     events: Vec<TraceEvent>,
 }
@@ -151,9 +152,21 @@ impl<'a> StreamEngine<'a> {
             batches: 0,
             max_batch: 0,
             scoring: Duration::ZERO,
+            arena: None,
             #[cfg(feature = "tracelog")]
             events: Vec::new(),
         }
+    }
+
+    /// Charges the kernel rows of non-linear profile scoring to a shared
+    /// [`ocsvm::KernelRowArena`] (e.g. [`ocsvm::KernelRowArena::global`]),
+    /// keyed by the profiled user. Scoring stays bit-identical to the
+    /// default path; what changes is accounting — streaming kernel rows
+    /// then live under the same process-wide memory budget (and show up in
+    /// the same [`ocsvm::ArenaStats`]) as a concurrent grid search's.
+    pub fn with_arena(mut self, arena: std::sync::Arc<ocsvm::KernelRowArena>) -> Self {
+        self.arena = Some(arena);
+        self
     }
 
     /// The configuration in force.
@@ -297,10 +310,14 @@ impl<'a> StreamEngine<'a> {
                 _ => batch.len() * profile.support_vector_count(),
             })
             .sum();
+        let score = |user: UserId, profile: &UserProfile| match &self.arena {
+            Some(arena) => profile.batch_decision_values_in(&probes, arena, u64::from(user.0)),
+            None => profile.batch_decision_values(&probes),
+        };
         let values: Vec<Vec<f64>> = if work >= PARALLEL_WORK_THRESHOLD {
-            parallel_map(&entries, |(_, profile)| profile.batch_decision_values(&probes))
+            parallel_map(&entries, |(&user, profile)| score(user, profile))
         } else {
-            entries.iter().map(|(_, profile)| profile.batch_decision_values(&probes)).collect()
+            entries.iter().map(|(&user, profile)| score(user, profile)).collect()
         };
         self.scoring += started.elapsed();
         self.batches += 1;
@@ -445,6 +462,41 @@ mod tests {
         assert_eq!(engine.pending_windows(), 0);
         // Draining an empty queue is a no-op.
         assert!(engine.drain().is_empty());
+    }
+
+    #[test]
+    fn arena_charged_scoring_is_bit_identical_to_the_default_path() {
+        let (dataset, vocab) = trained();
+        // RBF profiles so scoring actually materializes kernel rows (linear
+        // models collapse to a weight vector and bypass the arena).
+        let (profiles, _) = ProfileTrainer::new(&vocab)
+            .kernel(ocsvm::Kernel::Rbf { gamma: 0.05 })
+            .max_training_windows(150)
+            .train_all(&dataset);
+        let config = EngineConfig { batch_windows: 16, ..EngineConfig::default() };
+        let arena = ocsvm::KernelRowArena::with_budget(32 << 20);
+        let mut plain = StreamEngine::new(&profiles, &vocab, config);
+        let mut charged =
+            StreamEngine::new(&profiles, &vocab, config).with_arena(std::sync::Arc::clone(&arena));
+        let mut plain_decisions = Vec::new();
+        let mut charged_decisions = Vec::new();
+        for tx in dataset.transactions().iter().take(2_000) {
+            plain_decisions.extend(plain.observe(*tx));
+            charged_decisions.extend(charged.observe(*tx));
+        }
+        plain_decisions.extend(plain.finish());
+        charged_decisions.extend(charged.finish());
+        assert_eq!(plain_decisions.len(), charged_decisions.len());
+        assert!(!charged_decisions.is_empty());
+        for (a, b) in plain_decisions.iter().zip(&charged_decisions) {
+            assert_eq!(a.device, b.device);
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.accepted_by, b.accepted_by);
+            assert_eq!(a.vote, b.vote);
+        }
+        let stats = arena.stats();
+        assert!(stats.fills > 0, "non-linear scoring must charge rows to the arena");
+        assert!(stats.bytes <= stats.budget, "arena budget respected");
     }
 
     #[test]

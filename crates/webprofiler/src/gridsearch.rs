@@ -14,13 +14,19 @@
 //!    the combination with maximal `ACC = ACCself − ACCother`.
 
 use crate::metrics::{AcceptanceSummary, ConfusionMatrix};
-use crate::profile::{ModelKind, ProfileParams};
+use crate::profile::{ModelKind, ProfileParams, UserProfile};
+use crate::schedule::{self, run_chains};
 use crate::trainer::{parallel_map, subsample_evenly, ProfileTrainer};
 use crate::vocab::Vocabulary;
 use crate::window::WindowConfig;
-use ocsvm::{CrossGram, GramMatrix, Kernel, KernelKind, SparseVector};
+use ocsvm::{
+    ArenaCrossGram, ArenaGram, ArenaStats, CrossGram, GramMatrix, Kernel, KernelKind,
+    KernelRowArena, SparseVector,
+};
 use proxylog::{Dataset, UserId};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Per-user window feature vectors, the shared input of both grid-search
 /// stages (computing them once per window configuration dominates the cost
@@ -140,7 +146,59 @@ pub struct ModelGridCell {
     pub summary: AcceptanceSummary,
 }
 
+/// Counters describing one [`ModelGridSearch::sweep_cells`] run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepStats {
+    /// Users swept.
+    pub users: usize,
+    /// (user, kernel) chains scheduled.
+    pub chains: usize,
+    /// Cells that trained and scored successfully.
+    pub cells: u64,
+    /// Cell tasks executed (includes cells whose training failed).
+    pub executed: u64,
+    /// Tasks obtained by work stealing.
+    pub steals: u64,
+    /// Workers the scheduler ran with.
+    pub workers: usize,
+    /// Cells solved from a warm-start `α` seed.
+    pub warm_cells: u64,
+    /// Cells solved from the cold uniform start.
+    pub cold_cells: u64,
+    /// SMO iterations spent in warm-started cells.
+    pub warm_iterations: u64,
+    /// SMO iterations spent in cold-started cells.
+    pub cold_iterations: u64,
+    /// Kernel-row arena activity during the sweep (delta, not lifetime).
+    pub arena: ArenaStats,
+}
+
+impl SweepStats {
+    /// Mean SMO iterations per warm-started cell.
+    pub fn warm_iterations_per_cell(&self) -> f64 {
+        if self.warm_cells == 0 {
+            return 0.0;
+        }
+        self.warm_iterations as f64 / self.warm_cells as f64
+    }
+
+    /// Mean SMO iterations per cold-started cell.
+    pub fn cold_iterations_per_cell(&self) -> f64 {
+        if self.cold_cells == 0 {
+            return 0.0;
+        }
+        self.cold_iterations as f64 / self.cold_cells as f64
+    }
+}
+
 /// Stage 2: per-user kernel and `ν`/`C` sweep (Tab. III).
+///
+/// The sweep is executed by a work-stealing scheduler over *chains*: one
+/// chain per (user, kernel), walking the regularization ladder so each
+/// cell's `α` solution can warm-start the next (opt in with
+/// [`warm_start`](Self::warm_start)). Kernel rows are cached in a
+/// process-wide, memory-budgeted [`KernelRowArena`] shared by training and
+/// scoring (override with [`arena`](Self::arena)).
 #[derive(Debug, Clone)]
 pub struct ModelGridSearch<'a> {
     vocab: &'a Vocabulary,
@@ -148,6 +206,9 @@ pub struct ModelGridSearch<'a> {
     kind: ModelKind,
     max_other_windows: usize,
     regularizations: Vec<f64>,
+    warm_start: bool,
+    arena: Option<Arc<KernelRowArena>>,
+    workers: Option<usize>,
 }
 
 impl<'a> ModelGridSearch<'a> {
@@ -168,7 +229,38 @@ impl<'a> ModelGridSearch<'a> {
             kind,
             max_other_windows: 150,
             regularizations: Self::PAPER_REGULARIZATIONS.to_vec(),
+            warm_start: false,
+            arena: None,
+            workers: None,
         }
+    }
+
+    /// Enables warm-start `α`-seeding between adjacent regularization
+    /// values of a chain (default off). Seeding does not change the
+    /// optimization problem — a seeded solve reaches the same objective —
+    /// but the solver stops anywhere inside its KKT tolerance band, so
+    /// knife-edge acceptance decisions (windows whose decision value is
+    /// `≈ 0`) may land differently than from a cold start. Leave it off to
+    /// reproduce the cold-start sweep bit-for-bit; turn it on to cut SMO
+    /// iterations on fine regularization ladders.
+    pub fn warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
+
+    /// Uses a specific kernel-row arena instead of the process-wide
+    /// [`KernelRowArena::global`] default, e.g. one with a custom byte
+    /// budget for this sweep.
+    pub fn arena(mut self, arena: Arc<KernelRowArena>) -> Self {
+        self.arena = Some(arena);
+        self
+    }
+
+    /// Pins the scheduler's worker count (defaults to the machine's
+    /// available parallelism; `1` forces a sequential sweep).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
     }
 
     /// Caps the windows sampled from each *other* user when estimating
@@ -280,23 +372,10 @@ impl<'a> ModelGridSearch<'a> {
                     profile.batch_decision_values(&probes),
                 ),
             };
-            let accepted = self_values.iter().filter(|&&v| v >= 0.0).count();
-            let acc_self = accepted as f64 / own.len() as f64;
-            let others: Vec<f64> = ranges
-                .iter()
-                .map(|&(start, end)| {
-                    if start == end {
-                        return 0.0;
-                    }
-                    let accepted = probe_values[start..end].iter().filter(|&&v| v >= 0.0).count();
-                    accepted as f64 / (end - start) as f64
-                })
-                .collect();
-            let acc_other = mean(&others);
             Some(ModelGridCell {
                 kernel: kernel_kind,
                 regularization,
-                summary: AcceptanceSummary { acc_self, acc_other },
+                summary: acceptance_summary(own.len(), &ranges, &self_values, &probe_values),
             })
         });
         results.into_iter().flatten().collect()
@@ -319,24 +398,281 @@ impl<'a> ModelGridSearch<'a> {
         })
     }
 
-    /// Optimizes every user in the window sets, in parallel.
+    /// Optimizes every user in the window sets through the work-stealing
+    /// sweep (see [`sweep_all`](Self::sweep_all), whose statistics this
+    /// convenience wrapper discards).
     ///
     /// The `ACCother` window samples are drawn once and shared by reference
-    /// across all users' sweeps. Memory scales with the per-user Gram
-    /// matrices held by in-flight sweeps (`O(l²)` each), so cap the window
-    /// sets (see [`compute_window_sets`]) on large datasets.
+    /// across all users' sweeps. Kernel rows live in the shared
+    /// [`KernelRowArena`], so memory is bounded by the arena budget rather
+    /// than the sum of per-user Gram matrices.
     pub fn optimize_all(&self, windows: &WindowSets) -> BTreeMap<UserId, ProfileParams> {
-        let samples = self.other_window_samples(windows);
-        let users: Vec<UserId> = windows.keys().copied().collect();
-        let results = parallel_map(&users, |&user| {
-            self.pick_best(self.run_user_sampled(windows, &samples, user))
-        });
-        users
-            .into_iter()
-            .zip(results)
-            .filter_map(|(user, params)| params.map(|p| (user, p)))
-            .collect()
+        self.sweep_all(windows).0
     }
+
+    /// Optimizes every user and reports sweep statistics: best parameters
+    /// per user (maximal `ACC`, ties broken exactly as
+    /// [`best_for_user`](Self::best_for_user)) plus scheduler / warm-start /
+    /// arena counters.
+    pub fn sweep_all(&self, windows: &WindowSets) -> (BTreeMap<UserId, ProfileParams>, SweepStats) {
+        let (cells, stats) = self.sweep_cells(windows);
+        let best = cells
+            .into_iter()
+            .filter_map(|(user, cells)| self.pick_best(cells).map(|p| (user, p)))
+            .collect();
+        (best, stats)
+    }
+
+    /// Evaluates every (user, kernel, regularization) cell of the sweep on
+    /// the work-stealing scheduler, returning each user's cells (ordered by
+    /// kernel, then regularization — the same order
+    /// [`run_user`](Self::run_user) produces) and the sweep statistics.
+    ///
+    /// The sweep is decomposed into one *chain* per (user, kernel). A chain
+    /// walks [`regularizations`](Self::regularizations) in order, and each
+    /// finished cell's `α` vector seeds the next cell's solver (when
+    /// [`warm_start`](Self::warm_start) is on; a failed cell passes the
+    /// last good seed along). Chains are independent and scheduled across
+    /// workers with work stealing, so one expensive user cannot serialize
+    /// the sweep. All kernel rows — training and probe scoring — are cached
+    /// in the shared memory-budgeted arena keyed by user, kernel and a
+    /// content fingerprint.
+    pub fn sweep_cells(
+        &self,
+        windows: &WindowSets,
+    ) -> (BTreeMap<UserId, Vec<ModelGridCell>>, SweepStats) {
+        let samples = self.other_window_samples(windows);
+        let arena = self.arena.clone().unwrap_or_else(|| Arc::clone(KernelRowArena::global()));
+        let arena_before = arena.stats();
+        let n_features = self.vocab.n_features();
+
+        // Per-user context shared by the user's chains: own windows and the
+        // flattened `ACCother` probes with their per-user ranges (identical
+        // construction to `run_user_sampled`).
+        struct UserCtx<'w> {
+            user: UserId,
+            own: &'w [SparseVector],
+            own_refs: Vec<&'w SparseVector>,
+            probes: Vec<&'w SparseVector>,
+            ranges: Vec<(usize, usize)>,
+        }
+        let contexts: Vec<UserCtx<'_>> = windows
+            .iter()
+            .filter(|(_, own)| !own.is_empty())
+            .map(|(&user, own)| {
+                let mut probes: Vec<&SparseVector> = Vec::new();
+                let mut ranges: Vec<(usize, usize)> = Vec::new();
+                for (_, w) in samples.iter().filter(|&(&u, _)| u != user) {
+                    let start = probes.len();
+                    probes.extend(w.iter().copied());
+                    ranges.push((start, probes.len()));
+                }
+                UserCtx { user, own, own_refs: own.iter().collect(), probes, ranges }
+            })
+            .collect();
+
+        // One chain per (user, kernel), in user-major / `KernelKind::ALL`
+        // order so reassembled cells match the legacy cell order (and thus
+        // `pick_best`'s tie-breaking) exactly.
+        struct Chain<'w> {
+            ctx: usize,
+            kind: KernelKind,
+            kernel: Kernel,
+            gram: ArenaGram<'w>,
+            cross: Option<ArenaCrossGram<'w>>,
+        }
+        let chains: Vec<Chain<'_>> = contexts
+            .iter()
+            .enumerate()
+            .flat_map(|(ctx_idx, ctx)| {
+                let arena = &arena;
+                KernelKind::ALL.iter().map(move |&kind| {
+                    let kernel = Kernel::default_for(kind, n_features);
+                    let owner = u64::from(ctx.user.0);
+                    let cross = (kernel != Kernel::Linear).then(|| {
+                        ArenaCrossGram::new(kernel, ctx.own, ctx.probes.clone(), arena, owner)
+                    });
+                    Chain {
+                        ctx: ctx_idx,
+                        kind,
+                        kernel,
+                        gram: ArenaGram::new(kernel, ctx.own, arena, owner),
+                        cross,
+                    }
+                })
+            })
+            .collect();
+
+        struct CellTask {
+            chain: usize,
+            reg_idx: usize,
+            seed: Option<Vec<f64>>,
+            cells: Vec<ModelGridCell>,
+        }
+        let seeds: Vec<CellTask> = (0..chains.len())
+            .map(|chain| CellTask {
+                chain,
+                reg_idx: 0,
+                seed: None,
+                cells: Vec::with_capacity(self.regularizations.len()),
+            })
+            .collect();
+
+        let finished: Mutex<Vec<Option<Vec<ModelGridCell>>>> =
+            Mutex::new((0..chains.len()).map(|_| None).collect());
+        let ok_cells = AtomicU64::new(0);
+        let warm_cells = AtomicU64::new(0);
+        let cold_cells = AtomicU64::new(0);
+        let warm_iterations = AtomicU64::new(0);
+        let cold_iterations = AtomicU64::new(0);
+
+        let steal_stats = run_chains(
+            seeds,
+            self.workers.unwrap_or_else(schedule::default_workers),
+            |mut task: CellTask| {
+                let chain = &chains[task.chain];
+                let ctx = &contexts[chain.ctx];
+                let regularization = self.regularizations[task.reg_idx];
+                let trainer = ProfileTrainer::new(self.vocab)
+                    .window(self.window)
+                    .kind(self.kind)
+                    .kernel(chain.kernel)
+                    .regularization(regularization);
+                let seed = if self.warm_start { task.seed.as_deref() } else { None };
+                let warm = seed.is_some();
+                if let Ok((profile, alpha)) =
+                    trainer.train_from_vectors_seeded(ctx.user, ctx.own, &chain.gram, seed)
+                {
+                    let iterations = profile.diagnostics().iterations as u64;
+                    if warm {
+                        warm_cells.fetch_add(1, Ordering::Relaxed);
+                        warm_iterations.fetch_add(iterations, Ordering::Relaxed);
+                    } else {
+                        cold_cells.fetch_add(1, Ordering::Relaxed);
+                        cold_iterations.fetch_add(iterations, Ordering::Relaxed);
+                    }
+                    task.cells.push(self.evaluate_cell(&profile, chain.kind, regularization, {
+                        CellInputs {
+                            gram: &chain.gram,
+                            cross: chain.cross.as_ref(),
+                            own_refs: &ctx.own_refs,
+                            probes: &ctx.probes,
+                            ranges: &ctx.ranges,
+                        }
+                    }));
+                    ok_cells.fetch_add(1, Ordering::Relaxed);
+                    // This solution seeds the chain's next regularization.
+                    task.seed = Some(alpha);
+                }
+                task.reg_idx += 1;
+                if task.reg_idx < self.regularizations.len() {
+                    Some(task)
+                } else {
+                    finished.lock().expect("sweep results lock")[task.chain] =
+                        Some(std::mem::take(&mut task.cells));
+                    None
+                }
+            },
+        );
+
+        // Reassemble per user, chains in `KernelKind::ALL` order, cells in
+        // regularization order — the legacy cell order.
+        let mut finished = finished.into_inner().expect("sweep results lock");
+        let mut by_user: BTreeMap<UserId, Vec<ModelGridCell>> =
+            windows.keys().map(|&user| (user, Vec::new())).collect();
+        for (chain_idx, chain) in chains.iter().enumerate() {
+            let cells = finished[chain_idx].take().unwrap_or_default();
+            by_user
+                .get_mut(&contexts[chain.ctx].user)
+                .expect("chain user present in window sets")
+                .extend(cells);
+        }
+
+        let stats = SweepStats {
+            users: contexts.len(),
+            chains: chains.len(),
+            cells: ok_cells.into_inner(),
+            executed: steal_stats.executed,
+            steals: steal_stats.steals,
+            workers: steal_stats.workers,
+            warm_cells: warm_cells.into_inner(),
+            cold_cells: cold_cells.into_inner(),
+            warm_iterations: warm_iterations.into_inner(),
+            cold_iterations: cold_iterations.into_inner(),
+            arena: arena.stats().since(&arena_before),
+        };
+        (by_user, stats)
+    }
+
+    /// Scores one trained cell: decision values over the user's own windows
+    /// and over the flattened probe set, reduced to `ACCself`/`ACCother`.
+    /// Non-linear kernels read shared (arena-cached) rows; linear models
+    /// score through their collapsed weight vector, bit-identical to
+    /// per-point decisions.
+    fn evaluate_cell(
+        &self,
+        profile: &UserProfile,
+        kind: KernelKind,
+        regularization: f64,
+        inputs: CellInputs<'_, '_>,
+    ) -> ModelGridCell {
+        let shared = inputs.cross.and_then(|cross| {
+            Some((
+                profile.training_decision_values(inputs.gram)?,
+                profile.cross_decision_values(cross)?,
+            ))
+        });
+        let (self_values, probe_values) = match shared {
+            Some(values) => values,
+            None => (
+                profile.batch_decision_values(inputs.own_refs),
+                profile.batch_decision_values(inputs.probes),
+            ),
+        };
+        ModelGridCell {
+            kernel: kind,
+            regularization,
+            summary: acceptance_summary(
+                inputs.own_refs.len(),
+                inputs.ranges,
+                &self_values,
+                &probe_values,
+            ),
+        }
+    }
+}
+
+/// Borrowed inputs of one sweep-cell evaluation.
+struct CellInputs<'c, 'w> {
+    gram: &'c ArenaGram<'w>,
+    cross: Option<&'c ArenaCrossGram<'w>>,
+    own_refs: &'c [&'w SparseVector],
+    probes: &'c [&'w SparseVector],
+    ranges: &'c [(usize, usize)],
+}
+
+/// `ACCself`/`ACCother` from decision values: acceptance over the user's
+/// own windows, and the mean of the per-user acceptance over each other
+/// user's probe range.
+fn acceptance_summary(
+    own_len: usize,
+    ranges: &[(usize, usize)],
+    self_values: &[f64],
+    probe_values: &[f64],
+) -> AcceptanceSummary {
+    let accepted = self_values.iter().filter(|&&v| v >= 0.0).count();
+    let acc_self = accepted as f64 / own_len as f64;
+    let others: Vec<f64> = ranges
+        .iter()
+        .map(|&(start, end)| {
+            if start == end {
+                return 0.0;
+            }
+            let accepted = probe_values[start..end].iter().filter(|&&v| v >= 0.0).count();
+            accepted as f64 / (end - start) as f64
+        })
+        .collect();
+    AcceptanceSummary { acc_self, acc_other: mean(&others) }
 }
 
 #[cfg(test)]
@@ -404,6 +740,143 @@ mod tests {
             })
             .unwrap();
         assert!((chosen.summary.acc() - best_acc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_cells_without_warm_start_is_bit_identical_to_legacy_path() {
+        let dataset = small_dataset();
+        let vocab = Vocabulary::new(dataset.taxonomy().clone());
+        let sets = compute_window_sets(&vocab, &dataset, WindowConfig::PAPER_DEFAULT, Some(40));
+        for kind in ModelKind::ALL {
+            let search = ModelGridSearch::new(&vocab, WindowConfig::PAPER_DEFAULT, kind)
+                .regularizations(vec![0.9, 0.5, 0.1])
+                .warm_start(false)
+                .arena(ocsvm::KernelRowArena::with_budget(64 << 20));
+            let (swept, stats) = search.sweep_cells(&sets);
+            assert_eq!(swept.len(), sets.len());
+            assert!(stats.cells > 0);
+            assert_eq!(stats.warm_cells, 0, "warm start was disabled");
+            let samples = search.other_window_samples(&sets);
+            for (&user, cells) in &swept {
+                let legacy = search.run_user_sampled(&sets, &samples, user);
+                assert_eq!(cells.len(), legacy.len(), "{kind} {user}");
+                for (cell, expected) in cells.iter().zip(&legacy) {
+                    assert_eq!(cell.kernel, expected.kernel, "{kind} {user}");
+                    assert_eq!(cell.regularization, expected.regularization);
+                    // Bit-exact: identical rows, identical solver path.
+                    assert_eq!(cell.summary.acc_self, expected.summary.acc_self, "{kind} {user}");
+                    assert_eq!(cell.summary.acc_other, expected.summary.acc_other, "{kind} {user}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_started_sweep_selects_equally_good_parameters() {
+        let dataset = small_dataset();
+        let vocab = Vocabulary::new(dataset.taxonomy().clone());
+        let sets = compute_window_sets(&vocab, &dataset, WindowConfig::PAPER_DEFAULT, Some(40));
+        let search = ModelGridSearch::new(&vocab, WindowConfig::PAPER_DEFAULT, ModelKind::Svdd)
+            .regularizations(vec![0.9, 0.7, 0.5, 0.3, 0.1])
+            .warm_start(true)
+            .arena(ocsvm::KernelRowArena::with_budget(64 << 20));
+        let (warm_best, stats) = search.sweep_all(&sets);
+        assert!(stats.warm_cells > 0, "ladder cells after the first should be seeded");
+        assert!(stats.arena.hits > 0, "regularization ladder must reuse arena rows");
+        assert_eq!(warm_best.len(), sets.len());
+        // Warm-started solves stop at a different point inside the solver's
+        // KKT tolerance band, so the selected cell may differ from the cold
+        // sweep's on knife-edge ties — but judged by the *cold* sweep's own
+        // scores, the warm selection must be essentially as good as the
+        // cold optimum.
+        let samples = search.other_window_samples(&sets);
+        for (&user, params) in &warm_best {
+            let legacy = search.run_user_sampled(&sets, &samples, user);
+            let best_acc = legacy.iter().map(|c| c.summary.acc()).fold(f64::NEG_INFINITY, f64::max);
+            let chosen = legacy
+                .iter()
+                .find(|c| {
+                    Kernel::default_for(c.kernel, vocab.n_features()) == params.kernel
+                        && c.regularization == params.regularization
+                })
+                .expect("warm selection is a cell of the legacy sweep");
+            assert!(
+                chosen.summary.acc() >= best_acc - 0.1,
+                "{user}: warm pick acc {} vs cold best {best_acc}",
+                chosen.summary.acc()
+            );
+        }
+    }
+
+    #[test]
+    fn optimize_all_routes_through_the_sweep() {
+        let dataset = small_dataset();
+        let vocab = Vocabulary::new(dataset.taxonomy().clone());
+        let sets = compute_window_sets(&vocab, &dataset, WindowConfig::PAPER_DEFAULT, Some(30));
+        let search = ModelGridSearch::new(&vocab, WindowConfig::PAPER_DEFAULT, ModelKind::OcSvm)
+            .regularizations(vec![0.5, 0.1])
+            .arena(ocsvm::KernelRowArena::with_budget(64 << 20));
+        let best = search.optimize_all(&sets);
+        let (swept, _) = search.sweep_all(&sets);
+        assert_eq!(best, swept);
+    }
+
+    #[test]
+    fn sweep_respects_a_tiny_arena_budget() {
+        let dataset = small_dataset();
+        let vocab = Vocabulary::new(dataset.taxonomy().clone());
+        let sets = compute_window_sets(&vocab, &dataset, WindowConfig::PAPER_DEFAULT, Some(30));
+        // A budget far below the working set: rows evict constantly, yet
+        // results must match the unconstrained sweep exactly.
+        let tight = ModelGridSearch::new(&vocab, WindowConfig::PAPER_DEFAULT, ModelKind::Svdd)
+            .regularizations(vec![0.5, 0.1])
+            .warm_start(false)
+            .arena(ocsvm::KernelRowArena::with_budget(16 << 10));
+        let roomy = ModelGridSearch::new(&vocab, WindowConfig::PAPER_DEFAULT, ModelKind::Svdd)
+            .regularizations(vec![0.5, 0.1])
+            .warm_start(false)
+            .arena(ocsvm::KernelRowArena::with_budget(64 << 20));
+        let (tight_cells, tight_stats) = tight.sweep_cells(&sets);
+        let (roomy_cells, _) = roomy.sweep_cells(&sets);
+        assert!(tight_stats.arena.evictions > 0, "tiny budget must evict");
+        assert!(tight_stats.arena.bytes <= 16 << 10, "budget respected after the sweep");
+        for (user, cells) in &tight_cells {
+            let other = &roomy_cells[user];
+            assert_eq!(cells.len(), other.len());
+            for (a, b) in cells.iter().zip(other) {
+                assert_eq!(a.summary.acc_self, b.summary.acc_self);
+                assert_eq!(a.summary.acc_other, b.summary.acc_other);
+            }
+        }
+    }
+
+    #[test]
+    fn other_window_subsamples_are_identical_across_kernels_and_entry_points() {
+        // Regression: every cell of a user's sweep must see the *same*
+        // `ACCother` probe subsample regardless of kernel and of whether the
+        // sweep entered through `run_user`, `optimize_all` or `sweep_cells`
+        // — otherwise ACCother differences between cells would reflect
+        // sampling noise, not model quality.
+        let dataset = small_dataset();
+        let vocab = Vocabulary::new(dataset.taxonomy().clone());
+        let sets = compute_window_sets(&vocab, &dataset, WindowConfig::PAPER_DEFAULT, Some(50));
+        let search = ModelGridSearch::new(&vocab, WindowConfig::PAPER_DEFAULT, ModelKind::Svdd)
+            .max_other_windows(7);
+        let first = search.other_window_samples(&sets);
+        let second = search.other_window_samples(&sets);
+        for (user, sample) in &first {
+            let again = &second[user];
+            assert_eq!(sample.len(), again.len());
+            for (a, b) in sample.iter().zip(again) {
+                assert!(std::ptr::eq(*a, *b), "subsample must pick identical windows");
+            }
+            // And the subsample is the canonical deterministic one.
+            let expected = subsample_evenly(sets[user].iter().collect::<Vec<_>>(), 7);
+            assert_eq!(sample.len(), expected.len());
+            for (a, b) in sample.iter().zip(&expected) {
+                assert!(std::ptr::eq(*a, *b));
+            }
+        }
     }
 
     #[test]

@@ -69,6 +69,7 @@ mod metrics;
 mod novelty;
 mod profile;
 mod roc;
+mod schedule;
 mod trainer;
 mod vocab;
 mod window;
@@ -80,8 +81,8 @@ pub use drift::DriftMonitor;
 pub use explain::{explain_decision, explanation_report, FeatureContribution};
 pub use features::{aggregate_window, aggregate_window_with, extract_transaction, AggregationMode};
 pub use gridsearch::{
-    compute_window_sets, ModelGridCell, ModelGridSearch, WindowGridRow, WindowGridSearch,
-    WindowSets,
+    compute_window_sets, ModelGridCell, ModelGridSearch, SweepStats, WindowGridRow,
+    WindowGridSearch, WindowSets,
 };
 pub use identify::{
     consecutive_window_vote, identify_on_device, majority_vote, IdentificationQuality,

@@ -140,12 +140,13 @@ impl UserProfile {
     }
 
     /// Decision values over the profile's training set, read from the
-    /// shared Gram matrix the profile was trained with (see
-    /// [`OcSvmModel::training_decision_values`]). `None` when the matrix
-    /// does not match or the model was deserialized.
-    pub(crate) fn training_decision_values(
+    /// shared kernel-row source the profile was trained with (a
+    /// [`ocsvm::GramMatrix`] or arena-backed [`ocsvm::ArenaGram`]; see
+    /// [`OcSvmModel::training_decision_values`]). `None` when the rows do
+    /// not match or the model was deserialized.
+    pub(crate) fn training_decision_values<G: ocsvm::KernelRows>(
         &self,
-        gram: &ocsvm::GramMatrix<'_>,
+        gram: &G,
     ) -> Option<Vec<f64>> {
         match &self.model {
             ProfileModel::OcSvm(m) => m.training_decision_values(gram),
@@ -153,12 +154,31 @@ impl UserProfile {
         }
     }
 
-    /// Decision values over a fixed probe set via a shared [`ocsvm::CrossGram`]
-    /// (see [`OcSvmModel::cross_decision_values`]).
-    pub(crate) fn cross_decision_values(&self, cross: &ocsvm::CrossGram<'_>) -> Option<Vec<f64>> {
+    /// Decision values over a fixed probe set via a shared cross-kernel
+    /// row source ([`ocsvm::CrossGram`] or [`ocsvm::ArenaCrossGram`]; see
+    /// [`OcSvmModel::cross_decision_values`]).
+    pub(crate) fn cross_decision_values<C: ocsvm::CrossRows>(&self, cross: &C) -> Option<Vec<f64>> {
         match &self.model {
             ProfileModel::OcSvm(m) => m.cross_decision_values(cross),
             ProfileModel::Svdd(m) => m.cross_decision_values(cross),
+        }
+    }
+
+    /// Like [`batch_decision_values`](Self::batch_decision_values), but
+    /// charges the kernel rows of non-linear models to a shared
+    /// [`ocsvm::KernelRowArena`] under `owner`, so repeated scoring of the
+    /// same probes (e.g. the streaming engine's per-batch loop) reuses rows
+    /// across calls instead of recomputing them. Bit-identical to the plain
+    /// batch path.
+    pub fn batch_decision_values_in(
+        &self,
+        features: &[&SparseVector],
+        arena: &std::sync::Arc<ocsvm::KernelRowArena>,
+        owner: u64,
+    ) -> Vec<f64> {
+        match &self.model {
+            ProfileModel::OcSvm(m) => m.batch_decision_values_in(features, arena, owner),
+            ProfileModel::Svdd(m) => m.batch_decision_values_in(features, arena, owner),
         }
     }
 }

@@ -227,28 +227,68 @@ impl<'a> ProfileTrainer<'a> {
         vectors: &[SparseVector],
         gram: &GramMatrix<'_>,
     ) -> Result<UserProfile, ProfileError> {
+        self.train_from_vectors_with_rows(user, vectors, gram)
+    }
+
+    /// Trains a profile from precomputed window vectors and any shared
+    /// kernel-row source — a [`GramMatrix`] or an arena-backed
+    /// [`ocsvm::ArenaGram`] whose rows are cached process-wide under a
+    /// memory budget. Numerically identical to
+    /// [`train_from_vectors_with_gram`](Self::train_from_vectors_with_gram).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`train_from_vectors_with_gram`](Self::train_from_vectors_with_gram).
+    pub fn train_from_vectors_with_rows<G: ocsvm::KernelRows>(
+        &self,
+        user: UserId,
+        vectors: &[SparseVector],
+        rows: &G,
+    ) -> Result<UserProfile, ProfileError> {
+        Ok(self.train_from_vectors_seeded(user, vectors, rows, None)?.0)
+    }
+
+    /// Like [`train_from_vectors_with_rows`](Self::train_from_vectors_with_rows),
+    /// but optionally warm-starts the solver from the `α` vector of an
+    /// adjacent regularization's solution, and returns this solution's full
+    /// `α` so the caller can seed the next value of its ladder. Seeding
+    /// changes the iteration count, not the optimum (the problem is convex).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`train_from_vectors_with_gram`](Self::train_from_vectors_with_gram).
+    pub fn train_from_vectors_seeded<G: ocsvm::KernelRows>(
+        &self,
+        user: UserId,
+        vectors: &[SparseVector],
+        rows: &G,
+        seed: Option<&[f64]>,
+    ) -> Result<(UserProfile, Vec<f64>), ProfileError> {
         if vectors.is_empty() {
             return Err(ProfileError::NoWindows { user });
         }
-        let model = match self.params.kind {
-            ModelKind::OcSvm => ProfileModel::OcSvm(
-                NuOcSvm::new(self.params.regularization, self.params.kernel)
+        let (model, alpha) = match self.params.kind {
+            ModelKind::OcSvm => {
+                let (m, alpha) = NuOcSvm::new(self.params.regularization, self.params.kernel)
                     .with_options(self.solver)
-                    .train_with_gram(vectors, gram)?,
-            ),
-            ModelKind::Svdd => ProfileModel::Svdd(
-                Svdd::new(self.params.regularization, self.params.kernel)
+                    .train_with_rows_seeded(vectors, rows, seed)?;
+                (ProfileModel::OcSvm(m), alpha)
+            }
+            ModelKind::Svdd => {
+                let (m, alpha) = Svdd::new(self.params.regularization, self.params.kernel)
                     .with_options(self.solver)
-                    .train_with_gram(vectors, gram)?,
-            ),
+                    .train_with_rows_seeded(vectors, rows, seed)?;
+                (ProfileModel::Svdd(m), alpha)
+            }
         };
-        Ok(UserProfile {
+        let profile = UserProfile {
             user,
             params: self.params,
             window: self.window,
             model,
             training_windows: vectors.len(),
-        })
+        };
+        Ok((profile, alpha))
     }
 
     /// Trains profiles for every user in the dataset, in parallel.

@@ -37,16 +37,39 @@ fn grid_search_computes_each_gram_once_and_cells_match_legacy_path() {
     );
     assert!(!cells.is_empty());
 
-    // (b) The all-users optimization: once per (user, kernel).
+    // (b) The all-users optimization goes through the shared kernel-row
+    // arena: it builds no per-user GramMatrix at all, fills every distinct
+    // (user, kernel, row) at most once, and serves the regularization
+    // ladder's repeated row reads from cache.
+    let arena_search = search.clone().arena(ocsvm::KernelRowArena::with_budget(256 << 20));
     let before = GramMatrix::computations();
-    let best = search.optimize_all(&sets);
-    let delta = GramMatrix::computations() - before;
+    let (best, stats) = arena_search.sweep_all(&sets);
     assert_eq!(
-        delta,
-        (sets.len() * KernelKind::ALL.len()) as u64,
-        "optimize_all must compute one Gram matrix per (user, kernel)"
+        GramMatrix::computations() - before,
+        0,
+        "the arena-backed sweep must not build GramMatrix objects"
     );
+    // Distinct rows: per user, one Gram row per window for each of the 4
+    // kernels, plus one cross row per window for the 3 non-linear kernels.
+    let distinct_rows: u64 = sets
+        .values()
+        .map(|w| (w.len() * (KernelKind::ALL.len() + KernelKind::ALL.len() - 1)) as u64)
+        .sum();
+    assert!(
+        stats.arena.fills <= distinct_rows,
+        "each distinct row fills at most once: {} > {distinct_rows}",
+        stats.arena.fills
+    );
+    assert!(stats.arena.fills <= stats.arena.misses);
+    assert!(
+        stats.arena.hits > stats.arena.fills,
+        "the 15-value ladder must reuse cached rows (hits {}, fills {})",
+        stats.arena.hits,
+        stats.arena.fills
+    );
+    assert_eq!(stats.arena.evictions, 0, "budget is ample for the quick-test corpus");
     assert!(best.contains_key(&user), "most active user optimizes");
+    assert_eq!(stats.chains, sets.len() * KernelKind::ALL.len());
 
     // (c) Cell parity with the legacy per-cell training path: retrain every
     // (kernel, regularization) combination without the shared Gram matrix
