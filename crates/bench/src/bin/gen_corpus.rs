@@ -1,33 +1,111 @@
-//! Corpus exporter: generates a synthetic benchmark corpus and writes it
-//! to disk in the text and/or binary log formats, for use by external
-//! tools or to pin a corpus for repeated experiments.
+//! Corpus exporter and generation benchmark.
+//!
+//! Default mode generates a synthetic benchmark corpus and writes it to
+//! disk in the text and/or binary log formats, for use by external tools
+//! or to pin a corpus for repeated experiments:
 //!
 //! ```text
 //! cargo run -p bench --bin gen_corpus --release -- \
-//!     [--weeks N] [--rate F] [--seed N] [--out DIR] [--text-only|--binary-only]
+//!     [--weeks N] [--rate F] [--seed N] [--users N] [--devices N] \
+//!     [--threads N] [--out DIR] [--text-only|--binary-only] \
+//!     [--stream [--shard-tx N]]
+//! ```
+//!
+//! `--stream` switches the writer to the sharded streaming sink
+//! (`corpus-*-NNNN.log` text shards of at most `--shard-tx` transactions
+//! each, default 1,000,000), which never holds the corpus in memory —
+//! the path for corpora larger than RAM. `--users/--devices` scale the
+//! population beyond the paper's 36/35 (`Scenario::scaled`).
+//!
+//! Benchmark mode (`--json PATH`, optionally `--smoke` for the quick CI
+//! shape) instead measures generation throughput — the serial reference
+//! path against the sharded parallel path — and writes the flat
+//! `BENCH_gen.json` the perf gate compares:
+//!
+//! ```text
+//! cargo run -p bench --bin gen_corpus --release -- --smoke --json BENCH_gen.json
+//! cargo run -p bench --bin gen_corpus --release -- --weeks 4 --rate 1.0 \
+//!     --threads 8 --json BENCH_gen.json
 //! ```
 
-use bench::ExperimentConfig;
+use bench::{json, ExperimentConfig};
 use proxylog::{write_binary_log, write_log, CorpusSummary};
 use std::fs::File;
 use std::io::BufWriter;
 use std::path::PathBuf;
-use tracegen::TraceGenerator;
+use std::time::Instant;
+use tracegen::{CountingSink, GenStats, Scenario, ShardedLogSink, TraceGenerator};
 
 fn main() -> std::io::Result<()> {
     let config = ExperimentConfig::parse(4);
+    let threads = flag_or("--threads", 0usize);
+    let scenario = scenario_from_flags(&config);
+
+    if ExperimentConfig::arg_value("--json").is_some() || ExperimentConfig::has_flag("--smoke") {
+        benchmark(scenario, threads);
+        return Ok(());
+    }
+    export(scenario, &config, threads)
+}
+
+/// The corpus scenario: the standard evaluation shape, optionally scaled
+/// to a non-paper population via `--users`/`--devices`.
+fn scenario_from_flags(config: &ExperimentConfig) -> Scenario {
+    let mut scenario = if ExperimentConfig::has_flag("--smoke") {
+        Scenario::evaluation(1, 0.3).with_seed(config.seed)
+    } else {
+        config.scenario()
+    };
+    if let Some(users) = ExperimentConfig::arg_value("--users") {
+        scenario.users = users.parse().expect("--users takes an integer");
+    }
+    if let Some(devices) = ExperimentConfig::arg_value("--devices") {
+        scenario.devices = devices.parse().expect("--devices takes an integer");
+    }
+    scenario
+}
+
+fn generator(scenario: Scenario, threads: usize) -> TraceGenerator {
+    let generator = TraceGenerator::new(scenario);
+    if threads > 0 {
+        generator.with_workers(threads)
+    } else {
+        generator
+    }
+}
+
+/// Corpus export: generate and write log files.
+fn export(scenario: Scenario, config: &ExperimentConfig, threads: usize) -> std::io::Result<()> {
     let out_dir =
         PathBuf::from(ExperimentConfig::arg_value("--out").unwrap_or_else(|| "corpus".into()));
     std::fs::create_dir_all(&out_dir)?;
-
+    let generator = generator(scenario, threads);
     eprintln!(
-        "# generating ({} weeks, rate {}, seed {})...",
-        config.weeks, config.rate, config.seed
+        "# generating ({} users, {} devices, {} weeks, rate {}, seed {}, {} workers)...",
+        generator.scenario().users,
+        generator.scenario().devices,
+        generator.scenario().weeks,
+        generator.scenario().rate_multiplier,
+        generator.scenario().seed,
+        generator.workers(),
     );
-    let dataset = TraceGenerator::new(config.scenario()).generate();
-    println!("{}", CorpusSummary::measure(&dataset));
-
     let stem = format!("corpus-{}wk-seed{}", config.weeks, config.seed);
+
+    if ExperimentConfig::has_flag("--stream") {
+        // Streaming export: text shards, bounded memory, any corpus size.
+        let shard_tx = flag_or("--shard-tx", 1_000_000u64);
+        let taxonomy = generator.scenario().taxonomy.clone();
+        let mut sink = ShardedLogSink::create(&out_dir, &stem, taxonomy, shard_tx)?;
+        let streamed = generator.generate_streaming(&mut sink)?;
+        print_stats(&streamed.stats);
+        for path in sink.paths() {
+            println!("wrote {} ({} bytes)", path.display(), std::fs::metadata(path)?.len());
+        }
+        return Ok(());
+    }
+
+    let dataset = generator.generate();
+    println!("{}", CorpusSummary::measure(&dataset));
     if !ExperimentConfig::has_flag("--binary-only") {
         let path = out_dir.join(format!("{stem}.log"));
         let mut writer = BufWriter::new(File::create(&path)?);
@@ -41,4 +119,103 @@ fn main() -> std::io::Result<()> {
         println!("wrote {} ({} bytes)", path.display(), std::fs::metadata(&path)?.len());
     }
     Ok(())
+}
+
+/// Generation benchmark: serial reference vs sharded parallel throughput.
+fn benchmark(scenario: Scenario, threads: usize) {
+    let smoke = ExperimentConfig::has_flag("--smoke");
+    let reps = flag_or("--reps", if smoke { 3usize } else { 1 });
+    let generator = generator(scenario.clone(), threads);
+    let workers = generator.workers();
+
+    // Serial reference: the legacy single-pass pipeline, corpus collected
+    // and indexed in memory (best wall clock over the repetitions).
+    let mut serial_secs = f64::INFINITY;
+    let mut serial_len = 0usize;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        let trace = generator.generate_with_ground_truth_serial();
+        serial_secs = serial_secs.min(started.elapsed().as_secs_f64());
+        serial_len = trace.dataset.len();
+    }
+
+    // Parallel sharded path, streaming into a counting sink (no corpus
+    // retention — the data-substrate scale-out configuration).
+    let mut best: Option<GenStats> = None;
+    for _ in 0..reps.max(1) {
+        let mut sink = CountingSink::new();
+        let streamed = generator.generate_streaming(&mut sink).expect("counting sink cannot fail");
+        assert_eq!(
+            streamed.stats.transactions, serial_len as u64,
+            "parallel path must emit exactly the serial corpus"
+        );
+        if best.as_ref().is_none_or(|b| streamed.stats.total_secs < b.total_secs) {
+            best = Some(streamed.stats);
+        }
+    }
+    let stats = best.expect("at least one repetition");
+    let serial_tps = serial_len as f64 / serial_secs.max(1e-9);
+    let speedup = stats.tx_per_sec() / serial_tps.max(1e-9);
+
+    println!(
+        "CORPUS GENERATION ({} users, {} weeks, rate {}, {} workers)",
+        scenario.users, scenario.weeks, scenario.rate_multiplier, workers,
+    );
+    println!(
+        "  serial reference   {serial_secs:>10.3} s  ({serial_tps:.0} tx/s, {serial_len} transactions)"
+    );
+    println!(
+        "  parallel sharded   {:>10.3} s  ({:.0} tx/s, {:.2}x vs serial, {} steals)",
+        stats.total_secs,
+        stats.tx_per_sec(),
+        speedup,
+        stats.steals,
+    );
+    print_stats(&stats);
+
+    if let Some(path) = ExperimentConfig::arg_value("--json") {
+        let metrics = [
+            ("tx_per_sec", stats.tx_per_sec()),
+            ("serial_tx_per_sec", serial_tps),
+            ("speedup_vs_serial", speedup),
+            ("transactions", stats.transactions as f64),
+            ("sessions", stats.sessions as f64),
+            ("users", stats.users as f64),
+            ("workers", stats.workers as f64),
+            ("steals", stats.steals as f64),
+            ("setup_secs", stats.setup_secs),
+            ("profile_secs", stats.profile_secs),
+            ("booking_secs", stats.booking_secs),
+            ("emission_secs", stats.emission_secs),
+            ("total_secs", stats.total_secs),
+            ("peak_shard_transactions", stats.peak_shard_transactions as f64),
+        ];
+        std::fs::write(&path, json::emit(&metrics)).expect("writing generation metrics");
+        eprintln!("# wrote {path}");
+    }
+}
+
+fn print_stats(stats: &GenStats) {
+    println!(
+        "  stages             setup {:.3} s | profiles {:.3} s | booking {:.3} s | emission {:.3} s",
+        stats.setup_secs, stats.profile_secs, stats.booking_secs, stats.emission_secs,
+    );
+    println!(
+        "  {} transactions, {} sessions, {} users; peak shard {} tx ({} workers, {} steals)",
+        stats.transactions,
+        stats.sessions,
+        stats.users,
+        stats.peak_shard_transactions,
+        stats.workers,
+        stats.steals,
+    );
+}
+
+fn flag_or<T: std::str::FromStr>(name: &str, default: T) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    ExperimentConfig::arg_value(name)
+        .map(|v| v.parse().unwrap_or_else(|e| panic!("{name} parse error: {e:?}")))
+        .unwrap_or(default)
 }

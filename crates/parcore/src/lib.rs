@@ -1,0 +1,371 @@
+//! Dependency-free parallel execution primitives.
+//!
+//! This crate hosts the workspace's shared fan-out machinery: a
+//! work-stealing pool that runs *chains* of dependent tasks
+//! ([`run_chains`]), and order-preserving parallel maps built on plain
+//! `std::thread::scope` ([`parallel_map`], [`parallel_map_workers`],
+//! [`stealing_map_mut`]). It was extracted from `webprofiler::schedule`
+//! (which still re-exports it) so that `tracegen` and the benchmark
+//! binaries can use the same pool without a dependency cycle through the
+//! modeling crate.
+//!
+//! # Chains
+//!
+//! Workloads here decompose into independent *chains*: sequences of tasks
+//! where each task may produce a successor that must run after it (a
+//! grid-search cell seeding the next regularization, a user's sessions
+//! replayed in order against that user's RNG). Chains vary wildly in cost,
+//! so a static partition over threads leaves workers idle. [`run_chains`]
+//! runs them on a fixed pool of workers with per-worker deques and work
+//! stealing, built on `std::sync` only (no external dependencies).
+//!
+//! Each worker owns a deque: it pushes and pops its own tasks LIFO
+//! (keeping a chain's successor hot in cache on the worker that produced
+//! its predecessor) and steals from other workers FIFO (taking the oldest
+//! — typically largest remaining — task). Termination uses a shared
+//! pending-task counter: a worker pushes a chain's successor *before*
+//! decrementing the counter, so the count never reaches zero while work
+//! remains.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! // Three countdown chains totalling 9 steps, on 2 workers.
+//! let sum = AtomicU64::new(0);
+//! let stats = parcore::run_chains(vec![3u32, 1, 5], 2, |n| {
+//!     sum.fetch_add(1, Ordering::Relaxed);
+//!     (n > 1).then(|| n - 1)
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), 9);
+//! assert_eq!(stats.executed, 9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Counters describing one [`run_chains`] execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StealStats {
+    /// Number of tasks executed across all workers (chain steps, not chains).
+    pub executed: u64,
+    /// Number of tasks a worker obtained from another worker's deque.
+    pub steals: u64,
+    /// Number of workers the pool ran with (1 means sequential fast path).
+    pub workers: usize,
+}
+
+impl StealStats {
+    /// Accumulates another run's counters into this one (workers takes the
+    /// maximum, so a stats object summed over stages reports the widest
+    /// fan-out used).
+    pub fn merge(&mut self, other: StealStats) {
+        self.executed += other.executed;
+        self.steals += other.steals;
+        self.workers = self.workers.max(other.workers);
+    }
+}
+
+struct Pool<T> {
+    deques: Vec<Mutex<VecDeque<T>>>,
+    /// Tasks pushed but not yet completed. A step that yields a successor
+    /// pushes it before decrementing, keeping the count positive while any
+    /// chain still has work.
+    pending: AtomicUsize,
+    steals: AtomicUsize,
+    executed: AtomicUsize,
+}
+
+impl<T> Pool<T> {
+    fn new(workers: usize, seeds: Vec<T>) -> Self {
+        let deques: Vec<Mutex<VecDeque<T>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        let pending = seeds.len();
+        for (i, seed) in seeds.into_iter().enumerate() {
+            deques[i % workers].lock().unwrap().push_back(seed);
+        }
+        Pool {
+            deques,
+            pending: AtomicUsize::new(pending),
+            steals: AtomicUsize::new(0),
+            executed: AtomicUsize::new(0),
+        }
+    }
+
+    /// Pop from our own deque (LIFO), falling back to stealing the oldest
+    /// task from another worker's deque (FIFO), scanning round-robin.
+    fn obtain(&self, me: usize) -> Option<T> {
+        if let Some(task) = self.deques[me].lock().unwrap().pop_back() {
+            return Some(task);
+        }
+        let n = self.deques.len();
+        for offset in 1..n {
+            let victim = (me + offset) % n;
+            if let Some(task) = self.deques[victim].lock().unwrap().pop_front() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn work(&self, me: usize, step: &(impl Fn(T) -> Option<T> + Sync)) {
+        loop {
+            match self.obtain(me) {
+                Some(task) => {
+                    self.executed.fetch_add(1, Ordering::Relaxed);
+                    match step(task) {
+                        Some(successor) => {
+                            // Push before decrement/increment bookkeeping is
+                            // needed: the successor replaces the completed
+                            // task one-for-one, so `pending` is unchanged.
+                            self.deques[me].lock().unwrap().push_back(successor);
+                        }
+                        None => {
+                            self.pending.fetch_sub(1, Ordering::AcqRel);
+                        }
+                    }
+                }
+                None => {
+                    if self.pending.load(Ordering::Acquire) == 0 {
+                        return;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Run every chain to completion on `n_workers` threads with work stealing.
+///
+/// Each seed in `seeds` starts a chain. `step` executes one task and returns
+/// the chain's next task, or `None` when the chain is finished. With
+/// `n_workers <= 1` (or a single seed) the chains run sequentially on the
+/// calling thread — same results, no thread overhead.
+pub fn run_chains<T, F>(seeds: Vec<T>, n_workers: usize, step: F) -> StealStats
+where
+    T: Send,
+    F: Fn(T) -> Option<T> + Sync,
+{
+    if seeds.is_empty() {
+        return StealStats { executed: 0, steals: 0, workers: n_workers.max(1) };
+    }
+    if n_workers <= 1 || seeds.len() == 1 {
+        let mut executed = 0u64;
+        for seed in seeds {
+            let mut task = Some(seed);
+            while let Some(t) = task.take() {
+                executed += 1;
+                task = step(t);
+            }
+        }
+        return StealStats { executed, steals: 0, workers: 1 };
+    }
+
+    let workers = n_workers.min(seeds.len());
+    let pool = Pool::new(workers, seeds);
+    std::thread::scope(|scope| {
+        for me in 1..workers {
+            let pool = &pool;
+            let step = &step;
+            scope.spawn(move || pool.work(me, step));
+        }
+        pool.work(0, &step);
+    });
+    StealStats {
+        executed: pool.executed.load(Ordering::Relaxed) as u64,
+        steals: pool.steals.load(Ordering::Relaxed) as u64,
+        workers,
+    }
+}
+
+/// Number of workers to use when the caller didn't pin one.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to [`default_workers`] threads; result order
+/// matches input order.
+///
+/// Items are split into one contiguous chunk per available core, so the
+/// overhead is a handful of thread spawns per call, nothing per item. Falls
+/// back to a plain sequential map for single-item inputs or single-core
+/// machines. Use [`stealing_map_mut`] instead when per-item cost is very
+/// uneven (heavy users next to light ones) and load balancing matters more
+/// than spawn overhead.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    parallel_map_workers(items, default_workers(), f)
+}
+
+/// [`parallel_map`] with an explicit worker count (1 runs sequentially on
+/// the calling thread).
+pub fn parallel_map_workers<T, U, F>(items: &[T], n_workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if items.len() <= 1 || n_workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let mut results: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    let chunk = items.len().div_ceil(n_workers);
+    std::thread::scope(|scope| {
+        for (item_chunk, result_chunk) in items.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(|| {
+                for (item, slot) in item_chunk.iter().zip(result_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+/// Work-stealing map over mutable items: every item is its own single-task
+/// chain on the stealing pool, so expensive items migrate to idle workers
+/// instead of pinning their chunk-mates behind them. `f` receives the
+/// item's index and exclusive access to the item; result order matches
+/// input order.
+///
+/// This is the right shape when tasks own mutable state that must survive
+/// the call (per-user RNGs advanced by trace emission): mutate the item in
+/// place and return the produced value.
+pub fn stealing_map_mut<T, U, F>(items: &mut [T], n_workers: usize, f: F) -> (Vec<U>, StealStats)
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut T) -> U + Sync,
+{
+    let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    let seeds: Vec<(usize, &mut T, &mut Option<U>)> = items
+        .iter_mut()
+        .zip(slots.iter_mut())
+        .enumerate()
+        .map(|(i, (item, slot))| (i, item, slot))
+        .collect();
+    let stats = run_chains(seeds, n_workers, |(i, item, slot)| {
+        *slot = Some(f(i, item));
+        None
+    });
+    (slots.into_iter().map(|s| s.expect("all slots filled")).collect(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// A chain task: counts down `remaining` steps, accumulating into `sum`.
+    struct Countdown<'a> {
+        remaining: u32,
+        sum: &'a AtomicU64,
+    }
+
+    fn run_countdowns(lengths: &[u32], workers: usize) -> (u64, StealStats) {
+        let sum = AtomicU64::new(0);
+        let seeds: Vec<Countdown<'_>> =
+            lengths.iter().map(|&n| Countdown { remaining: n, sum: &sum }).collect();
+        let stats = run_chains(seeds, workers, |task| {
+            task.sum.fetch_add(1, Ordering::Relaxed);
+            if task.remaining > 1 {
+                Some(Countdown { remaining: task.remaining - 1, sum: task.sum })
+            } else {
+                None
+            }
+        });
+        (sum.load(Ordering::Relaxed), stats)
+    }
+
+    #[test]
+    fn sequential_path_executes_every_step() {
+        let (sum, stats) = run_countdowns(&[3, 1, 5], 1);
+        assert_eq!(sum, 9);
+        assert_eq!(stats.executed, 9);
+        assert_eq!(stats.steals, 0);
+        assert_eq!(stats.workers, 1);
+    }
+
+    #[test]
+    fn parallel_path_executes_every_step() {
+        let lengths: Vec<u32> = (1..=40).map(|i| i % 7 + 1).collect();
+        let expected: u64 = lengths.iter().map(|&n| n as u64).sum();
+        let (sum, stats) = run_countdowns(&lengths, 4);
+        assert_eq!(sum, expected);
+        assert_eq!(stats.executed, expected);
+        assert_eq!(stats.workers, 4);
+    }
+
+    #[test]
+    fn worker_count_is_capped_by_seed_count() {
+        let (sum, stats) = run_countdowns(&[2, 2], 8);
+        assert_eq!(sum, 4);
+        assert!(stats.workers <= 2);
+    }
+
+    #[test]
+    fn empty_seed_list_is_a_no_op() {
+        let stats = run_chains(Vec::<u8>::new(), 4, |_| None);
+        assert_eq!(stats.executed, 0);
+        assert_eq!(stats.steals, 0);
+    }
+
+    #[test]
+    fn uneven_chains_complete_under_contention() {
+        // One long chain plus many short ones: the long chain's worker keeps
+        // its successors local while the others drain the short chains.
+        let mut lengths = vec![64u32];
+        lengths.extend(std::iter::repeat_n(1, 31));
+        let (sum, stats) = run_countdowns(&lengths, 8);
+        assert_eq!(sum, 64 + 31);
+        assert_eq!(stats.executed, 64 + 31);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled = parallel_map(&items, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_workers_matches_sequential_at_any_width() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 8, 300] {
+            assert_eq!(parallel_map_workers(&items, workers, |&x| x * x), expected);
+        }
+    }
+
+    #[test]
+    fn stealing_map_mut_mutates_in_place_and_preserves_order() {
+        for workers in [1, 2, 8] {
+            let mut items: Vec<u64> = (0..100).collect();
+            let (squares, stats) = stealing_map_mut(&mut items, workers, |i, item| {
+                *item += 1;
+                (i as u64) * (i as u64)
+            });
+            assert_eq!(items, (1..=100).collect::<Vec<u64>>());
+            assert_eq!(squares, (0..100u64).map(|i| i * i).collect::<Vec<_>>());
+            assert_eq!(stats.executed, 100);
+        }
+    }
+
+    #[test]
+    fn steal_stats_merge_accumulates() {
+        let mut a = StealStats { executed: 5, steals: 1, workers: 2 };
+        a.merge(StealStats { executed: 7, steals: 0, workers: 4 });
+        assert_eq!(a, StealStats { executed: 12, steals: 1, workers: 4 });
+    }
+}

@@ -1,17 +1,43 @@
 //! End-to-end trace generation.
+//!
+//! Generation runs in four stages — setup (role templates + device
+//! assignment), per-user behavior profiles, day-by-day session booking,
+//! and per-session transaction emission. Every stream of randomness is
+//! derived per `(user, stage)` from the scenario seed, which is what lets
+//! the profile and emission stages fan out across the
+//! [`parcore`] work-stealing pool while staying **bit-identical** to the
+//! serial reference path at any worker count: a user's draws never depend
+//! on other users' execution order. Booking keeps its sequential
+//! day-by-day conflict resolution (the calendar is shared state), but the
+//! session *proposals* feeding it are precomputed in parallel.
 
 use crate::arrivals;
 use crate::profile::{ActivityClass, RoleTemplate, UserBehaviorProfile};
 use crate::scenario::Scenario;
 use crate::schedule::{propose_user_day, DeviceAssignment, DeviceCalendar, Session};
+use crate::shard;
+use crate::sink::{MemorySink, TransactionSink};
 use proxylog::{Dataset, Transaction, UserId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::io;
+use std::time::Instant;
+
+/// Days covered by one parallel proposal pre-pass before the sequential
+/// booking loop consumes them.
+const PROPOSAL_DAY_CHUNK: usize = 7;
+
+/// Default number of consecutive sessions emitted per merge chunk; bounds
+/// peak memory of the streaming path (a chunk's transactions are the most
+/// ever buffered) while leaving enough work per chunk to parallelize.
+const DEFAULT_EMISSION_CHUNK: usize = 1_024;
 
 /// Deterministic generator producing a [`Dataset`] from a [`Scenario`].
 ///
 /// Every stream of randomness is derived from the scenario seed, so a
-/// scenario always generates the same dataset.
+/// scenario always generates the same dataset — on one thread or many
+/// ([`with_workers`](TraceGenerator::with_workers) changes wall-clock
+/// time, never output).
 ///
 /// # Examples
 ///
@@ -25,6 +51,8 @@ use rand::SeedableRng;
 #[derive(Debug)]
 pub struct TraceGenerator {
     scenario: Scenario,
+    workers: usize,
+    emission_chunk: usize,
 }
 
 /// Everything a generation run produces: the dataset plus the ground truth
@@ -40,8 +68,62 @@ pub struct GeneratedTrace {
     pub sessions: Vec<Session>,
 }
 
+/// Ground truth and counters from a streaming generation run (the
+/// transactions themselves went to the sink).
+#[derive(Debug)]
+pub struct StreamedTrace {
+    /// Per-user behavioral ground truth.
+    pub profiles: Vec<UserBehaviorProfile>,
+    /// All booked sessions, time-sorted.
+    pub sessions: Vec<Session>,
+    /// Stage timings and throughput counters.
+    pub stats: GenStats,
+}
+
+/// Per-stage wall time and throughput counters of one generation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GenStats {
+    /// Transactions emitted.
+    pub transactions: u64,
+    /// Sessions booked.
+    pub sessions: u64,
+    /// Users generated.
+    pub users: usize,
+    /// Worker threads the parallel stages ran with.
+    pub workers: usize,
+    /// Wall time of the serial setup stage (roles, device assignment).
+    pub setup_secs: f64,
+    /// Wall time of the parallel profile stage.
+    pub profile_secs: f64,
+    /// Wall time of the booking stage (parallel proposals + sequential
+    /// calendar).
+    pub booking_secs: f64,
+    /// Wall time of the sharded emission stage (including sink writes).
+    pub emission_secs: f64,
+    /// End-to-end wall time.
+    pub total_secs: f64,
+    /// Largest number of transactions buffered by one emission chunk —
+    /// the streaming path's peak-memory proxy.
+    pub peak_shard_transactions: u64,
+    /// Tasks stolen across all work-stealing stages.
+    pub steals: u64,
+}
+
+impl GenStats {
+    /// Overall throughput in transactions per second of end-to-end wall
+    /// time (0 when no time elapsed).
+    pub fn tx_per_sec(&self) -> f64 {
+        if self.total_secs > 0.0 {
+            self.transactions as f64 / self.total_secs
+        } else {
+            0.0
+        }
+    }
+}
+
 impl TraceGenerator {
-    /// Creates a generator for the scenario.
+    /// Creates a generator for the scenario, defaulting to one worker per
+    /// available core.
     ///
     /// # Panics
     ///
@@ -55,12 +137,48 @@ impl TraceGenerator {
             scenario.rate_multiplier > 0.0 && scenario.rate_multiplier.is_finite(),
             "rate multiplier must be positive"
         );
-        Self { scenario }
+        Self {
+            scenario,
+            workers: parcore::default_workers(),
+            emission_chunk: DEFAULT_EMISSION_CHUNK,
+        }
+    }
+
+    /// Pins the number of worker threads (1 runs the parallel stages
+    /// sequentially on the calling thread). Output is bit-identical for
+    /// every value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Sets how many consecutive sessions one emission chunk covers. A
+    /// chunk's transactions are the most the streaming path ever buffers,
+    /// so smaller chunks bound memory tighter at some parallelism cost.
+    /// Output is bit-identical for every value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sessions` is zero.
+    pub fn with_emission_chunk(mut self, sessions: usize) -> Self {
+        assert!(sessions > 0, "emission chunks need at least one session");
+        self.emission_chunk = sessions;
+        self
     }
 
     /// The scenario this generator runs.
     pub fn scenario(&self) -> &Scenario {
         &self.scenario
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Generates the dataset only.
@@ -70,6 +188,162 @@ impl TraceGenerator {
 
     /// Generates the dataset together with the generating ground truth.
     pub fn generate_with_ground_truth(&self) -> GeneratedTrace {
+        let mut sink = MemorySink::new();
+        let streamed = self.generate_streaming(&mut sink).expect("in-memory sink cannot fail");
+        GeneratedTrace {
+            dataset: Dataset::new(
+                std::sync::Arc::clone(&self.scenario.taxonomy),
+                sink.into_transactions(),
+            ),
+            profiles: streamed.profiles,
+            sessions: streamed.sessions,
+        }
+    }
+
+    /// Generates the corpus, streaming every session's transactions into
+    /// `sink` instead of collecting them — with a disk-backed sink such as
+    /// [`ShardedLogSink`](crate::ShardedLogSink) this produces corpora
+    /// larger than RAM. Blocks arrive in the deterministic serial emission
+    /// order regardless of worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn generate_streaming<S: TransactionSink>(
+        &self,
+        sink: &mut S,
+    ) -> io::Result<StreamedTrace> {
+        let scenario = &self.scenario;
+        let taxonomy = &scenario.taxonomy;
+        let workers = self.workers;
+        let t_start = Instant::now();
+        let mut steals = parcore::StealStats::default();
+
+        // Stage 1 — setup (serial): role templates and the device
+        // assignment draw from the master stream in a fixed order.
+        let mut master = StdRng::seed_from_u64(scenario.seed);
+        let n_roles = (scenario.users / 4).max(2);
+        let roles: Vec<RoleTemplate> = (0..n_roles)
+            .map(|i| RoleTemplate::generate(&mut master, i, n_roles, taxonomy))
+            .collect();
+        let assignment = DeviceAssignment::generate(&mut master, scenario.users, scenario.devices);
+        let setup_secs = t_start.elapsed().as_secs_f64();
+
+        // Stage 2 — profiles (parallel): each user's profile draws only
+        // from that user's derived stream, so execution order is free.
+        let t_profiles = Instant::now();
+        let mut user_indices: Vec<usize> = (0..scenario.users).collect();
+        let (profiles, steal) =
+            parcore::stealing_map_mut(&mut user_indices, workers, |_, &mut u| {
+                let mut rng = derived_rng(scenario.seed, u as u64, 1);
+                let role = &roles[u * n_roles / scenario.users];
+                UserBehaviorProfile::generate(
+                    &mut rng,
+                    UserId(u as u32),
+                    role,
+                    activity_class_for(u),
+                    taxonomy,
+                    scenario.start,
+                )
+            });
+        steals.merge(steal);
+        let profile_secs = t_profiles.elapsed().as_secs_f64();
+
+        // Stage 3 — booking: proposals are precomputed in parallel a week
+        // at a time (each user's proposal stream advances day by day within
+        // their own shard), then the calendar books them sequentially in
+        // the fixed day-major, user-minor order that makes conflict
+        // resolution deterministic.
+        let t_booking = Instant::now();
+        struct ProposalShard {
+            user: usize,
+            rng: StdRng,
+        }
+        let mut shards: Vec<ProposalShard> = (0..scenario.users)
+            .map(|u| ProposalShard { user: u, rng: derived_rng(scenario.seed, u as u64, 2) })
+            .collect();
+        let mut calendar = DeviceCalendar::new();
+        let mut sessions: Vec<Session> = Vec::new();
+        let days = scenario.days() as usize;
+        for chunk_start in (0..days).step_by(PROPOSAL_DAY_CHUNK) {
+            let chunk_days: Vec<usize> =
+                (chunk_start..(chunk_start + PROPOSAL_DAY_CHUNK).min(days)).collect();
+            let (proposals, steal) = parcore::stealing_map_mut(&mut shards, workers, |_, shard| {
+                chunk_days
+                    .iter()
+                    .map(|&day| {
+                        let day_start = scenario.start + day as i64 * 86_400;
+                        propose_user_day(
+                            &mut shard.rng,
+                            &profiles[shard.user],
+                            assignment.devices_of(UserId(shard.user as u32)),
+                            day_start,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            });
+            steals.merge(steal);
+            for (di, &day) in chunk_days.iter().enumerate() {
+                let day_start = scenario.start + day as i64 * 86_400;
+                let day_end = day_start + 86_399;
+                for (u, user_days) in proposals.iter().enumerate() {
+                    for &(device, start, duration) in &user_days[di] {
+                        if let Some((booked_start, booked_end)) =
+                            calendar.book(device, start, duration, day_end)
+                        {
+                            sessions.push(Session {
+                                user: UserId(u as u32),
+                                device,
+                                start: booked_start,
+                                end: booked_end,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        sessions.sort_by_key(|s| s.start);
+        let booking_secs = t_booking.elapsed().as_secs_f64();
+
+        // Stage 4 — emission (parallel, sharded by user, merged back to
+        // session order; see `shard`).
+        let t_emission = Instant::now();
+        let tx_rngs: Vec<StdRng> =
+            (0..scenario.users).map(|u| derived_rng(scenario.seed, u as u64, 3)).collect();
+        let emission = shard::emit_sessions(
+            &sessions,
+            &profiles,
+            scenario.rate_multiplier,
+            tx_rngs,
+            workers,
+            self.emission_chunk,
+            sink,
+        )?;
+        steals.merge(emission.steals);
+        let emission_secs = t_emission.elapsed().as_secs_f64();
+
+        let stats = GenStats {
+            transactions: emission.transactions,
+            sessions: sessions.len() as u64,
+            users: scenario.users,
+            workers,
+            setup_secs,
+            profile_secs,
+            booking_secs,
+            emission_secs,
+            total_secs: t_start.elapsed().as_secs_f64(),
+            peak_shard_transactions: emission.peak_shard_transactions,
+            steals: steals.steals,
+        };
+        Ok(StreamedTrace { profiles, sessions, stats })
+    }
+
+    /// The single-threaded reference implementation the parallel path is
+    /// pinned against: profiles, bookings and transactions are produced in
+    /// one pass on the calling thread. Kept (rather than expressed as
+    /// `with_workers(1)`) so the determinism tests compare two genuinely
+    /// independent code paths.
+    pub fn generate_with_ground_truth_serial(&self) -> GeneratedTrace {
         let scenario = &self.scenario;
         let taxonomy = &scenario.taxonomy;
         let mut master = StdRng::seed_from_u64(scenario.seed);
@@ -250,6 +524,22 @@ mod tests {
     }
 
     #[test]
+    fn streaming_stats_account_for_every_transaction() {
+        let mut sink = crate::CountingSink::new();
+        let streamed = TraceGenerator::new(Scenario::quick_test())
+            .with_workers(2)
+            .with_emission_chunk(64)
+            .generate_streaming(&mut sink)
+            .unwrap();
+        assert_eq!(streamed.stats.transactions, sink.transactions());
+        assert_eq!(streamed.stats.sessions as usize, streamed.sessions.len());
+        assert!(streamed.stats.peak_shard_transactions <= streamed.stats.transactions);
+        assert!(streamed.stats.peak_shard_transactions > 0);
+        assert!(streamed.stats.total_secs > 0.0);
+        assert!(streamed.stats.tx_per_sec() > 0.0);
+    }
+
+    #[test]
     fn sessions_on_a_device_never_overlap() {
         let trace = quick_trace();
         let mut by_device: std::collections::BTreeMap<u32, Vec<&Session>> =
@@ -322,5 +612,11 @@ mod tests {
     #[should_panic(expected = "scenario needs users")]
     fn rejects_zero_users() {
         let _ = TraceGenerator::new(Scenario { users: 0, ..Scenario::quick_test() });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn rejects_zero_workers() {
+        let _ = TraceGenerator::new(Scenario::quick_test()).with_workers(0);
     }
 }

@@ -41,12 +41,15 @@ mod generator;
 mod profile;
 mod scenario;
 mod schedule;
+mod shard;
+mod sink;
 
 pub use anomaly::{busiest_interval, inject_takeover, TakeoverScenario};
 pub use arrivals::session_transactions;
-pub use generator::{CorpusStatistics, GeneratedTrace, TraceGenerator};
+pub use generator::{CorpusStatistics, GenStats, GeneratedTrace, StreamedTrace, TraceGenerator};
 pub use profile::{
     ActivityClass, Repertoire, RoleTemplate, SiteProfile, SiteResource, UserBehaviorProfile,
 };
 pub use scenario::Scenario;
 pub use schedule::{propose_user_day, DeviceAssignment, DeviceCalendar, Session};
+pub use sink::{CountingSink, MemorySink, ShardedLogSink, TransactionSink};

@@ -49,6 +49,15 @@ impl Scenario {
         Self { weeks, rate_multiplier, ..Self::paper_benchmark() }
     }
 
+    /// A population scaled beyond the paper's 36-user network: paper
+    /// taxonomy, seed and start date with the given user/device counts and
+    /// duration at full rate. Combined with
+    /// [`TraceGenerator::generate_streaming`](crate::TraceGenerator::generate_streaming)
+    /// this is the entry point for corpora larger than RAM.
+    pub fn scaled(users: usize, devices: usize, weeks: u32) -> Self {
+        Self { users, devices, weeks, ..Self::paper_benchmark() }
+    }
+
     /// A small scenario for unit and integration tests.
     pub fn quick_test() -> Self {
         Self {

@@ -1,0 +1,130 @@
+//! Sharded, deterministic transaction emission.
+//!
+//! The serial generator replays booked sessions in `(start, booking
+//! order)` order, drawing each session's traffic from its user's dedicated
+//! `tx` RNG stream. That design — one independent RNG stream per user —
+//! is what makes the stage parallelizable without changing a single byte
+//! of output: a user's blocks depend only on *that user's* session
+//! subsequence, never on how other users' sessions interleave with it.
+//!
+//! The engine here processes the session list in bounded *chunks* of
+//! consecutive sessions (so corpora larger than RAM can stream through a
+//! [`TransactionSink`](crate::TransactionSink)). Within a chunk, work
+//! shards by user: each shard replays its user's sessions in order against
+//! the user's own RNG on the work-stealing pool (heavy users migrate to
+//! idle workers). The resulting blocks are then merged back into the
+//! chunk's original session order — a stable merge keyed by the session's
+//! original index, which is exactly the serial emission order because
+//! `sessions` is stably sorted by start time — and pushed to the sink one
+//! session block at a time.
+
+use crate::arrivals;
+use crate::profile::UserBehaviorProfile;
+use crate::schedule::Session;
+use crate::sink::TransactionSink;
+use parcore::{stealing_map_mut, StealStats};
+use proxylog::Transaction;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io;
+
+/// One user's slice of an emission chunk: the user's RNG (carried across
+/// chunks) plus the indices of the chunk's sessions that belong to them.
+struct UserShard {
+    user: usize,
+    rng: StdRng,
+    /// Indices into `sessions`, ascending (the user's replay order).
+    jobs: Vec<usize>,
+}
+
+/// Counters from one [`emit_sessions`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct EmissionStats {
+    /// Transactions pushed to the sink.
+    pub transactions: u64,
+    /// Largest number of transactions held in memory by one merge chunk —
+    /// the peak-memory proxy reported by `GenStats`.
+    pub peak_shard_transactions: u64,
+    /// Work-stealing counters accumulated over all chunks.
+    pub steals: StealStats,
+}
+
+/// Replays `sessions` against per-user RNG streams and pushes every
+/// session's transactions to `sink`, in session order, bit-identical to
+/// the serial path for any `workers`/`chunk_sessions` combination.
+pub(crate) fn emit_sessions<S: TransactionSink>(
+    sessions: &[Session],
+    profiles: &[UserBehaviorProfile],
+    rate_multiplier: f64,
+    mut tx_rngs: Vec<StdRng>,
+    workers: usize,
+    chunk_sessions: usize,
+    sink: &mut S,
+) -> io::Result<EmissionStats> {
+    let chunk_sessions = chunk_sessions.max(1);
+    let mut stats = EmissionStats::default();
+    for (chunk_start, chunk) in
+        sessions.chunks(chunk_sessions).enumerate().map(|(i, c)| (i * chunk_sessions, c))
+    {
+        // Shard the chunk by user, preserving each user's session order.
+        // Users absent from the chunk cost nothing; their RNGs stay put.
+        let mut shard_of_user: Vec<Option<usize>> = vec![None; profiles.len()];
+        let mut shards: Vec<UserShard> = Vec::new();
+        for (offset, session) in chunk.iter().enumerate() {
+            let u = session.user.0 as usize;
+            let shard = *shard_of_user[u].get_or_insert_with(|| {
+                shards.push(UserShard {
+                    user: u,
+                    // Take the user's RNG for the duration of the chunk; a
+                    // fresh throwaway generator parks in its slot.
+                    rng: std::mem::replace(&mut tx_rngs[u], StdRng::seed_from_u64(0)),
+                    jobs: Vec::new(),
+                });
+                shards.len() - 1
+            });
+            shards[shard].jobs.push(chunk_start + offset);
+        }
+
+        // Parallel: each shard replays its sessions in order against its
+        // own RNG. Block order within a shard is the user's session order.
+        let (blocks, steal) = stealing_map_mut(&mut shards, workers, |_, shard| {
+            shard
+                .jobs
+                .iter()
+                .map(|&si| {
+                    let session = &sessions[si];
+                    arrivals::session_transactions(
+                        &mut shard.rng,
+                        &profiles[shard.user],
+                        session,
+                        rate_multiplier,
+                    )
+                })
+                .collect::<Vec<Vec<Transaction>>>()
+        });
+        stats.steals.merge(steal);
+
+        // Stable merge back to original session order: place each shard's
+        // blocks at their session's offset within the chunk.
+        let mut merged: Vec<Option<Vec<Transaction>>> = (0..chunk.len()).map(|_| None).collect();
+        let mut chunk_transactions = 0u64;
+        for (shard, shard_blocks) in shards.iter().zip(blocks) {
+            for (&si, block) in shard.jobs.iter().zip(shard_blocks) {
+                chunk_transactions += block.len() as u64;
+                merged[si - chunk_start] = Some(block);
+            }
+        }
+        stats.peak_shard_transactions = stats.peak_shard_transactions.max(chunk_transactions);
+        stats.transactions += chunk_transactions;
+        for block in merged {
+            sink.emit(block.expect("every session produced a block"))?;
+        }
+
+        // Return the advanced RNGs to their slots for the next chunk.
+        for shard in shards {
+            tx_rngs[shard.user] = shard.rng;
+        }
+    }
+    sink.finish()?;
+    Ok(stats)
+}

@@ -1,0 +1,273 @@
+//! Streaming transaction emission.
+//!
+//! [`TraceGenerator::generate_streaming`](crate::TraceGenerator::generate_streaming)
+//! pushes transactions through a [`TransactionSink`] one session block at a
+//! time instead of accumulating the whole corpus in memory. Blocks arrive
+//! in the deterministic serial emission order — sessions ascending by
+//! `(start, booking order)`, each block internally time-sorted — so a
+//! sink's output is bit-identical across worker counts. The stream is
+//! *near*-sorted globally (a long session's tail can overlap the next
+//! session's head); [`proxylog::Dataset::new`] restores total order on
+//! load, exactly as it does for the in-memory path.
+
+use proxylog::{format_line, Taxonomy, Transaction};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Receives the generated transaction stream, one session block at a time.
+pub trait TransactionSink {
+    /// Consumes one session's transactions (time-sorted within the block).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying writer, if any.
+    fn emit(&mut self, transactions: Vec<Transaction>) -> io::Result<()>;
+
+    /// Flushes and finalizes the sink after the last block.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying writer, if any.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Collects every transaction in memory — the classic
+/// [`generate_with_ground_truth`](crate::TraceGenerator::generate_with_ground_truth)
+/// behaviour.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    transactions: Vec<Transaction>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected transactions, in emission order.
+    pub fn into_transactions(self) -> Vec<Transaction> {
+        self.transactions
+    }
+}
+
+impl TransactionSink for MemorySink {
+    fn emit(&mut self, mut transactions: Vec<Transaction>) -> io::Result<()> {
+        self.transactions.append(&mut transactions);
+        Ok(())
+    }
+}
+
+/// Discards transactions, keeping only a count — for generation
+/// throughput benchmarks where neither RAM nor disk should distort the
+/// measurement.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    transactions: u64,
+}
+
+impl CountingSink {
+    /// Creates a zeroed sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of transactions emitted so far.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+}
+
+impl TransactionSink for CountingSink {
+    fn emit(&mut self, transactions: Vec<Transaction>) -> io::Result<()> {
+        self.transactions += transactions.len() as u64;
+        Ok(())
+    }
+}
+
+/// Writes the stream as text-format log shards (`stem-0000.log`,
+/// `stem-0001.log`, …), rotating to a new buffered file once a shard
+/// reaches its transaction budget. Rotation happens at session-block
+/// boundaries, so a shard can exceed the budget by at most one block.
+///
+/// Shards concatenated in index order reproduce the single-file
+/// [`proxylog::write_log`] output byte for byte, and each shard is
+/// independently parseable with [`proxylog::read_log`] — which is what
+/// lets a corpus larger than RAM be generated, stored and re-read in
+/// pieces.
+#[derive(Debug)]
+pub struct ShardedLogSink {
+    dir: PathBuf,
+    stem: String,
+    taxonomy: Arc<Taxonomy>,
+    max_per_shard: u64,
+    writer: Option<BufWriter<File>>,
+    in_current: u64,
+    total: u64,
+    paths: Vec<PathBuf>,
+}
+
+impl ShardedLogSink {
+    /// Creates a sink writing shards named `stem-NNNN.log` under `dir`
+    /// (created if missing), rotating every `max_per_shard` transactions.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_per_shard` is zero.
+    pub fn create(
+        dir: &Path,
+        stem: &str,
+        taxonomy: Arc<Taxonomy>,
+        max_per_shard: u64,
+    ) -> io::Result<Self> {
+        assert!(max_per_shard > 0, "shards need a positive transaction budget");
+        std::fs::create_dir_all(dir)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            stem: stem.to_string(),
+            taxonomy,
+            max_per_shard,
+            writer: None,
+            in_current: 0,
+            total: 0,
+            paths: Vec::new(),
+        })
+    }
+
+    /// Paths of the shards written so far, in stream order.
+    pub fn paths(&self) -> &[PathBuf] {
+        &self.paths
+    }
+
+    /// Total transactions written across all shards.
+    pub fn transactions(&self) -> u64 {
+        self.total
+    }
+
+    fn rotate(&mut self) -> io::Result<&mut BufWriter<File>> {
+        if let Some(writer) = self.writer.take() {
+            writer.into_inner().map_err(|e| e.into_error())?.sync_data().ok();
+        }
+        let path = self.dir.join(format!("{}-{:04}.log", self.stem, self.paths.len()));
+        let writer = BufWriter::new(File::create(&path)?);
+        self.paths.push(path);
+        self.in_current = 0;
+        Ok(self.writer.insert(writer))
+    }
+}
+
+impl TransactionSink for ShardedLogSink {
+    fn emit(&mut self, transactions: Vec<Transaction>) -> io::Result<()> {
+        if transactions.is_empty() {
+            return Ok(());
+        }
+        let needs_rotation = self.writer.is_none() || self.in_current >= self.max_per_shard;
+        if needs_rotation {
+            self.rotate()?;
+        }
+        let taxonomy = Arc::clone(&self.taxonomy);
+        let writer = self.writer.as_mut().expect("rotated above");
+        for tx in &transactions {
+            writeln!(writer, "{}", format_line(tx, &taxonomy))?;
+        }
+        self.in_current += transactions.len() as u64;
+        self.total += transactions.len() as u64;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        if let Some(writer) = self.writer.take() {
+            writer.into_inner().map_err(|e| e.into_error())?.sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxylog::{
+        read_log, AppTypeId, CategoryId, DeviceId, HttpAction, Reputation, SiteId, SubtypeId,
+        Timestamp, UriScheme, UserId,
+    };
+    use std::io::BufReader;
+
+    fn tx(t: i64) -> Transaction {
+        Transaction {
+            timestamp: Timestamp(t),
+            user: UserId(1),
+            device: DeviceId(2),
+            site: SiteId(3),
+            action: HttpAction::Get,
+            scheme: UriScheme::Https,
+            category: CategoryId(0),
+            subtype: SubtypeId(0),
+            app_type: AppTypeId(0),
+            reputation: Reputation::Minimal,
+            private_destination: false,
+        }
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let mut sink = MemorySink::new();
+        sink.emit(vec![tx(1), tx(2)]).unwrap();
+        sink.emit(vec![tx(0)]).unwrap();
+        sink.finish().unwrap();
+        let txs = sink.into_transactions();
+        assert_eq!(txs.len(), 3);
+        assert_eq!(txs[2].timestamp, Timestamp(0), "emission order, not time order");
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut sink = CountingSink::new();
+        sink.emit(vec![tx(1), tx(2)]).unwrap();
+        sink.emit(Vec::new()).unwrap();
+        sink.emit(vec![tx(3)]).unwrap();
+        assert_eq!(sink.transactions(), 3);
+    }
+
+    #[test]
+    fn sharded_sink_rotates_and_round_trips() {
+        let dir = std::env::temp_dir().join(format!("tracegen-shard-test-{}", std::process::id()));
+        let taxonomy = Taxonomy::paper_scale();
+        let mut sink = ShardedLogSink::create(&dir, "t", taxonomy.clone(), 2).unwrap();
+        // 3 blocks of 2: rotation after every block once the budget is hit.
+        for base in [0i64, 10, 20] {
+            sink.emit(vec![tx(base), tx(base + 1)]).unwrap();
+        }
+        sink.finish().unwrap();
+        assert_eq!(sink.transactions(), 6);
+        assert_eq!(sink.paths().len(), 3);
+        let mut all = Vec::new();
+        for path in sink.paths() {
+            let shard = read_log(BufReader::new(File::open(path).unwrap()), &taxonomy).unwrap();
+            assert_eq!(shard.len(), 2);
+            all.extend(shard);
+        }
+        assert_eq!(all.len(), 6);
+        assert!(all.windows(2).all(|w| w[0].timestamp < w[1].timestamp));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_block_lands_in_one_shard() {
+        let dir = std::env::temp_dir().join(format!("tracegen-shard-big-{}", std::process::id()));
+        let taxonomy = Taxonomy::paper_scale();
+        let mut sink = ShardedLogSink::create(&dir, "t", taxonomy, 2).unwrap();
+        sink.emit((0..5).map(tx).collect()).unwrap();
+        sink.finish().unwrap();
+        assert_eq!(sink.paths().len(), 1, "blocks are never split across shards");
+        assert_eq!(sink.transactions(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,119 @@
+//! Parallel generation is bit-identical to the serial reference path.
+//!
+//! The whole point of the per-user derived-RNG design is that worker
+//! count, emission chunking and sink choice change wall-clock time but
+//! never a single byte of output. These tests pin that: transactions,
+//! sessions and behavior profiles from the sharded parallel path equal
+//! the single-threaded reference implementation at 1, 2 and 8 threads, on
+//! the quick-test scenario and on the paper-shaped
+//! `Scenario::evaluation(2, 1.0)`.
+
+use tracegen::{
+    CountingSink, GeneratedTrace, MemorySink, Scenario, ShardedLogSink, TraceGenerator,
+};
+
+/// Profiles don't implement `PartialEq` (they hold f64-heavy nested
+/// repertoires); their `Debug` rendering is a faithful, deterministic
+/// fingerprint of every field.
+fn profile_fingerprint(trace: &GeneratedTrace) -> Vec<String> {
+    trace.profiles.iter().map(|p| format!("{p:?}")).collect()
+}
+
+fn assert_identical(serial: &GeneratedTrace, parallel: &GeneratedTrace, label: &str) {
+    assert_eq!(
+        serial.dataset.transactions(),
+        parallel.dataset.transactions(),
+        "transactions diverge: {label}"
+    );
+    assert_eq!(serial.sessions, parallel.sessions, "sessions diverge: {label}");
+    assert_eq!(
+        profile_fingerprint(serial),
+        profile_fingerprint(parallel),
+        "profiles diverge: {label}"
+    );
+}
+
+fn check_scenario(scenario: Scenario, name: &str) {
+    let serial = TraceGenerator::new(scenario.clone()).generate_with_ground_truth_serial();
+    assert!(!serial.dataset.is_empty());
+    for threads in [1usize, 2, 8] {
+        let parallel = TraceGenerator::new(scenario.clone())
+            .with_workers(threads)
+            .generate_with_ground_truth();
+        assert_identical(&serial, &parallel, &format!("{name} at {threads} threads"));
+    }
+}
+
+#[test]
+fn quick_test_scenario_is_thread_count_invariant() {
+    check_scenario(Scenario::quick_test(), "quick_test");
+}
+
+#[test]
+fn evaluation_scenario_is_thread_count_invariant() {
+    check_scenario(Scenario::evaluation(2, 1.0), "evaluation(2, 1.0)");
+}
+
+#[test]
+fn emission_chunk_size_never_changes_output() {
+    let scenario = Scenario::quick_test();
+    let serial = TraceGenerator::new(scenario.clone()).generate_with_ground_truth_serial();
+    for chunk in [1usize, 7, 64, 100_000] {
+        let chunked = TraceGenerator::new(scenario.clone())
+            .with_workers(4)
+            .with_emission_chunk(chunk)
+            .generate_with_ground_truth();
+        assert_identical(&serial, &chunked, &format!("chunk {chunk}"));
+    }
+}
+
+#[test]
+fn streaming_memory_sink_equals_collected_dataset() {
+    let scenario = Scenario::quick_test();
+    let generator = TraceGenerator::new(scenario.clone()).with_workers(2);
+    let collected = generator.generate_with_ground_truth();
+    let mut sink = MemorySink::new();
+    let streamed = generator.generate_streaming(&mut sink).unwrap();
+    let dataset = proxylog::Dataset::new(scenario.taxonomy.clone(), sink.into_transactions());
+    assert_eq!(collected.dataset.transactions(), dataset.transactions());
+    assert_eq!(collected.sessions, streamed.sessions);
+    assert_eq!(streamed.stats.transactions as usize, dataset.len());
+}
+
+#[test]
+fn sharded_log_sink_round_trips_the_exact_corpus() {
+    let scenario = Scenario::quick_test();
+    let dir = std::env::temp_dir().join(format!("tracegen-determinism-{}", std::process::id()));
+    let generator = TraceGenerator::new(scenario.clone()).with_workers(2);
+    let reference = generator.generate_with_ground_truth_serial();
+
+    let mut sink =
+        ShardedLogSink::create(&dir, "corpus", scenario.taxonomy.clone(), 2_000).unwrap();
+    generator.generate_streaming(&mut sink).unwrap();
+    assert!(sink.paths().len() > 1, "quick_test should span several 2k-transaction shards");
+
+    let mut replayed = Vec::new();
+    for path in sink.paths() {
+        let file = std::fs::File::open(path).unwrap();
+        replayed
+            .extend(proxylog::read_log(std::io::BufReader::new(file), &scenario.taxonomy).unwrap());
+    }
+    let dataset = proxylog::Dataset::new(scenario.taxonomy.clone(), replayed);
+    assert_eq!(dataset.transactions(), reference.dataset.transactions());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn counting_sink_matches_corpus_size_across_thread_counts() {
+    let scenario = Scenario::quick_test();
+    let expected =
+        TraceGenerator::new(scenario.clone()).generate_with_ground_truth_serial().dataset.len();
+    for threads in [1usize, 2, 8] {
+        let mut sink = CountingSink::new();
+        TraceGenerator::new(scenario.clone())
+            .with_workers(threads)
+            .generate_streaming(&mut sink)
+            .unwrap();
+        assert_eq!(sink.transactions() as usize, expected, "{threads} threads");
+    }
+}

@@ -1,221 +1,14 @@
 //! Work-stealing execution of grid-search cell chains.
 //!
+//! The pool itself now lives in the dependency-free [`parcore`] crate so
+//! that `tracegen` and the benchmark binaries can share it without a
+//! dependency cycle through this crate; this module is a thin re-export
+//! kept so existing callers (the grid-search sweep, tests) compile
+//! unchanged.
+//!
 //! The model grid search decomposes into independent *chains*: one per
 //! (user, kernel) pair, each chain walking the regularization ladder so a
-//! finished cell can seed the next one (warm-start α). Chains vary wildly in
-//! cost — RBF chains on large users dwarf linear chains on small ones — so a
-//! static partition of chains over threads leaves workers idle. This module
-//! runs the chains on a fixed pool of workers with per-worker deques and
-//! work stealing, built on `std::sync` only (no external dependencies).
-//!
-//! Each worker owns a deque: it pushes and pops its own tasks LIFO (keeping a
-//! chain's successor cell hot in cache on the worker that produced its seed)
-//! and steals from other workers FIFO (taking the oldest — typically largest
-//! remaining — task). Termination uses a shared pending-task counter: a
-//! worker pushes a chain's successor *before* decrementing the counter, so
-//! the count never reaches zero while work remains.
+//! finished cell can seed the next one (warm-start α). See [`parcore`] for
+//! the deque/stealing/termination design.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Counters describing one [`run_chains`] execution.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StealStats {
-    /// Number of tasks executed across all workers (chain steps, not chains).
-    pub executed: u64,
-    /// Number of tasks a worker obtained from another worker's deque.
-    pub steals: u64,
-    /// Number of workers the pool ran with (1 means sequential fast path).
-    pub workers: usize,
-}
-
-struct Pool<T> {
-    deques: Vec<Mutex<VecDeque<T>>>,
-    /// Tasks pushed but not yet completed. A step that yields a successor
-    /// pushes it before decrementing, keeping the count positive while any
-    /// chain still has work.
-    pending: AtomicUsize,
-    steals: AtomicUsize,
-    executed: AtomicUsize,
-}
-
-impl<T> Pool<T> {
-    fn new(workers: usize, seeds: Vec<T>) -> Self {
-        let deques: Vec<Mutex<VecDeque<T>>> =
-            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-        let pending = seeds.len();
-        for (i, seed) in seeds.into_iter().enumerate() {
-            deques[i % workers].lock().unwrap().push_back(seed);
-        }
-        Pool {
-            deques,
-            pending: AtomicUsize::new(pending),
-            steals: AtomicUsize::new(0),
-            executed: AtomicUsize::new(0),
-        }
-    }
-
-    /// Pop from our own deque (LIFO), falling back to stealing the oldest
-    /// task from another worker's deque (FIFO), scanning round-robin.
-    fn obtain(&self, me: usize) -> Option<T> {
-        if let Some(task) = self.deques[me].lock().unwrap().pop_back() {
-            return Some(task);
-        }
-        let n = self.deques.len();
-        for offset in 1..n {
-            let victim = (me + offset) % n;
-            if let Some(task) = self.deques[victim].lock().unwrap().pop_front() {
-                self.steals.fetch_add(1, Ordering::Relaxed);
-                return Some(task);
-            }
-        }
-        None
-    }
-
-    fn work(&self, me: usize, step: &(impl Fn(T) -> Option<T> + Sync)) {
-        loop {
-            match self.obtain(me) {
-                Some(task) => {
-                    self.executed.fetch_add(1, Ordering::Relaxed);
-                    match step(task) {
-                        Some(successor) => {
-                            // Push before decrement/increment bookkeeping is
-                            // needed: the successor replaces the completed
-                            // task one-for-one, so `pending` is unchanged.
-                            self.deques[me].lock().unwrap().push_back(successor);
-                        }
-                        None => {
-                            self.pending.fetch_sub(1, Ordering::AcqRel);
-                        }
-                    }
-                }
-                None => {
-                    if self.pending.load(Ordering::Acquire) == 0 {
-                        return;
-                    }
-                    std::thread::yield_now();
-                }
-            }
-        }
-    }
-}
-
-/// Run every chain to completion on `n_workers` threads with work stealing.
-///
-/// Each seed in `seeds` starts a chain. `step` executes one task and returns
-/// the chain's next task, or `None` when the chain is finished. With
-/// `n_workers <= 1` (or a single seed) the chains run sequentially on the
-/// calling thread — same results, no thread overhead.
-pub(crate) fn run_chains<T, F>(seeds: Vec<T>, n_workers: usize, step: F) -> StealStats
-where
-    T: Send,
-    F: Fn(T) -> Option<T> + Sync,
-{
-    if seeds.is_empty() {
-        return StealStats { executed: 0, steals: 0, workers: n_workers.max(1) };
-    }
-    if n_workers <= 1 || seeds.len() == 1 {
-        let mut executed = 0u64;
-        for seed in seeds {
-            let mut task = Some(seed);
-            while let Some(t) = task.take() {
-                executed += 1;
-                task = step(t);
-            }
-        }
-        return StealStats { executed, steals: 0, workers: 1 };
-    }
-
-    let workers = n_workers.min(seeds.len());
-    let pool = Pool::new(workers, seeds);
-    std::thread::scope(|scope| {
-        for me in 1..workers {
-            let pool = &pool;
-            let step = &step;
-            scope.spawn(move || pool.work(me, step));
-        }
-        pool.work(0, &step);
-    });
-    StealStats {
-        executed: pool.executed.load(Ordering::Relaxed) as u64,
-        steals: pool.steals.load(Ordering::Relaxed) as u64,
-        workers,
-    }
-}
-
-/// Number of workers to use when the caller didn't pin one.
-pub(crate) fn default_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::atomic::AtomicU64;
-
-    /// A chain task: counts down `remaining` steps, accumulating into `sum`.
-    struct Countdown<'a> {
-        remaining: u32,
-        sum: &'a AtomicU64,
-    }
-
-    fn run_countdowns(lengths: &[u32], workers: usize) -> (u64, StealStats) {
-        let sum = AtomicU64::new(0);
-        let seeds: Vec<Countdown<'_>> =
-            lengths.iter().map(|&n| Countdown { remaining: n, sum: &sum }).collect();
-        let stats = run_chains(seeds, workers, |task| {
-            task.sum.fetch_add(1, Ordering::Relaxed);
-            if task.remaining > 1 {
-                Some(Countdown { remaining: task.remaining - 1, sum: task.sum })
-            } else {
-                None
-            }
-        });
-        (sum.load(Ordering::Relaxed), stats)
-    }
-
-    #[test]
-    fn sequential_path_executes_every_step() {
-        let (sum, stats) = run_countdowns(&[3, 1, 5], 1);
-        assert_eq!(sum, 9);
-        assert_eq!(stats.executed, 9);
-        assert_eq!(stats.steals, 0);
-        assert_eq!(stats.workers, 1);
-    }
-
-    #[test]
-    fn parallel_path_executes_every_step() {
-        let lengths: Vec<u32> = (1..=40).map(|i| i % 7 + 1).collect();
-        let expected: u64 = lengths.iter().map(|&n| n as u64).sum();
-        let (sum, stats) = run_countdowns(&lengths, 4);
-        assert_eq!(sum, expected);
-        assert_eq!(stats.executed, expected);
-        assert_eq!(stats.workers, 4);
-    }
-
-    #[test]
-    fn worker_count_is_capped_by_seed_count() {
-        let (sum, stats) = run_countdowns(&[2, 2], 8);
-        assert_eq!(sum, 4);
-        assert!(stats.workers <= 2);
-    }
-
-    #[test]
-    fn empty_seed_list_is_a_no_op() {
-        let stats = run_chains(Vec::<u8>::new(), 4, |_| None);
-        assert_eq!(stats.executed, 0);
-        assert_eq!(stats.steals, 0);
-    }
-
-    #[test]
-    fn uneven_chains_complete_under_contention() {
-        // One long chain plus many short ones: the long chain's worker keeps
-        // its successors local while the others drain the short chains.
-        let mut lengths = vec![64u32];
-        lengths.extend(std::iter::repeat_n(1, 31));
-        let (sum, stats) = run_countdowns(&lengths, 8);
-        assert_eq!(sum, 64 + 31);
-        assert_eq!(stats.executed, 64 + 31);
-    }
-}
+pub use parcore::{default_workers, run_chains};

@@ -291,17 +291,46 @@ impl<'a> ProfileTrainer<'a> {
         Ok((profile, alpha))
     }
 
+    /// Computes [`training_vectors`](Self::training_vectors) for many
+    /// users at once, fanning the window extraction and aggregation out
+    /// across the thread pool. Results are returned in `users` order and
+    /// are bit-identical to calling
+    /// [`training_vectors`](Self::training_vectors) serially per user
+    /// (each user's windows are extracted independently, so execution
+    /// order cannot leak into the features).
+    pub fn training_vectors_all(
+        &self,
+        dataset: &Dataset,
+        users: &[UserId],
+    ) -> Vec<Vec<SparseVector>> {
+        parallel_map(users, |&user| self.training_vectors(dataset, user))
+    }
+
     /// Trains profiles for every user in the dataset, in parallel.
     ///
-    /// Users whose training fails are reported in the error map alongside
-    /// the successful profiles, so one pathological user cannot sink a
-    /// 25-user experiment.
+    /// Feature extraction fans out per user first (so the window
+    /// aggregation of heavy users overlaps), then the per-user solvers run
+    /// in parallel. Users whose training fails are reported in the error
+    /// map alongside the successful profiles, so one pathological user
+    /// cannot sink a 25-user experiment.
     pub fn train_all(
         &self,
         dataset: &Dataset,
     ) -> (BTreeMap<UserId, UserProfile>, BTreeMap<UserId, ProfileError>) {
         let users = dataset.users();
-        let results = parallel_map(&users, |&user| self.train(dataset, user));
+        let vector_sets = self.training_vectors_all(dataset, &users);
+        let jobs: Vec<(UserId, Vec<SparseVector>)> =
+            users.iter().copied().zip(vector_sets).collect();
+        let results = parallel_map(&jobs, |(user, vectors)| {
+            if vectors.is_empty() {
+                // `training_vectors` is empty only for users absent from the
+                // dataset; `dataset.users()` never yields those, but keep the
+                // serial path's error shape for robustness.
+                Err(ProfileError::NoWindows { user: *user })
+            } else {
+                self.train_from_vectors(*user, vectors)
+            }
+        });
         let mut profiles = BTreeMap::new();
         let mut errors = BTreeMap::new();
         for (user, result) in users.iter().zip(results) {
@@ -341,32 +370,19 @@ pub(crate) fn subsample_evenly<T>(items: Vec<T>, max: usize) -> Vec<T> {
 ///
 /// The crate's shared fan-out helper (profile training, identification,
 /// and the streaming engine's per-profile batch scoring all go through
-/// it): items are split into one contiguous chunk per available core, so
-/// the overhead is a handful of thread spawns per call, nothing per item.
-/// Falls back to a plain sequential map for single-item inputs or
-/// single-core machines.
+/// it). Since the pool's extraction into its own crate this is a thin
+/// wrapper over [`parcore::parallel_map`], kept as a re-export so existing
+/// callers compile unchanged: items are split into one contiguous chunk
+/// per available core, so the overhead is a handful of thread spawns per
+/// call, nothing per item. Falls back to a plain sequential map for
+/// single-item inputs or single-core machines.
 pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    if items.len() <= 1 || n_threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let mut results: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
-    let chunk = items.len().div_ceil(n_threads);
-    std::thread::scope(|scope| {
-        for (item_chunk, result_chunk) in items.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            scope.spawn(|| {
-                for (item, slot) in item_chunk.iter().zip(result_chunk.iter_mut()) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    });
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    parcore::parallel_map(items, f)
 }
 
 #[cfg(test)]

@@ -1,0 +1,46 @@
+//! The parallel per-user feature-extraction fan-out is bit-identical to
+//! the serial order.
+//!
+//! `ProfileTrainer::training_vectors_all` routes `WindowAggregator`
+//! extraction and `aggregate_window` across users through the shared
+//! thread pool; nothing about scheduling may leak into the features. The
+//! regression here pins the parallel result against a plain serial loop
+//! (`SparseVector` implements exact `PartialEq`, so this is a
+//! byte-for-byte comparison), and checks `train_all` still covers every
+//! user after being rerouted through the two-stage fan-out.
+
+use tracegen::{Scenario, TraceGenerator};
+use webprofiler::{ProfileTrainer, Vocabulary};
+
+#[test]
+fn parallel_extraction_equals_serial_extraction() {
+    let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+    let vocab = Vocabulary::new(dataset.taxonomy().clone());
+    let users = dataset.users();
+    assert!(users.len() > 1, "need several users to exercise the fan-out");
+
+    for trainer in
+        [ProfileTrainer::new(&vocab), ProfileTrainer::new(&vocab).max_training_windows(37)]
+    {
+        let serial: Vec<_> =
+            users.iter().map(|&user| trainer.training_vectors(&dataset, user)).collect();
+        let parallel = trainer.training_vectors_all(&dataset, &users);
+        assert_eq!(serial, parallel, "parallel extraction diverged from serial order");
+    }
+}
+
+#[test]
+fn train_all_still_covers_every_user_after_fanout_rerouting() {
+    let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+    let vocab = Vocabulary::new(dataset.taxonomy().clone());
+    let trainer = ProfileTrainer::new(&vocab).max_training_windows(100);
+    let (profiles, errors) = trainer.train_all(&dataset);
+    assert_eq!(profiles.len() + errors.len(), dataset.users().len());
+    assert!(!profiles.is_empty());
+    for (user, profile) in &profiles {
+        assert_eq!(profile.user(), *user);
+        // The profile trained from exactly the serially extracted vectors.
+        let vectors = trainer.training_vectors(&dataset, *user);
+        assert_eq!(profile.training_windows(), vectors.len());
+    }
+}
