@@ -18,9 +18,15 @@
 //! population beyond the paper's 36/35 (`Scenario::scaled`).
 //!
 //! Benchmark mode (`--json PATH`, optionally `--smoke` for the quick CI
-//! shape) instead measures generation throughput — the serial reference
-//! path against the sharded parallel path — and writes the flat
-//! `BENCH_gen.json` the perf gate compares:
+//! shape) instead measures generation throughput: the serial reference
+//! path, the sharded parallel path streaming into a [`NullTextSink`]
+//! (blocks rendered to log-line bytes on the workers — the real
+//! serialization workload, with the write elided), and a legacy
+//! comparison point that formats every transaction as a heap-allocated
+//! `format_line` string on the sequential merge thread, the architecture
+//! this pipeline replaced. It writes the flat `BENCH_gen.json` the perf
+//! gate compares, including the `format_secs` stage (worker CPU spent
+//! serializing) and `speedup_vs_legacy_format`:
 //!
 //! ```text
 //! cargo run -p bench --bin gen_corpus --release -- --smoke --json BENCH_gen.json
@@ -29,12 +35,13 @@
 //! ```
 
 use bench::{json, ExperimentConfig};
-use proxylog::{write_binary_log, write_log, CorpusSummary};
+use proxylog::{format_line, write_binary_log, write_log, CorpusSummary, Taxonomy, Transaction};
 use std::fs::File;
 use std::io::BufWriter;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
-use tracegen::{CountingSink, GenStats, Scenario, ShardedLogSink, TraceGenerator};
+use tracegen::{GenStats, NullTextSink, Scenario, ShardedLogSink, TraceGenerator, TransactionSink};
 
 fn main() -> std::io::Result<()> {
     let config = ExperimentConfig::parse(4);
@@ -121,6 +128,28 @@ fn export(scenario: Scenario, config: &ExperimentConfig, threads: usize) -> std:
     Ok(())
 }
 
+/// The emission architecture this PR replaced, kept as the benchmark's
+/// comparison point: no [`TransactionSink::text_taxonomy`], so blocks
+/// arrive as raw transactions and every line is rendered on the
+/// sequential merge thread as a freshly heap-allocated
+/// [`format_line`] string.
+struct LegacyFormatSink {
+    taxonomy: Arc<Taxonomy>,
+    transactions: u64,
+    bytes: u64,
+}
+
+impl TransactionSink for LegacyFormatSink {
+    fn emit(&mut self, transactions: Vec<Transaction>) -> std::io::Result<()> {
+        for tx in &transactions {
+            let line = format_line(tx, &self.taxonomy);
+            self.bytes += line.len() as u64 + 1;
+        }
+        self.transactions += transactions.len() as u64;
+        Ok(())
+    }
+}
+
 /// Generation benchmark: serial reference vs sharded parallel throughput.
 fn benchmark(scenario: Scenario, threads: usize) {
     let smoke = ExperimentConfig::has_flag("--smoke");
@@ -139,12 +168,14 @@ fn benchmark(scenario: Scenario, threads: usize) {
         serial_len = trace.dataset.len();
     }
 
-    // Parallel sharded path, streaming into a counting sink (no corpus
-    // retention — the data-substrate scale-out configuration).
+    // Parallel sharded path, streaming into a null text sink: every block
+    // is rendered to log-line bytes on the emission workers — the real
+    // serialization workload of a text export — with the write elided so
+    // neither disk bandwidth nor corpus retention distorts the number.
     let mut best: Option<GenStats> = None;
     for _ in 0..reps.max(1) {
-        let mut sink = CountingSink::new();
-        let streamed = generator.generate_streaming(&mut sink).expect("counting sink cannot fail");
+        let mut sink = NullTextSink::new(scenario.taxonomy.clone());
+        let streamed = generator.generate_streaming(&mut sink).expect("null sink cannot fail");
         assert_eq!(
             streamed.stats.transactions, serial_len as u64,
             "parallel path must emit exactly the serial corpus"
@@ -157,6 +188,21 @@ fn benchmark(scenario: Scenario, threads: usize) {
     let serial_tps = serial_len as f64 / serial_secs.max(1e-9);
     let speedup = stats.tx_per_sec() / serial_tps.max(1e-9);
 
+    // Legacy formatting reference: the same parallel generation pipeline,
+    // but serializing through per-line `format_line` strings on the
+    // sequential merge thread — the pre-zero-allocation architecture.
+    let mut legacy_secs = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let mut sink =
+            LegacyFormatSink { taxonomy: scenario.taxonomy.clone(), transactions: 0, bytes: 0 };
+        let streamed = generator.generate_streaming(&mut sink).expect("legacy sink cannot fail");
+        assert_eq!(sink.transactions, serial_len as u64);
+        assert!(sink.bytes > 0);
+        legacy_secs = legacy_secs.min(streamed.stats.total_secs);
+    }
+    let legacy_tps = serial_len as f64 / legacy_secs.max(1e-9);
+    let speedup_vs_legacy = stats.tx_per_sec() / legacy_tps.max(1e-9);
+
     println!(
         "CORPUS GENERATION ({} users, {} weeks, rate {}, {} workers)",
         scenario.users, scenario.weeks, scenario.rate_multiplier, workers,
@@ -165,10 +211,14 @@ fn benchmark(scenario: Scenario, threads: usize) {
         "  serial reference   {serial_secs:>10.3} s  ({serial_tps:.0} tx/s, {serial_len} transactions)"
     );
     println!(
-        "  parallel sharded   {:>10.3} s  ({:.0} tx/s, {:.2}x vs serial, {} steals)",
+        "  legacy format path {legacy_secs:>10.3} s  ({legacy_tps:.0} tx/s, per-line String serialization)"
+    );
+    println!(
+        "  parallel sharded   {:>10.3} s  ({:.0} tx/s, {:.2}x vs serial, {:.2}x vs legacy format, {} steals)",
         stats.total_secs,
         stats.tx_per_sec(),
         speedup,
+        speedup_vs_legacy,
         stats.steals,
     );
     print_stats(&stats);
@@ -178,6 +228,8 @@ fn benchmark(scenario: Scenario, threads: usize) {
             ("tx_per_sec", stats.tx_per_sec()),
             ("serial_tx_per_sec", serial_tps),
             ("speedup_vs_serial", speedup),
+            ("legacy_format_tx_per_sec", legacy_tps),
+            ("speedup_vs_legacy_format", speedup_vs_legacy),
             ("transactions", stats.transactions as f64),
             ("sessions", stats.sessions as f64),
             ("users", stats.users as f64),
@@ -187,6 +239,7 @@ fn benchmark(scenario: Scenario, threads: usize) {
             ("profile_secs", stats.profile_secs),
             ("booking_secs", stats.booking_secs),
             ("emission_secs", stats.emission_secs),
+            ("format_secs", stats.format_secs),
             ("total_secs", stats.total_secs),
             ("peak_shard_transactions", stats.peak_shard_transactions as f64),
         ];
@@ -197,8 +250,12 @@ fn benchmark(scenario: Scenario, threads: usize) {
 
 fn print_stats(stats: &GenStats) {
     println!(
-        "  stages             setup {:.3} s | profiles {:.3} s | booking {:.3} s | emission {:.3} s",
-        stats.setup_secs, stats.profile_secs, stats.booking_secs, stats.emission_secs,
+        "  stages             setup {:.3} s | profiles {:.3} s | booking {:.3} s | emission {:.3} s (format {:.3} s worker CPU)",
+        stats.setup_secs,
+        stats.profile_secs,
+        stats.booking_secs,
+        stats.emission_secs,
+        stats.format_secs,
     );
     println!(
         "  {} transactions, {} sessions, {} users; peak shard {} tx ({} workers, {} steals)",

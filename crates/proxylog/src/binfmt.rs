@@ -70,11 +70,31 @@ fn write_record_body<W: Write>(writer: &mut W, tx: &Transaction) -> io::Result<(
     writer.write_all(&[packed])
 }
 
+/// Largest record count honoured as an up-front `Vec` reservation. A
+/// record is at least [`MIN_RECORD_BYTES`] on the wire, so a header
+/// claiming more than this many records is either a multi-hundred-MiB
+/// archive (which amortizes the incremental growth below) or an attack.
+const PREALLOC_RECORD_LIMIT: usize = 1 << 16;
+
+/// Minimum wire size of one record: a 1-byte timestamp varint, six 1-byte
+/// id varints and the packed flag byte.
+const MIN_RECORD_BYTES: u64 = 8;
+
 /// Reads a binary log written by [`write_binary_log`].
+///
+/// The header's record count is attacker-controlled in any
+/// untrusted-archive setting, so it is never trusted for allocation:
+/// capacity is reserved for at most `PREALLOC_RECORD_LIMIT` (65,536)
+/// records up front and then grows only as records actually parse out of
+/// the stream. A count the remaining input cannot possibly satisfy (fewer
+/// than `MIN_RECORD_BYTES` per claimed record) therefore fails with
+/// `UnexpectedEof`/`InvalidData` after allocating memory proportional to
+/// the *real* input, not to the claim.
 ///
 /// # Errors
 ///
-/// `InvalidData` for a bad magic/version or truncated stream; other I/O
+/// `InvalidData` for a bad magic/version, an absurd record count or a
+/// corrupt record; `UnexpectedEof` for a truncated stream; other I/O
 /// errors from the reader.
 pub fn read_binary_log<R: Read>(mut reader: R) -> io::Result<Vec<Transaction>> {
     let mut header = [0u8; 8];
@@ -88,14 +108,31 @@ pub fn read_binary_log<R: Read>(mut reader: R) -> io::Result<Vec<Transaction>> {
             format!("unsupported version {}", header[4]),
         ));
     }
-    let count = read_varint(&mut reader)? as usize;
-    let mut transactions = Vec::with_capacity(count.min(1 << 20));
+    let count = read_varint(&mut reader)?;
+    // No input can hold more than u64::MAX / MIN_RECORD_BYTES records, so
+    // a count beyond that is malformed by construction — reject it before
+    // the read loop even starts.
+    if count > u64::MAX / MIN_RECORD_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("record count {count} exceeds any representable input"),
+        ));
+    }
+    let count = count as usize;
+    let mut transactions = Vec::with_capacity(count.min(PREALLOC_RECORD_LIMIT));
     let mut previous = 0i64;
     for index in 0..count {
         let timestamp = if index == 0 {
             unzigzag(read_varint(&mut reader)?)
         } else {
-            previous + read_varint(&mut reader)? as i64
+            // Checked: a corrupt delta must surface as InvalidData, not
+            // as integer overflow.
+            i64::try_from(read_varint(&mut reader)?)
+                .ok()
+                .and_then(|delta| previous.checked_add(delta))
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "timestamp delta overflow")
+                })?
         };
         previous = timestamp;
         let user = UserId(read_varint(&mut reader)? as u32);
@@ -268,6 +305,65 @@ mod tests {
         write_binary_log(&mut buffer, &txs).unwrap();
         buffer.truncate(buffer.len() - 3);
         assert!(read_binary_log(buffer.as_slice()).is_err());
+    }
+
+    /// Hardening: a header claiming billions of records backed by a
+    /// handful of bytes must fail fast without a count-sized allocation.
+    #[test]
+    fn hardening_rejects_malformed_varint_count_without_huge_allocation() {
+        for claimed in [u64::MAX, u64::MAX / 2, 1 << 40, 1 << 62] {
+            let mut buffer = Vec::new();
+            buffer.extend_from_slice(&MAGIC);
+            buffer.extend_from_slice(&[VERSION, 0, 0, 0]);
+            write_varint(&mut buffer, claimed).unwrap();
+            buffer.extend_from_slice(&[0u8; 16]); // far fewer than `claimed` records
+            let err = read_binary_log(buffer.as_slice()).unwrap_err();
+            assert!(
+                matches!(err.kind(), io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof),
+                "count {claimed}: unexpected error {err}"
+            );
+        }
+    }
+
+    /// Hardening, fuzz-style: random truncations and byte flips of a valid
+    /// log must error (or parse) but never panic or over-allocate. The
+    /// mutation stream is seeded, so failures reproduce.
+    #[test]
+    fn hardening_fuzzed_inputs_never_panic() {
+        let txs: Vec<Transaction> = (0..64).map(|i| tx(1_432_000_000 + i * 61, i as u32)).collect();
+        let mut valid = Vec::new();
+        write_binary_log(&mut valid, &txs).unwrap();
+
+        // Deterministic xorshift so the test needs no RNG dependency.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..500 {
+            let mut mutated = valid.clone();
+            // Truncate to a random prefix half the time.
+            if next() % 2 == 0 {
+                mutated.truncate((next() % (valid.len() as u64 + 1)) as usize);
+            }
+            // Flip up to three random bytes (the count varint included).
+            for _ in 0..(next() % 4) {
+                if mutated.is_empty() {
+                    break;
+                }
+                let at = (next() % mutated.len() as u64) as usize;
+                mutated[at] = (next() & 0xff) as u8;
+            }
+            match read_binary_log(mutated.as_slice()) {
+                Ok(parsed) => assert!(parsed.len() <= txs.len() + 1),
+                Err(e) => assert!(
+                    matches!(e.kind(), io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof),
+                    "unexpected error kind: {e}"
+                ),
+            }
+        }
     }
 
     #[test]

@@ -60,6 +60,165 @@ pub fn format_line(tx: &Transaction, taxonomy: &Taxonomy) -> String {
     )
 }
 
+/// Zero-allocation line serializer: writes transactions directly into a
+/// caller-provided byte buffer, bit-identical to [`format_line`].
+///
+/// [`format_line`] allocates a fresh `String` per transaction (one
+/// `format!` plus a `media_type_string` allocation); at corpus scale that
+/// allocation traffic dominates sink-side wall clock. `LineFormatter`
+/// instead caches every taxonomy name as a byte slice at construction and
+/// hand-rolls the integer and timestamp digits, so serializing a
+/// transaction touches no allocator at all once the output buffer has
+/// warmed up.
+///
+/// The formatter is immutable after construction and `Sync`, so one
+/// instance can be shared by reference across parallel emission workers.
+///
+/// # Examples
+///
+/// ```
+/// use proxylog::{format_line, LineFormatter, Taxonomy, Transaction};
+/// # use proxylog::{CategoryId, SubtypeId, AppTypeId, DeviceId, HttpAction, Reputation,
+/// #     SiteId, Timestamp, UriScheme, UserId};
+///
+/// let taxonomy = Taxonomy::paper_scale();
+/// # let tx = Transaction {
+/// #     timestamp: Timestamp::from_civil(2015, 5, 29, 5, 5, 4),
+/// #     user: UserId(9), device: DeviceId(3), site: SiteId(812),
+/// #     action: HttpAction::Get, scheme: UriScheme::Http,
+/// #     category: CategoryId(0), subtype: taxonomy.subtype_by_media_string("text/html").unwrap(),
+/// #     app_type: AppTypeId(0), reputation: Reputation::Minimal, private_destination: false,
+/// # };
+/// let formatter = LineFormatter::new(&taxonomy);
+/// let mut buffer = Vec::new();
+/// formatter.write_line(&tx, &mut buffer);
+/// assert_eq!(buffer, format_line(&tx, &taxonomy).into_bytes());
+/// ```
+#[derive(Debug)]
+pub struct LineFormatter {
+    /// Category names, indexed by `CategoryId`.
+    categories: Vec<Box<[u8]>>,
+    /// `supertype/subtype` media strings, indexed by `SubtypeId`.
+    media: Vec<Box<[u8]>>,
+    /// Application-type names, indexed by `AppTypeId`.
+    app_types: Vec<Box<[u8]>>,
+}
+
+impl LineFormatter {
+    /// Builds a formatter by caching every name of `taxonomy` as bytes.
+    pub fn new(taxonomy: &Taxonomy) -> Self {
+        use crate::taxonomy::{AppTypeId, CategoryId, SubtypeId};
+        Self {
+            categories: (0..taxonomy.category_count())
+                .map(|i| taxonomy.category_name(CategoryId(i as u16)).as_bytes().into())
+                .collect(),
+            media: (0..taxonomy.subtype_count())
+                .map(|i| taxonomy.media_type_string(SubtypeId(i as u16)).into_bytes().into())
+                .collect(),
+            app_types: (0..taxonomy.app_type_count())
+                .map(|i| taxonomy.app_type_name(AppTypeId(i as u16)).as_bytes().into())
+                .collect(),
+        }
+    }
+
+    /// Appends one log line (no trailing newline) to `out`; output is
+    /// byte-identical to [`format_line`] for the taxonomy this formatter
+    /// was built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a taxonomy id of `tx` is out of range for that taxonomy,
+    /// exactly as [`format_line`] does.
+    pub fn write_line(&self, tx: &Transaction, out: &mut Vec<u8>) {
+        push_timestamp(out, tx.timestamp);
+        out.extend_from_slice(b", site-");
+        push_uint(out, u64::from(tx.site.0));
+        out.extend_from_slice(b".example.com, ");
+        out.extend_from_slice(tx.scheme.as_str().as_bytes());
+        out.extend_from_slice(b", ");
+        out.extend_from_slice(tx.action.as_str().as_bytes());
+        out.extend_from_slice(b", user_");
+        push_uint(out, u64::from(tx.user.0));
+        out.extend_from_slice(b", device_");
+        push_uint(out, u64::from(tx.device.0));
+        out.extend_from_slice(b", ");
+        out.extend_from_slice(&self.categories[tx.category.0 as usize]);
+        out.extend_from_slice(b", ");
+        out.extend_from_slice(&self.media[tx.subtype.0 as usize]);
+        out.extend_from_slice(b", ");
+        out.extend_from_slice(&self.app_types[tx.app_type.0 as usize]);
+        out.extend_from_slice(b", ");
+        out.extend_from_slice(tx.reputation.as_str().as_bytes());
+        out.extend_from_slice(if tx.private_destination { b", private" } else { b", public" });
+    }
+
+    /// Appends one log line *with* its trailing newline — the unit
+    /// [`write_log`] and the streaming sinks emit.
+    pub fn write_record(&self, tx: &Transaction, out: &mut Vec<u8>) {
+        self.write_line(tx, out);
+        out.push(b'\n');
+    }
+}
+
+/// Appends the decimal digits of `value`.
+fn push_uint(out: &mut Vec<u8>, mut value: u64) {
+    let mut digits = [0u8; 20];
+    let mut at = digits.len();
+    loop {
+        at -= 1;
+        digits[at] = b'0' + (value % 10) as u8;
+        value /= 10;
+        if value == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&digits[at..]);
+}
+
+/// Appends `value` zero-padded to `width`, matching `format!("{value:0w$}")`
+/// for signed values: the sign counts toward the width and the zeros come
+/// after it (`-1` at width 4 is `-001`).
+fn push_padded(out: &mut Vec<u8>, value: i64, width: usize) {
+    let mut width = width;
+    if value < 0 {
+        out.push(b'-');
+        width = width.saturating_sub(1);
+    }
+    let magnitude = value.unsigned_abs();
+    let mut digits = [0u8; 20];
+    let mut at = digits.len();
+    let mut rest = magnitude;
+    loop {
+        at -= 1;
+        digits[at] = b'0' + (rest % 10) as u8;
+        rest /= 10;
+        if rest == 0 {
+            break;
+        }
+    }
+    for _ in (digits.len() - at)..width {
+        out.push(b'0');
+    }
+    out.extend_from_slice(&digits[at..]);
+}
+
+/// Appends `YYYY-MM-DD HH:MM:SS`, byte-identical to `Timestamp`'s
+/// `Display` implementation.
+fn push_timestamp(out: &mut Vec<u8>, timestamp: Timestamp) {
+    let (y, mo, d, h, mi, s) = timestamp.to_civil();
+    push_padded(out, i64::from(y), 4);
+    out.push(b'-');
+    push_padded(out, i64::from(mo), 2);
+    out.push(b'-');
+    push_padded(out, i64::from(d), 2);
+    out.push(b' ');
+    push_padded(out, i64::from(h), 2);
+    out.push(b':');
+    push_padded(out, i64::from(mi), 2);
+    out.push(b':');
+    push_padded(out, i64::from(s), 2);
+}
+
 /// Error produced by [`parse_line`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseLineError {
@@ -144,6 +303,11 @@ fn parse_site(domain: &str) -> Option<SiteId> {
 /// Writes transactions as log lines to `writer` (which may be a `&mut`
 /// reference).
 ///
+/// Serialization goes through a [`LineFormatter`] and a reusable buffer
+/// flushed in large chunks, so the per-transaction cost is byte copies
+/// only; output is byte-identical to the historical one-`format_line`-per-
+/// `writeln!` implementation.
+///
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
@@ -152,10 +316,17 @@ pub fn write_log<W: Write>(
     transactions: &[Transaction],
     taxonomy: &Taxonomy,
 ) -> io::Result<()> {
+    const FLUSH_BYTES: usize = 64 * 1024;
+    let formatter = LineFormatter::new(taxonomy);
+    let mut buffer = Vec::with_capacity(FLUSH_BYTES + 256);
     for tx in transactions {
-        writeln!(writer, "{}", format_line(tx, taxonomy))?;
+        formatter.write_record(tx, &mut buffer);
+        if buffer.len() >= FLUSH_BYTES {
+            writer.write_all(&buffer)?;
+            buffer.clear();
+        }
     }
-    Ok(())
+    writer.write_all(&buffer)
 }
 
 /// Reads a log written by [`write_log`]; empty lines are skipped.
@@ -232,6 +403,12 @@ impl<R: BufRead> Iterator for LogReader<'_, R> {
 /// never corrupts a record. A reader returning `WouldBlock` (non-blocking
 /// sources) ends the poll like end-of-file does.
 ///
+/// A poll drains at most a bounded number of bytes (default
+/// [`DEFAULT_POLL_HIGH_WATERMARK`], configurable via
+/// [`with_high_watermark`](LogTail::with_high_watermark)), so a producer
+/// burst cannot balloon the tail's memory: the remaining bytes stay in
+/// the source and the next poll resumes exactly where this one left off.
+///
 /// # Examples
 ///
 /// ```
@@ -250,15 +427,42 @@ pub struct LogTail<'a, R> {
     /// Transactions parsed before a bad line stopped a poll, delivered by
     /// the next poll.
     pending: Vec<Transaction>,
+    /// Stop draining the reader once the carry holds this many bytes.
+    high_watermark: usize,
     line_no: usize,
 }
+
+/// Default per-poll byte cap of [`LogTail`]: 8 MiB.
+pub const DEFAULT_POLL_HIGH_WATERMARK: usize = 8 << 20;
 
 impl<'a, R: Read> LogTail<'a, R> {
     /// Creates a tail over `reader` (typically a `File` whose producer
     /// keeps appending; the file cursor picks up appended data on the next
     /// poll).
     pub fn new(reader: R, taxonomy: &'a Taxonomy) -> Self {
-        Self { reader, taxonomy, carry: Vec::new(), pending: Vec::new(), line_no: 0 }
+        Self {
+            reader,
+            taxonomy,
+            carry: Vec::new(),
+            pending: Vec::new(),
+            high_watermark: DEFAULT_POLL_HIGH_WATERMARK,
+            line_no: 0,
+        }
+    }
+
+    /// Caps the bytes one [`poll`](LogTail::poll) drains from the reader.
+    /// The carry buffer never grows beyond the watermark plus one read
+    /// chunk; bytes past the cap stay in the source and lead the next
+    /// poll. Every poll still reads at least one chunk, so even a single
+    /// line longer than the watermark completes after finitely many polls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn with_high_watermark(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "the poll watermark must be positive");
+        self.high_watermark = bytes;
+        self
     }
 
     /// Bytes of a trailing partial line waiting for their newline.
@@ -319,13 +523,20 @@ impl<'a, R: Read> LogTail<'a, R> {
         }
     }
 
-    /// Drains the reader to its current end into the carry buffer.
+    /// Drains the reader into the carry buffer until its current end or
+    /// the high-watermark, whichever comes first. At least one chunk is
+    /// read per call so an oversized line still makes progress.
     fn fill(&mut self) -> io::Result<()> {
         let mut chunk = [0u8; 8192];
         loop {
             match self.reader.read(&mut chunk) {
                 Ok(0) => return Ok(()),
-                Ok(n) => self.carry.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    self.carry.extend_from_slice(&chunk[..n]);
+                    if self.carry.len() >= self.high_watermark {
+                        return Ok(());
+                    }
+                }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
                 Err(e) => return Err(e),
@@ -509,6 +720,105 @@ mod tests {
         // The record before the bad line leads the next poll; the one
         // after it parses too.
         assert_eq!(tail.poll().unwrap(), vec![tx, tx]);
+    }
+
+    #[test]
+    fn line_formatter_matches_format_line_exactly() {
+        let taxonomy = Taxonomy::paper_scale();
+        let formatter = LineFormatter::new(&taxonomy);
+        let mut buffer = Vec::new();
+        for tx in [
+            example(&taxonomy),
+            Transaction {
+                action: HttpAction::Connect,
+                scheme: UriScheme::Https,
+                reputation: Reputation::Unverified,
+                private_destination: true,
+                category: CategoryId(104),
+                user: UserId(4_000_000_000),
+                site: SiteId(u32::MAX),
+                ..example(&taxonomy)
+            },
+        ] {
+            buffer.clear();
+            formatter.write_line(&tx, &mut buffer);
+            assert_eq!(buffer, format_line(&tx, &taxonomy).into_bytes());
+        }
+    }
+
+    #[test]
+    fn line_formatter_matches_display_padding_on_extreme_timestamps() {
+        // Pre-epoch and pre-year-1000 timestamps exercise the sign and
+        // zero-padding paths that `{:04}` takes in `Timestamp`'s Display.
+        let taxonomy = Taxonomy::paper_scale();
+        let formatter = LineFormatter::new(&taxonomy);
+        for secs in [0i64, -1, -86_400_000_000, 86_400 * 365_000, i64::from(u32::MAX)] {
+            let tx = Transaction { timestamp: Timestamp(secs), ..example(&taxonomy) };
+            let mut buffer = Vec::new();
+            formatter.write_line(&tx, &mut buffer);
+            assert_eq!(
+                buffer,
+                format_line(&tx, &taxonomy).into_bytes(),
+                "diverged at timestamp {secs}"
+            );
+        }
+    }
+
+    #[test]
+    fn write_record_appends_newline_and_round_trips() {
+        let taxonomy = Taxonomy::paper_scale();
+        let formatter = LineFormatter::new(&taxonomy);
+        let tx = example(&taxonomy);
+        let mut buffer = Vec::new();
+        formatter.write_record(&tx, &mut buffer);
+        assert_eq!(buffer.last(), Some(&b'\n'));
+        let parsed = read_log(buffer.as_slice(), &taxonomy).unwrap();
+        assert_eq!(parsed, vec![tx]);
+    }
+
+    #[test]
+    fn tail_watermark_bounds_a_poll_and_resumes() {
+        let taxonomy = Taxonomy::paper_scale();
+        let tx = example(&taxonomy);
+        let line = format_line(&tx, &taxonomy);
+        let source = GrowingSource::new();
+        // A watermark of one byte: each poll reads a single 8 KiB chunk.
+        let mut tail = LogTail::new(source.clone(), &taxonomy).with_high_watermark(1);
+        // Burst: 400 lines (~48 KiB) arrive at once.
+        let burst = format!("{line}\n").repeat(400);
+        source.append(burst.as_bytes());
+        let mut got = Vec::new();
+        let mut polls = 0;
+        while got.len() < 400 {
+            let batch = tail.poll().unwrap();
+            assert!(tail.carried_bytes() <= 8192 + line.len(), "carry ballooned");
+            got.extend(batch);
+            polls += 1;
+            assert!(polls <= 64, "polls stopped making progress");
+        }
+        assert!(polls > 1, "the watermark should split the burst across polls");
+        assert_eq!(got, vec![tx; 400]);
+        assert!(tail.poll().unwrap().is_empty());
+    }
+
+    #[test]
+    fn tail_completes_a_line_longer_than_the_watermark() {
+        // `fill` always reads at least one chunk, so a single line larger
+        // than the watermark terminates after finitely many polls.
+        let taxonomy = Taxonomy::paper_scale();
+        let tx = example(&taxonomy);
+        let line = format_line(&tx, &taxonomy);
+        let source = GrowingSource::new();
+        let mut tail = LogTail::new(source.clone(), &taxonomy).with_high_watermark(16);
+        source.append(format!("\n\n\n{line}\n").as_bytes());
+        let mut got = Vec::new();
+        for _ in 0..16 {
+            got.extend(tail.poll().unwrap());
+            if !got.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(got, vec![tx]);
     }
 
     #[test]

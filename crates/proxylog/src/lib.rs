@@ -10,7 +10,8 @@
 //! * [`Taxonomy`] — the augmentation string tables, sized to the paper's
 //!   Tab. I at [`Taxonomy::paper_scale`];
 //! * [`format_line`] / [`parse_line`] / [`write_log`] / [`read_log`] — the
-//!   text log format;
+//!   text log format, with [`LineFormatter`] as the zero-allocation
+//!   byte-level serializer behind the bulk writers;
 //! * [`Dataset`] — indexing plus the paper's preprocessing: minimum
 //!   transaction filtering and chronological per-user train/test splits.
 //!
@@ -50,7 +51,8 @@ mod time;
 pub use binfmt::{read_binary_log, write_binary_log};
 pub use dataset::{Dataset, PAPER_MIN_TRANSACTIONS_PER_USER, PAPER_TRAIN_FRACTION};
 pub use format::{
-    format_line, parse_line, read_log, write_log, LogReader, LogTail, ParseLineError,
+    format_line, parse_line, read_log, write_log, LineFormatter, LogReader, LogTail,
+    ParseLineError, DEFAULT_POLL_HIGH_WATERMARK,
 };
 pub use record::{
     DeviceId, HttpAction, ParseFieldError, Reputation, SiteId, Transaction, UriScheme, UserId,

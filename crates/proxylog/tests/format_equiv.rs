@@ -1,0 +1,168 @@
+//! `LineFormatter` ↔ `parse_line` symmetry and byte-equality with the
+//! legacy `format_line` path.
+//!
+//! The zero-allocation serializer must be *bit-identical* to the
+//! `format!`-based reference — the streaming sinks rely on "shards
+//! concatenated equal `write_log` output byte for byte" — and its output
+//! must parse back to the exact transaction. Both properties are pinned
+//! here over randomized transactions plus a golden multi-record log.
+
+use proptest::prelude::*;
+use proxylog::{
+    format_line, parse_line, write_log, AppTypeId, CategoryId, DeviceId, HttpAction, LineFormatter,
+    Reputation, SiteId, SubtypeId, Taxonomy, Timestamp, Transaction, UriScheme, UserId,
+};
+
+fn transaction_strategy() -> impl Strategy<Value = Transaction> {
+    (
+        // Positive timestamps keep the civil dates parseable; the
+        // byte-equality property below additionally covers negatives.
+        0i64..4_000_000_000,
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        prop::sample::select(HttpAction::ALL.to_vec()),
+        prop::sample::select(UriScheme::ALL.to_vec()),
+        0u16..105,
+        0u16..257,
+        0u16..464,
+        prop::sample::select(Reputation::ALL.to_vec()),
+        any::<bool>(),
+    )
+        .prop_map(|(secs, user, device, site, action, scheme, cat, sub, app, rep, private)| {
+            Transaction {
+                timestamp: Timestamp(secs),
+                user: UserId(user),
+                device: DeviceId(device),
+                site: SiteId(site),
+                action,
+                scheme,
+                category: CategoryId(cat),
+                subtype: SubtypeId(sub),
+                app_type: AppTypeId(app),
+                reputation: rep,
+                private_destination: private,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Formatter output is byte-for-byte the legacy `format_line` string.
+    #[test]
+    fn formatter_equals_format_line(tx in transaction_strategy()) {
+        let taxonomy = Taxonomy::paper_scale();
+        let formatter = LineFormatter::new(&taxonomy);
+        let mut bytes = Vec::new();
+        formatter.write_line(&tx, &mut bytes);
+        prop_assert_eq!(bytes, format_line(&tx, &taxonomy).into_bytes());
+    }
+
+    /// Byte equality holds even for timestamps no parser accepts (negative
+    /// years, sub-4-digit years) — the formatter mirrors `Display` padding
+    /// exactly, not just on the happy path.
+    #[test]
+    fn formatter_equals_format_line_on_unparseable_timestamps(
+        secs in -80_000_000_000i64..80_000_000_000,
+        tx in transaction_strategy(),
+    ) {
+        let taxonomy = Taxonomy::paper_scale();
+        let formatter = LineFormatter::new(&taxonomy);
+        let tx = Transaction { timestamp: Timestamp(secs), ..tx };
+        let mut bytes = Vec::new();
+        formatter.write_line(&tx, &mut bytes);
+        prop_assert_eq!(bytes, format_line(&tx, &taxonomy).into_bytes());
+    }
+
+    /// Round trip: what the formatter writes, `parse_line` reads back.
+    #[test]
+    fn formatter_output_parses_back(tx in transaction_strategy()) {
+        let taxonomy = Taxonomy::paper_scale();
+        let formatter = LineFormatter::new(&taxonomy);
+        let mut bytes = Vec::new();
+        formatter.write_line(&tx, &mut bytes);
+        let line = std::str::from_utf8(&bytes).expect("formatter emits UTF-8");
+        let parsed = parse_line(line, &taxonomy).expect("own output parses");
+        prop_assert_eq!(parsed, tx);
+    }
+
+    /// `write_log` (now routed through the formatter) still produces the
+    /// golden one-`format_line`-per-line file, byte for byte.
+    #[test]
+    fn write_log_matches_legacy_golden_bytes(
+        txs in prop::collection::vec(transaction_strategy(), 0..40),
+    ) {
+        let taxonomy = Taxonomy::paper_scale();
+        let mut actual = Vec::new();
+        write_log(&mut actual, &txs, &taxonomy).expect("write");
+        let mut golden = String::new();
+        for tx in &txs {
+            golden.push_str(&format_line(tx, &taxonomy));
+            golden.push('\n');
+        }
+        prop_assert_eq!(actual, golden.into_bytes());
+    }
+}
+
+/// A fixed golden file: every enum variant, id-padding widths from 1 to
+/// 10 digits, and the paper's example record.
+#[test]
+fn golden_log_bytes_are_stable() {
+    let taxonomy = Taxonomy::paper_scale();
+    let formatter = LineFormatter::new(&taxonomy);
+    let mut txs = vec![Transaction {
+        timestamp: Timestamp::from_civil(2015, 5, 29, 5, 5, 4),
+        user: UserId(9),
+        device: DeviceId(3),
+        site: SiteId(812),
+        action: HttpAction::Get,
+        scheme: UriScheme::Http,
+        category: taxonomy.category_by_name("Games").unwrap(),
+        subtype: taxonomy.subtype_by_media_string("text/html").unwrap(),
+        app_type: AppTypeId(0),
+        reputation: Reputation::Minimal,
+        private_destination: false,
+    }];
+    for (i, (action, scheme, reputation)) in [
+        (HttpAction::Post, UriScheme::Https, Reputation::Unverified),
+        (HttpAction::Connect, UriScheme::Http, Reputation::Medium),
+        (HttpAction::Head, UriScheme::Https, Reputation::High),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        txs.push(Transaction {
+            timestamp: Timestamp(10i64.pow(i as u32 * 3)),
+            user: UserId(10u32.pow(i as u32 * 3)),
+            device: DeviceId(u32::MAX),
+            site: SiteId(4_294_967_295),
+            action,
+            scheme,
+            category: CategoryId(104),
+            subtype: SubtypeId(256),
+            app_type: AppTypeId(463),
+            reputation,
+            private_destination: true,
+        });
+    }
+    let mut formatted = Vec::new();
+    for tx in &txs {
+        formatter.write_record(tx, &mut formatted);
+    }
+    let mut legacy = Vec::new();
+    write_golden(&mut legacy, &txs, &taxonomy);
+    assert_eq!(formatted, legacy);
+    assert!(formatted.starts_with(
+        b"2015-05-29 05:05:04, site-812.example.com, HTTP, GET, user_9, device_3, \
+          Games, text/html, Rhapsody, Minimal, public\n"
+            .as_slice()
+    ));
+}
+
+fn write_golden(out: &mut Vec<u8>, txs: &[Transaction], taxonomy: &Taxonomy) {
+    for tx in txs {
+        out.extend_from_slice(format_line(tx, taxonomy).as_bytes());
+        out.push(b'\n');
+    }
+}

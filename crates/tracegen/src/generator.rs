@@ -100,6 +100,12 @@ pub struct GenStats {
     pub booking_secs: f64,
     /// Wall time of the sharded emission stage (including sink writes).
     pub emission_secs: f64,
+    /// Seconds spent rendering transactions to log-line text on the
+    /// emission workers — per-block elapsed spans summed across workers,
+    /// so the value exceeds wall clock when workers overlap (a subset of
+    /// the emission stage; zero for sinks that keep transactions
+    /// structured).
+    pub format_secs: f64,
     /// End-to-end wall time.
     pub total_secs: f64,
     /// Largest number of transactions buffered by one emission chunk —
@@ -331,6 +337,7 @@ impl TraceGenerator {
             profile_secs,
             booking_secs,
             emission_secs,
+            format_secs: emission.format_nanos as f64 * 1e-9,
             total_secs: t_start.elapsed().as_secs_f64(),
             peak_shard_transactions: emission.peak_shard_transactions,
             steals: steals.steals,

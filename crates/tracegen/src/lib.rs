@@ -52,4 +52,6 @@ pub use profile::{
 };
 pub use scenario::Scenario;
 pub use schedule::{propose_user_day, DeviceAssignment, DeviceCalendar, Session};
-pub use sink::{CountingSink, MemorySink, ShardedLogSink, TransactionSink};
+pub use sink::{
+    CountingSink, FormattedBlock, MemorySink, NullTextSink, ShardedLogSink, TransactionSink,
+};

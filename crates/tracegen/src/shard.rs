@@ -17,16 +17,26 @@
 //! original index, which is exactly the serial emission order because
 //! `sessions` is stably sorted by start time — and pushed to the sink one
 //! session block at a time.
+//!
+//! Sinks that store text (a [`TransactionSink::text_taxonomy`] of `Some`)
+//! additionally get their blocks *rendered on the workers*: each block is
+//! serialized to log-line bytes through a shared zero-allocation
+//! [`proxylog::LineFormatter`] right after it is generated, so the
+//! sequential merge step only copies bytes into the sink instead of
+//! formatting — the serializer stops being the Amdahl floor of the
+//! pipeline.
 
 use crate::arrivals;
 use crate::profile::UserBehaviorProfile;
 use crate::schedule::Session;
-use crate::sink::TransactionSink;
+use crate::sink::{FormattedBlock, TransactionSink};
 use parcore::{stealing_map_mut, StealStats};
-use proxylog::Transaction;
+use proxylog::{LineFormatter, Transaction};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// One user's slice of an emission chunk: the user's RNG (carried across
 /// chunks) plus the indices of the chunk's sessions that belong to them.
@@ -45,8 +55,30 @@ pub(crate) struct EmissionStats {
     /// Largest number of transactions held in memory by one merge chunk —
     /// the peak-memory proxy reported by `GenStats`.
     pub peak_shard_transactions: u64,
+    /// Nanoseconds spent rendering blocks to text on the emission
+    /// workers — per-block elapsed spans summed across workers (zero for
+    /// non-text sinks).
+    pub format_nanos: u64,
     /// Work-stealing counters accumulated over all chunks.
     pub steals: StealStats,
+}
+
+/// One session's emitted payload: raw transactions, or — for sinks that
+/// opted into the text path — the transaction count plus the rendered
+/// log-line bytes (the transactions themselves are dropped on the worker,
+/// which is what keeps the sequential merge step down to byte copies).
+enum Block {
+    Raw(Vec<Transaction>),
+    Text { transactions: u64, bytes: Vec<u8> },
+}
+
+impl Block {
+    fn transactions(&self) -> u64 {
+        match self {
+            Block::Raw(txs) => txs.len() as u64,
+            Block::Text { transactions, .. } => *transactions,
+        }
+    }
 }
 
 /// Replays `sessions` against per-user RNG streams and pushes every
@@ -63,6 +95,10 @@ pub(crate) fn emit_sessions<S: TransactionSink>(
 ) -> io::Result<EmissionStats> {
     let chunk_sessions = chunk_sessions.max(1);
     let mut stats = EmissionStats::default();
+    // Text sinks get their blocks rendered on the workers, through one
+    // shared read-only formatter.
+    let formatter = sink.text_taxonomy().map(|taxonomy| LineFormatter::new(&taxonomy));
+    let format_nanos = AtomicU64::new(0);
     for (chunk_start, chunk) in
         sessions.chunks(chunk_sessions).enumerate().map(|(i, c)| (i * chunk_sessions, c))
     {
@@ -86,38 +122,56 @@ pub(crate) fn emit_sessions<S: TransactionSink>(
         }
 
         // Parallel: each shard replays its sessions in order against its
-        // own RNG. Block order within a shard is the user's session order.
+        // own RNG, then (for text sinks) renders the block to bytes right
+        // there on the worker. Block order within a shard is the user's
+        // session order.
         let (blocks, steal) = stealing_map_mut(&mut shards, workers, |_, shard| {
             shard
                 .jobs
                 .iter()
                 .map(|&si| {
                     let session = &sessions[si];
-                    arrivals::session_transactions(
+                    let txs = arrivals::session_transactions(
                         &mut shard.rng,
                         &profiles[shard.user],
                         session,
                         rate_multiplier,
-                    )
+                    );
+                    let Some(formatter) = &formatter else {
+                        return Block::Raw(txs);
+                    };
+                    let rendering = Instant::now();
+                    let mut bytes = Vec::with_capacity(txs.len() * 128);
+                    for tx in &txs {
+                        formatter.write_record(tx, &mut bytes);
+                    }
+                    format_nanos
+                        .fetch_add(rendering.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    Block::Text { transactions: txs.len() as u64, bytes }
                 })
-                .collect::<Vec<Vec<Transaction>>>()
+                .collect::<Vec<Block>>()
         });
         stats.steals.merge(steal);
 
         // Stable merge back to original session order: place each shard's
         // blocks at their session's offset within the chunk.
-        let mut merged: Vec<Option<Vec<Transaction>>> = (0..chunk.len()).map(|_| None).collect();
+        let mut merged: Vec<Option<Block>> = (0..chunk.len()).map(|_| None).collect();
         let mut chunk_transactions = 0u64;
         for (shard, shard_blocks) in shards.iter().zip(blocks) {
             for (&si, block) in shard.jobs.iter().zip(shard_blocks) {
-                chunk_transactions += block.len() as u64;
+                chunk_transactions += block.transactions();
                 merged[si - chunk_start] = Some(block);
             }
         }
         stats.peak_shard_transactions = stats.peak_shard_transactions.max(chunk_transactions);
         stats.transactions += chunk_transactions;
         for block in merged {
-            sink.emit(block.expect("every session produced a block"))?;
+            match block.expect("every session produced a block") {
+                Block::Raw(txs) => sink.emit(txs)?,
+                Block::Text { transactions, bytes } => {
+                    sink.emit_formatted(FormattedBlock { transactions, bytes })?;
+                }
+            }
         }
 
         // Return the advanced RNGs to their slots for the next chunk.
@@ -126,5 +180,6 @@ pub(crate) fn emit_sessions<S: TransactionSink>(
         }
     }
     sink.finish()?;
+    stats.format_nanos = format_nanos.into_inner();
     Ok(stats)
 }

@@ -10,11 +10,25 @@
 //! session's head); [`proxylog::Dataset::new`] restores total order on
 //! load, exactly as it does for the in-memory path.
 
-use proxylog::{format_line, Taxonomy, Transaction};
+use proxylog::{LineFormatter, Taxonomy, Transaction};
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// One session block already rendered as text log lines.
+///
+/// Produced by the emission workers for sinks that declare a
+/// [`TransactionSink::text_taxonomy`]: `bytes` holds `transactions`
+/// newline-terminated lines, byte-identical to what
+/// [`proxylog::write_log`] would emit for the block.
+#[derive(Debug, Default)]
+pub struct FormattedBlock {
+    /// Number of log lines in `bytes`.
+    pub transactions: u64,
+    /// The lines, each terminated by `\n`.
+    pub bytes: Vec<u8>,
+}
 
 /// Receives the generated transaction stream, one session block at a time.
 pub trait TransactionSink {
@@ -24,6 +38,32 @@ pub trait TransactionSink {
     ///
     /// I/O errors from the underlying writer, if any.
     fn emit(&mut self, transactions: Vec<Transaction>) -> io::Result<()>;
+
+    /// A sink that stores text log lines returns its taxonomy here; the
+    /// streaming generator then renders every session block with a shared
+    /// [`LineFormatter`] *on the parallel emission workers* and delivers
+    /// the bytes through [`emit_formatted`](TransactionSink::emit_formatted)
+    /// instead of [`emit`](TransactionSink::emit), leaving only byte
+    /// copies on the sequential merge path.
+    fn text_taxonomy(&self) -> Option<Arc<Taxonomy>> {
+        None
+    }
+
+    /// Consumes one session block pre-rendered as log-line bytes. Only
+    /// called when [`text_taxonomy`](TransactionSink::text_taxonomy)
+    /// returned a taxonomy.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying writer; `Unsupported` for sinks
+    /// that did not opt into the text path.
+    fn emit_formatted(&mut self, block: FormattedBlock) -> io::Result<()> {
+        let _ = block;
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "sink did not opt into pre-formatted emission",
+        ))
+    }
 
     /// Flushes and finalizes the sink after the last block.
     ///
@@ -91,19 +131,30 @@ impl TransactionSink for CountingSink {
 
 /// Writes the stream as text-format log shards (`stem-0000.log`,
 /// `stem-0001.log`, …), rotating to a new buffered file once a shard
-/// reaches its transaction budget. Rotation happens at session-block
-/// boundaries, so a shard can exceed the budget by at most one block.
+/// reaches its transaction budget. Blocks larger than (or crossing) the
+/// budget are split at the boundary, so **no shard ever holds more than
+/// `max_per_shard` transactions** — a consumer provisioning per-shard
+/// memory can rely on the bound.
 ///
 /// Shards concatenated in index order reproduce the single-file
 /// [`proxylog::write_log`] output byte for byte, and each shard is
 /// independently parseable with [`proxylog::read_log`] — which is what
 /// lets a corpus larger than RAM be generated, stored and re-read in
 /// pieces.
+///
+/// Serialization is allocation-free per transaction: the sink formats
+/// through a cached [`LineFormatter`] into a reusable buffer, and it
+/// opts into the streaming generator's pre-formatted byte path
+/// ([`TransactionSink::emit_formatted`]), which moves even that work onto
+/// the parallel emission workers.
 #[derive(Debug)]
 pub struct ShardedLogSink {
     dir: PathBuf,
     stem: String,
     taxonomy: Arc<Taxonomy>,
+    formatter: LineFormatter,
+    /// Reusable serialization buffer for the un-formatted `emit` path.
+    buffer: Vec<u8>,
     max_per_shard: u64,
     writer: Option<BufWriter<File>>,
     in_current: u64,
@@ -133,6 +184,8 @@ impl ShardedLogSink {
         Ok(Self {
             dir: dir.to_path_buf(),
             stem: stem.to_string(),
+            formatter: LineFormatter::new(&taxonomy),
+            buffer: Vec::new(),
             taxonomy,
             max_per_shard,
             writer: None,
@@ -152,34 +205,79 @@ impl ShardedLogSink {
         self.total
     }
 
-    fn rotate(&mut self) -> io::Result<&mut BufWriter<File>> {
+    /// Seals the current shard (if any) and opens the next one. Durability
+    /// errors from `sync_data` propagate exactly as they do from
+    /// [`finish`](TransactionSink::finish) — a shard that cannot reach the
+    /// disk must fail the run, not vanish from it.
+    fn rotate(&mut self) -> io::Result<()> {
         if let Some(writer) = self.writer.take() {
-            writer.into_inner().map_err(|e| e.into_error())?.sync_data().ok();
+            writer.into_inner().map_err(|e| e.into_error())?.sync_data()?;
         }
         let path = self.dir.join(format!("{}-{:04}.log", self.stem, self.paths.len()));
         let writer = BufWriter::new(File::create(&path)?);
         self.paths.push(path);
         self.in_current = 0;
-        Ok(self.writer.insert(writer))
+        self.writer = Some(writer);
+        Ok(())
+    }
+
+    /// Rotates if the current shard is full (or absent) and returns how
+    /// many transactions the shard still accepts (always ≥ 1).
+    fn shard_room(&mut self) -> io::Result<u64> {
+        if self.writer.is_none() || self.in_current >= self.max_per_shard {
+            self.rotate()?;
+        }
+        Ok(self.max_per_shard - self.in_current)
     }
 }
 
 impl TransactionSink for ShardedLogSink {
     fn emit(&mut self, transactions: Vec<Transaction>) -> io::Result<()> {
-        if transactions.is_empty() {
-            return Ok(());
+        // Split the block wherever it crosses the shard budget, so shards
+        // never overshoot `max_per_shard` no matter how large a session is.
+        let mut rest = transactions.as_slice();
+        while !rest.is_empty() {
+            let room = self.shard_room()?;
+            let take = rest.len().min(usize::try_from(room).unwrap_or(usize::MAX));
+            self.buffer.clear();
+            for tx in &rest[..take] {
+                self.formatter.write_record(tx, &mut self.buffer);
+            }
+            self.writer.as_mut().expect("shard_room opened a shard").write_all(&self.buffer)?;
+            self.in_current += take as u64;
+            self.total += take as u64;
+            rest = &rest[take..];
         }
-        let needs_rotation = self.writer.is_none() || self.in_current >= self.max_per_shard;
-        if needs_rotation {
-            self.rotate()?;
+        Ok(())
+    }
+
+    fn text_taxonomy(&self) -> Option<Arc<Taxonomy>> {
+        Some(Arc::clone(&self.taxonomy))
+    }
+
+    fn emit_formatted(&mut self, block: FormattedBlock) -> io::Result<()> {
+        let FormattedBlock { transactions, bytes } = block;
+        let mut lines_left = transactions;
+        let mut offset = 0usize;
+        while lines_left > 0 {
+            let room = self.shard_room()?;
+            let take = lines_left.min(room);
+            let end = if take == lines_left {
+                bytes.len()
+            } else {
+                // Splitting mid-block (at most once per rotation): find the
+                // byte offset just past the `take`-th line.
+                offset + end_of_nth_line(&bytes[offset..], take)
+            };
+            self.writer
+                .as_mut()
+                .expect("shard_room opened a shard")
+                .write_all(&bytes[offset..end])?;
+            self.in_current += take;
+            self.total += take;
+            lines_left -= take;
+            offset = end;
         }
-        let taxonomy = Arc::clone(&self.taxonomy);
-        let writer = self.writer.as_mut().expect("rotated above");
-        for tx in &transactions {
-            writeln!(writer, "{}", format_line(tx, &taxonomy))?;
-        }
-        self.in_current += transactions.len() as u64;
-        self.total += transactions.len() as u64;
         Ok(())
     }
 
@@ -187,6 +285,84 @@ impl TransactionSink for ShardedLogSink {
         if let Some(writer) = self.writer.take() {
             writer.into_inner().map_err(|e| e.into_error())?.sync_data()?;
         }
+        Ok(())
+    }
+}
+
+/// Byte offset just past the `n`-th newline of `bytes`.
+///
+/// # Panics
+///
+/// Panics if `bytes` holds fewer than `n` newlines — the caller counted
+/// the block's lines when it was formatted.
+fn end_of_nth_line(bytes: &[u8], n: u64) -> usize {
+    let mut seen = 0u64;
+    for (at, &byte) in bytes.iter().enumerate() {
+        if byte == b'\n' {
+            seen += 1;
+            if seen == n {
+                return at + 1;
+            }
+        }
+    }
+    panic!("block advertised more lines than its bytes contain");
+}
+
+/// Formats the stream as text log lines and discards the bytes, keeping
+/// only counters — the benchmark sink for measuring the serialization
+/// path itself without disk bandwidth or RAM distorting the number.
+#[derive(Debug)]
+pub struct NullTextSink {
+    taxonomy: Arc<Taxonomy>,
+    formatter: LineFormatter,
+    buffer: Vec<u8>,
+    transactions: u64,
+    bytes: u64,
+}
+
+impl NullTextSink {
+    /// Creates a sink formatting against `taxonomy`.
+    pub fn new(taxonomy: Arc<Taxonomy>) -> Self {
+        Self {
+            formatter: LineFormatter::new(&taxonomy),
+            taxonomy,
+            buffer: Vec::new(),
+            transactions: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Transactions formatted so far.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Log-line bytes produced (and discarded) so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl TransactionSink for NullTextSink {
+    fn emit(&mut self, transactions: Vec<Transaction>) -> io::Result<()> {
+        // Formatting still happens (that is the workload being measured);
+        // only the write is elided.
+        self.buffer.clear();
+        for tx in &transactions {
+            self.formatter.write_record(tx, &mut self.buffer);
+        }
+        self.transactions += transactions.len() as u64;
+        self.bytes += self.buffer.len() as u64;
+        Ok(())
+    }
+
+    fn text_taxonomy(&self) -> Option<Arc<Taxonomy>> {
+        Some(Arc::clone(&self.taxonomy))
+    }
+
+    fn emit_formatted(&mut self, block: FormattedBlock) -> io::Result<()> {
+        self.transactions += block.transactions;
+        self.bytes += block.bytes.len() as u64;
         Ok(())
     }
 }
@@ -259,15 +435,86 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// Regression: a session block larger than the shard budget used to
+    /// land in a single arbitrarily oversized shard; it must now be split
+    /// at the budget boundary.
     #[test]
-    fn oversized_block_lands_in_one_shard() {
+    fn shards_never_exceed_budget_even_for_oversized_blocks() {
         let dir = std::env::temp_dir().join(format!("tracegen-shard-big-{}", std::process::id()));
         let taxonomy = Taxonomy::paper_scale();
-        let mut sink = ShardedLogSink::create(&dir, "t", taxonomy, 2).unwrap();
+        let mut sink = ShardedLogSink::create(&dir, "t", taxonomy.clone(), 2).unwrap();
         sink.emit((0..5).map(tx).collect()).unwrap();
+        sink.emit(vec![tx(5), tx(6)]).unwrap(); // crosses the half-full shard
         sink.finish().unwrap();
-        assert_eq!(sink.paths().len(), 1, "blocks are never split across shards");
-        assert_eq!(sink.transactions(), 5);
+        assert_eq!(sink.transactions(), 7);
+        assert_eq!(sink.paths().len(), 4, "7 transactions at budget 2 need 4 shards");
+        let mut all = Vec::new();
+        for path in sink.paths() {
+            let shard = read_log(BufReader::new(File::open(path).unwrap()), &taxonomy).unwrap();
+            assert!(shard.len() <= 2, "shard overshot its budget: {} txs", shard.len());
+            all.extend(shard);
+        }
+        assert_eq!(all, (0..7).map(tx).collect::<Vec<_>>(), "split must preserve the stream");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The pre-formatted byte path splits at the same boundaries as the
+    /// transaction path and concatenates to the identical stream.
+    #[test]
+    fn formatted_blocks_split_identically_to_raw_blocks() {
+        let taxonomy = Taxonomy::paper_scale();
+        let base = std::env::temp_dir().join(format!("tracegen-shard-fmt-{}", std::process::id()));
+        let formatter = LineFormatter::new(&taxonomy);
+
+        let raw_dir = base.join("raw");
+        let mut raw_sink = ShardedLogSink::create(&raw_dir, "t", taxonomy.clone(), 3).unwrap();
+        let fmt_dir = base.join("fmt");
+        let mut fmt_sink = ShardedLogSink::create(&fmt_dir, "t", taxonomy.clone(), 3).unwrap();
+
+        let blocks: Vec<Vec<Transaction>> =
+            vec![(0..5).map(tx).collect(), vec![tx(5)], (6..14).map(tx).collect()];
+        for block in &blocks {
+            raw_sink.emit(block.clone()).unwrap();
+            let mut bytes = Vec::new();
+            for tx in block {
+                formatter.write_record(tx, &mut bytes);
+            }
+            fmt_sink
+                .emit_formatted(FormattedBlock { transactions: block.len() as u64, bytes })
+                .unwrap();
+        }
+        raw_sink.finish().unwrap();
+        fmt_sink.finish().unwrap();
+
+        assert_eq!(raw_sink.paths().len(), fmt_sink.paths().len());
+        for (raw, fmt) in raw_sink.paths().iter().zip(fmt_sink.paths()) {
+            assert_eq!(
+                std::fs::read(raw).unwrap(),
+                std::fs::read(fmt).unwrap(),
+                "shard bytes diverge between emit and emit_formatted"
+            );
+        }
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn null_text_sink_counts_without_retaining() {
+        let taxonomy = Taxonomy::paper_scale();
+        let mut sink = NullTextSink::new(taxonomy.clone());
+        assert!(sink.text_taxonomy().is_some());
+        sink.emit(vec![tx(0), tx(1)]).unwrap();
+        sink.emit_formatted(FormattedBlock { transactions: 1, bytes: b"line\n".to_vec() }).unwrap();
+        sink.finish().unwrap();
+        assert_eq!(sink.transactions(), 3);
+        assert!(sink.bytes() > 5);
+    }
+
+    #[test]
+    fn default_sinks_reject_preformatted_blocks() {
+        let err = MemorySink::new()
+            .emit_formatted(FormattedBlock { transactions: 0, bytes: Vec::new() })
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Unsupported);
+        assert!(MemorySink::new().text_taxonomy().is_none());
     }
 }

@@ -8,8 +8,11 @@
 //! the quick-test scenario and on the paper-shaped
 //! `Scenario::evaluation(2, 1.0)`.
 
+use proxylog::Taxonomy;
+use std::sync::Arc;
 use tracegen::{
-    CountingSink, GeneratedTrace, MemorySink, Scenario, ShardedLogSink, TraceGenerator,
+    CountingSink, FormattedBlock, GeneratedTrace, MemorySink, Scenario, ShardedLogSink,
+    TraceGenerator, TransactionSink,
 };
 
 /// Profiles don't implement `PartialEq` (they hold f64-heavy nested
@@ -101,6 +104,97 @@ fn sharded_log_sink_round_trips_the_exact_corpus() {
     let dataset = proxylog::Dataset::new(scenario.taxonomy.clone(), replayed);
     assert_eq!(dataset.transactions(), reference.dataset.transactions());
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Opts into the pre-formatted text path and captures the raw byte
+/// stream. `emit` panics: once a sink declares a taxonomy, the streaming
+/// generator must route every block through `emit_formatted`.
+struct TextCaptureSink {
+    taxonomy: Arc<Taxonomy>,
+    bytes: Vec<u8>,
+}
+
+impl TransactionSink for TextCaptureSink {
+    fn emit(&mut self, _transactions: Vec<proxylog::Transaction>) -> std::io::Result<()> {
+        panic!("text sinks must receive pre-formatted blocks, not raw transactions");
+    }
+
+    fn text_taxonomy(&self) -> Option<Arc<Taxonomy>> {
+        Some(Arc::clone(&self.taxonomy))
+    }
+
+    fn emit_formatted(&mut self, block: FormattedBlock) -> std::io::Result<()> {
+        self.bytes.extend_from_slice(&block.bytes);
+        Ok(())
+    }
+}
+
+/// The legacy golden bytes: the serial emission stream rendered one
+/// `format_line` at a time, exactly as the pre-worker-formatting sink did.
+fn legacy_text_golden(scenario: &Scenario) -> Vec<u8> {
+    let mut sink = MemorySink::new();
+    TraceGenerator::new(scenario.clone()).with_workers(1).generate_streaming(&mut sink).unwrap();
+    let mut golden = Vec::new();
+    for tx in sink.into_transactions() {
+        golden.extend_from_slice(proxylog::format_line(&tx, &scenario.taxonomy).as_bytes());
+        golden.push(b'\n');
+    }
+    golden
+}
+
+/// Acceptance criterion for the zero-allocation emission path: the text
+/// byte stream rendered on the workers is bit-identical to the legacy
+/// per-line `format_line` output at 1, 2 and 8 threads.
+#[test]
+fn worker_formatted_text_is_bit_identical_across_thread_counts() {
+    let scenario = Scenario::quick_test();
+    let golden = legacy_text_golden(&scenario);
+    assert!(!golden.is_empty());
+    for threads in [1usize, 2, 8] {
+        let mut sink = TextCaptureSink { taxonomy: scenario.taxonomy.clone(), bytes: Vec::new() };
+        TraceGenerator::new(scenario.clone())
+            .with_workers(threads)
+            .generate_streaming(&mut sink)
+            .unwrap();
+        assert!(
+            sink.bytes == golden,
+            "text emission bytes diverge from the format_line path at {threads} threads"
+        );
+    }
+}
+
+/// Shard files concatenated in index order reproduce the legacy byte
+/// stream exactly — across thread counts and shard budgets, including
+/// budgets that force mid-session splits — and no shard ever exceeds its
+/// transaction budget.
+#[test]
+fn sharded_text_concatenates_to_the_legacy_bytes() {
+    let scenario = Scenario::quick_test();
+    let golden = legacy_text_golden(&scenario);
+    let base = std::env::temp_dir().join(format!("tracegen-shard-ident-{}", std::process::id()));
+    for threads in [1usize, 2, 8] {
+        for budget in [997u64, 100_000] {
+            let dir = base.join(format!("t{threads}-b{budget}"));
+            let mut sink =
+                ShardedLogSink::create(&dir, "c", scenario.taxonomy.clone(), budget).unwrap();
+            TraceGenerator::new(scenario.clone())
+                .with_workers(threads)
+                .generate_streaming(&mut sink)
+                .unwrap();
+            let mut concatenated = Vec::new();
+            for path in sink.paths() {
+                let shard = std::fs::read(path).unwrap();
+                let lines = shard.iter().filter(|&&b| b == b'\n').count() as u64;
+                assert!(lines <= budget, "shard overshot budget {budget}: {lines} lines");
+                concatenated.extend_from_slice(&shard);
+            }
+            assert!(
+                concatenated == golden,
+                "shards diverge from the format_line stream at {threads} threads, budget {budget}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&base).ok();
 }
 
 #[test]
