@@ -240,6 +240,8 @@ fn print_telemetry(events: &[TraceEvent]) {
             TraceEvent::WindowsClosed { count, .. } => closed += count,
             TraceEvent::WindowsShed { .. } => shed_events += 1,
             TraceEvent::BatchScored { windows, .. } => batch_sizes.push(*windows),
+            // This replay runs exhaustive scoring and never evicts.
+            TraceEvent::BatchPrefiltered { .. } | TraceEvent::StreamEvicted { .. } => {}
         }
     }
     let mean_batch = if batch_sizes.is_empty() {

@@ -66,7 +66,7 @@ pub use gram::{
     content_fingerprint, ArenaCrossGram, ArenaGram, CrossGram, CrossRows, GramMatrix, KernelRows,
 };
 pub use kernel::{Kernel, KernelKind};
-pub use model::{LinearBatchScorer, OneClassModel, TrainDiagnostics};
+pub use model::{LinearBatchScorer, LinearDecisionTerms, OneClassModel, TrainDiagnostics};
 pub use ocsvm::{NuOcSvm, OcSvmModel};
 pub use scale::MinMaxScaler;
 pub use smo::SolverOptions;

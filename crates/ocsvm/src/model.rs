@@ -184,6 +184,74 @@ impl SupportVectorSet {
     pub(crate) fn len(&self) -> usize {
         self.vectors.len()
     }
+
+    /// The collapsed linear weight vector `w = Σᵢ αᵢxᵢ`, present iff the
+    /// kernel is linear.
+    pub(crate) fn collapsed(&self) -> Option<&SparseVector> {
+        self.collapsed.as_ref()
+    }
+
+    /// Sorted union of the columns touched by any support vector (for a
+    /// linear kernel, the columns of the collapsed weight vector — zero
+    /// sums cancel out of the decision function and are excluded).
+    pub(crate) fn column_union(&self) -> Vec<u32> {
+        if let Some(w) = &self.collapsed {
+            return w.iter().map(|(column, _)| column).collect();
+        }
+        let mut columns: Vec<u32> =
+            self.vectors.iter().flat_map(|sv| sv.iter().map(|(column, _)| column)).collect();
+        columns.sort_unstable();
+        columns.dedup();
+        columns
+    }
+}
+
+/// The affine part of a linear-kernel model's decision function, exported
+/// for candidate prefiltering (see `webprofiler`'s two-stage
+/// identification): `decision(x) = weights·x + bias − ‖x‖²·[subtracts
+/// probe norm]`.
+///
+/// For a linear ν-OC-SVM the decision `w·x − ρ` is affine in `x` directly
+/// (`weights = w`, `bias = −ρ`). For a linear SVDD the decision
+/// `R² − ‖x − a‖²` expands to `(2a)·x + (R² − ‖a‖²) − ‖x‖²`: the quadratic
+/// term depends only on the probe, so within one window it is a constant
+/// offset shared by every user — ranking users by the affine score ranks
+/// them by their exact decision values, and `score ≥ ‖x‖²` is exactly
+/// acceptance.
+///
+/// The affine evaluation associates its floating-point sums differently
+/// from the models' own decision paths, so treat these terms as a ranking
+/// surrogate, not a bit-identical replacement: a two-stage pipeline must
+/// rerank its shortlist through the exact scorer.
+#[derive(Debug, Clone)]
+pub struct LinearDecisionTerms {
+    /// Per-column weights of the affine score.
+    pub weights: SparseVector,
+    /// Constant term of the affine score.
+    pub bias: f64,
+    /// Whether the exact decision subtracts the probe's squared norm from
+    /// the affine score (SVDD geometry; `false` for OC-SVM).
+    pub subtracts_probe_norm: bool,
+}
+
+impl LinearDecisionTerms {
+    /// Evaluates the decision function from the exported terms (up to
+    /// floating-point association with the model's own
+    /// `decision_value`).
+    pub fn decision_value(&self, x: &SparseVector) -> f64 {
+        let affine = self.weights.dot(x) + self.bias;
+        if self.subtracts_probe_norm {
+            affine - x.squared_norm()
+        } else {
+            affine
+        }
+    }
+
+    /// The user-comparable affine score `weights·x + bias` — what a
+    /// candidate prefilter ranks on.
+    pub fn affine_score(&self, x: &SparseVector) -> f64 {
+        self.weights.dot(x) + self.bias
+    }
 }
 
 /// Dense weight vector of a linear model, scoring a whole probe batch as

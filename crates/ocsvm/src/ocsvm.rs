@@ -250,6 +250,25 @@ impl OcSvmModel {
         self.nu
     }
 
+    /// The affine decision terms of a linear-kernel model
+    /// (`weights = Σᵢ αᵢxᵢ`, `bias = −ρ`), or `None` for non-linear
+    /// kernels. See [`LinearDecisionTerms`](crate::LinearDecisionTerms)
+    /// for the exact/affine relationship.
+    pub fn linear_decision_terms(&self) -> Option<crate::LinearDecisionTerms> {
+        self.support.collapsed().map(|w| crate::LinearDecisionTerms {
+            weights: w.clone(),
+            bias: -self.rho,
+            subtracts_probe_norm: false,
+        })
+    }
+
+    /// Sorted union of the feature columns the decision function reads
+    /// (support-vector columns; for the linear kernel, the collapsed
+    /// weight vector's columns).
+    pub fn support_column_union(&self) -> Vec<u32> {
+        self.support.column_union()
+    }
+
     /// Training diagnostics (iterations, convergence, cache behaviour).
     pub fn diagnostics(&self) -> TrainDiagnostics {
         self.diagnostics

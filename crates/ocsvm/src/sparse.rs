@@ -222,8 +222,20 @@ impl SparseVector {
     }
 
     /// Scales every entry by `factor`, returning a new vector.
+    ///
+    /// Zero products are dropped (like [`SparseVectorBuilder::build`]
+    /// prunes them), so scaling by `0.0` yields the empty vector rather
+    /// than a vector of explicitly stored zeros inflating [`nnz`](Self::nnz)
+    /// and [`dimension_lower_bound`](Self::dimension_lower_bound).
     pub fn scaled(&self, factor: f64) -> SparseVector {
-        SparseVector { entries: self.entries.iter().map(|&(i, v)| (i, v * factor)).collect() }
+        SparseVector {
+            entries: self
+                .entries
+                .iter()
+                .map(|&(i, v)| (i, v * factor))
+                .filter(|&(_, v)| v != 0.0)
+                .collect(),
+        }
     }
 }
 
@@ -432,5 +444,23 @@ mod tests {
         let v = sv(&[(1, 2.0), (3, -4.0)]).scaled(0.5);
         assert_eq!(v.get(1), 1.0);
         assert_eq!(v.get(3), -2.0);
+    }
+
+    #[test]
+    fn scaled_by_zero_is_the_empty_vector() {
+        let v = sv(&[(1, 2.0), (3, -4.0)]).scaled(0.0);
+        assert!(v.is_empty());
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.dimension_lower_bound(), 0);
+    }
+
+    #[test]
+    fn scaled_drops_zero_products_only() {
+        // 5e-324 is the smallest subnormal: halving it underflows to zero
+        // while the other entries survive.
+        let v = sv(&[(0, f64::MIN_POSITIVE * f64::EPSILON), (2, 8.0)]).scaled(0.25);
+        assert_eq!(v.nnz(), 1);
+        assert_eq!(v.get(2), 2.0);
+        assert_eq!(v.dimension_lower_bound(), 3);
     }
 }

@@ -266,6 +266,28 @@ impl SvddModel {
         self.c
     }
 
+    /// The affine decision terms of a linear-kernel model, or `None` for
+    /// non-linear kernels. With a linear kernel and center `a = Σᵢ αᵢxᵢ`
+    /// the decision `R² − ‖x − a‖²` expands to
+    /// `(2a)·x + (R² − ‖a‖²) − ‖x‖²`, so `weights = 2a`,
+    /// `bias = R² − αᵀKα` and
+    /// [`subtracts_probe_norm`](crate::LinearDecisionTerms::subtracts_probe_norm)
+    /// is set. See [`LinearDecisionTerms`](crate::LinearDecisionTerms).
+    pub fn linear_decision_terms(&self) -> Option<crate::LinearDecisionTerms> {
+        self.support.collapsed().map(|a| crate::LinearDecisionTerms {
+            weights: a.scaled(2.0),
+            bias: self.r_squared - self.alpha_k_alpha,
+            subtracts_probe_norm: true,
+        })
+    }
+
+    /// Sorted union of the feature columns the decision function reads
+    /// (support-vector columns; for the linear kernel, the collapsed
+    /// weight vector's columns).
+    pub fn support_column_union(&self) -> Vec<u32> {
+        self.support.column_union()
+    }
+
     /// Squared feature-space distance from `x` to the sphere center.
     pub fn squared_distance_to_center(&self, x: &SparseVector) -> f64 {
         self.support.kernel.compute_self(x) - 2.0 * self.support.weighted_kernel_sum(x)

@@ -169,6 +169,47 @@ proptest! {
     }
 
     #[test]
+    fn scaled_never_stores_zeros(v in sparse(12), factor in prop_oneof![Just(0.0), Just(-0.0), -3.0f64..3.0]) {
+        let s = v.scaled(factor);
+        prop_assert!(s.iter().all(|(_, value)| value != 0.0),
+            "scaled({factor}) stored an explicit zero: {s}");
+        prop_assert!(s.nnz() <= v.nnz());
+        prop_assert!(s.dimension_lower_bound() <= v.dimension_lower_bound());
+        // Surviving entries carry exactly the scaled values, and every
+        // dropped entry scaled to zero.
+        for (i, value) in v.iter() {
+            prop_assert_eq!(s.get(i), value * factor);
+        }
+    }
+
+    /// The exported affine terms reproduce both linear families' decision
+    /// functions (up to float association) and are absent for non-linear
+    /// kernels.
+    #[test]
+    fn linear_decision_terms_match_decisions(
+        data in clustered_training_set(),
+        probe in sparse(4),
+    ) {
+        let ocsvm = NuOcSvm::new(0.2, Kernel::Linear).train(&data).unwrap();
+        let terms = ocsvm.linear_decision_terms().expect("linear OC-SVM exports terms");
+        prop_assert!(!terms.subtracts_probe_norm);
+        prop_assert!((terms.decision_value(&probe) - ocsvm.decision_value(&probe)).abs() < 1e-9);
+
+        let svdd = Svdd::new(0.5, Kernel::Linear).train(&data).unwrap();
+        let terms = svdd.linear_decision_terms().expect("linear SVDD exports terms");
+        prop_assert!(terms.subtracts_probe_norm);
+        prop_assert!((terms.decision_value(&probe) - svdd.decision_value(&probe)).abs() < 1e-9);
+        // The affine score drops only the user-independent ‖x‖² term.
+        prop_assert!(
+            (terms.affine_score(&probe) - probe.squared_norm() - svdd.decision_value(&probe)).abs()
+                < 1e-9
+        );
+
+        let rbf = NuOcSvm::new(0.2, Kernel::Rbf { gamma: 0.5 }).train(&data).unwrap();
+        prop_assert!(rbf.linear_decision_terms().is_none());
+    }
+
+    #[test]
     fn training_is_deterministic(data in clustered_training_set()) {
         let a = NuOcSvm::new(0.2, Kernel::Rbf { gamma: 1.0 }).train(&data).unwrap();
         let b = NuOcSvm::new(0.2, Kernel::Rbf { gamma: 1.0 }).train(&data).unwrap();

@@ -1,6 +1,6 @@
 //! The streaming identification engine.
 
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, PrefilterConfig};
 #[cfg(feature = "tracelog")]
 use crate::telemetry::TraceEvent;
 use ocsvm::SparseVector;
@@ -11,8 +11,8 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::time::{Duration, Instant};
 use webprofiler::{
-    majority_vote, parallel_map, TransactionWindow, UserProfile, Vocabulary, WindowKey,
-    WindowStream,
+    majority_vote, parallel_map, CandidateIndex, ShortlistScratch, TransactionWindow, UserProfile,
+    Vocabulary, WindowKey, WindowStream,
 };
 
 /// Estimated per-batch scoring operations (windows × support vectors,
@@ -58,6 +58,9 @@ struct DeviceState<'a> {
     stream: WindowStream<'a>,
     /// Acceptance sets of the last `vote_k` scored windows, oldest first.
     history: VecDeque<Vec<UserId>>,
+    /// How much of the stream's `late_dropped` count has already been
+    /// folded into the engine's lifetime counter.
+    late_synced: u64,
 }
 
 /// A closed window waiting for the next scoring batch.
@@ -86,6 +89,15 @@ pub struct EngineStats {
     pub max_batch: usize,
     /// Total wall-clock time spent in batched scoring.
     pub scoring: Duration,
+    /// Windows decided through the candidate prefilter (zero without a
+    /// [`PrefilterConfig`]).
+    pub prefilter_windows: u64,
+    /// Exact profile scorings the prefilter allowed (Σ shortlist sizes);
+    /// exhaustive scoring would have cost `prefilter_windows × profiles`.
+    pub prefilter_candidates: u64,
+    /// Windows whose prefiltered accepted set differed from exhaustive
+    /// scoring, counted only in [`PrefilterConfig::verify`] mode.
+    pub prefilter_mismatches: u64,
 }
 
 impl fmt::Display for EngineStats {
@@ -101,7 +113,15 @@ impl fmt::Display for EngineStats {
             self.windows_shed,
             self.late_dropped,
             self.scoring.as_secs_f64(),
-        )
+        )?;
+        if self.prefilter_windows > 0 {
+            write!(
+                f,
+                ", prefilter: {} candidates over {} windows ({} mismatches)",
+                self.prefilter_candidates, self.prefilter_windows, self.prefilter_mismatches,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -121,12 +141,30 @@ pub struct StreamEngine<'a> {
     pending: Vec<PendingWindow>,
     windows_scored: u64,
     windows_shed: u64,
+    /// Lifetime count of too-late transactions, accumulated as streams
+    /// report them (exactly like `windows_shed`) so history survives
+    /// device eviction.
+    late_dropped: u64,
     batches: u64,
     max_batch: usize,
     scoring: Duration,
     arena: Option<std::sync::Arc<ocsvm::KernelRowArena>>,
+    prefilter: Option<PrefilterState>,
+    prefilter_windows: u64,
+    prefilter_candidates: u64,
+    prefilter_mismatches: u64,
     #[cfg(feature = "tracelog")]
     events: Vec<TraceEvent>,
+}
+
+/// Two-stage scoring state: the candidate index over the enrolled
+/// population plus per-batch scratch.
+#[derive(Debug)]
+struct PrefilterState {
+    config: PrefilterConfig,
+    index: CandidateIndex,
+    /// Dense per-user scratch reused across windows.
+    scratch: ShortlistScratch,
 }
 
 impl<'a> StreamEngine<'a> {
@@ -149,13 +187,44 @@ impl<'a> StreamEngine<'a> {
             pending: Vec::new(),
             windows_scored: 0,
             windows_shed: 0,
+            late_dropped: 0,
             batches: 0,
             max_batch: 0,
             scoring: Duration::ZERO,
             arena: None,
+            prefilter: None,
+            prefilter_windows: 0,
+            prefilter_candidates: 0,
+            prefilter_mismatches: 0,
             #[cfg(feature = "tracelog")]
             events: Vec::new(),
         }
+    }
+
+    /// Enables two-stage scoring: a [`webprofiler::CandidateIndex`] built
+    /// once over the enrolled profiles shortlists
+    /// [`PrefilterConfig::top_k`] candidate users per closed window, and
+    /// exact scoring runs only on the shortlist (users outside it reject).
+    /// Without this call every window is scored against every profile.
+    ///
+    /// With all-linear profiles (the paper corpus default) every window
+    /// is decided bit-identically to the exhaustive path at any `top_k` —
+    /// the shortlist's margin guard never prunes a potentially-accepting
+    /// linear user (see the `webprofiler::prefilter` module docs);
+    /// [`PrefilterConfig::verify`] cross-checks the equivalence at
+    /// runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`PrefilterConfig::top_k`] is zero.
+    pub fn with_prefilter(mut self, config: PrefilterConfig) -> Self {
+        config.validate();
+        self.prefilter = Some(PrefilterState {
+            config,
+            index: CandidateIndex::build(self.profiles, self.vocab),
+            scratch: ShortlistScratch::default(),
+        });
+        self
     }
 
     /// Charges the kernel rows of non-linear profile scoring to a shared
@@ -201,11 +270,19 @@ impl<'a> StreamEngine<'a> {
                     )
                     .with_lateness(self.config.lateness_secs),
                     history: VecDeque::with_capacity(self.config.vote_k),
+                    late_synced: 0,
                 },
             );
         }
         let state = self.devices.get_mut(&device).expect("just inserted");
         let closed = state.stream.offer(tx);
+        // Fold new late drops into the lifetime counter immediately, so
+        // the count survives the device's state being evicted.
+        let late = state.stream.late_dropped();
+        if late > state.late_synced {
+            self.late_dropped += late - state.late_synced;
+            state.late_synced = late;
+        }
         self.enqueue(device, closed);
         if self.pending.len() >= self.config.batch_windows {
             self.score_pending()
@@ -235,18 +312,43 @@ impl<'a> StreamEngine<'a> {
         self.score_pending()
     }
 
-    /// Lifetime counters (devices seen, windows scored/shed, batch sizes,
-    /// scoring time).
+    /// Lifetime counters (live devices, windows scored/shed, late drops,
+    /// batch sizes, scoring time, prefilter usage). All counters except
+    /// `devices` are cumulative over the engine's lifetime: evicting a
+    /// device does not erase what it already contributed.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             devices: self.devices.len(),
             windows_scored: self.windows_scored,
             windows_shed: self.windows_shed,
-            late_dropped: self.devices.values().map(|s| s.stream.late_dropped()).sum(),
+            late_dropped: self.late_dropped,
             batches: self.batches,
             max_batch: self.max_batch,
             scoring: self.scoring,
+            prefilter_windows: self.prefilter_windows,
+            prefilter_candidates: self.prefilter_candidates,
+            prefilter_mismatches: self.prefilter_mismatches,
         }
+    }
+
+    /// Retires a device's window state — a monitored host going away, or
+    /// an idle-state sweep bounding memory. The device's open windows are
+    /// flushed and scored (together with everything else pending, like
+    /// [`drain`](Self::drain)); the returned decisions include them. The
+    /// device's contribution to the lifetime counters
+    /// ([`EngineStats::late_dropped`] in particular) is retained. A later
+    /// transaction from the same device reopens it from scratch.
+    pub fn evict_device(&mut self, device: DeviceId) -> Vec<WindowDecision> {
+        if !self.devices.contains_key(&device) {
+            return Vec::new();
+        }
+        let windows = self.devices.get_mut(&device).expect("checked above").stream.flush();
+        self.enqueue(device, windows);
+        let decisions = self.score_pending();
+        self.devices.remove(&device);
+        #[cfg(feature = "tracelog")]
+        self.events.push(TraceEvent::StreamEvicted { device });
+        decisions
     }
 
     /// The structured event log (only with the `tracelog` feature).
@@ -287,9 +389,10 @@ impl<'a> StreamEngine<'a> {
         }
     }
 
-    /// Scores every pending window in one micro-batch: one
-    /// [`batch_decision_values`](UserProfile::batch_decision_values) call
-    /// per profile (profiles fan out across cores), then per-window
+    /// Scores every pending window in one micro-batch — exhaustively
+    /// (one [`batch_decision_values`](UserProfile::batch_decision_values)
+    /// call per profile, profiles fanned out across cores) or through the
+    /// candidate prefilter when one is configured — then per-window
     /// acceptance sets and trailing votes in arrival order.
     fn score_pending(&mut self) -> Vec<WindowDecision> {
         if self.pending.is_empty() {
@@ -298,26 +401,36 @@ impl<'a> StreamEngine<'a> {
         let batch: Vec<PendingWindow> = std::mem::take(&mut self.pending);
         let started = Instant::now();
         let probes: Vec<&SparseVector> = batch.iter().map(|p| &p.window.features).collect();
-        let entries: Vec<(&UserId, &UserProfile)> = self.profiles.iter().collect();
-        // Fan profiles out across cores only when the kernel work dwarfs
-        // the cost of spawning the scoped threads; small batches (linear
-        // models especially, whose batched path is one dense GEMV) are
-        // faster scored inline.
-        let work: usize = entries
-            .iter()
-            .map(|(_, profile)| match profile.params().kernel {
-                ocsvm::Kernel::Linear => batch.len(),
-                _ => batch.len() * profile.support_vector_count(),
-            })
-            .sum();
-        let score = |user: UserId, profile: &UserProfile| match &self.arena {
-            Some(arena) => profile.batch_decision_values_in(&probes, arena, u64::from(user.0)),
-            None => profile.batch_decision_values(&probes),
-        };
-        let values: Vec<Vec<f64>> = if work >= PARALLEL_WORK_THRESHOLD {
-            parallel_map(&entries, |(&user, profile)| score(user, profile))
-        } else {
-            entries.iter().map(|(&user, profile)| score(user, profile)).collect()
+        // Stage one, when configured: per-window candidate shortlists.
+        let shortlists: Option<Vec<Vec<u32>>> = self.prefilter.as_mut().map(|state| {
+            let mut scratch = std::mem::take(&mut state.scratch);
+            let lists: Vec<Vec<u32>> = probes
+                .iter()
+                .map(|features| state.index.shortlist(features, state.config.top_k, &mut scratch))
+                .collect();
+            state.scratch = scratch;
+            lists
+        });
+        let accepted = match &shortlists {
+            Some(lists) => {
+                let accepted = self.score_shortlisted(&probes, lists);
+                let candidates: u64 = lists.iter().map(|l| l.len() as u64).sum();
+                self.prefilter_windows += probes.len() as u64;
+                self.prefilter_candidates += candidates;
+                let verify = self.prefilter.as_ref().is_some_and(|state| state.config.verify);
+                if verify {
+                    let exhaustive = self.score_exhaustive(&probes);
+                    self.prefilter_mismatches +=
+                        accepted.iter().zip(&exhaustive).filter(|(a, b)| a != b).count() as u64;
+                }
+                #[cfg(feature = "tracelog")]
+                self.events.push(TraceEvent::BatchPrefiltered {
+                    windows: probes.len(),
+                    candidates: candidates as usize,
+                });
+                accepted
+            }
+            None => self.score_exhaustive(&probes),
         };
         self.scoring += started.elapsed();
         self.batches += 1;
@@ -330,15 +443,7 @@ impl<'a> StreamEngine<'a> {
                 .push(TraceEvent::BatchScored { windows: batch.len(), devices: devices.len() });
         }
         let mut decisions = Vec::with_capacity(batch.len());
-        for (j, pending) in batch.into_iter().enumerate() {
-            // BTreeMap iteration keeps the accepted set ascending, exactly
-            // like the offline identifier's profile scan.
-            let accepted_by: Vec<UserId> = entries
-                .iter()
-                .zip(&values)
-                .filter(|(_, vals)| vals[j] >= 0.0)
-                .map(|((&user, _), _)| user)
-                .collect();
+        for (accepted_by, pending) in accepted.into_iter().zip(batch) {
             let state = self.devices.get_mut(&pending.device).expect("scored unknown device");
             state.history.push_back(accepted_by.clone());
             if state.history.len() > self.config.vote_k {
@@ -357,6 +462,103 @@ impl<'a> StreamEngine<'a> {
             });
         }
         decisions
+    }
+
+    /// Exhaustive stage: every profile scores every probe; returns each
+    /// probe's accepted users, ascending.
+    fn score_exhaustive(&self, probes: &[&SparseVector]) -> Vec<Vec<UserId>> {
+        let entries: Vec<(&UserId, &UserProfile)> = self.profiles.iter().collect();
+        // Fan profiles out across cores only when the kernel work dwarfs
+        // the cost of spawning the scoped threads; small batches (linear
+        // models especially, whose batched path is one dense GEMV) are
+        // faster scored inline.
+        let work: usize = entries
+            .iter()
+            .map(|(_, profile)| match profile.params().kernel {
+                ocsvm::Kernel::Linear => probes.len(),
+                _ => probes.len() * profile.support_vector_count(),
+            })
+            .sum();
+        let score = |user: UserId, profile: &UserProfile| match &self.arena {
+            Some(arena) => profile.batch_decision_values_in(probes, arena, u64::from(user.0)),
+            None => profile.batch_decision_values(probes),
+        };
+        let values: Vec<Vec<f64>> = if work >= PARALLEL_WORK_THRESHOLD {
+            parallel_map(&entries, |(&user, profile)| score(user, profile))
+        } else {
+            entries.iter().map(|(&user, profile)| score(user, profile)).collect()
+        };
+        (0..probes.len())
+            .map(|j| {
+                // BTreeMap iteration keeps the accepted set ascending,
+                // exactly like the offline identifier's profile scan.
+                entries
+                    .iter()
+                    .zip(&values)
+                    .filter(|(_, vals)| vals[j] >= 0.0)
+                    .map(|((&user, _), _)| user)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Exact rerank stage: each shortlisted (user, windows) group runs one
+    /// batched exact scoring call over just that user's shortlisted
+    /// windows; users outside a window's shortlist reject it. Returns each
+    /// probe's accepted users, ascending.
+    fn score_shortlisted(
+        &self,
+        probes: &[&SparseVector],
+        shortlists: &[Vec<u32>],
+    ) -> Vec<Vec<UserId>> {
+        let index = &self.prefilter.as_ref().expect("shortlists imply a prefilter").index;
+        // Regroup window-major shortlists into user-major window lists so
+        // each profile keeps the batched-scoring amortization.
+        let mut per_user: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for (j, list) in shortlists.iter().enumerate() {
+            for &slot in list {
+                per_user.entry(slot).or_default().push(j);
+            }
+        }
+        let items: Vec<(UserId, &UserProfile, Vec<usize>)> = per_user
+            .into_iter()
+            .map(|(slot, windows)| {
+                let user = index.user_at(slot);
+                let profile = self.profiles.get(&user).expect("indexed unknown user");
+                (user, profile, windows)
+            })
+            .collect();
+        let work: usize = items
+            .iter()
+            .map(|(_, profile, windows)| match profile.params().kernel {
+                ocsvm::Kernel::Linear => windows.len(),
+                _ => windows.len() * profile.support_vector_count(),
+            })
+            .sum();
+        let score = |user: UserId, profile: &UserProfile, windows: &[usize]| {
+            let sub: Vec<&SparseVector> = windows.iter().map(|&j| probes[j]).collect();
+            match &self.arena {
+                Some(arena) => profile.batch_decision_values_in(&sub, arena, u64::from(user.0)),
+                None => profile.batch_decision_values(&sub),
+            }
+        };
+        let values: Vec<Vec<f64>> = if work >= PARALLEL_WORK_THRESHOLD {
+            parallel_map(&items, |(user, profile, windows)| score(*user, profile, windows))
+        } else {
+            items.iter().map(|(user, profile, windows)| score(*user, profile, windows)).collect()
+        };
+        let mut accepted: Vec<Vec<UserId>> = vec![Vec::new(); probes.len()];
+        // Slots ascend through the BTreeMap, so each window's accepted
+        // set fills in ascending user order — identical to the exhaustive
+        // profile scan.
+        for ((user, _, windows), vals) in items.iter().zip(&values) {
+            for (&j, &v) in windows.iter().zip(vals) {
+                if v >= 0.0 {
+                    accepted[j].push(*user);
+                }
+            }
+        }
+        accepted
     }
 }
 
@@ -500,6 +702,114 @@ mod tests {
     }
 
     #[test]
+    fn prefiltered_engine_is_bit_identical_to_exhaustive() {
+        let (dataset, vocab) = trained();
+        // Default profiles are linear SVDD, and quick_test's 6 users fit in
+        // the default shortlist — both legs of the equivalence argument.
+        let (profiles, _) =
+            ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
+        let config = EngineConfig { batch_windows: 16, ..EngineConfig::default() };
+        let mut exhaustive = StreamEngine::new(&profiles, &vocab, config);
+        let mut prefiltered =
+            StreamEngine::new(&profiles, &vocab, config).with_prefilter(PrefilterConfig::default());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for tx in dataset.transactions() {
+            a.extend(exhaustive.observe(*tx));
+            b.extend(prefiltered.observe(*tx));
+        }
+        a.extend(exhaustive.finish());
+        b.extend(prefiltered.finish());
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.device, y.device);
+            assert_eq!(x.start, y.start);
+            assert_eq!(x.accepted_by, y.accepted_by);
+            assert_eq!(x.vote, y.vote);
+        }
+        let stats = prefiltered.stats();
+        assert_eq!(stats.prefilter_windows, stats.windows_scored);
+        assert!(stats.prefilter_candidates > 0);
+        assert_eq!(stats.prefilter_mismatches, 0, "verify off never counts");
+        assert_eq!(exhaustive.stats().prefilter_windows, 0);
+    }
+
+    #[test]
+    fn verify_mode_confirms_equivalence_online() {
+        let (dataset, vocab) = trained();
+        let (profiles, _) =
+            ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
+        let config = EngineConfig { batch_windows: 16, ..EngineConfig::default() };
+        let mut engine = StreamEngine::new(&profiles, &vocab, config)
+            .with_prefilter(PrefilterConfig { verify: true, ..PrefilterConfig::default() });
+        for tx in dataset.transactions() {
+            let _ = engine.observe(*tx);
+        }
+        let _ = engine.finish();
+        let stats = engine.stats();
+        assert!(stats.prefilter_windows > 0);
+        assert_eq!(
+            stats.prefilter_mismatches, 0,
+            "linear profiles under a covering shortlist must agree with exhaustive scoring"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "top_k must be positive")]
+    fn zero_shortlist_size_is_rejected() {
+        let (dataset, vocab) = trained();
+        let (profiles, _) =
+            ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
+        let _ = StreamEngine::new(&profiles, &vocab, EngineConfig::default())
+            .with_prefilter(PrefilterConfig { top_k: 0, verify: false });
+    }
+
+    #[test]
+    fn late_drops_survive_device_eviction() {
+        let (dataset, vocab) = trained();
+        let (profiles, _) =
+            ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
+        let config =
+            EngineConfig { batch_windows: usize::MAX, lateness_secs: 0, ..EngineConfig::default() };
+        let mut engine = StreamEngine::new(&profiles, &vocab, config);
+        // Advance device 0's watermark far past t = 0, then send a
+        // straggler from t = 0: with zero lateness its windows are long
+        // closed, so it must be dropped and counted.
+        let _ = engine.observe(tx_at(10_000, 0, 0));
+        let _ = engine.observe(tx_at(0, 0, 0));
+        assert_eq!(engine.stats().late_dropped, 1);
+        let _ = engine.evict_device(DeviceId(0));
+        assert_eq!(
+            engine.stats().late_dropped,
+            1,
+            "lifetime late-drop count must not vanish with the device"
+        );
+        assert_eq!(engine.stats().devices, 0);
+    }
+
+    #[test]
+    fn evict_device_flushes_and_scores_its_tail() {
+        let (dataset, vocab) = trained();
+        let (profiles, _) =
+            ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
+        let config = EngineConfig { batch_windows: usize::MAX, ..EngineConfig::default() };
+        let mut engine = StreamEngine::new(&profiles, &vocab, config);
+        let device = dataset.devices()[0];
+        for tx in dataset.for_device(device).take(300) {
+            let out = engine.observe(*tx);
+            assert!(out.is_empty(), "batch threshold keeps everything pending");
+        }
+        let decisions = engine.evict_device(device);
+        assert!(!decisions.is_empty(), "eviction must flush and score the open tail");
+        assert!(decisions.iter().all(|d| d.device == device));
+        assert_eq!(engine.stats().devices, 0);
+        assert_eq!(engine.pending_windows(), 0);
+        // Evicting an unknown device is a no-op.
+        assert!(engine.evict_device(DeviceId(9_999)).is_empty());
+    }
+
+    #[test]
     #[should_panic(expected = "batch_windows must be positive")]
     fn zero_batch_size_is_rejected() {
         let (dataset, vocab) = trained();
@@ -526,5 +836,26 @@ mod tests {
         assert_eq!(opened, dataset.devices().len());
         assert!(events.iter().any(|e| matches!(e, TraceEvent::WindowsClosed { .. })));
         assert!(events.iter().any(|e| matches!(e, TraceEvent::BatchScored { .. })));
+    }
+
+    #[cfg(feature = "tracelog")]
+    #[test]
+    fn tracelog_records_prefilter_and_eviction_events() {
+        let (dataset, vocab) = trained();
+        let (profiles, _) =
+            ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
+        let config = EngineConfig { batch_windows: 8, ..EngineConfig::default() };
+        let mut engine =
+            StreamEngine::new(&profiles, &vocab, config).with_prefilter(PrefilterConfig::default());
+        let device = dataset.devices()[0];
+        for tx in dataset.for_device(device).take(300) {
+            let _ = engine.observe(*tx);
+        }
+        let _ = engine.evict_device(device);
+        let events = engine.events();
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::BatchPrefiltered { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::StreamEvicted { device: d } if *d == device)));
     }
 }

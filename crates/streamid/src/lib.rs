@@ -36,6 +36,15 @@
 //! closed windows may wait for scoring per device; beyond that the oldest
 //! are shed (counted in [`EngineStats::windows_shed`]).
 //!
+//! At large populations exhaustive scoring is the bottleneck: every
+//! closed window visits every enrolled profile. [`StreamEngine::with_prefilter`]
+//! switches scoring to a two-stage path — a cheap
+//! [`webprofiler::CandidateIndex`] shortlist picks the top
+//! [`PrefilterConfig::top_k`] candidate users per window, and only the
+//! shortlist is scored exactly. With all-linear profiles any window whose
+//! accepted set fits in `top_k` is decided bit-identically to exhaustive
+//! scoring; [`PrefilterConfig::verify`] cross-checks that claim online.
+//!
 //! Profiles come from wherever [`webprofiler::UserProfile`]s are trained —
 //! or from a [`ModelStore`] directory of persisted profiles. Persisted
 //! models keep their support vectors' training indices (ocsvm persist v2),
@@ -71,7 +80,7 @@ mod store;
 #[cfg(feature = "tracelog")]
 mod telemetry;
 
-pub use config::EngineConfig;
+pub use config::{EngineConfig, PrefilterConfig};
 pub use engine::{EngineStats, StreamEngine, WindowDecision};
 pub use store::ModelStore;
 #[cfg(feature = "tracelog")]

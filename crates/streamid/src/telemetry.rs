@@ -38,4 +38,17 @@ pub enum TraceEvent {
         /// Distinct devices covered by the batch.
         devices: usize,
     },
+    /// A scoring batch went through the two-stage prefilter path.
+    BatchPrefiltered {
+        /// Windows shortlisted in the batch.
+        windows: usize,
+        /// Total candidate users across all shortlists (≤ windows × top_k).
+        candidates: usize,
+    },
+    /// A device was evicted: its stream flushed, remaining windows scored,
+    /// and its state dropped.
+    StreamEvicted {
+        /// The evicted device.
+        device: DeviceId,
+    },
 }

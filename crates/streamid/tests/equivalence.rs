@@ -5,7 +5,7 @@
 use ocsvm::Kernel;
 use proxylog::{Dataset, DeviceId};
 use std::collections::BTreeMap;
-use streamid::{EngineConfig, StreamEngine, WindowDecision};
+use streamid::{EngineConfig, PrefilterConfig, StreamEngine, WindowDecision};
 use tracegen::{Scenario, TraceGenerator};
 use webprofiler::{
     consecutive_window_vote, identify_on_device, ModelKind, ProfileTrainer, UserProfile,
@@ -64,6 +64,101 @@ fn assert_matches_offline(
             assert_eq!(decision.features, windows[j].features);
         }
     }
+}
+
+fn replay_prefiltered(
+    profiles: &BTreeMap<proxylog::UserId, UserProfile>,
+    vocab: &Vocabulary,
+    dataset: &Dataset,
+    config: EngineConfig,
+    prefilter: PrefilterConfig,
+) -> (BTreeMap<DeviceId, Vec<WindowDecision>>, streamid::EngineStats) {
+    let mut engine = StreamEngine::new(profiles, vocab, config).with_prefilter(prefilter);
+    let mut decisions = Vec::new();
+    for tx in dataset.transactions() {
+        decisions.extend(engine.observe(*tx));
+    }
+    decisions.extend(engine.finish());
+    let stats = engine.stats();
+    let mut by_device: BTreeMap<DeviceId, Vec<WindowDecision>> = BTreeMap::new();
+    for decision in decisions {
+        by_device.entry(decision.device).or_default().push(decision);
+    }
+    (by_device, stats)
+}
+
+fn assert_same_decisions(
+    exhaustive: &BTreeMap<DeviceId, Vec<WindowDecision>>,
+    prefiltered: &BTreeMap<DeviceId, Vec<WindowDecision>>,
+) {
+    assert_eq!(exhaustive.len(), prefiltered.len());
+    for (device, a) in exhaustive {
+        let b = &prefiltered[device];
+        assert_eq!(a.len(), b.len(), "window count on {device:?}");
+        for (j, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.start, y.start, "start of window {j} on {device:?}");
+            assert_eq!(x.accepted_by, y.accepted_by, "acceptance set of window {j} on {device:?}");
+            assert_eq!(x.vote, y.vote, "vote of window {j} on {device:?}");
+            assert_eq!(x.features, y.features);
+        }
+    }
+}
+
+#[test]
+fn prefiltered_streaming_matches_exhaustive_on_a_population_larger_than_k() {
+    // 40 enrolled users against the default shortlist of 16: most of the
+    // population is pruned per window (some windows are accepted by more
+    // than 16 users), yet all-linear profiles keep the accepted sets
+    // bit-identical — the shortlist's margin guard retains every
+    // potentially-accepting linear user beyond the top-k budget.
+    let dataset = TraceGenerator::new(Scenario::scaled(40, 12, 1)).generate();
+    let vocab = Vocabulary::new(dataset.taxonomy().clone());
+    let (profiles, _) = ProfileTrainer::new(&vocab).max_training_windows(100).train_all(&dataset);
+    assert!(profiles.len() > PrefilterConfig::DEFAULT_TOP_K, "population must exceed k");
+    let config = EngineConfig { batch_windows: 32, ..EngineConfig::default() };
+    let exhaustive = replay(&profiles, &vocab, &dataset, config);
+    let (prefiltered, stats) = replay_prefiltered(
+        &profiles,
+        &vocab,
+        &dataset,
+        config,
+        PrefilterConfig { verify: true, ..PrefilterConfig::default() },
+    );
+    assert_same_decisions(&exhaustive, &prefiltered);
+    assert!(stats.prefilter_windows > 0);
+    assert_eq!(stats.prefilter_mismatches, 0, "verify mode agrees window-for-window");
+    // The shortlist really prunes: fewer candidates than exhaustive work.
+    assert!(
+        stats.prefilter_candidates < stats.prefilter_windows * profiles.len() as u64,
+        "{} candidates over {} windows never pruned anyone",
+        stats.prefilter_candidates,
+        stats.prefilter_windows,
+    );
+}
+
+#[test]
+fn prefiltered_streaming_matches_exhaustive_for_rbf_with_covering_k() {
+    // Non-linear profiles only get the coverage-sketch heuristic, so
+    // equivalence is guaranteed by a shortlist covering the population.
+    let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+    let vocab = Vocabulary::new(dataset.taxonomy().clone());
+    let (profiles, _) = ProfileTrainer::new(&vocab)
+        .kind(ModelKind::OcSvm)
+        .kernel(Kernel::Rbf { gamma: 0.5 })
+        .regularization(0.1)
+        .max_training_windows(120)
+        .train_all(&dataset);
+    let config = EngineConfig { batch_windows: 16, ..EngineConfig::default() };
+    let exhaustive = replay(&profiles, &vocab, &dataset, config);
+    let (prefiltered, stats) = replay_prefiltered(
+        &profiles,
+        &vocab,
+        &dataset,
+        config,
+        PrefilterConfig { top_k: profiles.len(), verify: true },
+    );
+    assert_same_decisions(&exhaustive, &prefiltered);
+    assert_eq!(stats.prefilter_mismatches, 0);
 }
 
 #[test]

@@ -410,6 +410,36 @@ impl<'a> ModelGridSearch<'a> {
         self.sweep_all(windows).0
     }
 
+    /// Trains the final per-user profiles at each user's swept-optimal
+    /// parameters — the population whose decision weights feed candidate
+    /// prefiltering: pass the result straight to
+    /// [`CandidateIndex::build`](crate::CandidateIndex::build) (linear
+    /// winners export their collapsed weights and bias via
+    /// [`UserProfile::linear_decision_terms`], non-linear winners their
+    /// coverage sketch).
+    ///
+    /// Users whose sweep produced no trainable cell are omitted, like
+    /// [`optimize_all`](Self::optimize_all) omits them.
+    pub fn optimized_profiles(&self, windows: &WindowSets) -> BTreeMap<UserId, UserProfile> {
+        let best = self.optimize_all(windows);
+        let entries: Vec<(&UserId, &ProfileParams)> = best.iter().collect();
+        let trained = parallel_map(&entries, |(&user, params)| {
+            let own = windows.get(&user)?;
+            ProfileTrainer::new(self.vocab)
+                .window(self.window)
+                .kind(params.kind)
+                .kernel(params.kernel)
+                .regularization(params.regularization)
+                .train_from_vectors(user, own)
+                .ok()
+        });
+        entries
+            .into_iter()
+            .zip(trained)
+            .filter_map(|((&user, _), profile)| profile.map(|p| (user, p)))
+            .collect()
+    }
+
     /// Optimizes every user and reports sweep statistics: best parameters
     /// per user (maximal `ACC`, ties broken exactly as
     /// [`best_for_user`](Self::best_for_user)) plus scheduler / warm-start /

@@ -9,6 +9,7 @@
 //! windows to disambiguate multi-accepted windows.
 
 use crate::metrics::AcceptanceSummary;
+use crate::prefilter::{CandidateIndex, ShortlistScratch};
 use crate::profile::UserProfile;
 use crate::trainer::parallel_map;
 use crate::vocab::Vocabulary;
@@ -69,6 +70,49 @@ pub fn identify_on_device(
         }
     });
     results
+}
+
+/// Two-stage variant of [`identify_on_device`]: a [`CandidateIndex`]
+/// shortlist of `top_k` candidate users per window, then exact scoring on
+/// the shortlist only — every user outside it is treated as rejecting.
+///
+/// With all-linear profiles this reproduces [`identify_on_device`]
+/// bit-identically at any `top_k` — the shortlist's margin guard keeps
+/// every potentially-accepting linear user (see the [`CandidateIndex`]
+/// docs for why). Non-linear profiles trade recall for an
+/// O(users)-to-O(top_k) cut in exact decisions per window.
+pub fn identify_on_device_prefiltered(
+    profiles: &BTreeMap<UserId, UserProfile>,
+    vocab: &Vocabulary,
+    dataset: &Dataset,
+    device: DeviceId,
+    config: WindowConfig,
+    index: &CandidateIndex,
+    top_k: usize,
+) -> Vec<IdentifiedWindow> {
+    let aggregator = WindowAggregator::new(vocab, config);
+    let windows = aggregator.device_windows(dataset, device);
+    let mut scores = ShortlistScratch::default();
+    windows
+        .into_iter()
+        .map(|window| {
+            let shortlist = index.shortlist(&window.features, top_k, &mut scores);
+            // Slots ascend, so the accepted set stays user-ascending.
+            let accepted_by: Vec<UserId> = shortlist
+                .into_iter()
+                .map(|slot| index.user_at(slot))
+                .filter(|user| {
+                    profiles.get(user).is_some_and(|profile| profile.accepts(&window.features))
+                })
+                .collect();
+            IdentifiedWindow {
+                start: window.start,
+                transaction_count: window.transaction_count,
+                accepted_by,
+                actual_users: window.users.clone(),
+            }
+        })
+        .collect()
 }
 
 /// Summary quality of an identification run.
@@ -397,6 +441,133 @@ mod tests {
         assert_eq!(majority_vote([both.as_slice(), both.as_slice(), both.as_slice()]), None);
         // No acceptances at all: no winner.
         assert_eq!(majority_vote([[].as_slice()]), None);
+    }
+
+    #[test]
+    fn vote_exact_half_ties_at_even_window_counts_yield_none() {
+        // 2 of 4 acceptances is exactly half — not a strict majority —
+        // at every even trailing-window count.
+        for k in [2usize, 4, 6] {
+            let mut windows = Vec::new();
+            for i in 0..k as i64 {
+                // User 1 accepts the first half, user 2 the second half.
+                let user = if i < k as i64 / 2 { 1 } else { 2 };
+                windows.push(window(i * 30, &[user], &[user]));
+            }
+            let votes = consecutive_window_vote(&windows, k);
+            assert_eq!(votes[k - 1].1, None, "k = {k}: exact half must not elect");
+        }
+        // One extra acceptance breaks the tie.
+        let windows = vec![
+            window(0, &[1], &[1]),
+            window(30, &[1], &[1]),
+            window(60, &[1, 2], &[2]),
+            window(90, &[2], &[2]),
+        ];
+        assert_eq!(consecutive_window_vote(&windows, 4)[3].1, Some(UserId(1)));
+    }
+
+    #[test]
+    fn vote_single_window_k_one_boundaries() {
+        // k = 1 over one window: sole acceptor wins, multi-acceptance
+        // ties, and an empty set abstains.
+        assert_eq!(consecutive_window_vote(&[window(0, &[7], &[7])], 1)[0].1, Some(UserId(7)));
+        assert_eq!(consecutive_window_vote(&[window(0, &[1, 2], &[1])], 1)[0].1, None);
+        assert_eq!(consecutive_window_vote(&[window(0, &[], &[1])], 1)[0].1, None);
+    }
+
+    #[test]
+    fn vote_empty_acceptance_sets_never_elect() {
+        let windows: Vec<IdentifiedWindow> = (0..5).map(|i| window(i * 30, &[], &[1])).collect();
+        for k in 1..=5 {
+            for (start, vote) in consecutive_window_vote(&windows, k) {
+                assert_eq!(vote, None, "empty sets elected someone at {start:?} with k = {k}");
+            }
+        }
+        // Empty windows interleaved with acceptances still count towards
+        // the total the majority is measured against.
+        let windows = vec![window(0, &[1], &[1]), window(30, &[], &[1]), window(60, &[], &[1])];
+        assert_eq!(consecutive_window_vote(&windows, 3)[2].1, None, "1 of 3 is no majority");
+    }
+
+    #[test]
+    fn batch_and_streaming_vote_folds_are_pinned_identical() {
+        // The engine folds acceptance sets through a bounded deque and
+        // calls majority_vote per window; the batch path slices. Both
+        // must agree on every prefix, including ties, empties and
+        // handovers.
+        use std::collections::VecDeque;
+        let acceptance_sets: Vec<Vec<u32>> = vec![
+            vec![1],
+            vec![1, 2],
+            vec![],
+            vec![2],
+            vec![2],
+            vec![1, 2],
+            vec![],
+            vec![3],
+            vec![3],
+            vec![3, 1],
+        ];
+        let windows: Vec<IdentifiedWindow> = acceptance_sets
+            .iter()
+            .enumerate()
+            .map(|(i, set)| window(i as i64 * 30, set, &[1]))
+            .collect();
+        for k in 1..=4 {
+            let batch = consecutive_window_vote(&windows, k);
+            let mut history: VecDeque<Vec<UserId>> = VecDeque::with_capacity(k);
+            for (i, w) in windows.iter().enumerate() {
+                history.push_back(w.accepted_by.clone());
+                if history.len() > k {
+                    history.pop_front();
+                }
+                let streamed = majority_vote(history.iter().map(|set| set.as_slice()));
+                assert_eq!(streamed, batch[i].1, "window {i}, k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefiltered_identification_matches_exhaustive_at_any_k() {
+        use crate::prefilter::CandidateIndex;
+        use crate::trainer::ProfileTrainer;
+        use tracegen::{Scenario, TraceGenerator};
+
+        let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+        let vocab = Vocabulary::new(dataset.taxonomy().clone());
+        let (profiles, _) =
+            ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
+        let index = CandidateIndex::build(&profiles, &vocab);
+        for device in dataset.devices() {
+            let exhaustive = identify_on_device(
+                &profiles,
+                &vocab,
+                &dataset,
+                device,
+                WindowConfig::PAPER_DEFAULT,
+            );
+            // All default profiles are linear SVDD, so the margin guard
+            // pins bit-identity at every shortlist budget — including
+            // k = 1, well below the widest acceptance set.
+            for k in [1, 3, profiles.len()] {
+                let prefiltered = identify_on_device_prefiltered(
+                    &profiles,
+                    &vocab,
+                    &dataset,
+                    device,
+                    WindowConfig::PAPER_DEFAULT,
+                    &index,
+                    k,
+                );
+                assert_eq!(prefiltered.len(), exhaustive.len());
+                for (a, b) in prefiltered.iter().zip(&exhaustive) {
+                    assert_eq!(a.start, b.start);
+                    assert_eq!(a.accepted_by, b.accepted_by, "top-{k} shortlist on {device:?}");
+                    assert_eq!(a.actual_users, b.actual_users);
+                }
+            }
+        }
     }
 
     #[test]

@@ -67,6 +67,7 @@ mod identify;
 mod markov;
 mod metrics;
 mod novelty;
+mod prefilter;
 mod profile;
 mod roc;
 mod schedule;
@@ -85,8 +86,8 @@ pub use gridsearch::{
     WindowGridSearch, WindowSets,
 };
 pub use identify::{
-    consecutive_window_vote, identify_on_device, majority_vote, IdentificationQuality,
-    IdentifiedWindow, OnlineIdentifier,
+    consecutive_window_vote, identify_on_device, identify_on_device_prefiltered, majority_vote,
+    IdentificationQuality, IdentifiedWindow, OnlineIdentifier,
 };
 pub use markov::MarkovProfile;
 pub use metrics::{acceptance_ratio, acceptance_ratio_refs, AcceptanceSummary, ConfusionMatrix};
@@ -94,6 +95,7 @@ pub use novelty::{
     feature_novelty, sweep_feature_novelty, sweep_window_novelty, window_novelty, FeatureNovelty,
     FeatureNoveltyRow, MeanVariance, WindowNoveltyRow,
 };
+pub use prefilter::{CandidateIndex, ProfileSketch, ShortlistScratch};
 pub use profile::{ModelKind, ProfileParams, UserProfile};
 pub use roc::{auc, best_operating_point, roc_curve, RocPoint};
 pub use trainer::{parallel_map, ProfileError, ProfileTrainer};

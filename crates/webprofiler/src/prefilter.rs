@@ -1,0 +1,455 @@
+//! Candidate prefiltering for two-stage identification.
+//!
+//! Exhaustive identification scores every closed window against every
+//! enrolled profile — O(users) exact decisions per window, the wall
+//! between the reproduction and a million-user population. This module
+//! provides the cheap first stage of a two-stage path:
+//!
+//! 1. **Sketch** — every profile is summarized once, at index build time,
+//!    as a [`ProfileSketch`]: a bitmask over the [`Vocabulary`]'s feature
+//!    columns marking which columns the profile's decision function reads
+//!    at all (its support vectors' column union).
+//! 2. **Index** — the [`CandidateIndex`] inverts those per-user summaries
+//!    into per-*column* postings. Linear-kernel profiles (the paper
+//!    corpus default) contribute their exact affine decision terms
+//!    ([`ocsvm::LinearDecisionTerms`], the same collapsed weights the
+//!    [`ocsvm::LinearBatchScorer`] GEMV path uses); non-linear profiles
+//!    fall back to unit-weight coverage postings derived from the sketch
+//!    bits.
+//! 3. **Shortlist** — per window, walking only the window's non-zero
+//!    columns accumulates every user's approximate score in
+//!    O(Σ postings) + O(users) instead of O(users × nnz) exact decisions,
+//!    and a size-k selection returns the top-k candidate slots. The
+//!    caller then reruns the *exact* scorer on the shortlist only.
+//!
+//! For an all-linear population the approximate score of each user is
+//! that user's decision value up to floating-point association (the
+//! user-independent `‖x‖²` term SVDD subtracts is applied uniformly). The
+//! shortlist therefore keeps, *in addition to* the top-k slots, every
+//! linear slot whose score clears a tiny negative margin sized to bound
+//! that association error: an accepted user (exact decision `≥ 0`) can
+//! never be pruned, while extra borderline candidates are harmlessly
+//! rejected by the exact rerank. Shortlist-then-exact is thus
+//! bit-identical to exhaustive scoring for all-linear populations at
+//! *any* `k` — `k` only budgets how many clearly-rejecting candidates get
+//! an exact score. Mixed or non-linear populations make the shortlist a
+//! heuristic; measure recall@k with `bench --bin identify_scale`.
+
+use crate::profile::UserProfile;
+use crate::vocab::Vocabulary;
+use ocsvm::SparseVector;
+use proxylog::UserId;
+use std::collections::BTreeMap;
+
+/// Category-coverage bitmask of one user's profile: one bit per
+/// [`Vocabulary`] feature column, set iff the profile's decision function
+/// reads that column (some support vector — or, for linear kernels, the
+/// collapsed weight vector — has a non-zero entry there).
+#[derive(Debug, Clone)]
+pub struct ProfileSketch {
+    user: UserId,
+    words: Vec<u64>,
+    covered: usize,
+}
+
+impl ProfileSketch {
+    /// Builds a sketch over `n_features` columns from the columns a
+    /// profile touches (out-of-range columns are ignored).
+    pub fn from_columns<I: IntoIterator<Item = u32>>(
+        user: UserId,
+        n_features: usize,
+        columns: I,
+    ) -> Self {
+        let mut words = vec![0u64; n_features.div_ceil(64)];
+        let mut covered = 0;
+        for column in columns {
+            let (word, bit) = (column as usize / 64, column as usize % 64);
+            if word < words.len() && (column as usize) < n_features && words[word] & (1 << bit) == 0
+            {
+                words[word] |= 1 << bit;
+                covered += 1;
+            }
+        }
+        Self { user, words, covered }
+    }
+
+    /// The profiled user.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Whether the profile reads `column`.
+    pub fn covers(&self, column: u32) -> bool {
+        let (word, bit) = (column as usize / 64, column as usize % 64);
+        self.words.get(word).is_some_and(|w| w & (1 << bit) != 0)
+    }
+
+    /// Number of covered columns (set bits).
+    pub fn covered_columns(&self) -> usize {
+        self.covered
+    }
+
+    /// The covered columns, ascending.
+    pub fn columns(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(word, &bits)| {
+            (0..64)
+                .filter(move |bit| bits & (1 << bit) != 0)
+                .map(move |bit| (word * 64 + bit) as u32)
+        })
+    }
+
+    /// How many of the window's non-zero columns the profile covers — the
+    /// coverage-overlap score non-linear profiles are ranked by.
+    pub fn overlap(&self, features: &SparseVector) -> usize {
+        features.iter().filter(|&(column, _)| self.covers(column)).count()
+    }
+}
+
+/// Inverted candidate index over an enrolled profile population: per-user
+/// [`ProfileSketch`]es plus column-major postings, supporting top-k
+/// shortlisting of candidate users per window (see the module docs for
+/// the two-stage pipeline).
+///
+/// Users occupy *slots* `0..len()` in ascending [`UserId`] order (the
+/// iteration order of the profile map), so a shortlist sorted by slot is
+/// sorted by user.
+#[derive(Debug, Clone)]
+pub struct CandidateIndex {
+    users: Vec<UserId>,
+    /// Constant term of each user's approximate score.
+    bias: Vec<f64>,
+    /// `1.0` for users whose exact decision subtracts the probe's squared
+    /// norm (linear SVDD), else `0.0`; applied at scoring time so linear
+    /// OC-SVM and SVDD users rank on the same decision-value scale.
+    norm_coeff: Vec<f64>,
+    /// Per-column `(slot, weight)` postings, slot-ascending.
+    postings: Vec<Vec<(u32, f64)>>,
+    /// Whether each slot carries exact linear decision terms (and so is
+    /// protected by the margin guard of [`CandidateIndex::shortlist`]).
+    linear: Vec<bool>,
+    sketches: Vec<ProfileSketch>,
+    linear_users: usize,
+}
+
+/// Reusable per-user scratch of [`CandidateIndex::shortlist`]; allocate
+/// once per scoring loop, not per window.
+#[derive(Debug, Default)]
+pub struct ShortlistScratch {
+    scores: Vec<f64>,
+    magnitudes: Vec<f64>,
+}
+
+/// Relative slack of the shortlist's margin guard. The approximate score
+/// and the exact decision sum the same ≤ `n_features + 2` terms in
+/// different orders, so they differ by at most ~`n·ε` of the summed
+/// magnitude (≈ 2e-13 at the paper's 843 columns); `1e-9` leaves three
+/// orders of magnitude of headroom while still pruning everything that
+/// rejects by a real margin.
+const MARGIN_EPS: f64 = 1e-9;
+
+impl CandidateIndex {
+    /// Builds the index from an enrolled population (one pass over the
+    /// profiles; call once, reuse for every window).
+    pub fn build(profiles: &BTreeMap<UserId, UserProfile>, vocab: &Vocabulary) -> Self {
+        let n_features = vocab.n_features();
+        let mut users = Vec::with_capacity(profiles.len());
+        let mut bias = Vec::with_capacity(profiles.len());
+        let mut norm_coeff = Vec::with_capacity(profiles.len());
+        let mut postings: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_features];
+        let mut linear = Vec::with_capacity(profiles.len());
+        let mut sketches = Vec::with_capacity(profiles.len());
+        let mut linear_users = 0;
+        for (slot, (&user, profile)) in profiles.iter().enumerate() {
+            let slot = slot as u32;
+            let sketch =
+                ProfileSketch::from_columns(user, n_features, profile.support_column_union());
+            users.push(user);
+            linear.push(profile.linear_decision_terms().is_some());
+            match profile.linear_decision_terms() {
+                Some(terms) => {
+                    linear_users += 1;
+                    bias.push(terms.bias);
+                    norm_coeff.push(if terms.subtracts_probe_norm { 1.0 } else { 0.0 });
+                    for (column, weight) in terms.weights.iter() {
+                        if (column as usize) < n_features {
+                            postings[column as usize].push((slot, weight));
+                        }
+                    }
+                }
+                None => {
+                    bias.push(0.0);
+                    norm_coeff.push(0.0);
+                    // Unit-weight coverage postings straight off the
+                    // sketch bits: the score counts covered window mass.
+                    for column in sketch.columns() {
+                        postings[column as usize].push((slot, 1.0));
+                    }
+                }
+            }
+            sketches.push(sketch);
+        }
+        Self { users, bias, norm_coeff, postings, linear, sketches, linear_users }
+    }
+
+    /// Enrolled users.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Users indexed with exact affine decision terms (linear kernels);
+    /// the remainder rank by coverage overlap.
+    pub fn linear_users(&self) -> usize {
+        self.linear_users
+    }
+
+    /// The user in `slot` (ascending by slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= len()`.
+    pub fn user_at(&self, slot: u32) -> UserId {
+        self.users[slot as usize]
+    }
+
+    /// The sketch in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= len()`.
+    pub fn sketch(&self, slot: u32) -> &ProfileSketch {
+        &self.sketches[slot as usize]
+    }
+
+    /// Candidate slots for one window, ascending by slot: the `top_k`
+    /// best-scoring slots, *plus* every linear slot whose score clears the
+    /// margin guard (its exact decision could be non-negative, so pruning
+    /// it could change the accepted set — see the module docs).
+    ///
+    /// `scratch` is caller-provided per-user scratch so a scoring loop
+    /// allocates once, not per window. When the population fits in
+    /// `top_k` every slot is returned. Score ties keep the smaller slot,
+    /// so the result is deterministic.
+    pub fn shortlist(
+        &self,
+        features: &SparseVector,
+        top_k: usize,
+        scratch: &mut ShortlistScratch,
+    ) -> Vec<u32> {
+        let n = self.users.len();
+        if n == 0 || top_k == 0 {
+            return Vec::new();
+        }
+        if n <= top_k {
+            return (0..n as u32).collect();
+        }
+        let norm = features.squared_norm();
+        let ShortlistScratch { scores, magnitudes } = scratch;
+        scores.clear();
+        scores.extend(self.bias.iter().zip(&self.norm_coeff).map(|(&b, &c)| b - c * norm));
+        // Magnitudes track the absolute mass each score summed, bounding
+        // its floating-point association error for the margin guard.
+        magnitudes.clear();
+        magnitudes
+            .extend(self.bias.iter().zip(&self.norm_coeff).map(|(&b, &c)| b.abs() + c * norm));
+        for (column, value) in features.iter() {
+            if let Some(postings) = self.postings.get(column as usize) {
+                for &(slot, weight) in postings {
+                    let term = weight * value;
+                    scores[slot as usize] += term;
+                    magnitudes[slot as usize] += term.abs();
+                }
+            }
+        }
+        // Size-k selection, kept sorted ascending by score (worst first).
+        // Slots arrive ascending, so on ties the incumbent (smaller slot)
+        // wins and the pass stays deterministic.
+        let mut best: Vec<(f64, u32)> = Vec::with_capacity(top_k + 1);
+        for (slot, &score) in scores.iter().enumerate() {
+            if best.len() == top_k {
+                if score <= best[0].0 {
+                    continue;
+                }
+                best.remove(0);
+            }
+            let pos = best.partition_point(|&(s, _)| s < score);
+            best.insert(pos, (score, slot as u32));
+        }
+        let mut slots: Vec<u32> = best.into_iter().map(|(_, slot)| slot).collect();
+        // Margin guard: a linear slot's score is its exact decision up to
+        // association error, so anything not clearly negative stays in.
+        for (slot, &score) in scores.iter().enumerate() {
+            if self.linear[slot] && score >= -(MARGIN_EPS * (1.0 + magnitudes[slot])) {
+                slots.push(slot as u32);
+            }
+        }
+        slots.sort_unstable();
+        slots.dedup();
+        slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ModelKind;
+    use crate::trainer::ProfileTrainer;
+    use ocsvm::Kernel;
+    use proxylog::Taxonomy;
+
+    fn vectors(seed: u64, n: usize) -> Vec<SparseVector> {
+        (0..n)
+            .map(|i| {
+                let base = (seed * 7 + 1) as u32 % 800;
+                SparseVector::from_pairs(vec![
+                    (base, 0.8 + 0.01 * (i % 5) as f64),
+                    (base + 3, 1.0),
+                    (base + 9, 0.4 + 0.02 * (i % 3) as f64),
+                ])
+                .unwrap()
+            })
+            .collect()
+    }
+
+    fn population(
+        kind: ModelKind,
+        kernel: Kernel,
+        n_users: usize,
+    ) -> (BTreeMap<UserId, UserProfile>, Vocabulary) {
+        let vocab = Vocabulary::new(Taxonomy::paper_scale());
+        let trainer = ProfileTrainer::new(&vocab).kind(kind).kernel(kernel).regularization(0.5);
+        let profiles = (0..n_users)
+            .map(|u| {
+                let user = UserId(u as u32);
+                (user, trainer.train_from_vectors(user, &vectors(u as u64, 12)).unwrap())
+            })
+            .collect();
+        (profiles, vocab)
+    }
+
+    #[test]
+    fn sketch_marks_exactly_the_touched_columns() {
+        let sketch = ProfileSketch::from_columns(UserId(1), 128, [3u32, 64, 64, 127, 500]);
+        assert_eq!(sketch.covered_columns(), 3, "dups and out-of-range columns don't count");
+        assert!(sketch.covers(3) && sketch.covers(64) && sketch.covers(127));
+        assert!(!sketch.covers(4) && !sketch.covers(500));
+        assert_eq!(sketch.columns().collect::<Vec<_>>(), vec![3, 64, 127]);
+        let window = SparseVector::from_pairs(vec![(3, 1.0), (5, 2.0), (64, 0.5)]).unwrap();
+        assert_eq!(sketch.overlap(&window), 2);
+    }
+
+    #[test]
+    fn shortlist_returns_everyone_when_k_covers_the_population() {
+        let (profiles, vocab) = population(ModelKind::Svdd, Kernel::Linear, 5);
+        let index = CandidateIndex::build(&profiles, &vocab);
+        assert_eq!(index.len(), 5);
+        assert_eq!(index.linear_users(), 5);
+        let mut scores = ShortlistScratch::default();
+        let window = &vectors(2, 1)[0];
+        assert_eq!(index.shortlist(window, 5, &mut scores), vec![0, 1, 2, 3, 4]);
+        assert_eq!(index.shortlist(window, 100, &mut scores), vec![0, 1, 2, 3, 4]);
+        assert!(index.shortlist(window, 0, &mut scores).is_empty());
+    }
+
+    #[test]
+    fn linear_shortlist_ranks_the_true_user_first() {
+        for kind in ModelKind::ALL {
+            let (profiles, vocab) = population(kind, Kernel::Linear, 12);
+            let index = CandidateIndex::build(&profiles, &vocab);
+            let mut scores = ShortlistScratch::default();
+            for u in 0..12u32 {
+                let probe = &vectors(u as u64, 1)[0];
+                let shortlist = index.shortlist(probe, 3, &mut scores);
+                assert_eq!(shortlist.len(), 3);
+                assert!(
+                    shortlist.iter().any(|&slot| index.user_at(slot) == UserId(u)),
+                    "{kind}: user {u} missing from top-3 {shortlist:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linear_shortlist_contains_every_accepted_user() {
+        // The exactness guarantee behind the two-stage equivalence: with
+        // all-linear profiles, accepted users always outrank rejected
+        // ones, so any shortlist of size ≥ |accepted| covers them all.
+        let (profiles, vocab) = population(ModelKind::Svdd, Kernel::Linear, 12);
+        let index = CandidateIndex::build(&profiles, &vocab);
+        let mut scores = ShortlistScratch::default();
+        for u in 0..12u64 {
+            for probe in &vectors(u, 4) {
+                let accepted: Vec<UserId> = profiles
+                    .iter()
+                    .filter(|(_, p)| p.accepts(probe))
+                    .map(|(&user, _)| user)
+                    .collect();
+                let k = accepted.len().max(1);
+                let shortlist = index.shortlist(probe, k, &mut scores);
+                for user in &accepted {
+                    assert!(
+                        shortlist.iter().any(|&slot| index.user_at(slot) == *user),
+                        "accepted {user:?} outside top-{k} for probe of user {u}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn margin_guard_keeps_accepted_users_even_at_k_one() {
+        // The unconditional half of the equivalence guarantee: even a
+        // shortlist budget of 1 may not prune an accepting linear user.
+        for kind in ModelKind::ALL {
+            let (profiles, vocab) = population(kind, Kernel::Linear, 12);
+            let index = CandidateIndex::build(&profiles, &vocab);
+            let mut scores = ShortlistScratch::default();
+            for u in 0..12u64 {
+                for probe in &vectors(u, 4) {
+                    let shortlist = index.shortlist(probe, 1, &mut scores);
+                    for (&user, profile) in &profiles {
+                        if profile.accepts(probe) {
+                            assert!(
+                                shortlist.iter().any(|&slot| index.user_at(slot) == user),
+                                "{kind}: accepted {user:?} pruned at k=1 ({shortlist:?})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonlinear_profiles_fall_back_to_coverage_postings() {
+        let (profiles, vocab) = population(ModelKind::OcSvm, Kernel::Rbf { gamma: 0.5 }, 8);
+        let index = CandidateIndex::build(&profiles, &vocab);
+        assert_eq!(index.linear_users(), 0);
+        let mut scores = ShortlistScratch::default();
+        let probe = &vectors(3, 1)[0];
+        let shortlist = index.shortlist(probe, 2, &mut scores);
+        assert_eq!(shortlist.len(), 2);
+        // The true user's sketch covers the whole probe, so it ranks in
+        // the top overlap tier.
+        assert!(
+            shortlist.iter().any(|&slot| index.user_at(slot) == UserId(3)),
+            "coverage shortlist {shortlist:?} missed the covering user"
+        );
+    }
+
+    #[test]
+    fn shortlist_is_deterministic_and_slot_sorted() {
+        let (profiles, vocab) = population(ModelKind::Svdd, Kernel::Linear, 9);
+        let index = CandidateIndex::build(&profiles, &vocab);
+        let probe = &vectors(4, 1)[0];
+        let mut scores = ShortlistScratch::default();
+        let a = index.shortlist(probe, 4, &mut scores);
+        let b = index.shortlist(probe, 4, &mut scores);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "slots not ascending: {a:?}");
+    }
+}

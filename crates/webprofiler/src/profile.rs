@@ -131,6 +131,27 @@ impl UserProfile {
         }
     }
 
+    /// The affine decision terms of a linear-kernel profile (`None` for
+    /// non-linear kernels) — the weight/bias export the candidate
+    /// prefilter indexes (see [`CandidateIndex`](crate::CandidateIndex)
+    /// and [`ocsvm::LinearDecisionTerms`]).
+    pub fn linear_decision_terms(&self) -> Option<ocsvm::LinearDecisionTerms> {
+        match &self.model {
+            ProfileModel::OcSvm(m) => m.linear_decision_terms(),
+            ProfileModel::Svdd(m) => m.linear_decision_terms(),
+        }
+    }
+
+    /// Sorted union of the feature columns the profile's decision
+    /// function reads — the category-coverage set behind
+    /// [`ProfileSketch`](crate::ProfileSketch).
+    pub fn support_column_union(&self) -> Vec<u32> {
+        match &self.model {
+            ProfileModel::OcSvm(m) => m.support_column_union(),
+            ProfileModel::Svdd(m) => m.support_column_union(),
+        }
+    }
+
     /// Solver diagnostics recorded at training time.
     pub fn diagnostics(&self) -> TrainDiagnostics {
         match &self.model {
