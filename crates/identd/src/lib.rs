@@ -1,0 +1,70 @@
+//! `identd` — multi-tenant identification-as-a-service.
+//!
+//! A dependency-free daemon that puts the [`streamid`] engine behind a
+//! TCP socket: clients stream proxy-log transactions in and poll
+//! window-vote identification decisions out, per tenant namespace, with
+//! every tenant charging kernel rows to one shared process-wide
+//! [`ocsvm::KernelRowArena`] budget.
+//!
+//! # Wire protocol
+//!
+//! Newline-delimited JSON over TCP: one request object per line, one
+//! reply object per line, always in order. Replies carry `"ok":true` or
+//! `{"ok":false,"error":CODE,"detail":TEXT}`; the daemon never
+//! disconnects a client for a malformed request.
+//!
+//! | verb | request fields | reply fields |
+//! |------|----------------|--------------|
+//! | `health` | — | `status` (`"up"`/`"draining"`) |
+//! | `load_profiles` | `tenant`, `dir`, `lossy?` | `profiles`, `skipped` |
+//! | `ingest` | `tenant`, `txs` (array of 11-number tuples) | `accepted`, `decided` |
+//! | `decide` | `tenant`, `device?` | `decisions` (array of objects) |
+//! | `stats` | — | `daemon`, `arena`, `tenants` counter objects |
+//! | `drain` | — | `draining`, `flushed` |
+//!
+//! Example session:
+//!
+//! ```text
+//! → {"verb":"load_profiles","tenant":"t0","dir":"/var/identd/t0"}
+//! ← {"ok":true,"tenant":"t0","profiles":100,"skipped":0}
+//! → {"verb":"ingest","tenant":"t0","txs":[[1420416000,7,3,99,1,1,12,4,2,0,0]]}
+//! ← {"ok":true,"accepted":1,"decided":0}
+//! → {"verb":"decide","tenant":"t0"}
+//! ← {"ok":true,"decisions":[{"device":3,"start":1420416000,"txs":21,"accepted":[7],"actual":[7],"vote":7,"queue_us":912}]}
+//! → {"verb":"drain"}
+//! ← {"ok":true,"draining":true,"flushed":4}
+//! ```
+//!
+//! Transactions travel as `[timestamp, user, device, site, action,
+//! scheme, category, subtype, app_type, reputation, private]` with enum
+//! fields as feature-column indices — see [`proto`]. The protocol assumes
+//! the paper-scale taxonomy ([`proxylog::Taxonomy::paper_scale`]) on both
+//! ends; profiles trained under a different taxonomy will score garbage.
+//!
+//! # Architecture
+//!
+//! One non-blocking accept thread feeds a [`parcore::default_workers`]-
+//! sized worker pool over a bounded queue. Each tenant namespace is one
+//! OS thread owning its profiles and engine (the engine borrows them from
+//! the thread's stack — no locks on the scoring path), reached through a
+//! bounded mailbox that sheds the *oldest* queued ingest batches under
+//! overload and answers their producers `{"ok":false,"error":
+//! "overloaded"}` instead of disconnecting.
+//!
+//! `drain` stops the accept loop (joined before the reply, so refusal of
+//! new connections is observable), flushes every open window through the
+//! engine's eviction path, and leaves tenants alive so the draining
+//! client can collect flushed decisions with a final `decide`; the
+//! process then exits 0 once connections close. Decisions are
+//! bit-identical to the offline [`webprofiler::identify_on_device`] path
+//! — the daemon adds transport, not modelling.
+
+pub mod client;
+pub mod json;
+pub mod proto;
+mod server;
+mod tenant;
+
+pub use client::Client;
+pub use server::{Daemon, DaemonConfig};
+pub use tenant::TenantStats;

@@ -1,0 +1,146 @@
+//! End-to-end drain semantics over a real socket.
+//!
+//! A client loads a trained tenant, streams the full corpus, drains the
+//! daemon, and collects every decision with a final `decide`. The
+//! decisions must be bit-identical (acceptance sets, ground truth, votes,
+//! window starts) to the offline [`webprofiler::identify_on_device`]
+//! pipeline, the listener must refuse new connections after the drain
+//! reply, and the daemon must shut down cleanly once the client hangs up.
+
+use identd::proto::DecisionRecord;
+use identd::{Client, Daemon, DaemonConfig};
+use std::collections::BTreeMap;
+use std::net::TcpStream;
+use std::time::Duration;
+use streamid::ModelStore;
+use tracegen::{Scenario, TraceGenerator};
+use webprofiler::{consecutive_window_vote, identify_on_device, ProfileTrainer, Vocabulary};
+
+#[test]
+fn drain_flushes_windows_and_matches_offline_identification() {
+    let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+    let vocab = Vocabulary::new(dataset.taxonomy().clone());
+    let (profiles, _) = ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
+
+    let store_dir = std::env::temp_dir().join(format!("identd-drain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    std::fs::create_dir_all(&store_dir).unwrap();
+    let saved = ModelStore::new(&store_dir).save(&profiles).unwrap();
+    assert_eq!(saved, profiles.len());
+
+    let daemon = Daemon::start(DaemonConfig::default()).unwrap();
+    let addr = daemon.local_addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.health().unwrap(), "up");
+    let (loaded, skipped) =
+        client.load_profiles("acme", store_dir.to_str().unwrap(), false).unwrap();
+    assert_eq!((loaded, skipped), (profiles.len(), 0));
+
+    // Stream the corpus in batches, polling decisions as they appear.
+    let txs: Vec<_> = dataset.transactions().to_vec();
+    let mut records: Vec<DecisionRecord> = Vec::new();
+    for batch in txs.chunks(512) {
+        let (accepted, decided) = client.ingest("acme", batch).unwrap();
+        assert_eq!(accepted, batch.len());
+        if decided > 0 {
+            records.extend(client.decide("acme", None).unwrap());
+        }
+    }
+
+    // Drain: open windows flush through eviction; the tenant stays alive
+    // for the final decide.
+    let flushed = client.drain().unwrap();
+    assert!(flushed > 0, "the tail of the corpus holds open windows");
+    assert_eq!(client.health().unwrap(), "draining");
+    records.extend(client.decide("acme", None).unwrap());
+
+    // New connections are refused once the drain reply arrived.
+    let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+    assert!(refused.is_err(), "listener must be closed after drain");
+
+    // Ingesting while draining is a structured error, not a disconnect.
+    let err = client.ingest("acme", &txs[..1]).unwrap_err();
+    assert!(err.to_string().contains("draining"), "got: {err}");
+    assert_eq!(client.health().unwrap(), "draining", "connection survived the error");
+
+    drop(client);
+    daemon.join(); // returns only once workers and tenants exited
+
+    // Bit-identity against the offline pipeline, device by device.
+    let mut by_device: BTreeMap<u32, Vec<DecisionRecord>> = BTreeMap::new();
+    for record in records {
+        by_device.entry(record.device).or_default().push(record);
+    }
+    assert_eq!(by_device.len(), dataset.devices().len());
+    let window = DaemonConfig::default().engine.window;
+    let vote_k = DaemonConfig::default().engine.vote_k;
+    for device in dataset.devices() {
+        let streamed = &by_device[&device.0];
+        let offline = identify_on_device(&profiles, &vocab, &dataset, device, window);
+        let votes = consecutive_window_vote(&offline, vote_k);
+        assert_eq!(streamed.len(), offline.len(), "window count on {device:?}");
+        for (j, record) in streamed.iter().enumerate() {
+            assert_eq!(record.start, offline[j].start.as_secs(), "window {j} on {device:?}");
+            assert_eq!(record.transactions as usize, offline[j].transaction_count);
+            let accepted: Vec<u32> = offline[j].accepted_by.iter().map(|u| u.0).collect();
+            let actual: Vec<u32> = offline[j].actual_users.iter().map(|u| u.0).collect();
+            assert_eq!(record.accepted, accepted, "acceptance set of window {j} on {device:?}");
+            assert_eq!(record.actual, actual);
+            assert_eq!(record.vote, votes[j].1.map(|u| u.0), "vote of window {j} on {device:?}");
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn decide_can_scope_to_one_device_and_drain_is_idempotent() {
+    let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+    let vocab = Vocabulary::new(dataset.taxonomy().clone());
+    let (profiles, _) = ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
+    let store_dir = std::env::temp_dir().join(format!("identd-device-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    std::fs::create_dir_all(&store_dir).unwrap();
+    ModelStore::new(&store_dir).save(&profiles).unwrap();
+
+    let daemon = Daemon::start(DaemonConfig::default()).unwrap();
+    let mut client = Client::connect(daemon.local_addr()).unwrap();
+    client.load_profiles("acme", store_dir.to_str().unwrap(), false).unwrap();
+    let txs: Vec<_> = dataset.transactions().to_vec();
+    for batch in txs.chunks(1024) {
+        client.ingest("acme", batch).unwrap();
+    }
+    let first = client.drain().unwrap();
+    assert!(first > 0);
+    // A second drain has nothing left to flush but still succeeds.
+    assert_eq!(client.drain().unwrap(), 0);
+
+    let device = dataset.devices()[0];
+    let scoped = client.decide("acme", Some(device)).unwrap();
+    assert!(!scoped.is_empty());
+    assert!(scoped.iter().all(|d| d.device == device.0));
+    // The scoped decide consumed only that device's records.
+    let rest = client.decide("acme", None).unwrap();
+    assert!(rest.iter().all(|d| d.device != device.0));
+    assert!(client.decide("acme", Some(device)).unwrap().is_empty());
+
+    drop(client);
+    daemon.join();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn unknown_tenant_and_bad_store_are_structured_errors() {
+    let daemon = Daemon::start(DaemonConfig::default()).unwrap();
+    let mut client = Client::connect(daemon.local_addr()).unwrap();
+    let err = client.ingest("ghost", &[]).unwrap_err();
+    assert!(err.to_string().contains("unknown_tenant"), "got: {err}");
+    let err = client.load_profiles("acme", "/nonexistent/identd-store", false).unwrap_err();
+    assert!(err.to_string().contains("store"), "got: {err}");
+    // The connection survived both errors.
+    assert_eq!(client.health().unwrap(), "up");
+    client.drain().unwrap();
+    drop(client);
+    daemon.join();
+}

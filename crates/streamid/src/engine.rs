@@ -357,6 +357,15 @@ impl<'a> StreamEngine<'a> {
         &self.events
     }
 
+    /// Drains the structured event log, leaving it empty (only with the
+    /// `tracelog` feature). Long-running embedders — the `identd` daemon
+    /// in particular — poll this to fold events into their own counters
+    /// without the in-memory log growing for the process lifetime.
+    #[cfg(feature = "tracelog")]
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
     /// Queues closed windows for scoring, shedding the device's oldest
     /// pending windows beyond [`EngineConfig::max_pending_per_device`].
     fn enqueue(&mut self, device: DeviceId, windows: Vec<TransactionWindow>) {

@@ -82,6 +82,6 @@ mod telemetry;
 
 pub use config::{EngineConfig, PrefilterConfig};
 pub use engine::{EngineStats, StreamEngine, WindowDecision};
-pub use store::ModelStore;
+pub use store::{LoadIssue, ModelStore, StoreLoadError};
 #[cfg(feature = "tracelog")]
 pub use telemetry::TraceEvent;

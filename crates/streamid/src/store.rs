@@ -7,11 +7,54 @@
 //! score through the same shared-row fast paths as freshly trained ones.
 
 use proxylog::UserId;
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Error, ErrorKind};
 use std::path::{Path, PathBuf};
 use webprofiler::UserProfile;
+
+/// One profile file a [`ModelStore`] load could not use, and why.
+#[derive(Debug)]
+pub struct LoadIssue {
+    /// The offending `*.profile` file.
+    pub path: PathBuf,
+    /// What went wrong opening or decoding it.
+    pub error: Error,
+}
+
+impl fmt::Display for LoadIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.error)
+    }
+}
+
+/// Structured load failure: *every* unreadable, corrupt, or duplicate
+/// profile file in the store, not just the first one encountered.
+///
+/// [`ModelStore::load`] wraps this in the [`io::Error`] it returns (as the
+/// error's source), so callers that only print get the full list, while a
+/// daemon that wants to start degraded uses
+/// [`ModelStore::load_lossy`] to obtain the loadable subset alongside the
+/// same issue list.
+#[derive(Debug)]
+pub struct StoreLoadError {
+    /// Every file that failed, in path order.
+    pub issues: Vec<LoadIssue>,
+}
+
+impl fmt::Display for StoreLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} profile file(s) failed to load", self.issues.len())?;
+        for issue in &self.issues {
+            write!(f, "\n  {issue}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for StoreLoadError {}
 
 /// A directory of persisted user profiles, one `user_<id>.profile` file
 /// per user.
@@ -54,27 +97,62 @@ impl ModelStore {
     ///
     /// # Errors
     ///
-    /// `InvalidData` if a file is corrupt or two files profile the same
-    /// user; other I/O errors from the filesystem.
+    /// `InvalidData` wrapping a [`StoreLoadError`] that lists **all**
+    /// unreadable/corrupt/duplicate files (not just the first), so an
+    /// operator sees the complete damage in one pass; other I/O errors
+    /// from scanning the directory itself.
     pub fn load(&self) -> io::Result<BTreeMap<UserId, UserProfile>> {
+        let (profiles, issues) = self.load_lossy()?;
+        if issues.is_empty() {
+            Ok(profiles)
+        } else {
+            Err(Error::new(ErrorKind::InvalidData, StoreLoadError { issues }))
+        }
+    }
+
+    /// Degraded-start variant of [`load`](Self::load): returns every
+    /// profile that *could* be loaded together with a [`LoadIssue`] per
+    /// file that could not — a daemon can come up serving the loadable
+    /// subset and report the rest instead of refusing to start.
+    ///
+    /// Files are visited in path order, so which duplicate wins is
+    /// deterministic (the first file, ascending by name; later files for
+    /// the same user become issues).
+    ///
+    /// # Errors
+    ///
+    /// Only directory-scan failures (e.g. the store directory does not
+    /// exist); per-file problems are returned as issues, never errors.
+    pub fn load_lossy(&self) -> io::Result<(BTreeMap<UserId, UserProfile>, Vec<LoadIssue>)> {
+        let mut paths: Vec<PathBuf> = fs::read_dir(&self.dir)?
+            .map(|entry| entry.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
+        paths.sort();
         let mut profiles = BTreeMap::new();
-        for entry in fs::read_dir(&self.dir)? {
-            let path = entry?.path();
+        let mut issues = Vec::new();
+        for path in paths {
             if path.extension().and_then(|e| e.to_str()) != Some("profile") {
                 continue;
             }
-            let mut reader = BufReader::new(File::open(&path)?);
-            let profile = UserProfile::read_from(&mut reader)
-                .map_err(|e| Error::new(e.kind(), format!("{}: {e}", path.display())))?;
-            let user = profile.user();
-            if profiles.insert(user, profile).is_some() {
-                return Err(Error::new(
-                    ErrorKind::InvalidData,
-                    format!("duplicate profile for user {user:?} at {}", path.display()),
-                ));
+            let profile = File::open(&path)
+                .and_then(|file| UserProfile::read_from(&mut BufReader::new(file)));
+            match profile {
+                Ok(profile) => match profiles.entry(profile.user()) {
+                    Entry::Occupied(existing) => issues.push(LoadIssue {
+                        path,
+                        error: Error::new(
+                            ErrorKind::InvalidData,
+                            format!("duplicate profile for user {:?}", existing.key()),
+                        ),
+                    }),
+                    Entry::Vacant(slot) => {
+                        slot.insert(profile);
+                    }
+                },
+                Err(error) => issues.push(LoadIssue { path, error }),
             }
         }
-        Ok(profiles)
+        Ok((profiles, issues))
     }
 
     fn profile_path(&self, user: UserId) -> PathBuf {
@@ -132,6 +210,67 @@ mod tests {
         let err = store.load().unwrap_err();
         assert!(err.to_string().contains("user_0.profile"), "error was: {err}");
         let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn load_reports_every_bad_file_not_just_the_first() {
+        let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+        let vocab = Vocabulary::new(dataset.taxonomy().clone());
+        let (profiles, _) =
+            ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
+        let store = temp_store("multi-issue");
+        store.save(&profiles).unwrap();
+        // Two distinct corrupt files plus a duplicate of a good user
+        // (sorted after the original, so the original wins).
+        fs::write(store.dir().join("aa_bad.profile"), b"garbage one").unwrap();
+        fs::write(store.dir().join("zz_bad.profile"), b"garbage two").unwrap();
+        let good = fs::read(store.dir().join(format!("user_{}.profile", {
+            let first = *profiles.keys().next().unwrap();
+            first.0
+        })))
+        .unwrap();
+        fs::write(store.dir().join("zz_dup.profile"), &good).unwrap();
+        let err = store.load().unwrap_err();
+        let msg = err.to_string();
+        for needle in ["aa_bad.profile", "zz_bad.profile", "zz_dup.profile", "duplicate"] {
+            assert!(msg.contains(needle), "missing {needle:?} in: {msg}");
+        }
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn load_lossy_starts_degraded_with_the_loadable_subset() {
+        let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+        let vocab = Vocabulary::new(dataset.taxonomy().clone());
+        let (profiles, _) =
+            ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
+        let store = temp_store("lossy");
+        store.save(&profiles).unwrap();
+        fs::write(store.dir().join("broken.profile"), b"not a profile").unwrap();
+        let (loaded, issues) = store.load_lossy().unwrap();
+        assert_eq!(loaded.len(), profiles.len(), "every intact profile loads");
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].path.ends_with("broken.profile"));
+        // The loaded subset still decides identically to the originals.
+        let device = dataset.devices()[0];
+        let aggregator = WindowAggregator::new(&vocab, WindowConfig::PAPER_DEFAULT);
+        let windows = aggregator.device_windows(&dataset, device);
+        for (user, original) in &profiles {
+            for window in &windows {
+                assert_eq!(
+                    original.decision_value(&window.features),
+                    loaded[user].decision_value(&window.features),
+                );
+            }
+        }
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn load_lossy_on_a_missing_directory_is_a_hard_error() {
+        let store = ModelStore::new("/nonexistent/streamid-store-missing");
+        assert!(store.load_lossy().is_err());
+        assert!(store.load().is_err());
     }
 
     #[test]
