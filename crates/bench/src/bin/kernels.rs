@@ -1,0 +1,209 @@
+//! Scoring-kernel microbenchmark: the cache-blocked panel kernels
+//! (`ocsvm::panel`) against the per-probe sparse merge walks they
+//! replaced, at a batch shape dense enough that production's adaptive
+//! path selection routes through the panels (see
+//! [`ocsvm::LinearBatchScorer::weighted_sums`]).
+//!
+//! ```text
+//! cargo run -p bench --bin kernels --release -- [--json BENCH_kernels.json] \
+//!     [--probes N] [--dim N] [--nnz N] [--seed N]
+//! ```
+//!
+//! Emits the flat `BENCH_kernels.json` the perf gate compares. The gated
+//! metrics are **lower-is-better** per-operation costs
+//! (`perf_gate --metrics-lower`):
+//!
+//! * `ns_per_gemv_row` — one dense-weight GEMV row (`Σ_c w[c]·pⱼ[c]`)
+//!   through [`Panel::gemv_into`](ocsvm::panel::Panel::gemv_into), the
+//!   linear-profile batch-scoring kernel.
+//! * `ns_per_sq_dist` — one probe's squared distance through
+//!   [`Panel::sq_dist_into`](ocsvm::panel::Panel::sq_dist_into), the RBF
+//!   row-fill kernel.
+//!
+//! Everything else (merge-walk comparison points, speedups, the f32
+//! variants) is informational. Before timing anything the run re-proves
+//! the panel/merge bit-identity inline on the benchmark vectors and
+//! aborts on any mismatch — a gate run can never time a wrong kernel.
+
+use bench::{json, ExperimentConfig};
+use ocsvm::panel::{Panel, ProbePanel, ProbePanelF32};
+use ocsvm::{SparseVector, SparseVectorBuilder};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Timing trials per kernel; the best (minimum) trial is reported, the
+/// standard defense against scheduler noise on shared runners.
+const TRIALS: usize = 5;
+
+/// xorshift64*: deterministic inputs without pulling `rand` into the bin.
+struct Xs(u64);
+
+impl Xs {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn random_vector(rng: &mut Xs, dim: usize, nnz: usize) -> SparseVector {
+    let mut builder = SparseVectorBuilder::new();
+    for _ in 0..nnz {
+        let column = (rng.next() % dim as u64) as u32;
+        builder.add(column, rng.unit() * 2.0 - 0.5);
+    }
+    builder.build()
+}
+
+fn main() {
+    let probes: usize = flag_or("--probes", 512);
+    let dim: usize = flag_or("--dim", 256);
+    let nnz: usize = flag_or("--nnz", 96);
+    let seed: u64 = flag_or("--seed", 2015);
+    let mut rng = Xs(seed | 1);
+
+    let batch: Vec<SparseVector> = (0..probes).map(|_| random_vector(&mut rng, dim, nnz)).collect();
+    let refs: Vec<&SparseVector> = batch.iter().collect();
+    let xs: Vec<SparseVector> = (0..64).map(|_| random_vector(&mut rng, dim, nnz)).collect();
+    let weights: Vec<f64> = (0..dim).map(|_| rng.unit() * 2.0 - 1.0).collect();
+    let weights_sv = SparseVector::from_dense(&weights);
+    let weights_f32: Vec<f32> = weights.iter().map(|&w| w as f32).collect();
+
+    let panel = ProbePanel::pack(&refs);
+    let panel_f32 = ProbePanelF32::pack(&refs);
+    let mean_nnz = panel.mean_probe_nnz();
+    verify_bit_identity(&panel, &refs, &xs, &weights, &weights_sv);
+    eprintln!(
+        "# kernels: {probes} probes, dim {dim}, mean nnz {mean_nnz}, panel width {}",
+        panel.width()
+    );
+
+    // --- GEMV: one dense-weight row per probe. -------------------------
+    let mut out = vec![0.0f64; probes];
+    let gemv_reps = 200;
+    let ns_per_gemv_row = best_ns(gemv_reps * probes, || {
+        for _ in 0..gemv_reps {
+            panel.gemv_into(black_box(&weights), &mut out);
+        }
+        black_box(&out);
+    });
+    let ns_per_gemv_row_merge = best_ns(gemv_reps * probes, || {
+        for _ in 0..gemv_reps {
+            for (j, p) in refs.iter().enumerate() {
+                out[j] = weights_sv.dot(black_box(p));
+            }
+        }
+        black_box(&out);
+    });
+    let mut out_f32 = vec![0.0f32; probes];
+    let ns_per_gemv_row_f32 = best_ns(gemv_reps * probes, || {
+        for _ in 0..gemv_reps {
+            panel_f32.gemv_into(black_box(&weights_f32), &mut out_f32);
+        }
+        black_box(&out_f32);
+    });
+
+    // --- Squared distance: one probe column per (x, probe) pair. -------
+    let sq_reps = 20;
+    let pairs = sq_reps * xs.len() * probes;
+    let mut scratch: Vec<f64> = Vec::new();
+    let ns_per_sq_dist = best_ns(pairs, || {
+        for x in &xs {
+            panel.sq_dist_into(black_box(x), &mut scratch, &mut out);
+        }
+        black_box(&out);
+    });
+    let ns_per_sq_dist_merge = best_ns(pairs, || {
+        for x in &xs {
+            for (j, p) in refs.iter().enumerate() {
+                out[j] = black_box(x).squared_distance(p);
+            }
+        }
+        black_box(&out);
+    });
+    let mut scratch_f32: Vec<f32> = Vec::new();
+    let ns_per_sq_dist_f32 = best_ns(pairs, || {
+        for x in &xs {
+            panel_f32.sq_dist_into(black_box(x), &mut scratch_f32, &mut out_f32);
+        }
+        black_box(&out_f32);
+    });
+
+    let metrics: Vec<(&str, f64)> = vec![
+        ("ns_per_gemv_row", ns_per_gemv_row),
+        ("ns_per_sq_dist", ns_per_sq_dist),
+        ("ns_per_gemv_row_merge", ns_per_gemv_row_merge),
+        ("ns_per_sq_dist_merge", ns_per_sq_dist_merge),
+        ("gemv_speedup_vs_merge", ns_per_gemv_row_merge / ns_per_gemv_row),
+        ("sq_dist_speedup_vs_merge", ns_per_sq_dist_merge / ns_per_sq_dist),
+        ("ns_per_gemv_row_f32", ns_per_gemv_row_f32),
+        ("ns_per_sq_dist_f32", ns_per_sq_dist_f32),
+        ("probes", probes as f64),
+        ("dim", dim as f64),
+        ("mean_nnz", mean_nnz as f64),
+    ];
+    let text = json::emit(&metrics);
+    print!("{text}");
+    if let Some(path) = ExperimentConfig::arg_value("--json") {
+        std::fs::write(&path, &text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("# wrote {path}");
+    }
+}
+
+/// Re-proves, on the benchmark inputs, that both timed panel kernels are
+/// bit-identical to the sparse merge walks (the property `ocsvm::panel`'s
+/// test suite pins corpus-independently).
+fn verify_bit_identity(
+    panel: &Panel<f64>,
+    refs: &[&SparseVector],
+    xs: &[SparseVector],
+    weights: &[f64],
+    weights_sv: &SparseVector,
+) {
+    let mut out = vec![0.0f64; refs.len()];
+    panel.gemv_into(weights, &mut out);
+    for (j, p) in refs.iter().enumerate() {
+        assert_eq!(
+            out[j].to_bits(),
+            weights_sv.dot(p).to_bits(),
+            "panel GEMV diverged from the merge walk at probe {j}"
+        );
+    }
+    let mut scratch: Vec<f64> = Vec::new();
+    for x in xs {
+        panel.sq_dist_into(x, &mut scratch, &mut out);
+        for (j, p) in refs.iter().enumerate() {
+            assert_eq!(
+                out[j].to_bits(),
+                x.squared_distance(p).to_bits(),
+                "panel sq_dist diverged from the merge walk at probe {j}"
+            );
+        }
+    }
+}
+
+/// Runs `work` [`TRIALS`] times and returns the best trial's cost in
+/// nanoseconds per operation.
+fn best_ns(ops: usize, mut work: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let started = Instant::now();
+        work();
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    best * 1e9 / ops as f64
+}
+
+fn flag_or<T: std::str::FromStr>(name: &str, default: T) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    ExperimentConfig::arg_value(name)
+        .map(|v| v.parse().unwrap_or_else(|e| panic!("{name} takes a number: {e:?}")))
+        .unwrap_or(default)
+}

@@ -9,8 +9,11 @@
 //!     --metrics cells_per_sec [--tolerance 0.25]
 //! ```
 //!
-//! Only the metrics named by `--metrics` (comma-separated) gate the
-//! build; everything else in the files is informational. The default
+//! Only the metrics named by `--metrics` (comma-separated,
+//! higher-is-better) and `--metrics-lower` (comma-separated,
+//! lower-is-better: latencies and ns-per-op costs, compared like
+//! `validate_slo`) gate the build; everything else in the files is
+//! informational. At least one of the two must be given. The default
 //! tolerance allows a 25 % regression before failing, absorbing runner
 //! noise while still catching real slowdowns.
 
@@ -19,16 +22,32 @@ use bench::{gate, json, ExperimentConfig};
 fn main() {
     let baseline_path = required("--baseline");
     let current_path = required("--current");
-    let metrics_arg = required("--metrics");
-    let metrics: Vec<&str> = metrics_arg.split(',').map(str::trim).collect();
+    let metrics_arg = ExperimentConfig::arg_value("--metrics");
+    let metrics_lower_arg = ExperimentConfig::arg_value("--metrics-lower");
+    if metrics_arg.is_none() && metrics_lower_arg.is_none() {
+        die("usage: perf_gate --baseline FILE --current FILE [--metrics a,b] [--metrics-lower c,d] [--tolerance F] (need --metrics and/or --metrics-lower)");
+    }
+    let split = |arg: &Option<String>| -> Vec<String> {
+        arg.as_deref()
+            .map(|s| s.split(',').map(|m| m.trim().to_string()).collect())
+            .unwrap_or_default()
+    };
+    let metrics = split(&metrics_arg);
+    let metrics_lower = split(&metrics_lower_arg);
     let tolerance: f64 = ExperimentConfig::arg_value("--tolerance")
         .map(|v| v.parse().expect("--tolerance takes a float"))
         .unwrap_or(0.25);
 
     let baseline = load(&baseline_path);
     let current = load(&current_path);
-    let checks = gate::check(&baseline, &current, &metrics, tolerance)
+    let higher: Vec<&str> = metrics.iter().map(String::as_str).collect();
+    let lower: Vec<&str> = metrics_lower.iter().map(String::as_str).collect();
+    let mut checks = gate::check(&baseline, &current, &higher, tolerance)
         .unwrap_or_else(|e| die(&format!("gate error: {e}")));
+    checks.extend(
+        gate::check_lower(&baseline, &current, &lower, tolerance)
+            .unwrap_or_else(|e| die(&format!("gate error: {e}"))),
+    );
 
     println!(
         "PERF GATE  {} vs baseline {} (tolerance {:.0} %)",
@@ -62,8 +81,8 @@ fn load(path: &str) -> Vec<(String, f64)> {
 fn required(name: &str) -> String {
     ExperimentConfig::arg_value(name).unwrap_or_else(|| {
         die(&format!(
-            "usage: perf_gate --baseline FILE --current FILE --metrics a,b [--tolerance F] \
-             (missing {name})"
+            "usage: perf_gate --baseline FILE --current FILE [--metrics a,b] \
+             [--metrics-lower c,d] [--tolerance F] (missing {name})"
         ))
     })
 }

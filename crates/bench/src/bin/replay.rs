@@ -77,6 +77,7 @@ fn main() {
         batch_windows,
         lateness_secs,
         max_pending_per_device: max_pending,
+        f32_scoring: false,
     };
     let mut engine = StreamEngine::new(&profiles, &vocab, config);
     let mut latencies: Vec<Duration> = Vec::new();

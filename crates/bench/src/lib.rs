@@ -260,6 +260,36 @@ pub mod gate {
             })
             .collect()
     }
+
+    /// Checks each watched **lower**-is-better metric (latencies,
+    /// ns-per-op costs): pass iff `current <= baseline * (1 + tolerance)`
+    /// plus an epsilon absorbing float formatting, mirroring the SLO
+    /// comparator in `validate_slo`. Errors if a watched metric is
+    /// missing from either side.
+    pub fn check_lower(
+        baseline: &[(String, f64)],
+        current: &[(String, f64)],
+        metrics: &[&str],
+        tolerance: f64,
+    ) -> Result<Vec<GateCheck>, String> {
+        metrics
+            .iter()
+            .map(|&metric| {
+                let base = lookup(baseline, metric)
+                    .ok_or_else(|| format!("baseline is missing metric {metric:?}"))?;
+                let cur = lookup(current, metric)
+                    .ok_or_else(|| format!("current run is missing metric {metric:?}"))?;
+                let ratio = if base == 0.0 { f64::INFINITY } else { cur / base };
+                Ok(GateCheck {
+                    metric: metric.to_string(),
+                    baseline: base,
+                    current: cur,
+                    ratio,
+                    pass: cur <= base * (1.0 + tolerance) + 1e-9,
+                })
+            })
+            .collect()
+    }
 }
 
 /// Renders one table row of fixed-width cells.
@@ -353,6 +383,26 @@ mod tests {
         let better = vec![("tput".to_string(), 250.0), ("rate".to_string(), 0.95)];
         assert!(gate::check(&baseline, &better, &["tput"], 0.25).unwrap()[0].pass);
         assert!(gate::check(&baseline, &current, &["absent"], 0.25).is_err());
+    }
+
+    #[test]
+    fn lower_gate_passes_below_tolerance_and_fails_above_it() {
+        let baseline = vec![("ns_per_row".to_string(), 100.0), ("ns_per_dist".to_string(), 40.0)];
+        let current = vec![("ns_per_row".to_string(), 120.0), ("ns_per_dist".to_string(), 55.0)];
+        let checks =
+            gate::check_lower(&baseline, &current, &["ns_per_row", "ns_per_dist"], 0.25).unwrap();
+        assert!(checks[0].pass, "120 is within +25% of 100");
+        assert!(!checks[1].pass, "55 grew more than 25% over 40");
+        assert!((checks[0].ratio - 1.2).abs() < 1e-12);
+
+        // Getting faster always passes; exact-at-tolerance passes via the
+        // epsilon; missing metrics are hard errors.
+        let faster = vec![("ns_per_row".to_string(), 10.0), ("ns_per_dist".to_string(), 50.0)];
+        let checks =
+            gate::check_lower(&baseline, &faster, &["ns_per_row", "ns_per_dist"], 0.25).unwrap();
+        assert!(checks[0].pass);
+        assert!(checks[1].pass, "50 == 40 * 1.25 sits exactly at tolerance");
+        assert!(gate::check_lower(&baseline, &current, &["absent"], 0.25).is_err());
     }
 
     #[test]

@@ -163,6 +163,9 @@ pub struct CrossGram<'a> {
     probes: Vec<&'a SparseVector>,
     rows: Vec<OnceLock<Arc<[f64]>>>,
     probe_diag: Vec<f64>,
+    /// Probes repacked into unit-stride panels, built lazily on the first
+    /// row fill and shared by every subsequent fill (see [`crate::panel`]).
+    panel: OnceLock<crate::panel::ProbePanel>,
 }
 
 impl<'a> CrossGram<'a> {
@@ -172,7 +175,7 @@ impl<'a> CrossGram<'a> {
     pub fn new(kernel: Kernel, train: &'a [SparseVector], probes: Vec<&'a SparseVector>) -> Self {
         let probe_diag = probes.iter().map(|p| kernel.compute_self(p)).collect();
         let rows = (0..train.len()).map(|_| OnceLock::new()).collect();
-        Self { kernel, train, probes, rows, probe_diag }
+        Self { kernel, train, probes, rows, probe_diag, panel: OnceLock::new() }
     }
 
     /// Number of probe points (= row width).
@@ -190,12 +193,14 @@ impl<'a> CrossGram<'a> {
         self.kernel
     }
 
-    /// Shared row `k(xᵢ, p·)`, materialized on first access.
+    /// Shared row `k(xᵢ, p·)`, materialized on first access through the
+    /// unit-stride panel kernels — bit-identical to evaluating
+    /// `kernel.compute(xᵢ, pⱼ)` per probe (see [`crate::panel`]).
     pub(crate) fn row(&self, i: usize) -> &Arc<[f64]> {
         self.rows[i].get_or_init(|| {
             ROWS_COMPUTED.fetch_add(1, Ordering::Relaxed);
-            let xi = &self.train[i];
-            self.probes.iter().map(|p| self.kernel.compute(xi, p)).collect::<Vec<f64>>().into()
+            let panel = self.panel.get_or_init(|| crate::panel::ProbePanel::pack(&self.probes));
+            crate::panel::kernel_cross_row(self.kernel, &self.train[i], &self.probes, panel).into()
         })
     }
 
@@ -448,6 +453,9 @@ pub struct ArenaCrossGram<'a> {
     arena: Arc<KernelRowArena>,
     owner: u64,
     tag: u64,
+    /// Lazily packed probe panel shared by every (re)computed row; an
+    /// arena hit skips the pack entirely.
+    panel: OnceLock<crate::panel::ProbePanel>,
 }
 
 impl<'a> ArenaCrossGram<'a> {
@@ -462,7 +470,16 @@ impl<'a> ArenaCrossGram<'a> {
     ) -> Self {
         let probe_diag = probes.iter().map(|p| kernel.compute_self(p)).collect();
         let tag = content_fingerprint(kernel, train, Some(&probes));
-        Self { kernel, train, probes, probe_diag, arena: Arc::clone(arena), owner, tag }
+        Self {
+            kernel,
+            train,
+            probes,
+            probe_diag,
+            arena: Arc::clone(arena),
+            owner,
+            tag,
+            panel: OnceLock::new(),
+        }
     }
 
     /// The arena backing this matrix.
@@ -494,8 +511,8 @@ impl CrossRows for ArenaCrossGram<'_> {
         };
         self.arena.get_or_compute(key, || {
             ROWS_COMPUTED.fetch_add(1, Ordering::Relaxed);
-            let xi = &self.train[i];
-            self.probes.iter().map(|p| self.kernel.compute(xi, p)).collect()
+            let panel = self.panel.get_or_init(|| crate::panel::ProbePanel::pack(&self.probes));
+            crate::panel::kernel_cross_row(self.kernel, &self.train[i], &self.probes, panel)
         })
     }
 

@@ -54,6 +54,7 @@ mod gram;
 mod kernel;
 mod model;
 mod ocsvm;
+pub mod panel;
 mod persist;
 mod scale;
 mod smo;
@@ -68,6 +69,7 @@ pub use gram::{
 pub use kernel::{Kernel, KernelKind};
 pub use model::{LinearBatchScorer, LinearDecisionTerms, OneClassModel, TrainDiagnostics};
 pub use ocsvm::{NuOcSvm, OcSvmModel};
+pub use panel::{ProbePanel, ProbePanelF32};
 pub use scale::MinMaxScaler;
 pub use smo::SolverOptions;
 pub use sparse::{InvalidPairsError, SparseVector, SparseVectorBuilder};

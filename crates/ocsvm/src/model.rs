@@ -181,6 +181,28 @@ impl SupportVectorSet {
         self.weighted_row_sums(&rows, probes.len())
     }
 
+    /// Reduced-precision `Σᵢ αᵢ·k(svᵢ, pⱼ)` for every probe, over f32
+    /// panels — the opt-in fast scoring mode. Kernel rows are computed in
+    /// f32 against a packed [`crate::panel::ProbePanelF32`]; the αᵢ sums
+    /// accumulate in f32 in support-vector order. Not bit-identical to
+    /// the f64 path (callers pin *decision* agreement instead); rows are
+    /// transient, so this path never touches a kernel-row arena.
+    pub(crate) fn batch_weighted_kernel_sums_f32(&self, probes: &[&SparseVector]) -> Vec<f32> {
+        let panel = crate::panel::ProbePanelF32::pack(probes);
+        if let Some(w) = &self.collapsed {
+            return LinearBatchScorer::from_collapsed(w).weighted_sums_f32(&panel);
+        }
+        let mut sums = vec![0.0f32; probes.len()];
+        for (sv, &a) in self.vectors.iter().zip(&self.alpha) {
+            let row = crate::panel::kernel_cross_row_f32(self.kernel, sv, &panel);
+            let a = a as f32;
+            for (s, &k) in sums.iter_mut().zip(&row) {
+                *s += a * k;
+            }
+        }
+        sums
+    }
+
     pub(crate) fn len(&self) -> usize {
         self.vectors.len()
     }
@@ -259,14 +281,33 @@ impl LinearDecisionTerms {
 ///
 /// Built from the collapsed `w = Σᵢ αᵢxᵢ` a linear `SupportVectorSet`
 /// maintains. Stored-zero columns never occur in `w` (the sparse builder
-/// prunes them), and the dense walk skips absent columns, so each probe's
-/// sum adds exactly the products the sparse merge dot adds, in the same
-/// column order — results are bit-identical to `w.dot(p)` per probe while
-/// replacing the per-probe sorted merge with O(nnz) dense lookups.
+/// prunes them), and both evaluation paths skip columns where either side
+/// is zero-or-absent, so each probe's sum adds exactly the products the
+/// sparse merge dot adds, in the same column order — results are
+/// bit-identical to `w.dot(p)` per probe.
+///
+/// Two bit-identical evaluation paths exist: the per-probe sparse walk
+/// ([`weighted_sum`](Self::weighted_sum)) and the cache-blocked
+/// unit-stride panel GEMV ([`weighted_sums_panel`](Self::weighted_sums_panel),
+/// see [`crate::panel`]). [`weighted_sums`](Self::weighted_sums) picks
+/// between them by the batch's density: the panel walk reads every
+/// non-zero *weight* column per probe, so it pays when the probes carry
+/// comparable density, while ultra-sparse probes against a dense `w` are
+/// cheaper through the sparse walk.
 #[derive(Debug, Clone)]
 pub struct LinearBatchScorer {
     weights: Vec<f64>,
+    /// Non-zero columns in `weights` (= `w.nnz()`), for the path choice.
+    nnz: usize,
 }
+
+/// Minimum probes per batch before [`LinearBatchScorer::weighted_sums`]
+/// considers packing a panel (the pack has a fixed per-batch cost).
+const GEMV_PANEL_MIN_PROBES: usize = 16;
+
+/// How many times more scalar work the unit-stride panel GEMV may do and
+/// still be preferred over the per-probe sparse walk.
+const GEMV_DENSE_FACTOR: usize = 4;
 
 impl LinearBatchScorer {
     pub(crate) fn from_collapsed(w: &SparseVector) -> Self {
@@ -274,7 +315,7 @@ impl LinearBatchScorer {
         for (column, value) in w.iter() {
             weights[column as usize] = value;
         }
-        Self { weights }
+        Self { weights, nnz: w.nnz() }
     }
 
     /// The dense weight vector (trailing all-zero columns are truncated).
@@ -282,9 +323,35 @@ impl LinearBatchScorer {
         &self.weights
     }
 
-    /// `Σ_c w[c]·p[c]` for every probe, one dense pass per probe.
+    /// `Σ_c w[c]·p[c]` for every probe; picks the sparse walk or the panel
+    /// GEMV by batch density (both are bit-identical, so the choice never
+    /// shows in the output).
     pub fn weighted_sums(&self, probes: &[&SparseVector]) -> Vec<f64> {
+        if probes.len() >= GEMV_PANEL_MIN_PROBES {
+            let total_nnz: usize = probes.iter().map(|p| p.nnz()).sum();
+            let mean_nnz = total_nnz / probes.len();
+            if mean_nnz * GEMV_DENSE_FACTOR >= self.nnz {
+                return self.weighted_sums_panel(&crate::panel::ProbePanel::pack(probes));
+            }
+        }
         probes.iter().map(|p| self.weighted_sum(p)).collect()
+    }
+
+    /// The panel GEMV: `Σ_c w[c]·pⱼ[c]` over an already-packed probe
+    /// panel, bit-identical to [`weighted_sum`](Self::weighted_sum) per
+    /// probe (see [`crate::panel::Panel::gemv_into`]).
+    pub fn weighted_sums_panel(&self, panel: &crate::panel::ProbePanel) -> Vec<f64> {
+        let mut out = vec![0.0; panel.probe_count()];
+        panel.gemv_into(&self.weights, &mut out);
+        out
+    }
+
+    /// Reduced-precision panel GEMV for the opt-in f32 scoring mode.
+    pub fn weighted_sums_f32(&self, panel: &crate::panel::ProbePanelF32) -> Vec<f32> {
+        let weights: Vec<f32> = self.weights.iter().map(|&w| w as f32).collect();
+        let mut out = vec![0.0f32; panel.probe_count()];
+        panel.gemv_into(&weights, &mut out);
+        out
     }
 
     /// `Σ_c w[c]·p[c]` for one probe.

@@ -27,6 +27,16 @@ pub struct EngineConfig {
     /// exceeds it (e.g. the scorer cannot keep up with a flood), its
     /// oldest pending windows are shed and counted. Must be positive.
     pub max_pending_per_device: usize,
+    /// Opt-in single-precision scoring: batch decision values run through
+    /// the `f32` panel kernels
+    /// ([`UserProfile::batch_decision_values_f32`](webprofiler::UserProfile::batch_decision_values_f32))
+    /// instead of the default `f64` path. Halves scoring memory traffic
+    /// and doubles SIMD lane width, but values carry single-precision
+    /// rounding: accept/reject decisions can differ from the `f64` path
+    /// for windows whose decision value sits within that rounding of
+    /// zero. Also bypasses the shared kernel-row arena (f32 rows are
+    /// transient). Default `false`.
+    pub f32_scoring: bool,
 }
 
 impl Default for EngineConfig {
@@ -37,6 +47,7 @@ impl Default for EngineConfig {
             batch_windows: 64,
             lateness_secs: 0,
             max_pending_per_device: 1024,
+            f32_scoring: false,
         }
     }
 }

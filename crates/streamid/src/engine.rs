@@ -488,9 +488,21 @@ impl<'a> StreamEngine<'a> {
                 _ => probes.len() * profile.support_vector_count(),
             })
             .sum();
-        let score = |user: UserId, profile: &UserProfile| match &self.arena {
-            Some(arena) => profile.batch_decision_values_in(probes, arena, u64::from(user.0)),
-            None => profile.batch_decision_values(probes),
+        let score = |user: UserId, profile: &UserProfile| {
+            if self.config.f32_scoring {
+                // f32 → f64 widening is exact, so the `>= 0.0` acceptance
+                // test below decides exactly as it would on the f32 values.
+                // The f32 path skips the arena: its rows are transient.
+                return profile
+                    .batch_decision_values_f32(probes)
+                    .into_iter()
+                    .map(f64::from)
+                    .collect();
+            }
+            match &self.arena {
+                Some(arena) => profile.batch_decision_values_in(probes, arena, u64::from(user.0)),
+                None => profile.batch_decision_values(probes),
+            }
         };
         let values: Vec<Vec<f64>> = if work >= PARALLEL_WORK_THRESHOLD {
             parallel_map(&entries, |(&user, profile)| score(user, profile))
@@ -546,6 +558,14 @@ impl<'a> StreamEngine<'a> {
             .sum();
         let score = |user: UserId, profile: &UserProfile, windows: &[usize]| {
             let sub: Vec<&SparseVector> = windows.iter().map(|&j| probes[j]).collect();
+            if self.config.f32_scoring {
+                // Same exact-widening argument as the exhaustive stage.
+                return profile
+                    .batch_decision_values_f32(&sub)
+                    .into_iter()
+                    .map(f64::from)
+                    .collect();
+            }
             match &self.arena {
                 Some(arena) => profile.batch_decision_values_in(&sub, arena, u64::from(user.0)),
                 None => profile.batch_decision_values(&sub),

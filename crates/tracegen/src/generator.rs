@@ -7,14 +7,20 @@
 //! the profile and emission stages fan out across the
 //! [`parcore`] work-stealing pool while staying **bit-identical** to the
 //! serial reference path at any worker count: a user's draws never depend
-//! on other users' execution order. Booking keeps its sequential
-//! day-by-day conflict resolution (the calendar is shared state), but the
-//! session *proposals* feeding it are precomputed in parallel.
+//! on other users' execution order. Booking itself draws no randomness —
+//! conflict resolution is a pure function of the proposals, and devices
+//! never interact — so the calendar is partitioned by device
+//! ([`DeviceCalendar::book_partitioned`]) with the session *proposals*
+//! feeding it precomputed in parallel; a final sort by `(start, seq)` over
+//! the serial booking sequence number reproduces the serial output order
+//! exactly.
 
 use crate::arrivals;
 use crate::profile::{ActivityClass, RoleTemplate, UserBehaviorProfile};
 use crate::scenario::Scenario;
-use crate::schedule::{propose_user_day, DeviceAssignment, DeviceCalendar, Session};
+use crate::schedule::{
+    propose_user_day, BookingRequest, DeviceAssignment, DeviceCalendar, Session,
+};
 use crate::shard;
 use crate::sink::{MemorySink, TransactionSink};
 use proxylog::{Dataset, Transaction, UserId};
@@ -257,9 +263,10 @@ impl TraceGenerator {
 
         // Stage 3 — booking: proposals are precomputed in parallel a week
         // at a time (each user's proposal stream advances day by day within
-        // their own shard), then the calendar books them sequentially in
-        // the fixed day-major, user-minor order that makes conflict
-        // resolution deterministic.
+        // their own shard), numbered in the fixed day-major, user-minor
+        // serial booking order, then booked with the calendar partitioned
+        // by device; the final `(start, seq)` sort reproduces the serial
+        // path's stable sort by `start` over booking order bit-for-bit.
         let t_booking = Instant::now();
         struct ProposalShard {
             user: usize,
@@ -269,7 +276,8 @@ impl TraceGenerator {
             .map(|u| ProposalShard { user: u, rng: derived_rng(scenario.seed, u as u64, 2) })
             .collect();
         let mut calendar = DeviceCalendar::new();
-        let mut sessions: Vec<Session> = Vec::new();
+        let mut booked: Vec<(u64, Session)> = Vec::new();
+        let mut seq: u64 = 0;
         let days = scenario.days() as usize;
         for chunk_start in (0..days).step_by(PROPOSAL_DAY_CHUNK) {
             let chunk_days: Vec<usize> =
@@ -289,26 +297,30 @@ impl TraceGenerator {
                     .collect::<Vec<_>>()
             });
             steals.merge(steal);
+            let mut requests: Vec<BookingRequest> = Vec::new();
             for (di, &day) in chunk_days.iter().enumerate() {
                 let day_start = scenario.start + day as i64 * 86_400;
                 let day_end = day_start + 86_399;
                 for (u, user_days) in proposals.iter().enumerate() {
                     for &(device, start, duration) in &user_days[di] {
-                        if let Some((booked_start, booked_end)) =
-                            calendar.book(device, start, duration, day_end)
-                        {
-                            sessions.push(Session {
-                                user: UserId(u as u32),
-                                device,
-                                start: booked_start,
-                                end: booked_end,
-                            });
-                        }
+                        requests.push(BookingRequest {
+                            seq,
+                            user: UserId(u as u32),
+                            device,
+                            start,
+                            duration_secs: duration,
+                            latest_start: day_end,
+                        });
+                        seq += 1;
                     }
                 }
             }
+            let (chunk_booked, steal) = calendar.book_partitioned(&requests, workers);
+            steals.merge(steal);
+            booked.extend(chunk_booked);
         }
-        sessions.sort_by_key(|s| s.start);
+        booked.sort_by_key(|&(s, session)| (session.start, s));
+        let sessions: Vec<Session> = booked.into_iter().map(|(_, s)| s).collect();
         let booking_secs = t_booking.elapsed().as_secs_f64();
 
         // Stage 4 — emission (parallel, sharded by user, merged back to

@@ -91,10 +91,75 @@ impl Session {
 
 /// Books sessions onto devices, keeping every device single-user at any
 /// point in time.
+///
+/// Booking draws **no randomness**: conflict resolution is a pure
+/// function of the (already drawn) proposals and the device's existing
+/// intervals. Because devices never interact, the booking loop can be
+/// partitioned by device ([`book_partitioned`](Self::book_partitioned))
+/// and still produce bit-identical calendars at any worker count — the
+/// same proof obligation the emission shards meet with per-(user, stream)
+/// derived RNGs, only simpler, since there is no RNG to split.
 #[derive(Debug, Default)]
 pub struct DeviceCalendar {
     /// Sorted, non-overlapping busy intervals per device.
     busy: BTreeMap<DeviceId, Vec<(i64, i64)>>,
+}
+
+/// Books `[start, start+duration)` onto one device's sorted interval
+/// list; on conflict the session is shifted to the end of the colliding
+/// interval, up to `latest_start`. Shared by the serial
+/// [`DeviceCalendar::book`] path and the per-device lanes of
+/// [`DeviceCalendar::book_partitioned`], so both resolve conflicts
+/// identically by construction.
+fn book_onto(
+    intervals: &mut Vec<(i64, i64)>,
+    start: Timestamp,
+    duration_secs: i64,
+    latest_start: Timestamp,
+) -> Option<(Timestamp, Timestamp)> {
+    if duration_secs <= 0 {
+        return None;
+    }
+    let mut candidate = start.as_secs();
+    loop {
+        if candidate > latest_start.as_secs() {
+            return None;
+        }
+        let end = candidate + duration_secs;
+        match intervals.iter().find(|&&(s, e)| s < end && candidate < e) {
+            Some(&(_, conflict_end)) => candidate = conflict_end,
+            None => {
+                let pos = intervals.partition_point(|&(s, _)| s < candidate);
+                intervals.insert(pos, (candidate, end));
+                return Some((Timestamp(candidate), Timestamp(end)));
+            }
+        }
+    }
+}
+
+/// One session request in the fixed serial booking order, consumed by
+/// [`DeviceCalendar::book_partitioned`].
+///
+/// `seq` is the request's position in the serial booking order (day-major,
+/// user-minor, proposal order within a user's day). It is what lets the
+/// partitioned path reconstruct the exact serial outcome: per device,
+/// requests are booked in ascending `seq`, and the caller's final merge
+/// sorts sessions by `(start, seq)` — which equals the serial path's
+/// stable sort by `start` over booking order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BookingRequest {
+    /// Position in the global serial booking order (unique per run).
+    pub seq: u64,
+    /// The user requesting the session.
+    pub user: UserId,
+    /// Target device.
+    pub device: DeviceId,
+    /// Requested start.
+    pub start: Timestamp,
+    /// Requested duration in seconds.
+    pub duration_secs: i64,
+    /// Conflict-shift bound (end of the proposing day).
+    pub latest_start: Timestamp,
 }
 
 impl DeviceCalendar {
@@ -114,25 +179,63 @@ impl DeviceCalendar {
         duration_secs: i64,
         latest_start: Timestamp,
     ) -> Option<(Timestamp, Timestamp)> {
-        if duration_secs <= 0 {
-            return None;
+        book_onto(self.busy.entry(device).or_default(), start, duration_secs, latest_start)
+    }
+
+    /// Books a batch of requests with the booking loop partitioned by
+    /// device across the [`parcore`] work-stealing pool.
+    ///
+    /// `requests` must be in serial booking order (ascending `seq`).
+    /// Each device's interval list is taken out of the calendar, extended
+    /// by that device's requests on one worker, and reinserted; a device's
+    /// requests are processed in the order given, so every lane books the
+    /// exact subsequence the serial loop would have booked onto that
+    /// device. Successful bookings come back as `(seq, Session)` pairs in
+    /// device-lane order — sort by `(session.start, seq)` to recover the
+    /// serial path's output order (its stable sort by `start` over booking
+    /// order).
+    ///
+    /// Bit-identical to calling [`book`](Self::book) for each request in
+    /// sequence, at any `workers` count.
+    pub fn book_partitioned(
+        &mut self,
+        requests: &[BookingRequest],
+        workers: usize,
+    ) -> (Vec<(u64, Session)>, parcore::StealStats) {
+        struct DeviceLane {
+            device: DeviceId,
+            intervals: Vec<(i64, i64)>,
+            requests: Vec<BookingRequest>,
         }
-        let intervals = self.busy.entry(device).or_default();
-        let mut candidate = start.as_secs();
-        loop {
-            if candidate > latest_start.as_secs() {
-                return None;
-            }
-            let end = candidate + duration_secs;
-            match intervals.iter().find(|&&(s, e)| s < end && candidate < e) {
-                Some(&(_, conflict_end)) => candidate = conflict_end,
-                None => {
-                    let pos = intervals.partition_point(|&(s, _)| s < candidate);
-                    intervals.insert(pos, (candidate, end));
-                    return Some((Timestamp(candidate), Timestamp(end)));
-                }
-            }
+        // Group requests per device, preserving serial order within each
+        // device (iteration order of `requests` is ascending `seq`).
+        let mut by_device: BTreeMap<DeviceId, Vec<BookingRequest>> = BTreeMap::new();
+        for &req in requests {
+            by_device.entry(req.device).or_default().push(req);
         }
+        let mut lanes: Vec<DeviceLane> = by_device
+            .into_iter()
+            .map(|(device, requests)| DeviceLane {
+                device,
+                intervals: std::mem::take(self.busy.entry(device).or_default()),
+                requests,
+            })
+            .collect();
+        let (booked, steals) = parcore::stealing_map_mut(&mut lanes, workers, |_, lane| {
+            lane.requests
+                .iter()
+                .filter_map(|req| {
+                    book_onto(&mut lane.intervals, req.start, req.duration_secs, req.latest_start)
+                        .map(|(start, end)| {
+                            (req.seq, Session { user: req.user, device: lane.device, start, end })
+                        })
+                })
+                .collect::<Vec<_>>()
+        });
+        for lane in lanes {
+            self.busy.insert(lane.device, lane.intervals);
+        }
+        (booked.into_iter().flatten().collect(), steals)
     }
 
     /// Booked intervals on a device (sorted).
@@ -252,6 +355,108 @@ mod tests {
         let (s2, _) = cal.book(DeviceId(1), Timestamp(100), 500, horizon).unwrap();
         assert_eq!(s1.0, 100);
         assert_eq!(s2.0, 100);
+    }
+
+    /// Serial reference: book each request via `DeviceCalendar::book` in
+    /// `seq` order, collecting `(seq, Session)` for successful bookings.
+    fn book_serial(requests: &[BookingRequest]) -> (DeviceCalendar, Vec<(u64, Session)>) {
+        let mut cal = DeviceCalendar::new();
+        let mut booked = Vec::new();
+        for req in requests {
+            if let Some((start, end)) =
+                cal.book(req.device, req.start, req.duration_secs, req.latest_start)
+            {
+                booked.push((req.seq, Session { user: req.user, device: req.device, start, end }));
+            }
+        }
+        (cal, booked)
+    }
+
+    /// Asserts the partitioned path matches the serial reference exactly
+    /// (sessions after the `(start, seq)` merge sort AND per-device
+    /// calendar state) at 1, 2, and 8 workers.
+    fn check_partitioned_matches_serial(requests: &[BookingRequest], n_devices: u32) {
+        let (serial_cal, mut serial) = book_serial(requests);
+        serial.sort_by_key(|&(seq, s)| (s.start, seq));
+        for workers in [1, 2, 8] {
+            let mut cal = DeviceCalendar::new();
+            let (mut booked, _) = cal.book_partitioned(requests, workers);
+            booked.sort_by_key(|&(seq, s)| (s.start, seq));
+            assert_eq!(booked, serial, "sessions diverge at {workers} workers");
+            for d in 0..n_devices {
+                assert_eq!(
+                    cal.intervals(DeviceId(d)),
+                    serial_cal.intervals(DeviceId(d)),
+                    "device {d} calendar diverges at {workers} workers"
+                );
+            }
+        }
+    }
+
+    /// Deterministic request mix: `hot_share` of requests target device 0,
+    /// the rest spread over the remaining devices; dense enough to force
+    /// conflict shifts and `None` outcomes.
+    fn skewed_requests(n: usize, n_devices: u32, hot_share: f64, seed: u64) -> Vec<BookingRequest> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let device = if n_devices == 1 || rng.gen::<f64>() < hot_share {
+                    DeviceId(0)
+                } else {
+                    DeviceId(1 + rng.gen_range(0..n_devices - 1))
+                };
+                let day = (i / 64) as i64;
+                let day_start = day * 86_400;
+                BookingRequest {
+                    seq: i as u64,
+                    user: UserId((i % 7) as u32),
+                    device,
+                    start: Timestamp(day_start + rng.gen_range(0..40_000i64)),
+                    duration_secs: rng.gen_range(120..9_000),
+                    latest_start: Timestamp(day_start + 86_399),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partitioned_booking_matches_serial_balanced() {
+        let requests = skewed_requests(800, 16, 0.0, 11);
+        check_partitioned_matches_serial(&requests, 16);
+    }
+
+    #[test]
+    fn partitioned_booking_matches_serial_skewed_device() {
+        // One device owns > 90 % of the sessions.
+        let requests = skewed_requests(800, 16, 0.92, 12);
+        let hot = requests.iter().filter(|r| r.device == DeviceId(0)).count();
+        assert!(hot * 10 > requests.len() * 9, "skew not reached: {hot}/{}", requests.len());
+        check_partitioned_matches_serial(&requests, 16);
+    }
+
+    #[test]
+    fn partitioned_booking_matches_serial_single_device() {
+        // Single-device-per-user edge case: every request races on one
+        // device, so the whole batch is one serial lane.
+        let requests = skewed_requests(600, 1, 1.0, 13);
+        check_partitioned_matches_serial(&requests, 1);
+    }
+
+    #[test]
+    fn partitioned_booking_resumes_from_existing_calendar() {
+        // Partitioned booking must respect intervals booked before it and
+        // leave state the next (serial or partitioned) call can extend.
+        let requests = skewed_requests(400, 8, 0.5, 14);
+        let (mid_a, mid_b) = requests.split_at(200);
+        let (serial_cal, _) = book_serial(&requests);
+        let mut cal = DeviceCalendar::new();
+        for req in mid_a {
+            cal.book(req.device, req.start, req.duration_secs, req.latest_start);
+        }
+        cal.book_partitioned(mid_b, 4);
+        for d in 0..8 {
+            assert_eq!(cal.intervals(DeviceId(d)), serial_cal.intervals(DeviceId(d)));
+        }
     }
 
     #[test]

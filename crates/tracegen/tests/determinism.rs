@@ -57,6 +57,44 @@ fn evaluation_scenario_is_thread_count_invariant() {
     check_scenario(Scenario::evaluation(2, 1.0), "evaluation(2, 1.0)");
 }
 
+/// Device-partitioned booking, corpus level: a single-device network is
+/// the worst case for the partition — every user is single-device and one
+/// device owns 100 % of the sessions (the whole batch is one serial
+/// lane) — and must still be bit-identical to the serial reference at
+/// every thread count. (The >90 %-skew multi-device case is pinned at the
+/// request level by `schedule::tests::partitioned_booking_matches_serial_
+/// skewed_device`.)
+#[test]
+fn partitioned_calendar_single_device_corpus_is_thread_count_invariant() {
+    let scenario = Scenario { devices: 1, ..Scenario::quick_test() };
+    let serial = TraceGenerator::new(scenario.clone()).generate_with_ground_truth_serial();
+    assert!(!serial.sessions.is_empty());
+    assert!(
+        serial.sessions.iter().all(|s| s.device.0 == 0),
+        "single-device scenario must book everything on device 0"
+    );
+    check_scenario(scenario, "single-device quick_test");
+}
+
+/// Device-partitioned booking under contention: nine users race on two
+/// devices, so both lanes are hot and conflict shifts are frequent —
+/// exactly the regime where a wrong merge order would show. The corpus
+/// must stay bit-identical to serial at 1/2/8 threads.
+#[test]
+fn partitioned_calendar_contended_corpus_is_thread_count_invariant() {
+    let scenario = Scenario { users: 9, devices: 2, ..Scenario::quick_test() };
+    let serial = TraceGenerator::new(scenario.clone()).generate_with_ground_truth_serial();
+    for d in 0..2u32 {
+        let share = serial.sessions.iter().filter(|s| s.device.0 == d).count();
+        assert!(
+            share * 4 > serial.sessions.len(),
+            "device {d} underloaded: {share}/{}",
+            serial.sessions.len()
+        );
+    }
+    check_scenario(scenario, "contended(9 users, 2 devices)");
+}
+
 #[test]
 fn emission_chunk_size_never_changes_output() {
     let scenario = Scenario::quick_test();
