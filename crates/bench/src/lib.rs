@@ -406,6 +406,41 @@ mod tests {
     }
 
     #[test]
+    fn one_baseline_gates_mixed_metric_directions() {
+        // The `train_frontier` gate watches a higher-is-better speedup and
+        // a lower-is-better accuracy delta out of the *same* baseline file
+        // (`perf_gate --metrics ... --metrics-lower ...` in one
+        // invocation); both directions must read the same parsed pairs.
+        let text = json::emit(&[("train_speedup_vs_exact", 3.0), ("acc_delta_auto", 0.04)]);
+        let baseline = json::parse(&text).unwrap();
+
+        let good = vec![
+            ("train_speedup_vs_exact".to_string(), 2.6),
+            ("acc_delta_auto".to_string(), 0.045),
+        ];
+        let up = gate::check(&baseline, &good, &["train_speedup_vs_exact"], 0.25).unwrap();
+        let down = gate::check_lower(&baseline, &good, &["acc_delta_auto"], 0.25).unwrap();
+        assert!(up[0].pass, "2.6 is within -25% of 3.0");
+        assert!(down[0].pass, "0.045 is within +25% of 0.04");
+
+        // Each direction fails independently on its own regression.
+        let slow = vec![
+            ("train_speedup_vs_exact".to_string(), 1.9),
+            ("acc_delta_auto".to_string(), 0.045),
+        ];
+        assert!(!gate::check(&baseline, &slow, &["train_speedup_vs_exact"], 0.25).unwrap()[0].pass);
+        assert!(gate::check_lower(&baseline, &slow, &["acc_delta_auto"], 0.25).unwrap()[0].pass);
+        let inaccurate =
+            vec![("train_speedup_vs_exact".to_string(), 3.2), ("acc_delta_auto".to_string(), 0.09)];
+        assert!(
+            gate::check(&baseline, &inaccurate, &["train_speedup_vs_exact"], 0.25).unwrap()[0].pass
+        );
+        assert!(
+            !gate::check_lower(&baseline, &inaccurate, &["acc_delta_auto"], 0.25).unwrap()[0].pass
+        );
+    }
+
+    #[test]
     fn experiment_builds_at_tiny_scale() {
         let config = ExperimentConfig { weeks: 1, rate: 0.1, seed: 3, max_windows: 50 };
         let experiment = Experiment::build(config);

@@ -58,6 +58,7 @@ pub mod panel;
 mod persist;
 mod scale;
 mod smo;
+mod solver;
 mod sparse;
 mod svdd;
 
@@ -72,6 +73,7 @@ pub use ocsvm::{NuOcSvm, OcSvmModel};
 pub use panel::{ProbePanel, ProbePanelF32};
 pub use scale::MinMaxScaler;
 pub use smo::SolverOptions;
+pub use solver::{ApproxParams, SolverBackend};
 pub use sparse::{InvalidPairsError, SparseVector, SparseVectorBuilder};
 pub use svdd::{Svdd, SvddModel};
 

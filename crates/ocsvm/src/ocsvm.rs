@@ -16,7 +16,8 @@ use crate::error::TrainError;
 use crate::gram::{self, CrossRows, GramMatrix, KernelRows};
 use crate::kernel::Kernel;
 use crate::model::{OneClassModel, SupportVectorSet, TrainDiagnostics};
-use crate::smo::{self, KernelQ, PrecomputedQ, SolverOptions, SolverQ};
+use crate::smo::{KernelQ, PrecomputedQ, SolverOptions, SolverQ};
+use crate::solver::{self, SolverBackend};
 use crate::sparse::SparseVector;
 
 /// Trainer configuration for a ν-OC-SVM.
@@ -78,9 +79,7 @@ impl NuOcSvm {
     pub fn train(&self, points: &[SparseVector]) -> Result<OcSvmModel, TrainError> {
         self.validate(points)?;
         let mut q = KernelQ::new(self.kernel, points, 1.0, self.options.cache_bytes);
-        let upper = 1.0 / (self.nu * points.len() as f64);
-        let alpha0 = smo::initial_alpha(points.len(), upper);
-        Ok(self.train_on(points, &mut q, alpha0).0)
+        Ok(self.train_on(points, &mut q, None).0)
     }
 
     /// Trains on `points` reusing a precomputed [`GramMatrix`] over exactly
@@ -148,12 +147,7 @@ impl NuOcSvm {
         self.validate(points)?;
         gram::check_compatible(rows, points.len(), self.kernel)?;
         let mut q = PrecomputedQ::new(rows, 1.0);
-        let upper = 1.0 / (self.nu * points.len() as f64);
-        let alpha0 = match seed {
-            Some(previous) => smo::seeded_alpha(previous, upper),
-            None => smo::initial_alpha(points.len(), upper),
-        };
-        Ok(self.train_on(points, &mut q, alpha0))
+        Ok(self.train_on(points, &mut q, seed))
     }
 
     fn validate(&self, points: &[SparseVector]) -> Result<(), TrainError> {
@@ -170,14 +164,18 @@ impl NuOcSvm {
         &self,
         points: &[SparseVector],
         q: &mut Q,
-        alpha0: Vec<f64>,
+        seed: Option<&[f64]>,
     ) -> (OcSvmModel, Vec<f64>) {
         let l = points.len();
         let upper = 1.0 / (self.nu * l as f64);
         let p = vec![0.0; l];
-        let solution = smo::solve(q, &p, upper, alpha0, &self.options);
+        let kind = solver::ProblemKind::OcSvm { nu: self.nu };
+        let outcome = solver::run(q, &p, upper, kind, seed, &self.options);
+        let solution = outcome.solution;
 
-        let rho = recover_rho(&solution.alpha, &solution.gradient, upper);
+        let rho = outcome
+            .threshold_override
+            .unwrap_or_else(|| recover_rho(&solution.alpha, &solution.gradient, upper));
         let (cache_hits, cache_misses) = q.cache_stats();
         let support = SupportVectorSet::from_solution(points, &solution.alpha, self.kernel);
         let diagnostics = TrainDiagnostics {
@@ -189,7 +187,8 @@ impl NuOcSvm {
             cache_hits,
             cache_misses,
         };
-        (OcSvmModel { support, rho, nu: self.nu, diagnostics }, solution.alpha)
+        let backend = self.options.backend;
+        (OcSvmModel { support, rho, nu: self.nu, diagnostics, backend }, solution.alpha)
     }
 }
 
@@ -197,7 +196,7 @@ impl NuOcSvm {
 /// vectors (`0 < α < U`) satisfy `(Qα)ᵢ = ρ`; when none are free, `ρ` lies
 /// between the gradients of the bounded groups and the midpoint is used
 /// (LIBSVM does the same).
-fn recover_rho(alpha: &[f64], gradient: &[f64], upper: f64) -> f64 {
+pub(crate) fn recover_rho(alpha: &[f64], gradient: &[f64], upper: f64) -> f64 {
     let lo_tol = 1e-9;
     let hi_tol = upper * (1.0 - 1e-9);
     let mut free_sum = 0.0;
@@ -237,6 +236,8 @@ pub struct OcSvmModel {
     rho: f64,
     nu: f64,
     diagnostics: TrainDiagnostics,
+    #[cfg_attr(feature = "serde", serde(default))]
+    backend: SolverBackend,
 }
 
 impl OcSvmModel {
@@ -272,6 +273,11 @@ impl OcSvmModel {
     /// Training diagnostics (iterations, convergence, cache behaviour).
     pub fn diagnostics(&self) -> TrainDiagnostics {
         self.diagnostics
+    }
+
+    /// Which training backend produced this model.
+    pub fn solver_backend(&self) -> SolverBackend {
+        self.backend
     }
 
     /// Serializes the model in the crate's binary format.
@@ -408,8 +414,9 @@ impl OcSvmModel {
         rho: f64,
         nu: f64,
         diagnostics: TrainDiagnostics,
+        backend: SolverBackend,
     ) -> Self {
-        Self { support, rho, nu, diagnostics }
+        Self { support, rho, nu, diagnostics, backend }
     }
 }
 

@@ -10,18 +10,21 @@
 //! Version 2 appends the support vectors' training-set indices (when the
 //! model knows them), so a deserialized model keeps the shared-row scoring
 //! paths (`training_decision_values` / `cross_decision_values`) instead of
-//! falling back to per-point kernel evaluation. Version-1 streams are
-//! still read; their models simply have no indices.
+//! falling back to per-point kernel evaluation. Version 3 appends one
+//! trailing byte recording the [`SolverBackend`] that trained the model.
+//! Version-1/-2 streams are still read; their models have no indices
+//! (v1 only) and report the exact backend.
 
 use crate::kernel::Kernel;
 use crate::model::{SupportVectorSet, TrainDiagnostics};
 use crate::ocsvm::OcSvmModel;
+use crate::solver::SolverBackend;
 use crate::sparse::SparseVector;
 use crate::svdd::SvddModel;
 use std::io::{self, Read, Write};
 
 const MAGIC: [u8; 4] = *b"OCSV";
-const VERSION: u8 = 2;
+const VERSION: u8 = 3;
 /// Oldest version still readable (v1 lacks the training-index block).
 const MIN_VERSION: u8 = 1;
 const KIND_OCSVM: u8 = 0;
@@ -34,7 +37,8 @@ pub(crate) fn write_ocsvm<W: Write>(writer: &mut W, model: &OcSvmModel) -> io::R
     write_f64(writer, model.rho())?;
     write_f64(writer, model.nu())?;
     write_support(writer, model.support())?;
-    write_diagnostics(writer, model.diagnostics())
+    write_diagnostics(writer, model.diagnostics())?;
+    write_backend(writer, model.solver_backend())
 }
 
 pub(crate) fn read_ocsvm<R: Read>(reader: &mut R) -> io::Result<OcSvmModel> {
@@ -43,8 +47,9 @@ pub(crate) fn read_ocsvm<R: Read>(reader: &mut R) -> io::Result<OcSvmModel> {
     let nu = read_f64(reader)?;
     let support = read_support(reader, version)?;
     let diagnostics = read_diagnostics(reader)?;
+    let backend = read_backend(reader, version)?;
     validate_indices(&support, diagnostics.train_size)?;
-    Ok(OcSvmModel::from_parts(support, rho, nu, diagnostics))
+    Ok(OcSvmModel::from_parts(support, rho, nu, diagnostics, backend))
 }
 
 pub(crate) fn write_svdd<W: Write>(writer: &mut W, model: &SvddModel) -> io::Result<()> {
@@ -53,7 +58,8 @@ pub(crate) fn write_svdd<W: Write>(writer: &mut W, model: &SvddModel) -> io::Res
     write_f64(writer, model.alpha_k_alpha())?;
     write_f64(writer, model.c())?;
     write_support(writer, model.support())?;
-    write_diagnostics(writer, model.diagnostics())
+    write_diagnostics(writer, model.diagnostics())?;
+    write_backend(writer, model.solver_backend())
 }
 
 pub(crate) fn read_svdd<R: Read>(reader: &mut R) -> io::Result<SvddModel> {
@@ -63,8 +69,26 @@ pub(crate) fn read_svdd<R: Read>(reader: &mut R) -> io::Result<SvddModel> {
     let c = read_f64(reader)?;
     let support = read_support(reader, version)?;
     let diagnostics = read_diagnostics(reader)?;
+    let backend = read_backend(reader, version)?;
     validate_indices(&support, diagnostics.train_size)?;
-    Ok(SvddModel::from_parts(support, r_squared, alpha_k_alpha, c, diagnostics))
+    Ok(SvddModel::from_parts(support, r_squared, alpha_k_alpha, c, diagnostics, backend))
+}
+
+/// v3 trailing byte: which [`SolverBackend`] trained the model.
+fn write_backend<W: Write>(writer: &mut W, backend: SolverBackend) -> io::Result<()> {
+    writer.write_all(&[backend.tag()])
+}
+
+/// Reads the v3 backend tag; pre-v3 streams carry none and were always
+/// trained by the exact SMO path.
+fn read_backend<R: Read>(reader: &mut R, version: u8) -> io::Result<SolverBackend> {
+    if version < 3 {
+        return Ok(SolverBackend::ExactSmo);
+    }
+    let mut tag = [0u8; 1];
+    reader.read_exact(&mut tag)?;
+    SolverBackend::from_tag(tag[0])
+        .ok_or_else(|| invalid(format!("unknown solver-backend tag {}", tag[0])))
 }
 
 fn write_header<W: Write>(writer: &mut W, kind: u8) -> io::Result<()> {
@@ -397,8 +421,13 @@ mod tests {
             trained.support().alpha.clone(),
             Kernel::Linear,
         );
-        let indexless =
-            OcSvmModel::from_parts(support, trained.rho(), trained.nu(), trained.diagnostics());
+        let indexless = OcSvmModel::from_parts(
+            support,
+            trained.rho(),
+            trained.nu(),
+            trained.diagnostics(),
+            SolverBackend::ExactSmo,
+        );
         let mut bytes = Vec::new();
         indexless.write_to(&mut bytes).unwrap();
         let loaded = OcSvmModel::read_from(&mut bytes.as_slice()).unwrap();
@@ -441,6 +470,76 @@ mod tests {
             }
         }
         bytes.len() - reader.len()
+    }
+
+    #[test]
+    fn solver_backend_tag_round_trips_for_every_backend() {
+        let data = training_data();
+        for backend in
+            [SolverBackend::ExactSmo, SolverBackend::EnsembleOneData, SolverBackend::SampledFw]
+        {
+            let options = crate::SolverOptions { backend, ..Default::default() };
+            let model = NuOcSvm::new(0.2, Kernel::Rbf { gamma: 0.5 })
+                .with_options(options)
+                .train(&data)
+                .unwrap();
+            assert_eq!(model.solver_backend(), backend);
+            let mut bytes = Vec::new();
+            model.write_to(&mut bytes).unwrap();
+            assert_eq!(*bytes.last().unwrap(), backend.tag());
+            let loaded = OcSvmModel::read_from(&mut bytes.as_slice()).unwrap();
+            assert_eq!(loaded.solver_backend(), backend);
+            for probe in &data {
+                assert_eq!(loaded.decision_value(probe), model.decision_value(probe));
+            }
+
+            let svdd = Svdd::new(0.4, Kernel::Linear).with_options(options).train(&data).unwrap();
+            let mut bytes = Vec::new();
+            svdd.write_to(&mut bytes).unwrap();
+            let loaded = SvddModel::read_from(&mut bytes.as_slice()).unwrap();
+            assert_eq!(loaded.solver_backend(), backend);
+            assert_eq!(loaded.r_squared(), svdd.r_squared());
+        }
+    }
+
+    #[test]
+    fn v2_streams_still_load_as_exact_backend() {
+        // A v2 stream is exactly a v3 stream minus the trailing backend
+        // byte, with the header version patched down.
+        let data = training_data();
+        let model = NuOcSvm::new(0.2, Kernel::Rbf { gamma: 0.5 }).train(&data).unwrap();
+        let mut bytes = Vec::new();
+        model.write_to(&mut bytes).unwrap();
+        bytes.pop();
+        bytes[4] = 2;
+        let loaded = OcSvmModel::read_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(loaded.solver_backend(), SolverBackend::ExactSmo);
+        for probe in &data {
+            assert_eq!(loaded.decision_value(probe), model.decision_value(probe));
+        }
+    }
+
+    #[test]
+    fn corrupt_backend_tag_is_rejected() {
+        let data = training_data();
+        let model = NuOcSvm::new(0.2, Kernel::Linear).train(&data).unwrap();
+        let mut bytes = Vec::new();
+        model.write_to(&mut bytes).unwrap();
+        *bytes.last_mut().unwrap() = 9;
+        let err = OcSvmModel::read_from(&mut bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("solver-backend"), "{err}");
+    }
+
+    #[test]
+    fn truncated_backend_tag_is_rejected() {
+        // A v3 header whose stream ends before the backend byte must fail
+        // rather than default silently.
+        let data = training_data();
+        let model = NuOcSvm::new(0.2, Kernel::Linear).train(&data).unwrap();
+        let mut bytes = Vec::new();
+        model.write_to(&mut bytes).unwrap();
+        bytes.pop();
+        assert!(OcSvmModel::read_from(&mut bytes.as_slice()).is_err());
     }
 
     #[test]

@@ -196,11 +196,24 @@ pub struct SolverOptions {
     /// the full gradient before declaring convergence. Changes only the
     /// speed, not the solution (beyond `eps`-level differences).
     pub shrinking: bool,
+    /// Which training backend runs the solve; the default
+    /// [`SolverBackend::ExactSmo`](crate::SolverBackend::ExactSmo) is
+    /// bit-identical to the pre-backend training path.
+    pub backend: crate::SolverBackend,
+    /// Tuning knobs of the approximate backends (ignored by the exact one).
+    pub approx: crate::ApproxParams,
 }
 
 impl Default for SolverOptions {
     fn default() -> Self {
-        Self { eps: 1e-3, max_iterations: None, cache_bytes: 64 << 20, shrinking: true }
+        Self {
+            eps: 1e-3,
+            max_iterations: None,
+            cache_bytes: 64 << 20,
+            shrinking: true,
+            backend: crate::SolverBackend::ExactSmo,
+            approx: crate::ApproxParams::default(),
+        }
     }
 }
 
@@ -409,7 +422,12 @@ fn select_working_set(
 
 /// Recomputes `G = Qα + p` exactly, touching one kernel row per non-zero
 /// multiplier.
-fn reconstruct_gradient(q: &mut dyn QMatrix, p: &[f64], alpha: &[f64], gradient: &mut [f64]) {
+pub(crate) fn reconstruct_gradient(
+    q: &mut dyn QMatrix,
+    p: &[f64],
+    alpha: &[f64],
+    gradient: &mut [f64],
+) {
     gradient.copy_from_slice(p);
     for (j, &aj) in alpha.iter().enumerate() {
         if aj > 0.0 {

@@ -19,7 +19,8 @@ use crate::error::TrainError;
 use crate::gram::{self, CrossRows, GramMatrix, KernelRows};
 use crate::kernel::Kernel;
 use crate::model::{OneClassModel, SupportVectorSet, TrainDiagnostics};
-use crate::smo::{self, KernelQ, PrecomputedQ, SolverOptions, SolverQ};
+use crate::smo::{KernelQ, PrecomputedQ, SolverOptions, SolverQ};
+use crate::solver::{self, SolverBackend};
 use crate::sparse::SparseVector;
 
 /// Trainer configuration for SVDD.
@@ -79,8 +80,7 @@ impl Svdd {
     pub fn train(&self, points: &[SparseVector]) -> Result<SvddModel, TrainError> {
         self.validate(points)?;
         let mut q = KernelQ::new(self.kernel, points, 2.0, self.options.cache_bytes);
-        let alpha0 = smo::initial_alpha(points.len(), self.c);
-        Ok(self.train_on(points, &mut q, alpha0).0)
+        Ok(self.train_on(points, &mut q, None).0)
     }
 
     /// Trains on `points` reusing a precomputed [`GramMatrix`] over exactly
@@ -149,11 +149,7 @@ impl Svdd {
         self.validate(points)?;
         gram::check_compatible(rows, points.len(), self.kernel)?;
         let mut q = PrecomputedQ::new(rows, 2.0);
-        let alpha0 = match seed {
-            Some(previous) => smo::seeded_alpha(previous, self.c),
-            None => smo::initial_alpha(points.len(), self.c),
-        };
-        Ok(self.train_on(points, &mut q, alpha0))
+        Ok(self.train_on(points, &mut q, seed))
     }
 
     fn validate(&self, points: &[SparseVector]) -> Result<(), TrainError> {
@@ -174,12 +170,14 @@ impl Svdd {
         &self,
         points: &[SparseVector],
         q: &mut Q,
-        alpha0: Vec<f64>,
+        seed: Option<&[f64]>,
     ) -> (SvddModel, Vec<f64>) {
         let l = points.len();
         let upper = self.c;
         let p: Vec<f64> = (0..l).map(|i| -q.kernel_diag(i)).collect();
-        let solution = smo::solve(q, &p, upper, alpha0, &self.options);
+        let kind = solver::ProblemKind::Svdd { c: self.c };
+        let outcome = solver::run(q, &p, upper, kind, seed, &self.options);
+        let solution = outcome.solution;
 
         // αᵀKα = ½(αᵀG − αᵀp) since G = 2Kα + p.
         let alpha_g: f64 =
@@ -191,7 +189,9 @@ impl Svdd {
         //   d²(xᵢ) = k(xᵢ,xᵢ) − 2(Kα)ᵢ + αᵀKα,  with (Kα)ᵢ = (Gᵢ − pᵢ)/2
         //          = −pᵢ − (Gᵢ − pᵢ) + αᵀKα = −Gᵢ + αᵀKα.
         let dist_sq = |i: usize| -solution.gradient[i] + alpha_k_alpha;
-        let r_squared = recover_r_squared(&solution.alpha, upper, dist_sq);
+        let r_squared = outcome
+            .threshold_override
+            .unwrap_or_else(|| recover_r_squared(&solution.alpha, upper, dist_sq));
 
         let (cache_hits, cache_misses) = q.cache_stats();
         let support = SupportVectorSet::from_solution(points, &solution.alpha, self.kernel);
@@ -204,7 +204,10 @@ impl Svdd {
             cache_hits,
             cache_misses,
         };
-        (SvddModel { support, r_squared, alpha_k_alpha, c: self.c, diagnostics }, solution.alpha)
+        let backend = self.options.backend;
+        let model =
+            SvddModel { support, r_squared, alpha_k_alpha, c: self.c, diagnostics, backend };
+        (model, solution.alpha)
     }
 }
 
@@ -212,7 +215,7 @@ impl Svdd {
 /// exactly on the sphere (Eq. 11); when none are free, `R²` is bracketed by
 /// the bounded groups (`α = 0` inside, `α = C` outside) and the midpoint is
 /// used.
-fn recover_r_squared(alpha: &[f64], upper: f64, dist_sq: impl Fn(usize) -> f64) -> f64 {
+pub(crate) fn recover_r_squared(alpha: &[f64], upper: f64, dist_sq: impl Fn(usize) -> f64) -> f64 {
     let lo_tol = 1e-9;
     let hi_tol = upper * (1.0 - 1e-9);
     let mut free_sum = 0.0;
@@ -253,6 +256,8 @@ pub struct SvddModel {
     alpha_k_alpha: f64,
     c: f64,
     diagnostics: TrainDiagnostics,
+    #[cfg_attr(feature = "serde", serde(default))]
+    backend: SolverBackend,
 }
 
 impl SvddModel {
@@ -297,6 +302,11 @@ impl SvddModel {
     /// Training diagnostics (iterations, convergence, cache behaviour).
     pub fn diagnostics(&self) -> TrainDiagnostics {
         self.diagnostics
+    }
+
+    /// Which training backend produced this model.
+    pub fn solver_backend(&self) -> SolverBackend {
+        self.backend
     }
 
     /// Serializes the model in the crate's binary format.
@@ -472,8 +482,9 @@ impl SvddModel {
         alpha_k_alpha: f64,
         c: f64,
         diagnostics: TrainDiagnostics,
+        backend: SolverBackend,
     ) -> Self {
-        Self { support, r_squared, alpha_k_alpha, c, diagnostics }
+        Self { support, r_squared, alpha_k_alpha, c, diagnostics, backend }
     }
 }
 

@@ -274,6 +274,66 @@ mod tests {
     }
 
     #[test]
+    fn restored_approximate_models_score_identically_and_keep_their_backend() {
+        use ocsvm::SolverBackend;
+        let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+        let vocab = Vocabulary::new(dataset.taxonomy().clone());
+        let aggregator = WindowAggregator::new(&vocab, WindowConfig::PAPER_DEFAULT);
+        let device = dataset.devices()[0];
+        let windows = aggregator.device_windows(&dataset, device);
+        assert!(!windows.is_empty());
+        let features: Vec<&_> = windows.iter().map(|w| &w.features).collect();
+        for backend in [SolverBackend::EnsembleOneData, SolverBackend::SampledFw] {
+            let (profiles, _) = ProfileTrainer::new(&vocab)
+                .max_training_windows(150)
+                .solver_backend(backend)
+                .train_all(&dataset);
+            let store = temp_store(&format!("approx-{backend:?}"));
+            store.save(&profiles).unwrap();
+            let loaded = store.load().unwrap();
+            assert_eq!(loaded.len(), profiles.len());
+            for (user, original) in &profiles {
+                let restored = &loaded[user];
+                // The backend survives the round trip and the restored
+                // model batch-scores bit-identically to the in-memory one
+                // (the linear default kernel routes both through the
+                // collapsed-weight batch scorer).
+                assert_eq!(original.solver_backend(), backend, "{backend:?} {user:?}");
+                assert_eq!(restored.solver_backend(), backend, "{backend:?} {user:?}");
+                assert_eq!(
+                    original.batch_decision_values(&features),
+                    restored.batch_decision_values(&features),
+                    "{backend:?} {user:?}"
+                );
+            }
+            let _ = fs::remove_dir_all(store.dir());
+        }
+    }
+
+    #[test]
+    fn corrupt_backend_tag_surfaces_as_a_load_issue() {
+        let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
+        let vocab = Vocabulary::new(dataset.taxonomy().clone());
+        let (profiles, _) =
+            ProfileTrainer::new(&vocab).max_training_windows(150).train_all(&dataset);
+        let store = temp_store("bad-backend");
+        store.save(&profiles).unwrap();
+        // The solver-backend tag is the final byte of the embedded model
+        // stream, which is the final byte of the profile file.
+        let first = *profiles.keys().next().unwrap();
+        let path = store.dir().join(format!("user_{}.profile", first.0));
+        let mut bytes = fs::read(&path).unwrap();
+        *bytes.last_mut().unwrap() = 0xEE;
+        fs::write(&path, &bytes).unwrap();
+        let (loaded, issues) = store.load_lossy().unwrap();
+        assert_eq!(loaded.len(), profiles.len() - 1, "only the tampered file fails");
+        assert!(!loaded.contains_key(&first));
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].error.to_string().contains("solver-backend"), "{}", issues[0].error);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
     fn non_profile_files_are_ignored() {
         let dataset = TraceGenerator::new(Scenario::quick_test()).generate();
         let vocab = Vocabulary::new(dataset.taxonomy().clone());

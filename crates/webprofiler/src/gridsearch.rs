@@ -20,8 +20,8 @@ use crate::trainer::{parallel_map, subsample_evenly, ProfileTrainer};
 use crate::vocab::Vocabulary;
 use crate::window::WindowConfig;
 use ocsvm::{
-    ArenaCrossGram, ArenaGram, ArenaStats, CrossGram, GramMatrix, Kernel, KernelKind,
-    KernelRowArena, SparseVector,
+    ApproxParams, ArenaCrossGram, ArenaGram, ArenaStats, CrossGram, GramMatrix, Kernel, KernelKind,
+    KernelRowArena, SolverBackend, SolverOptions, SparseVector,
 };
 use proxylog::{Dataset, UserId};
 use std::collections::BTreeMap;
@@ -169,6 +169,19 @@ pub struct SweepStats {
     pub warm_iterations: u64,
     /// SMO iterations spent in cold-started cells.
     pub cold_iterations: u64,
+    /// Cells whose kept result was solved by exact SMO.
+    pub exact_cells: u64,
+    /// Cells whose kept result was solved by an approximate backend
+    /// (ensemble decomposition or sampled Frank–Wolfe).
+    pub approx_cells: u64,
+    /// [`SweepBackend::Auto`] chains that fell back to exact SMO after
+    /// calibration.
+    pub auto_fallbacks: u64,
+    /// Wall-clock nanoseconds spent inside the solver, summed over every
+    /// cell solve of the sweep (including the discarded half of each
+    /// [`SweepBackend::Auto`] calibration). Scoring and scheduling are
+    /// excluded, so this isolates what a backend choice changes.
+    pub train_nanos: u64,
     /// Kernel-row arena activity during the sweep (delta, not lifetime).
     pub arena: ArenaStats,
 }
@@ -191,6 +204,55 @@ impl SweepStats {
     }
 }
 
+/// Solver-backend routing for [`ModelGridSearch::sweep_cells`].
+///
+/// Every (kernel, regularization) cell of the sweep trains through one
+/// [`SolverBackend`]; this policy decides which backend each cell gets.
+/// Routing applies to the chain-scheduled entry points
+/// ([`sweep_cells`](ModelGridSearch::sweep_cells),
+/// [`sweep_all`](ModelGridSearch::sweep_all),
+/// [`optimize_all`](ModelGridSearch::optimize_all)); the legacy
+/// [`run_user`](ModelGridSearch::run_user) reference path — and the final
+/// per-user profiles of
+/// [`optimized_profiles`](ModelGridSearch::optimized_profiles) — always
+/// train exact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepBackend {
+    /// Every cell trains with the same backend. `Fixed(ExactSmo)` (the
+    /// default) reproduces the legacy sweep bit-for-bit.
+    Fixed(SolverBackend),
+    /// A default backend plus per-cell overrides, keyed by exact
+    /// `(kernel, regularization)` match.
+    PerCell {
+        /// Backend for cells without an override.
+        default: SolverBackend,
+        /// `(kernel, regularization, backend)` overrides.
+        overrides: Vec<(KernelKind, f64, SolverBackend)>,
+    },
+    /// Per-chain calibration: each chain's first trainable cell is solved
+    /// with both `cheap` and exact SMO, and the whole chain keeps the
+    /// cheap backend unless its validation `ACC` trails the exact one by
+    /// more than `tolerance` — then the chain falls back to exact
+    /// (counted in [`SweepStats::auto_fallbacks`]).
+    ///
+    /// `ACC` differences live in `[-2, 2]`, so `tolerance ≤ -2` always
+    /// falls back (every chain runs exact) and `tolerance ≥ 2` never does
+    /// (every chain runs `cheap`). The calibration cell's discarded solve
+    /// is excluded from the warm/cold iteration statistics.
+    Auto {
+        /// The approximate backend to try first.
+        cheap: SolverBackend,
+        /// Maximal acceptable `ACC_exact − ACC_cheap` before falling back.
+        tolerance: f64,
+    },
+}
+
+impl Default for SweepBackend {
+    fn default() -> Self {
+        Self::Fixed(SolverBackend::ExactSmo)
+    }
+}
+
 /// Stage 2: per-user kernel and `ν`/`C` sweep (Tab. III).
 ///
 /// The sweep is executed by a work-stealing scheduler over *chains*: one
@@ -207,6 +269,8 @@ pub struct ModelGridSearch<'a> {
     max_other_windows: usize,
     regularizations: Vec<f64>,
     warm_start: bool,
+    backend: SweepBackend,
+    approx: ApproxParams,
     arena: Option<Arc<KernelRowArena>>,
     workers: Option<usize>,
 }
@@ -230,9 +294,29 @@ impl<'a> ModelGridSearch<'a> {
             max_other_windows: 150,
             regularizations: Self::PAPER_REGULARIZATIONS.to_vec(),
             warm_start: false,
+            backend: SweepBackend::default(),
+            approx: ApproxParams::default(),
             arena: None,
             workers: None,
         }
+    }
+
+    /// Routes solver backends across the sweep's cells (default:
+    /// [`SweepBackend::Fixed`] exact SMO, the bit-exact legacy path). See
+    /// [`SweepBackend`] for the per-cell and auto-calibrated policies.
+    /// Warm-start `α` seeds are only honored by exact-SMO cells; the
+    /// approximate backends ignore them (see [`SolverBackend`]).
+    pub fn solver_backend(mut self, backend: SweepBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Tunes the approximate backends' parameters (ensemble shard size,
+    /// Frank–Wolfe subsample size / seed / duality-gap tolerance). Exact
+    /// SMO cells ignore them.
+    pub fn approx_params(mut self, approx: ApproxParams) -> Self {
+        self.approx = approx;
+        self
     }
 
     /// Enables warm-start `α`-seeding between adjacent regularization
@@ -537,6 +621,7 @@ impl<'a> ModelGridSearch<'a> {
             chain: usize,
             reg_idx: usize,
             seed: Option<Vec<f64>>,
+            auto_choice: Option<SolverBackend>,
             cells: Vec<ModelGridCell>,
         }
         let seeds: Vec<CellTask> = (0..chains.len())
@@ -544,6 +629,7 @@ impl<'a> ModelGridSearch<'a> {
                 chain,
                 reg_idx: 0,
                 seed: None,
+                auto_choice: None,
                 cells: Vec::with_capacity(self.regularizations.len()),
             })
             .collect();
@@ -555,6 +641,10 @@ impl<'a> ModelGridSearch<'a> {
         let cold_cells = AtomicU64::new(0);
         let warm_iterations = AtomicU64::new(0);
         let cold_iterations = AtomicU64::new(0);
+        let exact_cells = AtomicU64::new(0);
+        let approx_cells = AtomicU64::new(0);
+        let auto_fallbacks = AtomicU64::new(0);
+        let train_nanos = AtomicU64::new(0);
 
         let steal_stats = run_chains(
             seeds,
@@ -563,17 +653,79 @@ impl<'a> ModelGridSearch<'a> {
                 let chain = &chains[task.chain];
                 let ctx = &contexts[chain.ctx];
                 let regularization = self.regularizations[task.reg_idx];
-                let trainer = ProfileTrainer::new(self.vocab)
-                    .window(self.window)
-                    .kind(self.kind)
-                    .kernel(chain.kernel)
-                    .regularization(regularization);
+                // Trains this cell with `backend` and scores it; `None`
+                // when the parameters are infeasible for the window count.
+                let train_cell = |backend: SolverBackend, seed: Option<&[f64]>| {
+                    let trainer = ProfileTrainer::new(self.vocab)
+                        .window(self.window)
+                        .kind(self.kind)
+                        .kernel(chain.kernel)
+                        .regularization(regularization)
+                        .solver_options(SolverOptions {
+                            backend,
+                            approx: self.approx,
+                            ..SolverOptions::default()
+                        });
+                    let solve_started = std::time::Instant::now();
+                    let solved =
+                        trainer.train_from_vectors_seeded(ctx.user, ctx.own, &chain.gram, seed);
+                    train_nanos
+                        .fetch_add(solve_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    solved.ok().map(|(profile, alpha)| {
+                        let iterations = profile.diagnostics().iterations as u64;
+                        let cell = self.evaluate_cell(&profile, chain.kind, regularization, {
+                            CellInputs {
+                                gram: &chain.gram,
+                                cross: chain.cross.as_ref(),
+                                own_refs: &ctx.own_refs,
+                                probes: &ctx.probes,
+                                ranges: &ctx.ranges,
+                            }
+                        });
+                        (cell, alpha, iterations)
+                    })
+                };
                 let seed = if self.warm_start { task.seed.as_deref() } else { None };
-                let warm = seed.is_some();
-                if let Ok((profile, alpha)) =
-                    trainer.train_from_vectors_seeded(ctx.user, ctx.own, &chain.gram, seed)
-                {
-                    let iterations = profile.diagnostics().iterations as u64;
+                let (backend, run) = match &self.backend {
+                    SweepBackend::Fixed(backend) => (*backend, train_cell(*backend, seed)),
+                    SweepBackend::PerCell { default, overrides } => {
+                        let backend = overrides
+                            .iter()
+                            .find(|&&(k, r, _)| k == chain.kind && r == regularization)
+                            .map_or(*default, |&(_, _, b)| b);
+                        (backend, train_cell(backend, seed))
+                    }
+                    SweepBackend::Auto { cheap, tolerance } => match task.auto_choice {
+                        Some(backend) => (backend, train_cell(backend, seed)),
+                        None => {
+                            // Calibration cell: solve with both candidates
+                            // and compare validation ACC. Chains whose
+                            // first cells are infeasible calibrate at
+                            // their first trainable cell instead.
+                            let cheap_run = train_cell(*cheap, None);
+                            let exact_run = train_cell(SolverBackend::ExactSmo, None);
+                            let fallback = match (&cheap_run, &exact_run) {
+                                (Some((c, ..)), Some((e, ..))) => {
+                                    e.summary.acc() - c.summary.acc() > *tolerance
+                                }
+                                (None, Some(_)) => true,
+                                _ => false,
+                            };
+                            if fallback {
+                                auto_fallbacks.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let backend = if fallback { SolverBackend::ExactSmo } else { *cheap };
+                            if cheap_run.is_some() || exact_run.is_some() {
+                                task.auto_choice = Some(backend);
+                            }
+                            (backend, if fallback { exact_run } else { cheap_run })
+                        }
+                    },
+                };
+                // Approximate backends ignore `α` seeds, so only exact
+                // cells that actually received one count as warm.
+                let warm = seed.is_some() && backend == SolverBackend::ExactSmo;
+                if let Some((cell, alpha, iterations)) = run {
                     if warm {
                         warm_cells.fetch_add(1, Ordering::Relaxed);
                         warm_iterations.fetch_add(iterations, Ordering::Relaxed);
@@ -581,15 +733,12 @@ impl<'a> ModelGridSearch<'a> {
                         cold_cells.fetch_add(1, Ordering::Relaxed);
                         cold_iterations.fetch_add(iterations, Ordering::Relaxed);
                     }
-                    task.cells.push(self.evaluate_cell(&profile, chain.kind, regularization, {
-                        CellInputs {
-                            gram: &chain.gram,
-                            cross: chain.cross.as_ref(),
-                            own_refs: &ctx.own_refs,
-                            probes: &ctx.probes,
-                            ranges: &ctx.ranges,
-                        }
-                    }));
+                    if backend == SolverBackend::ExactSmo {
+                        exact_cells.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        approx_cells.fetch_add(1, Ordering::Relaxed);
+                    }
+                    task.cells.push(cell);
                     ok_cells.fetch_add(1, Ordering::Relaxed);
                     // This solution seeds the chain's next regularization.
                     task.seed = Some(alpha);
@@ -629,6 +778,10 @@ impl<'a> ModelGridSearch<'a> {
             cold_cells: cold_cells.into_inner(),
             warm_iterations: warm_iterations.into_inner(),
             cold_iterations: cold_iterations.into_inner(),
+            exact_cells: exact_cells.into_inner(),
+            approx_cells: approx_cells.into_inner(),
+            auto_fallbacks: auto_fallbacks.into_inner(),
+            train_nanos: train_nanos.into_inner(),
             arena: arena.stats().since(&arena_before),
         };
         (by_user, stats)

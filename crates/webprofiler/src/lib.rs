@@ -82,7 +82,7 @@ pub use drift::DriftMonitor;
 pub use explain::{explain_decision, explanation_report, FeatureContribution};
 pub use features::{aggregate_window, aggregate_window_with, extract_transaction, AggregationMode};
 pub use gridsearch::{
-    compute_window_sets, ModelGridCell, ModelGridSearch, SweepStats, WindowGridRow,
+    compute_window_sets, ModelGridCell, ModelGridSearch, SweepBackend, SweepStats, WindowGridRow,
     WindowGridSearch, WindowSets,
 };
 pub use identify::{

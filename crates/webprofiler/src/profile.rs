@@ -176,6 +176,15 @@ impl UserProfile {
         }
     }
 
+    /// Solver backend the underlying model was trained with (recorded in
+    /// the profile and preserved across serialization).
+    pub fn solver_backend(&self) -> ocsvm::SolverBackend {
+        match &self.model {
+            ProfileModel::OcSvm(m) => m.solver_backend(),
+            ProfileModel::Svdd(m) => m.solver_backend(),
+        }
+    }
+
     /// Decision values over the profile's training set, read from the
     /// shared kernel-row source the profile was trained with (a
     /// [`ocsvm::GramMatrix`] or arena-backed [`ocsvm::ArenaGram`]; see
