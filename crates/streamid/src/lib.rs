@@ -76,12 +76,14 @@
 
 mod config;
 mod engine;
+mod scorecard;
 mod store;
 #[cfg(feature = "tracelog")]
 mod telemetry;
 
 pub use config::{EngineConfig, PrefilterConfig};
 pub use engine::{EngineStats, StreamEngine, WindowDecision};
+pub use scorecard::{LabeledInterval, ScenarioReport, ScenarioTelemetry};
 pub use store::{LoadIssue, ModelStore, StoreLoadError};
 #[cfg(feature = "tracelog")]
 pub use telemetry::TraceEvent;

@@ -1,0 +1,256 @@
+//! Per-scenario detection telemetry over labeled attack intervals.
+//!
+//! `tracegen`'s attack layer marks which (device, victim, interval)
+//! triples carry injected traffic. [`ScenarioTelemetry`] consumes the
+//! engine's [`WindowDecision`]s and folds them into the three numbers an
+//! attack evaluation needs (`bench --bin attack_eval`):
+//!
+//! * **detection rate** — fraction of attack windows in which the
+//!   victim's own model *rejected* the traffic (the OCSVM noticed the
+//!   account was not behaving like its owner);
+//! * **false-accept rate** — fraction of attack windows the voter still
+//!   attributed to the victim (the attacker passed as the owner);
+//! * **time-to-detect** — per label, seconds from attack start to the
+//!   first rejected attack window (undetected attacks are charged their
+//!   full duration, so the metric cannot be gamed by never detecting).
+//!
+//! The struct is deliberately engine-agnostic: it only reads decisions,
+//! so offline `identify_on_device` replays can feed it too.
+
+use crate::WindowDecision;
+use proxylog::{DeviceId, Timestamp, UserId};
+
+/// One labeled attack interval, as produced by `tracegen`'s attack layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabeledInterval {
+    /// Device carrying the injected traffic.
+    pub device: DeviceId,
+    /// Account under which the malicious traffic appears.
+    pub victim: UserId,
+    /// First instant of the attack.
+    pub start: Timestamp,
+    /// End of the attack (exclusive).
+    pub end: Timestamp,
+}
+
+/// Accumulates decisions against a set of labeled intervals.
+#[derive(Debug, Clone)]
+pub struct ScenarioTelemetry {
+    labels: Vec<LabeledInterval>,
+    /// Per label: attack windows seen / detected (rejected) / falsely
+    /// accepted, and the start of the first detected window.
+    attack_windows: Vec<usize>,
+    detected: Vec<usize>,
+    false_accepts: Vec<usize>,
+    first_detection: Vec<Option<Timestamp>>,
+    benign_windows: usize,
+    benign_rejects: usize,
+}
+
+impl ScenarioTelemetry {
+    /// Starts a fresh accumulator over `labels`.
+    pub fn new(labels: Vec<LabeledInterval>) -> Self {
+        let n = labels.len();
+        Self {
+            labels,
+            attack_windows: vec![0; n],
+            detected: vec![0; n],
+            false_accepts: vec![0; n],
+            first_detection: vec![None; n],
+            benign_windows: 0,
+            benign_rejects: 0,
+        }
+    }
+
+    /// Folds one engine decision into the telemetry.
+    ///
+    /// A decision is matched against *every* label on its device whose
+    /// victim was active in the window (taxonomy evolution labels many
+    /// users at once). Inside the label's interval the window counts as
+    /// an attack window; outside, as a benign window for that victim —
+    /// the benign-reject rate is the detector's false-alarm floor.
+    pub fn record(&mut self, decision: &WindowDecision) {
+        for (i, label) in self.labels.iter().enumerate() {
+            if decision.device != label.device || !decision.actual_users.contains(&label.victim) {
+                continue;
+            }
+            let accepted = decision.accepted_by.contains(&label.victim);
+            if decision.start >= label.start && decision.start < label.end {
+                self.attack_windows[i] += 1;
+                if !accepted {
+                    self.detected[i] += 1;
+                    if self.first_detection[i].is_none() {
+                        self.first_detection[i] = Some(decision.start);
+                    }
+                }
+                if decision.vote == Some(label.victim) {
+                    self.false_accepts[i] += 1;
+                }
+            } else {
+                self.benign_windows += 1;
+                if !accepted {
+                    self.benign_rejects += 1;
+                }
+            }
+        }
+    }
+
+    /// Finalizes the telemetry into rates. All values are finite.
+    pub fn report(&self) -> ScenarioReport {
+        let attack_windows: usize = self.attack_windows.iter().sum();
+        let detected: usize = self.detected.iter().sum();
+        let false_accepts: usize = self.false_accepts.iter().sum();
+        let rate = |num: usize, den: usize| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+
+        // Mean time-to-detect over labels that produced at least one
+        // attack window; undetected labels contribute their full length.
+        let mut ttd_sum = 0.0;
+        let mut ttd_n = 0usize;
+        let mut detected_labels = 0usize;
+        for (i, label) in self.labels.iter().enumerate() {
+            if self.attack_windows[i] == 0 {
+                continue;
+            }
+            ttd_n += 1;
+            match self.first_detection[i] {
+                Some(at) => {
+                    detected_labels += 1;
+                    ttd_sum += (at.as_secs() - label.start.as_secs()).max(0) as f64;
+                }
+                None => ttd_sum += (label.end.as_secs() - label.start.as_secs()) as f64,
+            }
+        }
+        ScenarioReport {
+            labels: self.labels.len(),
+            detected_labels,
+            attack_windows,
+            benign_windows: self.benign_windows,
+            detection_rate: rate(detected, attack_windows),
+            false_accept_rate: rate(false_accepts, attack_windows),
+            benign_reject_rate: rate(self.benign_rejects, self.benign_windows),
+            time_to_detect_s: if ttd_n == 0 { 0.0 } else { ttd_sum / ttd_n as f64 },
+        }
+    }
+}
+
+/// Folded detection metrics of one scenario run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioReport {
+    /// Labeled attack intervals the run was scored against.
+    pub labels: usize,
+    /// Labels with at least one rejected attack window.
+    pub detected_labels: usize,
+    /// Windows overlapping a label's interval on its device.
+    pub attack_windows: usize,
+    /// The labeled victims' windows outside their attack intervals.
+    pub benign_windows: usize,
+    /// Rejected attack windows / attack windows.
+    pub detection_rate: f64,
+    /// Attack windows still voted to the victim / attack windows.
+    pub false_accept_rate: f64,
+    /// Rejected benign windows / benign windows (false-alarm floor).
+    pub benign_reject_rate: f64,
+    /// Mean seconds from attack start to first rejection; undetected
+    /// labels count as their full duration.
+    pub time_to_detect_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocsvm::SparseVector;
+    use std::time::Duration;
+
+    fn decision(
+        device: u32,
+        start: i64,
+        accepted: &[u32],
+        actual: &[u32],
+        vote: Option<u32>,
+    ) -> WindowDecision {
+        WindowDecision {
+            device: DeviceId(device),
+            start: Timestamp(start),
+            transaction_count: 1,
+            features: SparseVector::new(),
+            accepted_by: accepted.iter().map(|&u| UserId(u)).collect(),
+            actual_users: actual.iter().map(|&u| UserId(u)).collect(),
+            vote: vote.map(UserId),
+            queue_latency: Duration::ZERO,
+        }
+    }
+
+    fn label(device: u32, victim: u32, start: i64, end: i64) -> LabeledInterval {
+        LabeledInterval {
+            device: DeviceId(device),
+            victim: UserId(victim),
+            start: Timestamp(start),
+            end: Timestamp(end),
+        }
+    }
+
+    #[test]
+    fn detection_and_false_accept_rates() {
+        let mut t = ScenarioTelemetry::new(vec![label(0, 1, 1_000, 2_000)]);
+        // Benign window before the attack, accepted: no alarm.
+        t.record(&decision(0, 500, &[1], &[1], Some(1)));
+        // Attack window, rejected: detection.
+        t.record(&decision(0, 1_000, &[], &[1], None));
+        // Attack window, accepted and voted to the victim: false accept.
+        t.record(&decision(0, 1_500, &[1], &[1], Some(1)));
+        // Other device: ignored entirely.
+        t.record(&decision(9, 1_200, &[], &[1], None));
+        let r = t.report();
+        assert_eq!(r.attack_windows, 2);
+        assert_eq!(r.benign_windows, 1);
+        assert_eq!(r.detection_rate, 0.5);
+        assert_eq!(r.false_accept_rate, 0.5);
+        assert_eq!(r.benign_reject_rate, 0.0);
+        assert_eq!(r.detected_labels, 1);
+        // First rejection at 1_000, attack started at 1_000.
+        assert_eq!(r.time_to_detect_s, 0.0);
+    }
+
+    #[test]
+    fn undetected_attack_charges_full_duration() {
+        let mut t = ScenarioTelemetry::new(vec![label(0, 1, 1_000, 4_600)]);
+        t.record(&decision(0, 1_000, &[1], &[1], Some(1)));
+        t.record(&decision(0, 2_000, &[1], &[1], Some(1)));
+        let r = t.report();
+        assert_eq!(r.detection_rate, 0.0);
+        assert_eq!(r.detected_labels, 0);
+        assert_eq!(r.time_to_detect_s, 3_600.0);
+    }
+
+    #[test]
+    fn delayed_detection_measures_latency() {
+        let mut t = ScenarioTelemetry::new(vec![label(0, 1, 1_000, 10_000)]);
+        t.record(&decision(0, 1_000, &[1], &[1], Some(1)));
+        t.record(&decision(0, 2_800, &[], &[1], None));
+        let r = t.report();
+        assert_eq!(r.time_to_detect_s, 1_800.0);
+    }
+
+    #[test]
+    fn multi_label_window_attributes_to_every_matching_victim() {
+        // Two victims drifting on the same device (taxonomy evolution).
+        let mut t =
+            ScenarioTelemetry::new(vec![label(0, 1, 1_000, 2_000), label(0, 2, 1_000, 2_000)]);
+        t.record(&decision(0, 1_500, &[2], &[1, 2], Some(2)));
+        let r = t.report();
+        // Victim 1 rejected (detected), victim 2 accepted.
+        assert_eq!(r.attack_windows, 2);
+        assert_eq!(r.detection_rate, 0.5);
+        assert_eq!(r.detected_labels, 1);
+    }
+
+    #[test]
+    fn empty_run_reports_finite_zeroes() {
+        let t = ScenarioTelemetry::new(vec![label(0, 1, 0, 100)]);
+        let r = t.report();
+        assert_eq!(r.detection_rate, 0.0);
+        assert_eq!(r.false_accept_rate, 0.0);
+        assert_eq!(r.time_to_detect_s, 0.0);
+        assert!(r.detection_rate.is_finite());
+    }
+}

@@ -6,9 +6,17 @@
 //! *labeled* attacks; [`inject_takeover`] builds them by re-attributing a
 //! slice of one user's traffic to another user's account — exactly what
 //! stolen credentials look like in proxy logs (the attacker's behavior
-//! under the victim's user id).
+//! under the victim's user id). By default the injected traffic also moves
+//! onto the victim's busiest device, so host-specific identification (the
+//! Fig. 3 setting) actually sees the attack; [`DeviceAttribution`] makes
+//! that configurable, including the legacy keep-the-attacker's-device
+//! behaviour.
+//!
+//! Richer multi-scenario attacks (mimicry, exfiltration, beaconing,
+//! taxonomy drift) live in the [`attack`](crate::attack) module and build
+//! on these primitives.
 
-use proxylog::{Dataset, Timestamp, Transaction, UserId};
+use proxylog::{Dataset, DeviceId, Timestamp, Transaction, UserId};
 use std::sync::Arc;
 
 /// Ground truth of one injected takeover.
@@ -24,16 +32,50 @@ pub struct TakeoverScenario {
     pub end: Timestamp,
     /// Number of transactions re-attributed.
     pub injected: usize,
+    /// Device the injected traffic was re-attributed to; `None` when it
+    /// stayed on the attacker's own devices
+    /// ([`DeviceAttribution::KeepAttackerDevice`]).
+    pub device: Option<DeviceId>,
+}
+
+/// Where the injected transactions' `device` field points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeviceAttribution {
+    /// Re-attribute to the victim's busiest device (default): stolen
+    /// credentials are used on the host the victim's account is monitored
+    /// on, so per-device identification sees the attack. Falls back to
+    /// the busiest device in the dataset when the victim has no traffic.
+    #[default]
+    VictimPrimary,
+    /// Re-attribute to a specific device.
+    Fixed(DeviceId),
+    /// Keep the attacker's own devices (the legacy pre-fix behaviour):
+    /// the stolen account produces traffic on hosts the victim never
+    /// uses. Useful for account-centric detectors that ignore the device
+    /// column.
+    KeepAttackerDevice,
+}
+
+/// Options of [`inject_takeover_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TakeoverOptions {
+    /// Device re-attribution policy for the injected transactions.
+    pub device: DeviceAttribution,
 }
 
 /// Re-attributes the attacker's transactions within `[start, start +
-/// duration_secs)` to the victim's account, returning the modified dataset
-/// and the scenario ground truth.
+/// duration_secs)` to the victim's account and the victim's busiest
+/// device, returning the modified dataset and the scenario ground truth.
 ///
 /// The attacker's original transactions in that interval are *removed*
 /// (they now happen under the stolen account); everything else is
 /// untouched. Returns `None` when the attacker has no transactions in the
 /// interval (nothing to inject).
+///
+/// Shorthand for [`inject_takeover_with`] with default
+/// [`TakeoverOptions`]; pass
+/// [`DeviceAttribution::KeepAttackerDevice`] there for the historical
+/// behaviour that left the attacker's device untouched.
 ///
 /// # Panics
 ///
@@ -45,9 +87,39 @@ pub fn inject_takeover(
     start: Timestamp,
     duration_secs: i64,
 ) -> Option<(Dataset, TakeoverScenario)> {
+    inject_takeover_with(
+        dataset,
+        victim,
+        attacker,
+        start,
+        duration_secs,
+        TakeoverOptions::default(),
+    )
+}
+
+/// [`inject_takeover`] with explicit [`TakeoverOptions`].
+///
+/// # Panics
+///
+/// Panics if `duration_secs` is not positive or `victim == attacker`.
+pub fn inject_takeover_with(
+    dataset: &Dataset,
+    victim: UserId,
+    attacker: UserId,
+    start: Timestamp,
+    duration_secs: i64,
+    options: TakeoverOptions,
+) -> Option<(Dataset, TakeoverScenario)> {
     assert!(duration_secs > 0, "takeover duration must be positive");
     assert_ne!(victim, attacker, "victim and attacker must differ");
     let end = start + duration_secs;
+    let device = match options.device {
+        DeviceAttribution::VictimPrimary => {
+            Some(primary_device(dataset, victim).or_else(|| busiest_device(dataset))?)
+        }
+        DeviceAttribution::Fixed(device) => Some(device),
+        DeviceAttribution::KeepAttackerDevice => None,
+    };
     let mut injected = 0usize;
     let transactions: Vec<Transaction> = dataset
         .transactions()
@@ -55,7 +127,7 @@ pub fn inject_takeover(
         .map(|tx| {
             if tx.user == attacker && tx.timestamp >= start && tx.timestamp < end {
                 injected += 1;
-                Transaction { user: victim, ..*tx }
+                Transaction { user: victim, device: device.unwrap_or(tx.device), ..*tx }
             } else {
                 *tx
             }
@@ -64,8 +136,36 @@ pub fn inject_takeover(
     if injected == 0 {
         return None;
     }
-    let scenario = TakeoverScenario { victim, attacker, start, end, injected };
+    let scenario = TakeoverScenario { victim, attacker, start, end, injected, device };
     Some((Dataset::new(Arc::clone(dataset.taxonomy()), transactions), scenario))
+}
+
+/// The device carrying most of `user`'s transactions (lowest id on ties),
+/// or `None` when the user has no traffic.
+pub(crate) fn primary_device(dataset: &Dataset, user: UserId) -> Option<DeviceId> {
+    let mut counts: std::collections::BTreeMap<DeviceId, usize> = std::collections::BTreeMap::new();
+    for tx in dataset.for_user(user) {
+        *counts.entry(tx.device).or_insert(0) += 1;
+    }
+    let mut best: Option<(DeviceId, usize)> = None;
+    for (device, count) in counts {
+        if best.is_none_or(|(_, n)| count > n) {
+            best = Some((device, count));
+        }
+    }
+    best.map(|(device, _)| device)
+}
+
+/// The busiest device of the whole dataset (lowest id on ties).
+fn busiest_device(dataset: &Dataset) -> Option<DeviceId> {
+    let mut best: Option<(DeviceId, usize)> = None;
+    for (device, _) in dataset.users_per_device() {
+        let count = dataset.for_device(device).count();
+        if best.is_none_or(|(_, n)| count > n) {
+            best = Some((device, count));
+        }
+    }
+    best.map(|(device, _)| device)
 }
 
 /// Finds the interval of length `duration_secs` in which `attacker` is
@@ -76,10 +176,21 @@ pub fn busiest_interval(
     duration_secs: i64,
 ) -> Option<Timestamp> {
     assert!(duration_secs > 0, "interval must be positive");
-    let times: Vec<i64> = dataset.for_user(attacker).map(|tx| tx.timestamp.as_secs()).collect();
+    let mut times: Vec<i64> = dataset.for_user(attacker).map(|tx| tx.timestamp.as_secs()).collect();
+    densest_window_start(&mut times, duration_secs).map(Timestamp)
+}
+
+/// Core of [`busiest_interval`]: the start of the densest half-open
+/// `duration_secs` window over a set of instants. The input order carries
+/// no meaning — the instants are sorted before the sliding-window scan
+/// (the scan itself is only correct on nondecreasing times, and callers
+/// may collect them from concatenated shards or other non-time-sorted
+/// sources).
+fn densest_window_start(times: &mut [i64], duration_secs: i64) -> Option<i64> {
     if times.is_empty() {
         return None;
     }
+    times.sort_unstable();
     let mut best = (0usize, times[0]);
     let mut lo = 0usize;
     for hi in 0..times.len() {
@@ -91,13 +202,16 @@ pub fn busiest_interval(
             best = (count, times[lo]);
         }
     }
-    Some(Timestamp(best.1))
+    Some(best.1)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{Scenario, TraceGenerator};
+    use proxylog::{
+        AppTypeId, CategoryId, HttpAction, Reputation, SiteId, SubtypeId, Taxonomy, UriScheme,
+    };
 
     fn dataset() -> Dataset {
         TraceGenerator::new(Scenario::quick_test()).generate()
@@ -107,6 +221,27 @@ mod tests {
         let mut counts: Vec<(UserId, usize)> = dataset.user_counts().into_iter().collect();
         counts.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
         (counts[0].0, counts[1].0)
+    }
+
+    /// A minimal hand-built transaction at `t` for `user` on `device`.
+    fn tx(t: i64, user: u32, device: u32) -> Transaction {
+        Transaction {
+            timestamp: Timestamp(t),
+            user: UserId(user),
+            device: DeviceId(device),
+            site: SiteId(1),
+            action: HttpAction::Get,
+            scheme: UriScheme::Http,
+            category: CategoryId(0),
+            subtype: SubtypeId(0),
+            app_type: AppTypeId(0),
+            reputation: Reputation::Minimal,
+            private_destination: false,
+        }
+    }
+
+    fn hand_dataset(transactions: Vec<Transaction>) -> Dataset {
+        Dataset::new(Taxonomy::paper_scale(), transactions)
     }
 
     #[test]
@@ -143,11 +278,126 @@ mod tests {
     }
 
     #[test]
+    fn takeover_lands_on_the_victims_primary_device() {
+        let d = dataset();
+        let (victim, attacker) = two_active_users(&d);
+        let start = busiest_interval(&d, attacker, 3_600).unwrap();
+        let (modified, scenario) = inject_takeover(&d, victim, attacker, start, 3_600).unwrap();
+        let expected = primary_device(&d, victim).unwrap();
+        assert_eq!(scenario.device, Some(expected));
+        // Every injected transaction sits on that device: the victim's
+        // traffic inside the interval on other devices is unchanged from
+        // the original dataset.
+        let injected_on_device = modified
+            .for_user(victim)
+            .filter(|tx| {
+                tx.timestamp >= scenario.start
+                    && tx.timestamp < scenario.end
+                    && tx.device == expected
+            })
+            .count();
+        let original_on_device = d
+            .for_user(victim)
+            .filter(|tx| {
+                tx.timestamp >= scenario.start
+                    && tx.timestamp < scenario.end
+                    && tx.device == expected
+            })
+            .count();
+        assert_eq!(injected_on_device - original_on_device, scenario.injected);
+    }
+
+    #[test]
+    fn legacy_option_keeps_the_attackers_device() {
+        let d = dataset();
+        let (victim, attacker) = two_active_users(&d);
+        let start = busiest_interval(&d, attacker, 3_600).unwrap();
+        let options = TakeoverOptions { device: DeviceAttribution::KeepAttackerDevice };
+        let (modified, scenario) =
+            inject_takeover_with(&d, victim, attacker, start, 3_600, options).unwrap();
+        assert_eq!(scenario.device, None);
+        // The per-device layout is bit-identical to the original dataset:
+        // only the user column changed.
+        let devices_before: Vec<(i64, u32)> =
+            d.transactions().iter().map(|tx| (tx.timestamp.as_secs(), tx.device.0)).collect();
+        let devices_after: Vec<(i64, u32)> = modified
+            .transactions()
+            .iter()
+            .map(|tx| (tx.timestamp.as_secs(), tx.device.0))
+            .collect();
+        assert_eq!(devices_before, devices_after);
+        assert!(scenario.injected > 0);
+    }
+
+    #[test]
+    fn fixed_attribution_targets_the_requested_device() {
+        let d = dataset();
+        let (victim, attacker) = two_active_users(&d);
+        let start = busiest_interval(&d, attacker, 3_600).unwrap();
+        let target = DeviceId(0);
+        let options = TakeoverOptions { device: DeviceAttribution::Fixed(target) };
+        let (modified, scenario) =
+            inject_takeover_with(&d, victim, attacker, start, 3_600, options).unwrap();
+        assert_eq!(scenario.device, Some(target));
+        let on_target = modified
+            .for_user(victim)
+            .filter(|tx| {
+                tx.timestamp >= scenario.start && tx.timestamp < scenario.end && tx.device == target
+            })
+            .count();
+        assert!(on_target >= scenario.injected);
+    }
+
+    #[test]
     fn empty_interval_returns_none() {
         let d = dataset();
         let (victim, attacker) = two_active_users(&d);
         // Far in the past: the attacker has no traffic there.
         assert!(inject_takeover(&d, victim, attacker, Timestamp(-1_000_000), 60).is_none());
+    }
+
+    #[test]
+    fn interval_past_dataset_end_returns_none() {
+        let d = dataset();
+        let (victim, attacker) = two_active_users(&d);
+        let (_, end) = d.time_range().unwrap();
+        assert!(inject_takeover(&d, victim, attacker, end + 10_000, 3_600).is_none());
+        assert_eq!(densest_window_start(&mut [], 3_600), None, "no instants, no densest window");
+    }
+
+    #[test]
+    fn duration_spanning_the_whole_corpus_injects_everything() {
+        let d = dataset();
+        let (victim, attacker) = two_active_users(&d);
+        let (first, last) = d.time_range().unwrap();
+        let span = last.as_secs() - first.as_secs() + 1;
+        let start = busiest_interval(&d, attacker, span).unwrap();
+        // A window at least as long as the corpus covers every attacker
+        // transaction; the densest window therefore starts at their first.
+        let attacker_first = d.for_user(attacker).map(|tx| tx.timestamp).min().unwrap();
+        assert_eq!(start, attacker_first);
+        let (modified, scenario) = inject_takeover(&d, victim, attacker, start, span).unwrap();
+        assert_eq!(scenario.injected, d.for_user(attacker).count());
+        assert_eq!(modified.for_user(attacker).count(), 0);
+    }
+
+    #[test]
+    fn single_transaction_attacker_injects_one() {
+        // Attacker 9 has exactly one transaction; victim 1 is active.
+        let mut transactions = vec![tx(5_000, 9, 3)];
+        for i in 0..20 {
+            transactions.push(tx(i * 600, 1, 0));
+        }
+        let d = hand_dataset(transactions);
+        let start = busiest_interval(&d, UserId(9), 600).unwrap();
+        assert_eq!(start, Timestamp(5_000));
+        let (modified, scenario) = inject_takeover(&d, UserId(1), UserId(9), start, 600).unwrap();
+        assert_eq!(scenario.injected, 1);
+        assert_eq!(modified.for_user(UserId(9)).count(), 0);
+        // Re-attributed to the victim's primary device.
+        assert_eq!(scenario.device, Some(DeviceId(0)));
+        let moved = modified.for_user(UserId(1)).find(|t| t.timestamp == Timestamp(5_000)).unwrap();
+        assert_eq!(moved.device, DeviceId(0));
     }
 
     #[test]
@@ -160,6 +410,44 @@ mod tests {
             .filter(|tx| tx.timestamp >= start && tx.timestamp < start + 1_800)
             .count();
         assert!(count > 0);
+    }
+
+    #[test]
+    fn densest_window_is_input_order_invariant() {
+        // Regression: the sliding scan assumed nondecreasing times and
+        // silently undercounted on shuffled input. The cluster at
+        // 1000..1002 is the densest 10-second window regardless of order.
+        let sorted = vec![0i64, 1_000, 1_001, 1_002, 5_000, 5_004, 9_000];
+        let mut shuffles = vec![
+            vec![5_000i64, 1_002, 9_000, 0, 1_001, 5_004, 1_000],
+            vec![9_000i64, 5_004, 5_000, 1_002, 1_001, 1_000, 0],
+            vec![1_001i64, 0, 5_000, 1_000, 9_000, 1_002, 5_004],
+        ];
+        let expected = densest_window_start(&mut sorted.clone(), 10);
+        assert_eq!(expected, Some(1_000));
+        for times in &mut shuffles {
+            assert_eq!(
+                densest_window_start(times, 10),
+                expected,
+                "shuffled input changed the densest window"
+            );
+        }
+    }
+
+    #[test]
+    fn busiest_interval_survives_shuffled_dataset_construction() {
+        // End-to-end regression companion: transactions handed to the
+        // dataset in shuffled order (e.g. concatenated shards) must give
+        // the same busiest interval as time-ordered input.
+        let ordered: Vec<Transaction> =
+            vec![tx(100, 2, 0), tx(3_000, 2, 0), tx(3_010, 2, 0), tx(3_020, 2, 0), tx(8_000, 2, 0)];
+        let mut shuffled = ordered.clone();
+        shuffled.swap(0, 3);
+        shuffled.swap(1, 4);
+        let a = busiest_interval(&hand_dataset(ordered), UserId(2), 60);
+        let b = busiest_interval(&hand_dataset(shuffled), UserId(2), 60);
+        assert_eq!(a, Some(Timestamp(3_000)));
+        assert_eq!(a, b);
     }
 
     #[test]

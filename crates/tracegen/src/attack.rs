@@ -1,0 +1,753 @@
+//! Labeled attack & drift scenarios layered on a benign corpus.
+//!
+//! The paper frames user profiling as the substrate for intrusion
+//! monitoring and continuous authentication (Sect. I). This module turns
+//! a benign generated [`Dataset`] into five adversarial evaluation
+//! corpora, each carrying machine-readable ground truth
+//! ([`AttackLabel`]s) so detectors can be scored for detection rate,
+//! false accepts and time-to-detect:
+//!
+//! | scenario | shape |
+//! |---|---|
+//! | [`account_takeover`] | user B's traffic replayed under user A on A's device |
+//! | [`slow_mimicry`] | attacker interpolates toward the victim's behaviour over weeks |
+//! | [`insider_exfiltration`] | volume/entropy burst inside a legitimate profile |
+//! | [`beaconing_malware`] | periodic low-volume requests to rare categories |
+//! | [`taxonomy_evolution`] | new media subtypes gradually replacing old ones |
+//!
+//! All randomness flows through the generator's splitmix stream
+//! derivation with scenario-private stream ids, so a scenario built on a
+//! corpus generated at 1, 2 or 8 workers is bit-identical. Injected
+//! category/subtype/application ids are always drawn from the corpus
+//! taxonomy (least-used first) — never out-of-range ids that feature
+//! extraction would reject.
+
+use crate::anomaly::{inject_takeover_with, primary_device, TakeoverOptions};
+use crate::busiest_interval;
+use crate::generator::derived_rng;
+use proxylog::{
+    AppTypeId, CategoryId, Dataset, DeviceId, HttpAction, Reputation, SiteId, SubtypeId, Timestamp,
+    Transaction, UriScheme, UserId,
+};
+use rand::Rng;
+use std::sync::Arc;
+
+// Scenario-private RNG streams; the generator itself uses 1–3.
+const STREAM_MIMICRY: u64 = 11;
+const STREAM_EXFIL: u64 = 12;
+const STREAM_BEACON: u64 = 13;
+const STREAM_EVOLUTION: u64 = 14;
+
+/// The five scenario families this module can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AttackKind {
+    /// Stolen credentials: another user's traffic under the victim's
+    /// account on the victim's device.
+    AccountTakeover,
+    /// The attacker gradually copies the victim's transaction content.
+    SlowMimicry,
+    /// A volume/entropy burst from the legitimate account itself.
+    InsiderExfiltration,
+    /// Periodic low-volume requests to rare categories.
+    BeaconingMalware,
+    /// Benign drift: new media subtypes appearing over weeks.
+    TaxonomyEvolution,
+}
+
+impl AttackKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [AttackKind; 5] = [
+        AttackKind::AccountTakeover,
+        AttackKind::SlowMimicry,
+        AttackKind::InsiderExfiltration,
+        AttackKind::BeaconingMalware,
+        AttackKind::TaxonomyEvolution,
+    ];
+
+    /// Stable snake_case name (metric prefixes, reports).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AttackKind::AccountTakeover => "takeover",
+            AttackKind::SlowMimicry => "mimicry",
+            AttackKind::InsiderExfiltration => "exfil",
+            AttackKind::BeaconingMalware => "beacon",
+            AttackKind::TaxonomyEvolution => "evolution",
+        }
+    }
+}
+
+/// Ground truth of one injected attack interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackLabel {
+    /// Scenario family.
+    pub kind: AttackKind,
+    /// Account under which the malicious traffic appears.
+    pub victim: UserId,
+    /// Behaviour source, when the scenario has one (takeover, mimicry).
+    pub attacker: Option<UserId>,
+    /// Device carrying the injected traffic.
+    pub device: DeviceId,
+    /// First instant of the attack interval.
+    pub start: Timestamp,
+    /// End of the attack interval (exclusive).
+    pub end: Timestamp,
+    /// Number of transactions injected or rewritten.
+    pub injected: usize,
+}
+
+/// A modified dataset plus the ground truth of everything injected.
+#[derive(Debug, Clone)]
+pub struct AttackScenario {
+    /// The corpus with the attack applied.
+    pub dataset: Dataset,
+    /// One label per attacked (user, interval).
+    pub labels: Vec<AttackLabel>,
+}
+
+/// Knobs of [`account_takeover`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TakeoverAttackConfig {
+    /// Account being taken over; defaults to the most active user.
+    pub victim: Option<UserId>,
+    /// Behaviour source; defaults to the second most active user.
+    pub attacker: Option<UserId>,
+    /// Attack start; defaults to the attacker's busiest interval.
+    pub start: Option<Timestamp>,
+    /// Attack length in seconds.
+    pub duration_secs: i64,
+    /// Scenario seed (independent of the corpus seed).
+    pub seed: u64,
+}
+
+impl Default for TakeoverAttackConfig {
+    fn default() -> Self {
+        Self { victim: None, attacker: None, start: None, duration_secs: 4 * 3_600, seed: 0 }
+    }
+}
+
+/// Knobs of [`slow_mimicry`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MimicryConfig {
+    /// Account being imitated; defaults to the most active user.
+    pub victim: Option<UserId>,
+    /// User whose traffic morphs into the victim's; defaults to the
+    /// second most active user.
+    pub attacker: Option<UserId>,
+    /// Interpolation start; defaults to the corpus midpoint.
+    pub start: Option<Timestamp>,
+    /// Interpolation length in seconds (the "configurable weeks").
+    pub duration_secs: i64,
+    /// Scenario seed.
+    pub seed: u64,
+}
+
+impl Default for MimicryConfig {
+    fn default() -> Self {
+        Self { victim: None, attacker: None, start: None, duration_secs: 14 * 86_400, seed: 0 }
+    }
+}
+
+/// Knobs of [`insider_exfiltration`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExfiltrationConfig {
+    /// The insider; defaults to the most active user.
+    pub user: Option<UserId>,
+    /// Burst start; defaults to the corpus midpoint.
+    pub start: Option<Timestamp>,
+    /// Burst length in seconds.
+    pub duration_secs: i64,
+    /// Upload transactions per hour during the burst.
+    pub per_hour: usize,
+    /// Scenario seed.
+    pub seed: u64,
+}
+
+impl Default for ExfiltrationConfig {
+    fn default() -> Self {
+        Self { user: None, start: None, duration_secs: 24 * 3_600, per_hour: 120, seed: 0 }
+    }
+}
+
+/// Knobs of [`beaconing_malware`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeaconConfig {
+    /// Infected account; defaults to the most active user.
+    pub victim: Option<UserId>,
+    /// First beacon; defaults to the corpus midpoint.
+    pub start: Option<Timestamp>,
+    /// Beaconing length in seconds.
+    pub duration_secs: i64,
+    /// Seconds between beacons.
+    pub period_secs: i64,
+    /// Max uniform jitter added to each beacon, in seconds.
+    pub jitter_secs: i64,
+    /// Scenario seed.
+    pub seed: u64,
+}
+
+impl Default for BeaconConfig {
+    fn default() -> Self {
+        Self {
+            victim: None,
+            start: None,
+            duration_secs: 3 * 86_400,
+            period_secs: 300,
+            jitter_secs: 30,
+            seed: 0,
+        }
+    }
+}
+
+/// Knobs of [`taxonomy_evolution`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvolutionConfig {
+    /// Drift start; defaults to the corpus midpoint.
+    pub start: Option<Timestamp>,
+    /// Drift length in seconds.
+    pub duration_secs: i64,
+    /// How many fresh subtypes appear.
+    pub new_subtypes: usize,
+    /// Fraction of transactions carrying a fresh subtype at the end of
+    /// the drift window (ramps linearly from 0).
+    pub final_fraction: f64,
+    /// Scenario seed.
+    pub seed: u64,
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> Self {
+        Self {
+            start: None,
+            duration_secs: 14 * 86_400,
+            new_subtypes: 4,
+            final_fraction: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// Account takeover: the attacker's traffic inside the window is replayed
+/// under the victim's account on the victim's primary device (the fixed
+/// [`crate::inject_takeover`] semantics).
+///
+/// Returns `None` when the corpus has fewer than two users or the
+/// attacker is silent in the window.
+pub fn account_takeover(
+    dataset: &Dataset,
+    config: &TakeoverAttackConfig,
+) -> Option<AttackScenario> {
+    let (victim, attacker) = pick_pair(dataset, config.victim, config.attacker)?;
+    let start = match config.start {
+        Some(start) => start,
+        None => busiest_interval(dataset, attacker, config.duration_secs)?,
+    };
+    let (modified, scenario) = inject_takeover_with(
+        dataset,
+        victim,
+        attacker,
+        start,
+        config.duration_secs,
+        TakeoverOptions::default(),
+    )?;
+    let label = AttackLabel {
+        kind: AttackKind::AccountTakeover,
+        victim,
+        attacker: Some(attacker),
+        device: scenario.device.expect("default attribution always picks a device"),
+        start: scenario.start,
+        end: scenario.end,
+        injected: scenario.injected,
+    };
+    Some(AttackScenario { dataset: modified, labels: vec![label] })
+}
+
+/// Slow mimicry: inside the window the attacker's transactions move onto
+/// the victim's account and primary device, and with probability equal to
+/// the elapsed fraction of the window their *content* (site, category,
+/// media type, application, …) is replaced by a sample of the victim's
+/// own pre-attack traffic. Early traffic still looks like the attacker;
+/// by the end it is statistically the victim.
+///
+/// Returns `None` when there are fewer than two users, the victim has no
+/// pre-attack palette, or the attacker is silent in the window.
+pub fn slow_mimicry(dataset: &Dataset, config: &MimicryConfig) -> Option<AttackScenario> {
+    let (victim, attacker) = pick_pair(dataset, config.victim, config.attacker)?;
+    let start = config.start.or_else(|| midpoint(dataset))?;
+    let end = start + config.duration_secs;
+    let device = primary_device(dataset, victim)?;
+    let palette: Vec<Transaction> =
+        dataset.for_user(victim).filter(|tx| tx.timestamp < start).copied().collect();
+    if palette.is_empty() {
+        return None;
+    }
+    let mut rng = derived_rng(config.seed, u64::from(victim.0), STREAM_MIMICRY);
+    let span = (end.as_secs() - start.as_secs()) as f64;
+    let mut injected = 0usize;
+    let transactions: Vec<Transaction> = dataset
+        .transactions()
+        .iter()
+        .map(|tx| {
+            if tx.user != attacker || tx.timestamp < start || tx.timestamp >= end {
+                return *tx;
+            }
+            injected += 1;
+            let progress = (tx.timestamp.as_secs() - start.as_secs()) as f64 / span;
+            let mut out = Transaction { user: victim, device, ..*tx };
+            if rng.gen_bool(progress.clamp(0.0, 1.0)) {
+                let model = palette[rng.gen_range(0..palette.len())];
+                out = Transaction { timestamp: tx.timestamp, user: victim, device, ..model };
+            }
+            out
+        })
+        .collect();
+    if injected == 0 {
+        return None;
+    }
+    let label = AttackLabel {
+        kind: AttackKind::SlowMimicry,
+        victim,
+        attacker: Some(attacker),
+        device,
+        start,
+        end,
+        injected,
+    };
+    Some(AttackScenario {
+        dataset: Dataset::new(Arc::clone(dataset.taxonomy()), transactions),
+        labels: vec![label],
+    })
+}
+
+/// Insider exfiltration: the account itself starts bulk-uploading — a
+/// steady stream of HTTPS POSTs to a single previously unseen
+/// destination in the categories the user touches least, raising both
+/// volume and feature entropy without any foreign behaviour.
+///
+/// Returns `None` when the corpus is empty or the burst would be empty.
+pub fn insider_exfiltration(
+    dataset: &Dataset,
+    config: &ExfiltrationConfig,
+) -> Option<AttackScenario> {
+    let user = match config.user {
+        Some(user) => user,
+        None => *most_active_users(dataset, 1).first()?,
+    };
+    let device = primary_device(dataset, user)?;
+    let start = config.start.or_else(|| midpoint(dataset))?;
+    let end = start + config.duration_secs;
+    let count = (config.duration_secs / 3_600).max(1) as usize * config.per_hour;
+    if count == 0 {
+        return None;
+    }
+    let taxonomy = dataset.taxonomy();
+    let category = least_used_category(dataset.for_user(user), taxonomy.category_count())?;
+    let subtype = least_used_subtype(dataset.for_user(user), taxonomy.subtype_count())?;
+    let app_type = least_used_app_type(dataset.for_user(user), taxonomy.app_type_count())?;
+    let mut rng = derived_rng(config.seed, u64::from(user.0), STREAM_EXFIL);
+    let step = config.duration_secs as f64 / count as f64;
+    let jitter = (step / 4.0).max(1.0) as i64;
+    let mut transactions = dataset.transactions().to_vec();
+    let mut injected = 0usize;
+    for i in 0..count {
+        let at = start.as_secs() + (i as f64 * step) as i64 + rng.gen_range(0..=jitter);
+        if at >= end.as_secs() {
+            break;
+        }
+        transactions.push(Transaction {
+            timestamp: Timestamp(at),
+            user,
+            device,
+            site: SiteId(3_000_000 + user.0),
+            action: HttpAction::Post,
+            scheme: UriScheme::Https,
+            category,
+            subtype,
+            app_type,
+            reputation: Reputation::Unverified,
+            private_destination: false,
+        });
+        injected += 1;
+    }
+    if injected == 0 {
+        return None;
+    }
+    let label = AttackLabel {
+        kind: AttackKind::InsiderExfiltration,
+        victim: user,
+        attacker: None,
+        device,
+        start,
+        end,
+        injected,
+    };
+    Some(AttackScenario {
+        dataset: Dataset::new(Arc::clone(taxonomy), transactions),
+        labels: vec![label],
+    })
+}
+
+/// Beaconing malware: one low-volume GET every `period_secs` (plus
+/// jitter) to a fixed rare destination — categories and media types the
+/// whole corpus touches least — from the victim's primary device.
+///
+/// Returns `None` when the corpus is empty or no beacon fits the window.
+pub fn beaconing_malware(dataset: &Dataset, config: &BeaconConfig) -> Option<AttackScenario> {
+    assert!(config.period_secs > 0, "beacon period must be positive");
+    let victim = match config.victim {
+        Some(victim) => victim,
+        None => *most_active_users(dataset, 1).first()?,
+    };
+    let device = primary_device(dataset, victim)?;
+    let start = config.start.or_else(|| midpoint(dataset))?;
+    let end = start + config.duration_secs;
+    let taxonomy = dataset.taxonomy();
+    let all = dataset.transactions().iter();
+    let category = least_used_category(all.clone(), taxonomy.category_count())?;
+    let subtype = least_used_subtype(all.clone(), taxonomy.subtype_count())?;
+    let app_type = least_used_app_type(all, taxonomy.app_type_count())?;
+    let mut rng = derived_rng(config.seed, u64::from(victim.0), STREAM_BEACON);
+    let mut transactions = dataset.transactions().to_vec();
+    let mut injected = 0usize;
+    let mut at = start.as_secs();
+    while at < end.as_secs() {
+        let jitter = if config.jitter_secs > 0 { rng.gen_range(0..=config.jitter_secs) } else { 0 };
+        let timestamp = Timestamp(at + jitter);
+        if timestamp < end {
+            transactions.push(Transaction {
+                timestamp,
+                user: victim,
+                device,
+                site: SiteId(4_000_000 + victim.0),
+                action: HttpAction::Get,
+                scheme: UriScheme::Http,
+                category,
+                subtype,
+                app_type,
+                reputation: Reputation::Minimal,
+                private_destination: false,
+            });
+            injected += 1;
+        }
+        at += config.period_secs;
+    }
+    if injected == 0 {
+        return None;
+    }
+    let label = AttackLabel {
+        kind: AttackKind::BeaconingMalware,
+        victim,
+        attacker: None,
+        device,
+        start,
+        end,
+        injected,
+    };
+    Some(AttackScenario {
+        dataset: Dataset::new(Arc::clone(taxonomy), transactions),
+        labels: vec![label],
+    })
+}
+
+/// Taxonomy evolution: over the window, a growing fraction of everyone's
+/// transactions switch to `new_subtypes` fresh media subtypes (the
+/// corpus's least-used ids) — benign drift that stales trained profiles
+/// rather than an attack. One label per affected user so detectors can
+/// be scored for *false* alarms and retrainers for staleness coverage.
+///
+/// Returns `None` when the corpus is empty or nothing drifts.
+pub fn taxonomy_evolution(dataset: &Dataset, config: &EvolutionConfig) -> Option<AttackScenario> {
+    assert!(config.new_subtypes > 0, "need at least one fresh subtype");
+    assert!((0.0..=1.0).contains(&config.final_fraction), "final_fraction must be a probability");
+    let start = config.start.or_else(|| midpoint(dataset))?;
+    let end = start + config.duration_secs;
+    let taxonomy = dataset.taxonomy();
+    let fresh = least_used_subtypes(
+        dataset.transactions().iter(),
+        taxonomy.subtype_count(),
+        config.new_subtypes,
+    );
+    if fresh.is_empty() {
+        return None;
+    }
+    let mut rng = derived_rng(config.seed, 0, STREAM_EVOLUTION);
+    let span = (end.as_secs() - start.as_secs()) as f64;
+    let mut affected: std::collections::BTreeMap<UserId, usize> = std::collections::BTreeMap::new();
+    let transactions: Vec<Transaction> = dataset
+        .transactions()
+        .iter()
+        .map(|tx| {
+            if tx.timestamp < start || tx.timestamp >= end {
+                return *tx;
+            }
+            let progress = (tx.timestamp.as_secs() - start.as_secs()) as f64 / span;
+            if rng.gen_bool((progress * config.final_fraction).clamp(0.0, 1.0)) {
+                *affected.entry(tx.user).or_insert(0) += 1;
+                let subtype = fresh[rng.gen_range(0..fresh.len())];
+                return Transaction { subtype, ..*tx };
+            }
+            *tx
+        })
+        .collect();
+    if affected.is_empty() {
+        return None;
+    }
+    let modified = Dataset::new(Arc::clone(taxonomy), transactions);
+    let labels: Vec<AttackLabel> = affected
+        .iter()
+        .filter_map(|(&user, &injected)| {
+            Some(AttackLabel {
+                kind: AttackKind::TaxonomyEvolution,
+                victim: user,
+                attacker: None,
+                device: primary_device(dataset, user)?,
+                start,
+                end,
+                injected,
+            })
+        })
+        .collect();
+    Some(AttackScenario { dataset: modified, labels })
+}
+
+/// Users ordered by descending transaction count (id breaks ties).
+pub fn most_active_users(dataset: &Dataset, n: usize) -> Vec<UserId> {
+    let mut counts: Vec<(UserId, usize)> = dataset.user_counts().into_iter().collect();
+    counts.sort_by_key(|&(user, count)| (std::cmp::Reverse(count), user));
+    counts.into_iter().take(n).map(|(user, _)| user).collect()
+}
+
+/// Resolves victim/attacker defaults: the two most active users, with the
+/// guarantee they differ.
+fn pick_pair(
+    dataset: &Dataset,
+    victim: Option<UserId>,
+    attacker: Option<UserId>,
+) -> Option<(UserId, UserId)> {
+    let ranked = most_active_users(dataset, 3);
+    let victim = victim.or_else(|| ranked.first().copied())?;
+    let attacker = attacker.or_else(|| ranked.iter().copied().find(|&u| u != victim))?;
+    if victim == attacker {
+        return None;
+    }
+    Some((victim, attacker))
+}
+
+/// Timestamp halfway through the corpus.
+fn midpoint(dataset: &Dataset) -> Option<Timestamp> {
+    let (first, last) = dataset.time_range()?;
+    Some(Timestamp(first.as_secs() + (last.as_secs() - first.as_secs()) / 2))
+}
+
+/// The `k` in-taxonomy ids touched least by `counts` (unused ids first,
+/// lower id breaks ties). `counts[i]` is the number of transactions
+/// carrying id `i`.
+fn least_used(counts: Vec<usize>, k: usize) -> Vec<u16> {
+    let mut ranked: Vec<(usize, u16)> =
+        counts.into_iter().enumerate().map(|(id, count)| (count, id as u16)).collect();
+    ranked.sort_unstable();
+    ranked.into_iter().take(k).map(|(_, id)| id).collect()
+}
+
+fn least_used_category<'a>(
+    transactions: impl Iterator<Item = &'a Transaction>,
+    n: usize,
+) -> Option<CategoryId> {
+    let mut counts = vec![0usize; n];
+    for tx in transactions {
+        counts[tx.category.0 as usize] += 1;
+    }
+    least_used(counts, 1).first().map(|&id| CategoryId(id))
+}
+
+fn least_used_subtype<'a>(
+    transactions: impl Iterator<Item = &'a Transaction>,
+    n: usize,
+) -> Option<SubtypeId> {
+    least_used_subtypes(transactions, n, 1).first().copied()
+}
+
+fn least_used_subtypes<'a>(
+    transactions: impl Iterator<Item = &'a Transaction>,
+    n: usize,
+    k: usize,
+) -> Vec<SubtypeId> {
+    let mut counts = vec![0usize; n];
+    for tx in transactions {
+        counts[tx.subtype.0 as usize] += 1;
+    }
+    least_used(counts, k).into_iter().map(SubtypeId).collect()
+}
+
+fn least_used_app_type<'a>(
+    transactions: impl Iterator<Item = &'a Transaction>,
+    n: usize,
+) -> Option<AppTypeId> {
+    let mut counts = vec![0usize; n];
+    for tx in transactions {
+        counts[tx.app_type.0 as usize] += 1;
+    }
+    least_used(counts, 1).first().map(|&id| AppTypeId(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Scenario, TraceGenerator};
+
+    fn dataset() -> Dataset {
+        TraceGenerator::new(Scenario::quick_test()).generate()
+    }
+
+    #[test]
+    fn takeover_scenario_labels_the_injection() {
+        let d = dataset();
+        let scenario = account_takeover(&d, &TakeoverAttackConfig::default()).unwrap();
+        assert_eq!(scenario.labels.len(), 1);
+        let label = scenario.labels[0];
+        assert_eq!(label.kind, AttackKind::AccountTakeover);
+        assert!(label.injected > 0);
+        assert_eq!(scenario.dataset.len(), d.len());
+        // Every labeled transaction really is on the labeled device.
+        let on_device = scenario
+            .dataset
+            .for_user(label.victim)
+            .filter(|tx| {
+                tx.timestamp >= label.start && tx.timestamp < label.end && tx.device == label.device
+            })
+            .count();
+        assert!(on_device >= label.injected);
+    }
+
+    #[test]
+    fn mimicry_converges_to_the_victims_palette() {
+        let d = dataset();
+        let config = MimicryConfig { duration_secs: 7 * 86_400, ..MimicryConfig::default() };
+        let scenario = slow_mimicry(&d, &config).unwrap();
+        let label = scenario.labels[0];
+        let attacker = label.attacker.unwrap();
+        assert!(label.injected > 0);
+        // The attacker is silent inside the window…
+        let inside = scenario
+            .dataset
+            .for_user(attacker)
+            .filter(|tx| tx.timestamp >= label.start && tx.timestamp < label.end)
+            .count();
+        assert_eq!(inside, 0);
+        // …and the victim's sites inside the window increasingly come
+        // from the victim's own pre-attack repertoire.
+        let palette: std::collections::BTreeSet<u32> = d
+            .for_user(label.victim)
+            .filter(|tx| tx.timestamp < label.start)
+            .map(|tx| tx.site.0)
+            .collect();
+        let mid =
+            Timestamp(label.start.as_secs() + (label.end.as_secs() - label.start.as_secs()) / 2);
+        let late_hits = scenario
+            .dataset
+            .for_device(label.device)
+            .filter(|tx| tx.timestamp >= mid && tx.timestamp < label.end)
+            .filter(|tx| palette.contains(&tx.site.0))
+            .count();
+        assert!(late_hits > 0, "late mimicry traffic must reuse the palette");
+    }
+
+    #[test]
+    fn exfiltration_adds_labeled_upload_burst() {
+        let d = dataset();
+        let scenario = insider_exfiltration(&d, &ExfiltrationConfig::default()).unwrap();
+        let label = scenario.labels[0];
+        assert_eq!(label.attacker, None);
+        assert_eq!(scenario.dataset.len(), d.len() + label.injected);
+        let uploads = scenario
+            .dataset
+            .for_user(label.victim)
+            .filter(|tx| {
+                tx.site.0 >= 3_000_000
+                    && tx.action == HttpAction::Post
+                    && tx.timestamp >= label.start
+                    && tx.timestamp < label.end
+            })
+            .count();
+        assert_eq!(uploads, label.injected);
+    }
+
+    #[test]
+    fn beacons_are_periodic_and_rare() {
+        let d = dataset();
+        let config = BeaconConfig { jitter_secs: 0, ..BeaconConfig::default() };
+        let scenario = beaconing_malware(&d, &config).unwrap();
+        let label = scenario.labels[0];
+        let beacons: Vec<i64> = scenario
+            .dataset
+            .for_user(label.victim)
+            .filter(|tx| tx.site.0 >= 4_000_000)
+            .map(|tx| tx.timestamp.as_secs())
+            .collect();
+        assert_eq!(beacons.len(), label.injected);
+        // Zero jitter → exactly periodic.
+        for pair in beacons.windows(2) {
+            assert_eq!(pair[1] - pair[0], config.period_secs);
+        }
+    }
+
+    #[test]
+    fn evolution_introduces_fresh_subtypes_gradually() {
+        let d = dataset();
+        let config = EvolutionConfig { duration_secs: 7 * 86_400, ..EvolutionConfig::default() };
+        let scenario = taxonomy_evolution(&d, &config).unwrap();
+        assert!(!scenario.labels.is_empty());
+        let fresh: std::collections::BTreeSet<u16> = {
+            let taxonomy = d.taxonomy();
+            least_used_subtypes(
+                d.transactions().iter(),
+                taxonomy.subtype_count(),
+                config.new_subtypes,
+            )
+            .into_iter()
+            .map(|s| s.0)
+            .collect()
+        };
+        let start = scenario.labels[0].start;
+        let end = scenario.labels[0].end;
+        let span = end.as_secs() - start.as_secs();
+        let half = Timestamp(start.as_secs() + span / 2);
+        let count_fresh = |from: Timestamp, until: Timestamp| {
+            scenario
+                .dataset
+                .transactions()
+                .iter()
+                .filter(|tx| tx.timestamp >= from && tx.timestamp < until)
+                .filter(|tx| fresh.contains(&tx.subtype.0))
+                .count()
+        };
+        // Before the window: (essentially) no fresh subtypes; the ramp
+        // makes the second half denser than the first.
+        let early = count_fresh(start, half);
+        let late = count_fresh(half, end);
+        assert!(late > early, "drift must ramp up ({early} early vs {late} late)");
+        // Fresh ids are least-used, not guaranteed unused, so pre-existing
+        // occurrences may inflate the window counts slightly.
+        let total: usize = scenario.labels.iter().map(|l| l.injected).sum();
+        assert!(early + late >= total);
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_for_a_fixed_corpus() {
+        let d = dataset();
+        let a = slow_mimicry(&d, &MimicryConfig::default()).unwrap();
+        let b = slow_mimicry(&d, &MimicryConfig::default()).unwrap();
+        assert_eq!(a.dataset.transactions(), b.dataset.transactions());
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn empty_window_yields_none() {
+        let d = dataset();
+        let (_, end) = d.time_range().unwrap();
+        let config =
+            TakeoverAttackConfig { start: Some(end + 10_000), ..TakeoverAttackConfig::default() };
+        assert!(account_takeover(&d, &config).is_none());
+        let config = MimicryConfig { start: Some(end + 10_000), ..MimicryConfig::default() };
+        assert!(slow_mimicry(&d, &config).is_none());
+    }
+}

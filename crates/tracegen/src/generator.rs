@@ -455,8 +455,10 @@ fn activity_class_for(user: usize) -> ActivityClass {
 }
 
 /// Splitmix-style stream derivation so per-user randomness is independent
-/// of user count and iteration order.
-fn derived_rng(seed: u64, user: u64, stream: u64) -> StdRng {
+/// of user count and iteration order. Shared with the attack layer
+/// (distinct stream ids) so scenario injection stays bit-deterministic
+/// regardless of worker count.
+pub(crate) fn derived_rng(seed: u64, user: u64, stream: u64) -> StdRng {
     let mut z = seed
         .wrapping_add(user.wrapping_mul(0x9E37_79B9_7F4A_7C15))
         .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9));

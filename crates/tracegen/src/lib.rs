@@ -36,6 +36,7 @@
 
 mod anomaly;
 mod arrivals;
+mod attack;
 pub mod dist;
 mod generator;
 mod profile;
@@ -44,8 +45,16 @@ mod schedule;
 mod shard;
 mod sink;
 
-pub use anomaly::{busiest_interval, inject_takeover, TakeoverScenario};
+pub use anomaly::{
+    busiest_interval, inject_takeover, inject_takeover_with, DeviceAttribution, TakeoverOptions,
+    TakeoverScenario,
+};
 pub use arrivals::session_transactions;
+pub use attack::{
+    account_takeover, beaconing_malware, insider_exfiltration, most_active_users, slow_mimicry,
+    taxonomy_evolution, AttackKind, AttackLabel, AttackScenario, BeaconConfig, EvolutionConfig,
+    ExfiltrationConfig, MimicryConfig, TakeoverAttackConfig,
+};
 pub use generator::{CorpusStatistics, GenStats, GeneratedTrace, StreamedTrace, TraceGenerator};
 pub use profile::{
     ActivityClass, Repertoire, RoleTemplate, SiteProfile, SiteResource, UserBehaviorProfile,

@@ -1,0 +1,66 @@
+//! Attack scenarios are bit-deterministic at 1, 2 and 8 workers.
+//!
+//! Scenario injection draws randomness only from the splitmix stream
+//! derivation (scenario-private stream ids) and a deterministic pass over
+//! the already-deterministic corpus, so corpora generated at different
+//! worker counts must yield byte-identical attacked datasets and labels.
+
+use proxylog::Dataset;
+use tracegen::{
+    account_takeover, beaconing_malware, insider_exfiltration, slow_mimicry, taxonomy_evolution,
+    AttackScenario, BeaconConfig, EvolutionConfig, ExfiltrationConfig, MimicryConfig, Scenario,
+    TakeoverAttackConfig, TraceGenerator,
+};
+
+fn build_all(dataset: &Dataset) -> Vec<AttackScenario> {
+    let takeover = TakeoverAttackConfig { seed: 42, ..TakeoverAttackConfig::default() };
+    let mimicry = MimicryConfig { seed: 42, duration_secs: 7 * 86_400, ..MimicryConfig::default() };
+    let exfil = ExfiltrationConfig { seed: 42, ..ExfiltrationConfig::default() };
+    let beacon = BeaconConfig { seed: 42, ..BeaconConfig::default() };
+    let evolution =
+        EvolutionConfig { seed: 42, duration_secs: 7 * 86_400, ..EvolutionConfig::default() };
+    vec![
+        account_takeover(dataset, &takeover).expect("takeover applies"),
+        slow_mimicry(dataset, &mimicry).expect("mimicry applies"),
+        insider_exfiltration(dataset, &exfil).expect("exfiltration applies"),
+        beaconing_malware(dataset, &beacon).expect("beaconing applies"),
+        taxonomy_evolution(dataset, &evolution).expect("evolution applies"),
+    ]
+}
+
+#[test]
+fn all_scenarios_are_worker_count_invariant() {
+    let scenario = Scenario::quick_test();
+    let reference_corpus =
+        TraceGenerator::new(scenario.clone()).generate_with_ground_truth_serial().dataset;
+    let reference = build_all(&reference_corpus);
+    assert_eq!(reference.len(), 5);
+    for scenarios in &reference {
+        assert!(!scenarios.labels.is_empty());
+        assert!(scenarios.labels.iter().all(|l| l.injected > 0));
+    }
+    for threads in [1usize, 2, 8] {
+        let corpus = TraceGenerator::new(scenario.clone()).with_workers(threads).generate();
+        let attacked = build_all(&corpus);
+        for (a, b) in reference.iter().zip(&attacked) {
+            assert_eq!(
+                a.dataset.transactions(),
+                b.dataset.transactions(),
+                "attacked transactions diverge at {threads} threads"
+            );
+            assert_eq!(a.labels, b.labels, "labels diverge at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn scenario_seed_changes_the_injection() {
+    let corpus = TraceGenerator::new(Scenario::quick_test()).generate();
+    let a = slow_mimicry(&corpus, &MimicryConfig { seed: 1, ..MimicryConfig::default() }).unwrap();
+    let b = slow_mimicry(&corpus, &MimicryConfig { seed: 2, ..MimicryConfig::default() }).unwrap();
+    assert_ne!(
+        a.dataset.transactions(),
+        b.dataset.transactions(),
+        "different seeds must sample different palettes"
+    );
+}

@@ -69,6 +69,7 @@ mod metrics;
 mod novelty;
 mod prefilter;
 mod profile;
+mod retrain;
 mod roc;
 mod schedule;
 mod trainer;
@@ -97,6 +98,7 @@ pub use novelty::{
 };
 pub use prefilter::{CandidateIndex, ProfileSketch, ShortlistScratch};
 pub use profile::{ModelKind, ProfileParams, UserProfile};
+pub use retrain::{drift_partial_retrain, DriftRetrainConfig, ProfileFingerprint, RetrainReport};
 pub use roc::{auc, best_operating_point, roc_curve, RocPoint};
 pub use trainer::{parallel_map, ProfileError, ProfileTrainer};
 pub use vocab::{ColumnKind, Vocabulary};
